@@ -1,0 +1,87 @@
+// Extension bench: sequential read-ahead depth (paper Section 6.4 future
+// work: "We plan to investigate these [buffering, scheduling, block
+// allocation strategies] ... with the expectation of higher performance").
+//
+// 4.2BSD's read path issues one block of read-ahead (breada).  This bench
+// sweeps the depth from 0 (none) to 8 blocks for the cp path on real disks,
+// measuring throughput and the CPU-availability cost (each read-ahead pays
+// an in-line bmap and buffer grab in the reader's context).  The splice path
+// has its own pipeline (the flow-control watermarks) and ignores this knob,
+// shown as the reference row.
+
+#include <cstdio>
+#include <string>
+
+#include "src/dev/disk_driver.h"
+#include "src/hw/disk.h"
+#include "src/os/kernel.h"
+#include "src/workload/programs.h"
+
+using namespace ikdp;
+
+namespace {
+
+uint8_t Fill(int64_t i) { return static_cast<uint8_t>(i * 13); }
+
+struct Row {
+  double kbs = 0;
+  double slowdown = 0;
+  bool ok = false;
+};
+
+Row RunCp(int ra_depth, bool use_splice) {
+  Simulator sim;
+  Kernel kernel(&sim, DecStation5000Costs());
+  DiskDriver src_dev(&kernel.cpu(), &sim, Rz58Params());
+  DiskDriver dst_dev(&kernel.cpu(), &sim, Rz58Params());
+  FileSystem* src_fs = kernel.MountFs(&src_dev, "src");
+  FileSystem* dst_fs = kernel.MountFs(&dst_dev, "dst");
+  src_fs->set_read_ahead_blocks(ra_depth);
+  dst_fs->set_read_ahead_blocks(ra_depth);
+  constexpr int64_t kBytes = 8 << 20;
+  src_fs->CreateFileInstant("big", kBytes, Fill);
+
+  TestProgramState test_state;
+  kernel.Spawn("test", [&](Process& p) -> Task<> {
+    co_await TestProgram(kernel, p, Milliseconds(1), &test_state);
+  });
+  CopyResult copy;
+  kernel.Spawn("copy", [&](Process& p) -> Task<> {
+    if (use_splice) {
+      co_await ScpProgram(kernel, p, "src:big", "dst:out", &copy);
+    } else {
+      co_await CpProgram(kernel, p, "src:big", "dst:out", 8192, &copy);
+    }
+    test_state.stop = true;
+  });
+  sim.Run();
+
+  Row row;
+  row.ok = copy.ok && copy.bytes == kBytes;
+  row.kbs = copy.ThroughputKbs();
+  const double ideal =
+      static_cast<double>(copy.end - copy.start) / static_cast<double>(Milliseconds(1));
+  row.slowdown = test_state.ops > 0 ? ideal / static_cast<double>(test_state.ops) : 0;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("ikdp bench: cp read-ahead depth sweep (8 MB copy, RZ58 disks)\n\n");
+  std::printf("  %-12s | %-10s | %-8s |\n", "depth", "cp KB/s", "F_cp");
+  std::printf("  -------------+------------+----------+---\n");
+  for (int depth : {0, 1, 2, 4, 8}) {
+    const Row r = RunCp(depth, /*use_splice=*/false);
+    std::printf("  %2d block(s)  | %8.0f   | %6.2f   | %s\n", depth, r.kbs, r.slowdown,
+                r.ok ? "verified" : "FAILED");
+  }
+  const Row scp = RunCp(1, /*use_splice=*/true);
+  std::printf("  %-12s | %8.0f   | %6.2f   | %s\n", "scp (ref)", scp.kbs, scp.slowdown,
+              scp.ok ? "verified" : "FAILED");
+  std::printf(
+      "\nExpected shape: depth 0 loses the read/transfer overlap badly; one block\n"
+      "recovers most of it (4.2BSD's choice); deeper read-ahead approaches the\n"
+      "splice pipeline's throughput at a growing in-line CPU cost.\n");
+  return 0;
+}

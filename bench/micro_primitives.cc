@@ -1,0 +1,159 @@
+// google-benchmark microbenchmarks of the simulator's host-side primitives:
+// event queue, callout table, coroutine tasks, buffer cache operations, and
+// filesystem block mapping.  These measure the *simulator's* execution cost
+// (host CPU), not simulated time — they exist to keep the engine fast enough
+// for the large parameter sweeps in the ablation benches.
+
+#include <benchmark/benchmark.h>
+
+#include "src/buf/buffer_cache.h"
+#include "src/dev/ram_disk.h"
+#include "src/fs/filesystem.h"
+#include "src/hw/costs.h"
+#include "src/kern/cpu.h"
+#include "src/sim/callout.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+
+namespace ikdp {
+namespace {
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  EventQueue q;
+  SimTime when = 0;
+  int64_t t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      q.Schedule(++t, [] {});
+    }
+    while (!q.empty()) {
+      q.PopNext(&when)();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop);
+
+void BM_EventQueueCancel(benchmark::State& state) {
+  EventQueue q;
+  for (auto _ : state) {
+    EventId ids[64];
+    for (int i = 0; i < 64; ++i) {
+      ids[i] = q.Schedule(i, [] {});
+    }
+    for (EventId id : ids) {
+      q.Cancel(id);
+    }
+    benchmark::DoNotOptimize(q.empty());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueCancel);
+
+void BM_SimulatorEventChain(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    int hops = 0;
+    std::function<void()> hop = [&] {
+      if (++hops < 1000) {
+        sim.After(10, hop);
+      }
+    };
+    sim.After(0, hop);
+    sim.Run();
+    benchmark::DoNotOptimize(hops);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorEventChain);
+
+void BM_CalloutTimeout(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    CalloutTable callouts(&sim, 256);
+    for (int i = 0; i < 256; ++i) {
+      callouts.Timeout([] {}, 1 + (i % 8));
+    }
+    sim.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_CalloutTimeout);
+
+void BM_TaskSpawnResume(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    auto body = [&sim]() -> Task<> {
+      for (int i = 0; i < 100; ++i) {
+        co_await SuspendAndCall(
+            [&sim](std::coroutine_handle<> h) { sim.After(1, [h] { h.resume(); }); });
+      }
+    };
+    Task<> t = body();
+    t.Start();
+    sim.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_TaskSpawnResume);
+
+void BM_BufferCacheHitCycle(benchmark::State& state) {
+  Simulator sim;
+  CpuSystem cpu(&sim, DecStation5000Costs());
+  BufferCache cache(&cpu, 64);
+  RamDisk ram(&cpu, 4 << 20);
+  // Warm one block, then measure hit lookups through the async interface.
+  bool warmed = false;
+  cache.BreadAsync(&ram, 1, [&](Buf& b) {
+    cache.Brelse(&b);
+    warmed = true;
+  });
+  sim.Run();
+  if (!warmed) {
+    state.SkipWithError("warmup failed");
+    return;
+  }
+  for (auto _ : state) {
+    cache.BreadAsync(&ram, 1, [&](Buf& b) { cache.Brelse(&b); });
+    sim.Run();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferCacheHitCycle);
+
+void BM_FsBmapWarm(benchmark::State& state) {
+  Simulator sim;
+  CpuSystem cpu(&sim, DecStation5000Costs());
+  BufferCache cache(&cpu, 64);
+  RamDisk ram(&cpu, 64 << 20);
+  FileSystem fs(&cpu, &cache, &ram, "bench");
+  Inode* ip = fs.CreateFileInstant("f", 4 << 20, [](int64_t) { return 0; });
+  int64_t lbn = 0;
+  for (auto _ : state) {
+    int64_t pbn = 0;
+    cpu.Spawn("b", [&](Process& p) -> Task<> {
+      pbn = co_await fs.Bmap(p, ip, lbn % ip->SizeBlocks(), false);
+    });
+    sim.Run();
+    benchmark::DoNotOptimize(pbn);
+    ++lbn;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FsBmapWarm);
+
+void BM_Rng(benchmark::State& state) {
+  Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Rng);
+
+}  // namespace
+}  // namespace ikdp
+
+BENCHMARK_MAIN();

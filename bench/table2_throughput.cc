@@ -1,0 +1,42 @@
+// Reproduces Table 2 of the paper: "Mean Throughput Measurements (Copying
+// 8 MB File)".
+//
+// The 8 MB copy runs with no competing process ("maximum attainable
+// throughput ... assuming an otherwise idle CPU"); SCP and CP throughput in
+// KB/s are reported per disk type.  The paper's legible values: RAM 3343 vs
+// 1884 KB/s (+77%); for the real disks the text states the benefit is minor
+// because disk transfer time dominates.
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/metrics/tables.h"
+
+int main(int argc, char** argv) {
+  int64_t mb = 8;
+  if (argc > 1) {
+    mb = std::max(1l, std::strtol(argv[1], nullptr, 10));
+  }
+  std::printf("ikdp bench: Table 2 reproduction (file size %lld MB)\n\n",
+              static_cast<long long>(mb));
+  const auto rows = ikdp::RunTable2(mb << 20);
+  ikdp::PrintTable2(std::cout, rows);
+  std::printf(
+      "Paper claims (Section 6.3): splice-based copying reaches ~1.8x read/write\n"
+      "throughput in the best case (RAM disk); for real disks the benefit is minor.\n");
+  bool shape_holds = true;
+  for (const auto& r : rows) {
+    if (!r.cp.ok || !r.scp.ok) {
+      shape_holds = false;
+      continue;
+    }
+    const double pct = r.MeasuredImprovementPct();
+    if (r.disk == ikdp::DiskKind::kRam) {
+      shape_holds = shape_holds && pct > 35.0;  // large win on the RAM disk
+    } else {
+      shape_holds = shape_holds && pct > 0.0 && pct < 25.0;  // minor on disks
+    }
+  }
+  std::printf("Measured: shape %s.\n", shape_holds ? "HOLDS" : "DOES NOT HOLD");
+  return shape_holds ? 0 : 1;
+}

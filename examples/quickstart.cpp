@@ -1,0 +1,71 @@
+// Quickstart: build a machine, create a file, and splice it to another disk.
+//
+// Shows the minimal end-to-end use of the library:
+//   1. a Simulator and Kernel (CPU, scheduler, buffer cache, callouts),
+//   2. two block devices with mounted filesystems,
+//   3. a process that open()s both files and calls splice(),
+//   4. verification that every byte arrived.
+//
+// Run: build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/dev/disk_driver.h"
+#include "src/dev/ram_disk.h"
+#include "src/hw/disk.h"
+#include "src/os/kernel.h"
+
+using namespace ikdp;
+
+namespace {
+uint8_t Pattern(int64_t i) { return static_cast<uint8_t>((i * 131) & 0xff); }
+}  // namespace
+
+int main() {
+  // The machine: a DECstation-5000/200-costed CPU, 3.2 MB buffer cache,
+  // hz=256 callout wheel.
+  Simulator sim;
+  Kernel kernel(&sim, DecStation5000Costs());
+
+  // Two disks: an RZ58 SCSI drive and a 16 MB RAM disk, each with a
+  // filesystem.
+  DiskDriver rz58(&kernel.cpu(), &sim, Rz58Params());
+  RamDisk ram(&kernel.cpu(), 16 << 20);
+  FileSystem* src_fs = kernel.MountFs(&rz58, "disk0");
+  FileSystem* dst_fs = kernel.MountFs(&ram, "ram0");
+
+  // A 2 MB source file, created directly on the device (no simulated time).
+  constexpr int64_t kBytes = 2 << 20;
+  src_fs->CreateFileInstant("data.bin", kBytes, Pattern);
+
+  // A process that splices the file across devices.
+  kernel.Spawn("copier", [&](Process& p) -> Task<> {
+    const int src = co_await kernel.Open(p, "disk0:data.bin", kOpenRead);
+    const int dst = co_await kernel.Open(p, "ram0:data.copy", kOpenWrite | kOpenCreate);
+    std::printf("[%8.3fs] splice(src=%d, dst=%d, SPLICE_EOF)...\n", ToSeconds(sim.Now()), src,
+                dst);
+    const int64_t moved = co_await kernel.Splice(p, src, dst, kSpliceEof);
+    std::printf("[%8.3fs] splice returned %lld bytes\n", ToSeconds(sim.Now()),
+                static_cast<long long>(moved));
+    co_await kernel.Close(p, src);
+    co_await kernel.Close(p, dst);
+  });
+
+  sim.Run();
+
+  // Verify.
+  kernel.cache().FlushAllInstant();
+  Inode* out = dst_fs->Lookup("data.copy");
+  bool ok = out != nullptr && out->size == kBytes;
+  if (ok) {
+    const std::vector<uint8_t> back = dst_fs->ReadFileInstant(out);
+    for (int64_t i = 0; i < kBytes && ok; ++i) {
+      ok = back[static_cast<size_t>(i)] == Pattern(i);
+    }
+  }
+  std::printf("copy %s; process CPU charged: %s; splice descriptors used: %llu\n",
+              ok ? "verified byte-for-byte" : "FAILED",
+              FormatDuration(kernel.cpu().stats().process_work).c_str(),
+              static_cast<unsigned long long>(kernel.splice_engine().stats().splices_completed));
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,117 @@
+// The buffer header, modelled on the 4.2BSD `struct buf` ([LMK89] ch. 7).
+//
+// A Buf describes one block-sized I/O in flight or cached: which device and
+// physical block it maps, status flags, the data area, and the completion
+// hook (`b_iodone`, invoked by biodone() when B_CALL is set) that the splice
+// implementation uses to chain reads into writes without a process context.
+//
+// The paper adds two fields to the stock header (Section 5.2.3): the splice
+// descriptor the buffer belongs to and the logical block number its data
+// corresponds to, so several buffers can be in flight simultaneously and
+// complete out of order.  Those fields appear here as `splice_owner` /
+// `logical_blkno`, plus `splice_peer` for the write side to find the
+// source-side buffer it aliases.
+
+#ifndef SRC_BUF_BUF_H_
+#define SRC_BUF_BUF_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace ikdp {
+
+// The filesystem block size used throughout (4.2BSD FFS default).
+inline constexpr int64_t kBlockSize = 8192;
+
+// A block's data area.  shared_ptr so a splice write-side header can alias
+// the read-side buffer's data without copying (the paper's key zero-copy
+// step: "both buffers share a common data area").
+using BufData = std::shared_ptr<std::vector<uint8_t>>;
+
+inline BufData MakeBufData() {
+  return std::make_shared<std::vector<uint8_t>>(kBlockSize, 0);
+}
+
+// Buffer status flags (names follow 4.2BSD).
+enum BufFlags : uint32_t {
+  kBufBusy = 1u << 0,    // B_BUSY: owned by someone, not on the free list
+  kBufDone = 1u << 1,    // B_DONE: contains valid data / I/O completed
+  kBufDelwri = 1u << 2,  // B_DELWRI: dirty, write deferred
+  kBufRead = 1u << 3,    // B_READ: current operation is a read
+  kBufAsync = 1u << 4,   // B_ASYNC: release on completion, nobody waits
+  kBufCall = 1u << 5,    // B_CALL: invoke b_iodone at completion
+  kBufInval = 1u << 6,   // B_INVAL: contents invalid, reuse first
+  kBufError = 1u << 7,   // B_ERROR: I/O failed
+  kBufWanted = 1u << 8,  // B_WANTED: someone sleeps on this buffer
+};
+
+class BlockDevice;
+class BufferCache;
+
+struct Buf {
+  BufferCache* cache = nullptr;  // owning cache (null for transient headers)
+  BlockDevice* dev = nullptr;
+  int64_t blkno = -1;  // physical block number on `dev`
+  uint32_t flags = 0;
+  int64_t bcount = kBlockSize;  // bytes valid in this transfer
+  BufData data;                 // may alias another buffer's data
+
+  // Completion hook, run by biodone() when kBufCall is set.
+  std::function<void(Buf&)> iodone;
+
+  // --- splice extensions (paper Section 5.2.3) ---
+  void* splice_owner = nullptr;
+  int64_t logical_blkno = -1;
+  Buf* splice_peer = nullptr;
+
+  // --- cache bookkeeping (BufferCache internal) ---
+  bool hashed = false;
+  bool on_freelist = false;
+  bool transient = false;  // header-only buffer outside the cache pool
+
+  bool Has(BufFlags f) const { return (flags & f) != 0; }
+  void Set(BufFlags f) { flags |= f; }
+  void Clear(BufFlags f) { flags &= ~static_cast<uint32_t>(f); }
+};
+
+// Marks the I/O on `b` complete, 4.2BSD biodone() semantics:
+//  * kBufCall: clear it and invoke b->iodone (splice handlers run here);
+//  * else kBufAsync: release the buffer back to its cache;
+//  * else: set kBufDone and wake any biowait() sleeper.
+// Device drivers call this when a transfer finishes.
+void Biodone(Buf& b);
+
+// A block device as the buffer cache sees it: a strategy routine that
+// services one buffer and eventually calls Biodone(), plus a capacity.
+//
+// Strategy() returns the CPU time the *caller's context* must be charged for
+// issuing (and, for synchronous devices like the RAM disk, performing) the
+// transfer.  DMA devices return only their setup cost; the RAM disk returns
+// the full bcopy time, because its "transfer" is a memory copy executed by
+// the CPU in whoever's context submitted it (paper Section 6.1).
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  // Begins servicing `b` (direction per kBufRead).  Completion is signalled
+  // via Biodone(b), possibly synchronously before Strategy returns.
+  virtual SimDuration Strategy(Buf& b) = 0;
+
+  // Device size in kBlockSize blocks.
+  virtual int64_t CapacityBlocks() const = 0;
+
+  virtual const char* Name() const = 0;
+
+  // Untimed content access, used for experiment setup (pre-creating files
+  // without simulating the writes) and end-to-end verification.
+  virtual void PokeBlock(int64_t blkno, const std::vector<uint8_t>& data) = 0;
+  virtual std::vector<uint8_t> PeekBlock(int64_t blkno) const = 0;
+};
+
+}  // namespace ikdp
+
+#endif  // SRC_BUF_BUF_H_

@@ -1,0 +1,187 @@
+// The 4.2BSD buffer cache ([LMK89] ch. 7), with the paper's extensions.
+//
+// A fixed pool of block buffers is indexed by (device, physical block) in a
+// hash table and recycled through an LRU free list.  Two client APIs exist:
+//
+//  * The classic process-context API — Bread/Breada/Bwrite/Bawrite/Bdwrite/
+//    Brelse/Biowait — used by the read()/write() file path.  These are
+//    coroutines: they charge CPU to the calling process and sleep (PRIBIO)
+//    on busy buffers, free-list exhaustion, and I/O completion.
+//
+//  * The splice API (paper Section 5.2.2): "New versions of the kernel
+//    routines bread() and getblk(), with the calls to biowait() removed".
+//    BreadAsync() schedules a read and returns immediately, delivering
+//    completion through the buffer's b_iodone hook in interrupt context.
+//    AllocTransientHeader() is the modified getblk "which avoids allocating
+//    any real memory to the buffer": a header outside the pool whose data
+//    pointer is aliased to the read-side buffer.
+//
+// CPU charging convention: process-context coroutines charge the calling
+// process; non-blocking calls charge the executing interrupt when invoked at
+// interrupt level and charge nothing otherwise (the syscall layer accounts
+// for splice-setup work explicitly).
+
+#ifndef SRC_BUF_BUFFER_CACHE_H_
+#define SRC_BUF_BUFFER_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/buf/buf.h"
+#include "src/kern/cpu.h"
+#include "src/sim/task.h"
+
+namespace ikdp {
+
+class BufferCache {
+ public:
+  // `nbufs` block buffers of kBlockSize each (the paper's machine: 3.2 MB /
+  // 8 KB = 400).
+  BufferCache(CpuSystem* cpu, int nbufs);
+  ~BufferCache();
+
+  BufferCache(const BufferCache&) = delete;
+  BufferCache& operator=(const BufferCache&) = delete;
+
+  int nbufs() const { return nbufs_; }
+
+  // --- process-context (coroutine) API ---
+
+  // Returns the buffer for (dev, blkno) with valid data, reading from the
+  // device if necessary.  The buffer is returned busy; release with Brelse.
+  Task<Buf*> Bread(Process& p, BlockDevice* dev, int64_t blkno);
+
+  // Bread plus an asynchronous read-ahead of `rablkno` (pass -1 for none).
+  Task<Buf*> Breada(Process& p, BlockDevice* dev, int64_t blkno, int64_t rablkno);
+
+  // Fires an asynchronous read of (dev, blkno) into the cache if the block
+  // is not already cached and a buffer is available without sleeping.
+  // Non-blocking; used by the deeper read-ahead of FileSystem::Read.
+  void IssueReadAhead(BlockDevice* dev, int64_t blkno);
+
+  // Returns the buffer for (dev, blkno) busy, WITHOUT reading: contents are
+  // valid only if kBufDone is set (cache hit).  Used by whole-block
+  // overwrites.
+  Task<Buf*> GetBlk(Process& p, BlockDevice* dev, int64_t blkno);
+
+  // Writes `b` synchronously: waits for the transfer, then releases it.
+  Task<> Bwrite(Process& p, Buf* b);
+
+  // Starts an asynchronous write of `b` and returns once issued.  The
+  // buffer releases itself on completion.
+  Task<> Bawrite(Process& p, Buf* b);
+
+  // Marks `b` dirty for a delayed write and releases it (no I/O now).
+  void Bdwrite(Process& p, Buf* b);
+
+  // Releases a busy buffer to the free list (tail; head if kBufInval).
+  void Brelse(Buf* b);
+
+  // Waits for I/O on a busy buffer to complete (kBufDone).
+  Task<> Biowait(Process& p, Buf* b);
+
+  // Writes out every delayed-write block for `dev` and waits for all
+  // asynchronous writes on `dev` to drain (fsync(2) of the paper's cp).
+  Task<> FlushDev(Process& p, BlockDevice* dev);
+
+  // Invalidates every clean cached block of `dev` (cold-cache priming for
+  // the experiments).  Buffers that are busy or dirty are left alone.
+  void InvalidateDev(BlockDevice* dev);
+
+  // Pushes every idle delayed-write block straight into its device's
+  // backing store WITHOUT simulating any I/O time.  Host-side helper for
+  // content verification in tests and harnesses; never part of a timed run.
+  void FlushAllInstant();
+
+  // --- splice (non-blocking) API ---
+
+  // Paper's modified bread: acquires a buffer for (dev, blkno) and schedules
+  // a read with `iodone` installed (kBufCall); returns immediately.  If the
+  // block is already cached and idle, `iodone` runs synchronously.  Returns
+  // false when no buffer can be had without sleeping (caller retries later).
+  bool BreadAsync(BlockDevice* dev, int64_t blkno, std::function<void(Buf&)> iodone);
+
+  // Paper's modified getblk: a transient header with NO data area, for the
+  // splice write side.  Free with FreeTransientHeader (typically from the
+  // write-completion handler).
+  Buf* AllocTransientHeader(BlockDevice* dev, int64_t blkno);
+  void FreeTransientHeader(Buf* b);
+
+  // Starts an asynchronous write of any busy buffer with `iodone` installed;
+  // non-blocking, charges interrupt context if executing in one.
+  void BawriteAsync(Buf* b, std::function<void(Buf&)> iodone);
+
+  // --- shared ---
+
+  // Driver completion entry point (free-function Biodone forwards here).
+  void IoDone(Buf* b);
+
+  // Number of asynchronous writes outstanding on `dev`.
+  int PendingWrites(BlockDevice* dev) const;
+
+  // Drains CPU cost accumulated by process-context SubmitIo() calls on the
+  // non-blocking API (e.g. the synchronous RAM-disk copies behind the
+  // initial reads a splice issues at setup).  The syscall layer charges this
+  // to the calling process.
+  SimDuration TakeSyncCharge() { return std::exchange(pending_sync_charge_, 0); }
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t delwri_flushes = 0;   // victim writes forced by reuse
+    uint64_t transient_allocs = 0;
+    uint64_t async_read_fails = 0; // BreadAsync could not get a buffer
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  using HashKey = std::pair<const BlockDevice*, int64_t>;
+  struct HashKeyHash {
+    size_t operator()(const HashKey& k) const {
+      return std::hash<const void*>()(k.first) ^ std::hash<int64_t>()(k.second) * 1099511628211u;
+    }
+  };
+
+  // Looks up (dev, blkno); returns nullptr if not cached.
+  Buf* Incore(BlockDevice* dev, int64_t blkno);
+
+  // Non-blocking variant of the getblk body: returns a busy buffer for
+  // (dev, blkno) or nullptr if it would have to sleep.  Sets *was_hit.
+  Buf* TryGetBlk(BlockDevice* dev, int64_t blkno, bool* was_hit);
+
+  // Takes a reusable buffer off the free list, writing out a delayed-write
+  // victim if that is what the LRU yields.  Returns nullptr if none is
+  // available without sleeping.
+  Buf* TryGrabFree();
+
+  void HashInsert(Buf* b);
+  void HashRemove(Buf* b);
+  void FreelistPush(Buf* b, bool front);
+  Buf* FreelistPop();
+
+  // Issues `b` to its device, charging the submitting context.
+  void SubmitIo(Buf* b);
+
+  // Charges `d` to the current interrupt if executing at interrupt level.
+  void ChargeIfInterrupt(SimDuration d);
+
+  CpuSystem* cpu_;
+  const int nbufs_;
+  std::vector<std::unique_ptr<Buf>> pool_;
+  std::unordered_map<HashKey, Buf*, HashKeyHash> hash_;
+  std::list<Buf*> freelist_;  // front = next victim (LRU)
+  std::map<const BlockDevice*, int> pending_writes_;
+  std::unordered_map<Buf*, std::unique_ptr<Buf>> transients_;
+  int freelist_waiters_chan_ = 0;  // sleep channel for free-list exhaustion
+  SimDuration pending_sync_charge_ = 0;
+  Stats stats_;
+};
+
+}  // namespace ikdp
+
+#endif  // SRC_BUF_BUFFER_CACHE_H_

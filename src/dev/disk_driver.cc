@@ -1,0 +1,110 @@
+#include "src/dev/disk_driver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace ikdp {
+
+DiskDriver::DiskDriver(CpuSystem* cpu, Simulator* sim, DiskParams params)
+    : cpu_(cpu), disk_(sim, std::move(params)) {}
+
+int64_t DiskDriver::CapacityBlocks() const {
+  return disk_.params().capacity_bytes / kBlockSize;
+}
+
+SimDuration DiskDriver::Strategy(Buf& b) {
+  assert(b.blkno >= 0 && b.blkno < CapacityBlocks());
+  ++stats_.requests;
+  Disksort(&b);
+  if (!hw_busy_) {
+    StartHw();
+  }
+  // DMA hardware: the caller pays nothing beyond the generic driver-start
+  // cost the buffer cache already charges.
+  return 0;
+}
+
+void DiskDriver::Disksort(Buf* b) {
+  // 4.2BSD disksort: one-way elevator.  Requests at or beyond the last
+  // issued block sort ascending in the current sweep; requests behind it go
+  // into a second ascending run serviced on the next sweep.
+  const int64_t pivot = last_issued_blkno_;
+  auto run_of = [pivot](const Buf* x) { return x->blkno >= pivot ? 0 : 1; };
+  const int my_run = run_of(b);
+  auto pos = queue_.begin();
+  while (pos != queue_.end()) {
+    const int r = run_of(*pos);
+    if (r > my_run || (r == my_run && (*pos)->blkno > b->blkno)) {
+      break;
+    }
+    ++pos;
+  }
+  if (pos != queue_.end() || (!queue_.empty() && my_run == 0)) {
+    ++stats_.sort_passes;
+  }
+  queue_.insert(pos, b);
+}
+
+void DiskDriver::StartHw() {
+  if (queue_.empty()) {
+    hw_busy_ = false;
+    return;
+  }
+  hw_busy_ = true;
+  Buf* b = queue_.front();
+  queue_.pop_front();
+  last_issued_blkno_ = b->blkno;
+  DiskRequest req;
+  req.offset = b->blkno * kBlockSize;
+  req.nbytes = b->bcount;
+  req.is_read = b->Has(kBufRead);
+  req.done = [this, b](bool ok) { Complete(b, ok); };
+  disk_.Submit(std::move(req));
+}
+
+void DiskDriver::Complete(Buf* b, bool ok) {
+  ++stats_.interrupts;
+  cpu_->RunInterrupt(cpu_->costs().interrupt_overhead, [this, b, ok] {
+    if (!ok) {
+      // Unrecoverable media error: no content moves; the error flag rides
+      // the buffer up through biodone to whoever waits on it.
+      b->Set(kBufError);
+      Biodone(*b);
+      StartHw();
+      return;
+    }
+    // Move content at completion: reads fill the buffer, writes persist it.
+    if (b->Has(kBufRead)) {
+      auto it = store_.find(b->blkno);
+      if (b->data != nullptr) {
+        if (it != store_.end()) {
+          std::copy(it->second.begin(), it->second.end(), b->data->begin());
+        } else {
+          std::fill(b->data->begin(), b->data->end(), 0);
+        }
+      }
+    } else if (b->data != nullptr) {
+      store_[b->blkno] = *b->data;
+    }
+    Biodone(*b);
+    StartHw();
+  });
+}
+
+void DiskDriver::PokeBlock(int64_t blkno, const std::vector<uint8_t>& data) {
+  assert(static_cast<int64_t>(data.size()) <= kBlockSize);
+  auto& blk = store_[blkno];
+  blk.assign(kBlockSize, 0);
+  std::copy(data.begin(), data.end(), blk.begin());
+}
+
+std::vector<uint8_t> DiskDriver::PeekBlock(int64_t blkno) const {
+  auto it = store_.find(blkno);
+  if (it == store_.end()) {
+    return std::vector<uint8_t>(kBlockSize, 0);
+  }
+  return it->second;
+}
+
+}  // namespace ikdp

@@ -1,0 +1,71 @@
+// SCSI disk block-device driver.
+//
+// Sits between the buffer cache and a DiskModel (src/hw/disk.h).  The
+// strategy routine inserts requests into a cyclical elevator queue
+// (4.2BSD disksort()) and feeds the hardware one request at a time; each
+// hardware completion raises a device interrupt that is charged to the CPU
+// (interrupt stealing) and then delivers Biodone() on the buffer.
+//
+// The driver also owns the *contents* of the device, a sparse block store,
+// so files written through the simulator can be read back and verified
+// byte-for-byte.  Content moves at completion time; timing comes from the
+// DiskModel.
+
+#ifndef SRC_DEV_DISK_DRIVER_H_
+#define SRC_DEV_DISK_DRIVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "src/buf/buf.h"
+#include "src/hw/disk.h"
+#include "src/kern/cpu.h"
+
+namespace ikdp {
+
+class DiskDriver : public BlockDevice {
+ public:
+  DiskDriver(CpuSystem* cpu, Simulator* sim, DiskParams params);
+
+  // BlockDevice:
+  SimDuration Strategy(Buf& b) override;
+  int64_t CapacityBlocks() const override;
+  const char* Name() const override { return disk_.params().name.c_str(); }
+
+  DiskModel& disk() { return disk_; }
+
+  // BlockDevice content access (untimed).
+  void PokeBlock(int64_t blkno, const std::vector<uint8_t>& data) override;
+  std::vector<uint8_t> PeekBlock(int64_t blkno) const override;
+
+  struct Stats {
+    uint64_t requests = 0;
+    uint64_t interrupts = 0;
+    uint64_t sort_passes = 0;  // requests that were reordered by disksort
+  };
+  const Stats& stats() const { return stats_; }
+
+  // Queue depth including the request at the hardware.
+  size_t QueueDepth() const { return queue_.size() + (hw_busy_ ? 1 : 0); }
+
+ private:
+  // Inserts into the elevator queue: ascending block order in the current
+  // sweep, overflow requests sorted into the next sweep.
+  void Disksort(Buf* b);
+  void StartHw();
+  void Complete(Buf* b, bool ok);
+
+  CpuSystem* cpu_;
+  DiskModel disk_;
+  std::deque<Buf*> queue_;  // elevator order, front is next to issue
+  bool hw_busy_ = false;
+  int64_t last_issued_blkno_ = 0;
+  std::unordered_map<int64_t, std::vector<uint8_t>> store_;
+  Stats stats_;
+};
+
+}  // namespace ikdp
+
+#endif  // SRC_DEV_DISK_DRIVER_H_

@@ -1,0 +1,132 @@
+// CPU cost configuration for the simulated machine.
+//
+// The paper's two results (CPU availability, device-to-device throughput) are
+// driven by where CPU cycles go: memory-to-memory copies, mode switches,
+// context switches, interrupt service, and per-block buffer-cache
+// bookkeeping.  This struct centralizes those costs; the default values model
+// the paper's testbed, a DECstation 5000/200 (25 MHz MIPS R3000, 64 KB I/D
+// caches, cached memory read 21 MB/s, partial-page write 20 MB/s, uncached
+// read 10 MB/s — [DEC90] as cited in the paper).
+//
+// Each experiment binary prints the cost configuration it ran with, and the
+// ablation benches sweep individual fields.
+
+#ifndef SRC_HW_COSTS_H_
+#define SRC_HW_COSTS_H_
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace ikdp {
+
+struct CostConfig {
+  // --- memory system ---
+  //
+  // The R3000's copy rate depends strongly on whether the source lives in
+  // the 64 KB data cache: cached reads stream at 21 MB/s and partial-page
+  // writes at 20 MB/s, but uncached reads manage only 10 MB/s ([DEC90]).
+
+  // Kernel-to-kernel block copy bandwidth (bcopy of an 8 KB buffer that was
+  // just produced by the previous pipeline stage): cache-warm, limited by
+  // the 20 MB/s write path.
+  double bcopy_bandwidth_bps = 20e6;
+
+  // Kernel<->user copy bandwidth (copyin/copyout): user buffers are large
+  // and cache-cold, so the copy runs at the uncached-read-limited rate
+  // 1/(1/10 + 1/20) = 6.7 MB/s.
+  double copyio_bandwidth_bps = 6.7e6;
+
+  // --- control transfer ---
+
+  // Full process context switch: save/restore, run-queue manipulation, cache
+  // and TLB refill effects.
+  SimDuration context_switch = Microseconds(180);
+
+  // System call trap entry + exit + argument validation.
+  SimDuration syscall_overhead = Microseconds(45);
+
+  // Device interrupt service envelope (entry, driver epilogue, exit),
+  // excluding any handler-specific work charged separately.
+  SimDuration interrupt_overhead = Microseconds(110);
+
+  // Softclock dispatch cost per callout run.
+  SimDuration softclock_per_callout = Microseconds(25);
+
+  // --- I/O path bookkeeping (per 8 KB block) ---
+
+  // getblk/bread/brelse hash and free-list manipulation.
+  SimDuration bufcache_op = Microseconds(30);
+
+  // Filesystem block-map lookup (bmap) per logical block, cache warm.
+  SimDuration bmap_op = Microseconds(20);
+
+  // Driver start: disksort insertion + SCSI command setup.
+  SimDuration driver_start = Microseconds(60);
+
+  // --- splice-specific handler bodies (paper Section 5.2.2-5.2.3) ---
+
+  // Read-completion handler body: index splice descriptor, schedule write
+  // handler on the callout list.
+  SimDuration splice_read_handler = Microseconds(30);
+
+  // Write-side handler body: modified getblk (no data allocation), buffer
+  // header aliasing, bawrite issue.
+  SimDuration splice_write_handler = Microseconds(70);
+
+  // Write-completion handler body: release both buffers, flow-control
+  // bookkeeping, read refill issue.
+  SimDuration splice_wdone_handler = Microseconds(40);
+
+  // --- network protocol processing (per datagram) ---
+
+  // UDP/IP input or output processing, excluding the checksum pass.
+  SimDuration net_proto_packet = Microseconds(120);
+
+  // Checksum computation streams the data once through the CPU at the
+  // cached-read rate.
+  double checksum_bandwidth_bps = 21e6;
+
+  // --- scheduling ---
+
+  // Round-robin quantum.  4.3BSD rescheduled every 0.1 s (roundrobin()).
+  SimDuration quantum = Milliseconds(100);
+
+  // 4.3BSD-style CPU-usage priority decay (schedcpu()): processes that use
+  // a lot of CPU have their user priority degraded so interactive and
+  // I/O-bound processes win the run queue.  Off by default — the paper's
+  // experiments are two-process and kernel-priority dominated, so decay does
+  // not change them — but available for the scheduler-fidelity ablation.
+  bool priority_decay = false;
+  SimDuration decay_interval = Seconds(1);
+  double decay_factor = 0.66;          // p_cpu *= factor each interval
+  double penalty_per_cpu_second = 10;  // priority points per recent CPU-sec
+  int max_decay_penalty = 20;
+
+  // Time to copy `bytes` kernel-to-kernel.
+  SimDuration BcopyTime(int64_t bytes) const {
+    return TransferTime(bytes, bcopy_bandwidth_bps);
+  }
+
+  // Time to copy `bytes` between kernel and user space.
+  SimDuration CopyioTime(int64_t bytes) const {
+    return TransferTime(bytes, copyio_bandwidth_bps);
+  }
+
+  // Time to checksum `bytes`.
+  SimDuration ChecksumTime(int64_t bytes) const {
+    return TransferTime(bytes, checksum_bandwidth_bps);
+  }
+
+  // Full protocol-processing cost for one datagram of `bytes`.
+  SimDuration UdpPacketTime(int64_t bytes) const {
+    return net_proto_packet + ChecksumTime(bytes);
+  }
+};
+
+// The default configuration models the DECstation 5000/200.
+inline CostConfig DecStation5000Costs() { return CostConfig{}; }
+
+}  // namespace ikdp
+
+#endif  // SRC_HW_COSTS_H_

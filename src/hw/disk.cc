@@ -1,0 +1,194 @@
+#include "src/hw/disk.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace ikdp {
+
+DiskParams Rz56Params() {
+  DiskParams p;
+  p.name = "RZ56";
+  p.capacity_bytes = 665ll * 1000 * 1000;
+  // 15 data surfaces, 54 sectors/track, 512 B sectors -> ~414 KB/cylinder.
+  p.bytes_per_cylinder = 15 * 54 * 512;
+  p.min_seek = MillisecondsF(4.0);
+  p.avg_seek = Milliseconds(16);
+  p.max_seek = Milliseconds(35);
+  p.avg_rotational_latency = MillisecondsF(8.3);  // 3600 RPM
+  p.media_rate_bps = 1.66e6;
+  // The DECstation 5000/200's SII SCSI controller ran asynchronous SCSI at
+  // ~1.4 MB/s, which bounds cache-hit bursts well below the drive's
+  // electronics.
+  p.bus_rate_bps = 1.4e6;
+  p.cache_bytes = 64 * 1024;
+  p.cache_segments = 1;
+  p.controller_overhead = MillisecondsF(1.0);
+  return p;
+}
+
+DiskParams Rz58Params() {
+  DiskParams p;
+  p.name = "RZ58";
+  p.capacity_bytes = 1380ll * 1000 * 1000;
+  p.bytes_per_cylinder = 15 * 85 * 512;
+  p.min_seek = MillisecondsF(2.5);
+  p.avg_seek = MillisecondsF(12.5);
+  p.max_seek = Milliseconds(28);
+  p.avg_rotational_latency = MillisecondsF(5.6);  // 5400 RPM
+  p.media_rate_bps = 2.7e6;
+  // Async SII controller bound (the RZ58 supports 4 MB/s synchronous SCSI,
+  // but the 5000/200's controller cannot drive it).
+  p.bus_rate_bps = 1.5e6;
+  p.cache_bytes = 256 * 1024;
+  p.cache_segments = 4;
+  p.controller_overhead = MillisecondsF(0.8);
+  return p;
+}
+
+DiskParams InstantDiskParams() {
+  DiskParams p;
+  p.name = "INSTANT";
+  p.capacity_bytes = 1ll << 30;
+  p.bytes_per_cylinder = 1 << 20;
+  p.min_seek = 0;
+  p.avg_seek = 0;
+  p.max_seek = 0;
+  p.avg_rotational_latency = 0;
+  p.media_rate_bps = 400e6;
+  p.bus_rate_bps = 400e6;
+  p.cache_bytes = 0;
+  p.cache_segments = 1;
+  p.controller_overhead = Microseconds(1);
+  return p;
+}
+
+DiskModel::DiskModel(Simulator* sim, DiskParams params) : sim_(sim), params_(std::move(params)) {}
+
+void DiskModel::Submit(DiskRequest req) {
+  assert(req.nbytes > 0);
+  assert(req.offset >= 0 && req.offset + req.nbytes <= params_.capacity_bytes);
+  queue_.push_back(std::move(req));
+  if (!busy_) {
+    StartNext();
+  }
+}
+
+void DiskModel::StartNext() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  DiskRequest req = std::move(queue_.front());
+  queue_.pop_front();
+  const SimDuration service = ServiceTime(req);
+  stats_.busy_time += service;
+  bool ok = true;
+  if (fault_hook_ && fault_hook_(req.offset, req.is_read)) {
+    ok = false;
+    ++stats_.errors;
+  }
+  sim_->After(service, [this, ok, done = std::move(req.done)]() {
+    if (done) {
+      done(ok);
+    }
+    StartNext();
+  });
+}
+
+SimDuration DiskModel::SeekTime(int64_t from_cyl, int64_t to_cyl) {
+  const int64_t dist = std::abs(to_cyl - from_cyl);
+  if (dist == 0) {
+    return 0;
+  }
+  ++stats_.seeks;
+  const double frac = static_cast<double>(dist) / static_cast<double>(params_.Cylinders());
+  const double span = static_cast<double>(params_.max_seek - params_.min_seek);
+  return params_.min_seek + static_cast<SimDuration>(span * std::sqrt(frac));
+}
+
+int64_t DiskModel::Frontier(const Segment& seg, SimTime now) const {
+  const double elapsed = ToSeconds(now - seg.fill_start_time);
+  const int64_t filled =
+      seg.fill_start_pos + static_cast<int64_t>(elapsed * params_.media_rate_bps);
+  return std::min(filled, seg.limit);
+}
+
+DiskModel::Segment* DiskModel::FindSegment(int64_t offset, int64_t nbytes) {
+  for (auto it = segments_.begin(); it != segments_.end(); ++it) {
+    if (offset >= it->start && offset + nbytes <= it->limit) {
+      // Move to front (most recently used).
+      segments_.splice(segments_.begin(), segments_, it);
+      return &segments_.front();
+    }
+  }
+  return nullptr;
+}
+
+void DiskModel::StartSegment(int64_t pos, SimTime t) {
+  const int64_t seg_bytes = params_.SegmentBytes();
+  if (seg_bytes <= 0) {
+    return;
+  }
+  Segment seg;
+  seg.start = pos;
+  seg.limit = std::min(pos + seg_bytes, params_.capacity_bytes);
+  seg.fill_start_pos = pos;
+  seg.fill_start_time = t;
+  segments_.push_front(seg);
+  while (static_cast<int>(segments_.size()) > params_.cache_segments) {
+    segments_.pop_back();
+  }
+}
+
+SimDuration DiskModel::ServiceTime(const DiskRequest& req) {
+  const SimTime now = sim_->Now();
+  SimDuration t = params_.controller_overhead;
+
+  if (req.is_read) {
+    ++stats_.reads;
+    stats_.bytes_read += req.nbytes;
+    if (Segment* seg = FindSegment(req.offset, req.nbytes)) {
+      // Cache segment hit.  Wait for the background prefetch to cover the
+      // request, then burst it over the bus.
+      ++stats_.read_cache_hits;
+      const int64_t frontier = Frontier(*seg, now);
+      const int64_t need_end = req.offset + req.nbytes;
+      if (need_end > frontier) {
+        t += TransferTime(need_end - frontier, params_.media_rate_bps);
+      }
+      t += TransferTime(req.nbytes, params_.bus_rate_bps);
+      return t;
+    }
+  } else {
+    ++stats_.writes;
+    stats_.bytes_written += req.nbytes;
+  }
+
+  // Media access: seek + rotation + transfer.
+  const int64_t cyl =
+      params_.bytes_per_cylinder > 0 ? req.offset / params_.bytes_per_cylinder : 0;
+  t += SeekTime(head_cylinder_, cyl);
+  head_cylinder_ = cyl;
+  if (req.offset != last_end_offset_) {
+    t += params_.avg_rotational_latency;
+  }
+  t += TransferTime(req.nbytes, params_.media_rate_bps);
+  last_end_offset_ = req.offset + req.nbytes;
+
+  if (req.is_read) {
+    // The drive keeps prefetching past the request into a cache segment.
+    StartSegment(req.offset + req.nbytes, now + t);
+  } else {
+    // A write through a region invalidates overlapping read-ahead state.
+    for (auto it = segments_.begin(); it != segments_.end();) {
+      const bool overlap = req.offset < it->limit && req.offset + req.nbytes > it->start;
+      it = overlap ? segments_.erase(it) : std::next(it);
+    }
+  }
+  return t;
+}
+
+}  // namespace ikdp

@@ -1,0 +1,168 @@
+// Timing model of a SCSI disk drive with a segmented read-ahead cache.
+//
+// The model captures the characteristics the paper's Section 6.1 reports for
+// its two test drives:
+//
+//   RZ56: 8.3 ms average rotational latency, 16 ms average seek,
+//         1.66 MB/s media rate, 64 KB read-ahead cache (1 segment).
+//   RZ58: 5.6 ms average rotational latency, 12.5 ms average seek,
+//         ~2.7 MB/s media rate, 256 KB read-ahead cache in 4 segments.
+//
+// Requests are serviced one at a time in arrival order (the elevator sort
+// lives in the device driver above, src/dev/disk_driver.h).  Service time
+// decomposes into controller overhead, seek, rotational delay, and transfer:
+//
+//  * A read that falls inside an already-prefetched region of a cache
+//    segment transfers at the SCSI bus rate with no mechanical delay.
+//  * A read inside a segment but ahead of its fill frontier waits for the
+//    background prefetch (which fills at the media rate) to catch up.
+//  * Any other access seeks (distance-dependent), waits rotational latency
+//    (zero when the access is physically sequential to the previous one —
+//    drive firmware and interleave absorb back-to-back accesses), and
+//    transfers at the media rate.  A read miss (re)starts a prefetch
+//    segment at its end position.
+//
+// The model is deterministic: rotational latency uses the average for
+// non-sequential accesses rather than a random draw, which keeps unit tests
+// exact and experiments reproducible without materially changing aggregate
+// behaviour over thousands of requests.
+
+#ifndef SRC_HW_DISK_H_
+#define SRC_HW_DISK_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <string>
+
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace ikdp {
+
+struct DiskParams {
+  std::string name;
+
+  int64_t capacity_bytes = 0;
+  int64_t bytes_per_cylinder = 0;
+
+  // Seek time model: seek(d cylinders) = min + (max - min) * sqrt(d / ncyl).
+  SimDuration min_seek = 0;
+  SimDuration avg_seek = 0;
+  SimDuration max_seek = 0;
+
+  SimDuration avg_rotational_latency = 0;  // half a rotation
+
+  double media_rate_bps = 0;  // to/from the platters
+  double bus_rate_bps = 0;    // SCSI burst rate for cache hits
+
+  int64_t cache_bytes = 0;  // total read-ahead cache
+  int cache_segments = 1;   // independent sequential streams tracked
+
+  SimDuration controller_overhead = 0;  // fixed per-request cost
+
+  int64_t Cylinders() const {
+    return bytes_per_cylinder > 0 ? capacity_bytes / bytes_per_cylinder : 1;
+  }
+  int64_t SegmentBytes() const {
+    return cache_segments > 0 ? cache_bytes / cache_segments : 0;
+  }
+};
+
+// Parameters for Digital's RZ56 SCSI disk (665 MB, 3600 RPM).
+DiskParams Rz56Params();
+
+// Parameters for Digital's RZ58 SCSI disk (1.38 GB, 5400 RPM).
+DiskParams Rz58Params();
+
+// An idealized very fast disk used in some property tests: negligible
+// mechanical delays, high transfer rate.
+DiskParams InstantDiskParams();
+
+// One outstanding transfer request.
+struct DiskRequest {
+  int64_t offset = 0;  // byte offset on the device, sector aligned
+  int64_t nbytes = 0;
+  bool is_read = true;
+  // Invoked in simulator event context; `ok` is false when the medium
+  // reported an unrecoverable error for this request.
+  std::function<void(bool ok)> done;
+};
+
+class DiskModel {
+ public:
+  DiskModel(Simulator* sim, DiskParams params);
+
+  DiskModel(const DiskModel&) = delete;
+  DiskModel& operator=(const DiskModel&) = delete;
+
+  // Enqueues a request.  Completion callbacks fire in FIFO order.
+  void Submit(DiskRequest req);
+
+  const DiskParams& params() const { return params_; }
+
+  // True when no request is in flight or queued.
+  bool Idle() const { return !busy_ && queue_.empty(); }
+
+  size_t QueueDepth() const { return queue_.size() + (busy_ ? 1 : 0); }
+
+  // Fault injection: requests for which `hook(offset, is_read)` returns true
+  // complete with an error after their normal service time (a media error
+  // is only detected once the heads get there).  Pass nullptr to clear.
+  using FaultHook = std::function<bool(int64_t offset, bool is_read)>;
+  void SetFaultHook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
+  // --- statistics ---
+  struct Stats {
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t read_cache_hits = 0;   // fully or partially serviced from cache
+    uint64_t seeks = 0;             // non-zero-distance seeks performed
+    uint64_t errors = 0;            // injected media errors
+    int64_t bytes_read = 0;
+    int64_t bytes_written = 0;
+    SimDuration busy_time = 0;      // total time servicing requests
+  };
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats{}; }
+
+ private:
+  // A read-ahead segment: data in [start, start+limit) is being prefetched;
+  // the frontier grows at the media rate from `fill_start_pos` beginning at
+  // `fill_start_time`.
+  struct Segment {
+    int64_t start = 0;
+    int64_t limit = 0;           // exclusive end of the segment window
+    int64_t fill_start_pos = 0;  // frontier position at fill_start_time
+    SimTime fill_start_time = 0;
+  };
+
+  void StartNext();
+  SimDuration ServiceTime(const DiskRequest& req);
+  SimDuration SeekTime(int64_t from_cyl, int64_t to_cyl);
+
+  // Returns the prefetch frontier of `seg` at time `now`.
+  int64_t Frontier(const Segment& seg, SimTime now) const;
+
+  // Finds a segment containing [offset, offset+nbytes), or nullptr.
+  Segment* FindSegment(int64_t offset, int64_t nbytes);
+
+  // Starts (or restarts) a prefetch segment beginning at `pos` at time `t`.
+  void StartSegment(int64_t pos, SimTime t);
+
+  Simulator* sim_;
+  DiskParams params_;
+  std::deque<DiskRequest> queue_;
+  bool busy_ = false;
+
+  int64_t head_cylinder_ = 0;
+  int64_t last_end_offset_ = -1;  // end of the previous media access
+  std::list<Segment> segments_;   // most recently used first
+  FaultHook fault_hook_;
+  Stats stats_;
+};
+
+}  // namespace ikdp
+
+#endif  // SRC_HW_DISK_H_

@@ -1,0 +1,81 @@
+#include "src/hw/link.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <utility>
+
+namespace ikdp {
+
+LinkParams EthernetParams() {
+  LinkParams p;
+  p.name = "ether10";
+  p.bandwidth_bps = 10e6 / 8;  // 10 Mbit/s expressed in bytes/s
+  p.propagation_delay = Microseconds(50);
+  p.per_frame_overhead_bytes = 34;
+  p.tx_queue_frames = 64;
+  return p;
+}
+
+LinkParams LoopbackParams() {
+  LinkParams p;
+  p.name = "lo0";
+  p.bandwidth_bps = 400e6;
+  p.propagation_delay = Microseconds(1);
+  p.per_frame_overhead_bytes = 0;
+  p.mtu_bytes = 1 << 20;
+  p.tx_queue_frames = 256;
+  return p;
+}
+
+NetworkLink::NetworkLink(Simulator* sim, LinkParams params)
+    : sim_(sim), params_(std::move(params)) {}
+
+bool NetworkLink::Send(int64_t payload_bytes, Deliver deliver, std::function<void()> on_sent) {
+  assert(payload_bytes >= 0);
+  if (queued_ >= params_.tx_queue_frames) {
+    ++stats_.frames_dropped;
+    return false;
+  }
+  queue_.push_back(Frame{payload_bytes, std::move(deliver), std::move(on_sent)});
+  ++queued_;
+  if (!busy_) {
+    StartNext();
+  }
+  return true;
+}
+
+void NetworkLink::StartNext() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Frame frame = std::move(queue_.front());
+  queue_.pop_front();
+  --queued_;
+  const int64_t fragments = std::max<int64_t>(
+      1, (frame.payload_bytes + params_.mtu_bytes - 1) / params_.mtu_bytes);
+  const int64_t wire_bytes =
+      frame.payload_bytes + fragments * params_.per_frame_overhead_bytes;
+  const SimDuration tx = TransferTime(wire_bytes, params_.bandwidth_bps);
+  stats_.busy_time += tx;
+  ++stats_.frames_sent;
+  stats_.payload_bytes += frame.payload_bytes;
+  // The transmitter frees after `tx`; the receiver sees the datagram after
+  // `tx + propagation`.
+  sim_->After(tx, [this, on_sent = std::move(frame.on_sent)] {
+    if (on_sent) {
+      on_sent();
+    }
+    StartNext();
+  });
+  sim_->After(tx + params_.propagation_delay,
+              [deliver = std::move(frame.deliver), bytes = frame.payload_bytes] {
+                if (deliver) {
+                  deliver(bytes);
+                }
+              });
+}
+
+}  // namespace ikdp

@@ -1,0 +1,82 @@
+// A point-to-point network link with bandwidth and propagation delay.
+//
+// Used by the UDP socket layer (src/net) to carry datagrams between two
+// simulated hosts (or as a loopback).  The link serializes frames at the
+// configured bandwidth and delivers each after the propagation delay; frames
+// queue behind one another as on a real wire.  A finite transmit queue drops
+// excess frames, which lets tests exercise UDP loss behaviour.
+
+#ifndef SRC_HW_LINK_H_
+#define SRC_HW_LINK_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace ikdp {
+
+struct LinkParams {
+  std::string name = "ether";
+  double bandwidth_bps = 10e6 / 8;  // bytes/s on the wire (10 Mbit/s Ethernet)
+  SimDuration propagation_delay = Microseconds(50);
+  int per_frame_overhead_bytes = 34;  // preamble + MAC header + CRC + gap
+  int mtu_bytes = 1480;               // payload per wire fragment
+  int tx_queue_frames = 64;           // frames queued beyond the one in flight
+};
+
+// A 10 Mbit/s Ethernet segment, the paper-era campus network.
+LinkParams EthernetParams();
+
+// A loopback "link": high bandwidth, negligible delay.
+LinkParams LoopbackParams();
+
+class NetworkLink {
+ public:
+  using Deliver = std::function<void(int64_t frame_bytes)>;
+
+  NetworkLink(Simulator* sim, LinkParams params);
+
+  NetworkLink(const NetworkLink&) = delete;
+  NetworkLink& operator=(const NetworkLink&) = delete;
+
+  // Transmits a datagram of `payload_bytes` (fragmented into MTU-sized wire
+  // frames, each paying the per-frame overhead); `deliver` fires at the
+  // receiver once it has fully arrived, `on_sent` (optional) at the sender
+  // once it has left the interface.  Returns false (and drops the datagram)
+  // if the transmit queue is full.
+  bool Send(int64_t payload_bytes, Deliver deliver, std::function<void()> on_sent = nullptr);
+
+  const LinkParams& params() const { return params_; }
+  bool Idle() const { return !busy_ && queued_ == 0; }
+
+  struct Stats {
+    uint64_t frames_sent = 0;
+    uint64_t frames_dropped = 0;
+    int64_t payload_bytes = 0;
+    SimDuration busy_time = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Frame {
+    int64_t payload_bytes;
+    Deliver deliver;
+    std::function<void()> on_sent;
+  };
+
+  void StartNext();
+
+  Simulator* sim_;
+  LinkParams params_;
+  std::deque<Frame> queue_;
+  int queued_ = 0;
+  bool busy_ = false;
+  Stats stats_;
+};
+
+}  // namespace ikdp
+
+#endif  // SRC_HW_LINK_H_

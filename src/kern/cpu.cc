@@ -1,0 +1,344 @@
+#include "src/kern/cpu.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace ikdp {
+
+CpuSystem::CpuSystem(Simulator* sim, CostConfig costs) : sim_(sim), costs_(costs) {}
+
+CpuSystem::~CpuSystem() = default;
+
+Process* CpuSystem::Spawn(std::string name, std::function<Task<>(Process&)> factory) {
+  auto proc = std::make_unique<Process>(next_pid_++, std::move(name));
+  Process* p = proc.get();
+  processes_.push_back(std::move(proc));
+  p->body_factory_ = std::move(factory);
+  p->body_ = p->body_factory_(*p);
+  p->state_ = ProcState::kRunnable;
+  ++alive_;
+  Enqueue(p, /*front=*/false);
+  RequestDispatch();
+  if (costs_.priority_decay) {
+    ArmDecayTimer();
+  }
+  return p;
+}
+
+void CpuSystem::ArmDecayTimer() {
+  if (decay_armed_) {
+    return;
+  }
+  decay_armed_ = true;
+  sim_->After(costs_.decay_interval, [this] { DecayTick(); });
+}
+
+void CpuSystem::DecayTick() {
+  decay_armed_ = false;
+  for (const auto& owned : processes_) {
+    Process* p = owned.get();
+    if (p->state_ == ProcState::kDead) {
+      continue;
+    }
+    p->p_cpu_ *= costs_.decay_factor;
+    p->decay_penalty_ = std::min<int>(
+        costs_.max_decay_penalty,
+        static_cast<int>(p->p_cpu_ * costs_.penalty_per_cpu_second));
+    // Re-apply to processes sitting at user priority; kernel-boosted
+    // sleepers keep their wakeup priority.
+    if (p->priority_ >= kPriUser) {
+      p->priority_ = kPriUser + p->decay_penalty_;
+    }
+  }
+  // The run queue is priority-ordered; rebuild it under the new priorities.
+  std::deque<Process*> old;
+  old.swap(run_queue_);
+  for (Process* p : old) {
+    Enqueue(p, /*front=*/false);
+  }
+  if (alive_ > 0) {
+    ArmDecayTimer();
+  }
+}
+
+void CpuSystem::AccountUsage(Process* p, SimDuration work) {
+  stats_.process_work += work;
+  p->stats_.cpu_time += work;
+  if (costs_.priority_decay) {
+    p->p_cpu_ += ToSeconds(work);
+  }
+}
+
+void CpuSystem::Enqueue(Process* p, bool front) {
+  assert(p->state_ == ProcState::kRunnable);
+  auto pos = run_queue_.begin();
+  if (front) {
+    while (pos != run_queue_.end() && (*pos)->priority_ < p->priority_) {
+      ++pos;
+    }
+  } else {
+    while (pos != run_queue_.end() && (*pos)->priority_ <= p->priority_) {
+      ++pos;
+    }
+  }
+  run_queue_.insert(pos, p);
+}
+
+void CpuSystem::RequestDispatch() {
+  if (dispatch_pending_ || current_ != nullptr) {
+    return;
+  }
+  dispatch_pending_ = true;
+  sim_->After(0, [this] { DispatchNext(); });
+}
+
+void CpuSystem::DispatchNext() {
+  dispatch_pending_ = false;
+  if (current_ != nullptr || run_queue_.empty()) {
+    return;
+  }
+  Process* p = run_queue_.front();
+  run_queue_.pop_front();
+  current_ = p;
+  p->state_ = ProcState::kRunning;
+  if (trace_ != nullptr) {
+    trace_->Record(sim_->Now(), TraceKind::kDispatch, p->pid(), 0, p->name().c_str());
+  }
+  // Every dispatch pays the switch cost; if interrupt-level work is still in
+  // flight, the process also waits for the CPU to come back.
+  const SimDuration residual = std::max<SimDuration>(0, intr_busy_until_ - sim_->Now());
+  stats_.context_switch += costs_.context_switch;
+  ++stats_.switches;
+  slice_remaining_ = costs_.quantum;
+  StartBurst(costs_.context_switch + residual);
+}
+
+void CpuSystem::StartBurst(SimDuration lead_in) {
+  Process* p = current_;
+  assert(p != nullptr && !burst_.active);
+  if (slice_remaining_ <= 0) {
+    slice_remaining_ = costs_.quantum;
+  }
+  const SimDuration remaining = p->work_remaining_;
+  burst_.active = true;
+  burst_.start = sim_->Now();
+  burst_.lead_in = lead_in;
+  burst_.stolen = 0;
+  burst_.planned = std::min(remaining, slice_remaining_);
+  burst_.is_quantum_slice = burst_.planned < remaining;
+  burst_.event = sim_->After(lead_in + burst_.planned, [this] { FinishBurst(); });
+}
+
+void CpuSystem::FinishBurst() {
+  Process* p = current_;
+  assert(p != nullptr && burst_.active);
+  burst_.active = false;
+  AccountUsage(p, burst_.planned);
+  p->work_remaining_ -= burst_.planned;
+  slice_remaining_ -= burst_.planned;
+  if (p->work_remaining_ > 0) {
+    // Quantum expired with work left: round-robin among peers of equal (or
+    // stronger) priority, otherwise keep the CPU for a fresh quantum.
+    if (!run_queue_.empty() && run_queue_.front()->priority_ <= p->priority_) {
+      p->state_ = ProcState::kRunnable;
+      ++p->stats_.involuntary_switches;
+      Enqueue(p, /*front=*/false);
+      current_ = nullptr;
+      RequestDispatch();
+    } else {
+      StartBurst(0);
+    }
+    return;
+  }
+  Activate(p);
+}
+
+void CpuSystem::Activate(Process* p) {
+  assert(current_ == p);
+  p->state_ = ProcState::kRunning;
+  if (!p->started_) {
+    p->started_ = true;
+    p->body_.Start([this, p] {
+      // Body ran to completion ("exit").
+      p->state_ = ProcState::kDead;
+      --alive_;
+      assert(current_ == p);
+      current_ = nullptr;
+      RequestDispatch();
+      if (on_exit_) {
+        on_exit_(*p);
+      }
+    });
+    return;
+  }
+  const std::coroutine_handle<> h = p->resume_point_;
+  p->resume_point_ = nullptr;
+  assert(h && "process has no resume point");
+  h.resume();
+}
+
+SuspendAndCall CpuSystem::Use(Process& p, SimDuration t) {
+  assert(t >= 0);
+  return SuspendAndCall([this, &p, t](std::coroutine_handle<> h) {
+    assert(current_ == &p && "Use() called by a non-running process");
+    p.resume_point_ = h;
+    p.work_remaining_ = t;
+    // A stronger-priority process may have become runnable while this one
+    // was executing, or the quantum may have been used up with equal-priority
+    // peers waiting; yield at this kernel entry point.
+    const bool stronger_waiter =
+        !run_queue_.empty() && run_queue_.front()->priority_ < p.priority_;
+    const bool quantum_spent = slice_remaining_ <= 0 && !run_queue_.empty() &&
+                               run_queue_.front()->priority_ <= p.priority_;
+    if (stronger_waiter || quantum_spent) {
+      PreemptCurrent(/*front=*/!quantum_spent);
+    } else {
+      StartBurst(0);
+    }
+  });
+}
+
+SuspendAndCall CpuSystem::Sleep(Process& p, const void* chan, int pri, bool interruptible) {
+  return SuspendAndCall([this, &p, chan, pri, interruptible](std::coroutine_handle<> h) {
+    assert(current_ == &p && "Sleep() called by a non-running process");
+    p.resume_point_ = h;
+    if (interruptible && p.SignalPending()) {
+      // A signal is already pending: do not sleep, resume immediately (after
+      // the current event unwinds).
+      sim_->After(0, [h] { h.resume(); });
+      return;
+    }
+    p.state_ = ProcState::kSleeping;
+    p.sleep_channel_ = chan;
+    p.sleep_interruptible_ = interruptible;
+    p.priority_ = pri;
+    if (trace_ != nullptr) {
+      trace_->Record(sim_->Now(), TraceKind::kSleep, p.pid(), pri, p.name().c_str());
+    }
+    ++p.stats_.voluntary_switches;
+    current_ = nullptr;
+    RequestDispatch();
+  });
+}
+
+void CpuSystem::PreemptCurrent(bool front) {
+  Process* p = current_;
+  assert(p != nullptr);
+  if (burst_.active) {
+    sim_->Cancel(burst_.event);
+    SimDuration done = (sim_->Now() - burst_.start) - burst_.stolen - burst_.lead_in;
+    done = std::clamp<SimDuration>(done, 0, burst_.planned);
+    p->work_remaining_ -= done;
+    AccountUsage(p, done);
+    burst_.active = false;
+  }
+  p->state_ = ProcState::kRunnable;
+  ++p->stats_.involuntary_switches;
+  Enqueue(p, front);
+  current_ = nullptr;
+  RequestDispatch();
+}
+
+void CpuSystem::Wakeup(const void* chan) {
+  bool woke = false;
+  int woken = 0;
+  for (const auto& proc : processes_) {
+    Process* p = proc.get();
+    if (p->state_ == ProcState::kSleeping && p->sleep_channel_ == chan) {
+      ++woken;
+      p->state_ = ProcState::kRunnable;
+      p->sleep_channel_ = nullptr;
+      Enqueue(p, /*front=*/false);
+      woke = true;
+    }
+  }
+  if (!woke) {
+    return;
+  }
+  if (trace_ != nullptr) {
+    trace_->Record(sim_->Now(), TraceKind::kWakeup, woken);
+  }
+  if (current_ != nullptr && burst_.active &&
+      run_queue_.front()->priority_ < current_->priority_) {
+    PreemptCurrent(/*front=*/true);
+  } else {
+    RequestDispatch();
+  }
+}
+
+void CpuSystem::Post(Process& p, int sig) {
+  p.pending_signals_.insert(sig);
+  ++p.stats_.signals_taken;
+  if (p.state_ == ProcState::kSleeping && p.sleep_interruptible_) {
+    p.state_ = ProcState::kRunnable;
+    p.sleep_channel_ = nullptr;
+    Enqueue(&p, /*front=*/false);
+    if (current_ != nullptr && burst_.active &&
+        run_queue_.front()->priority_ < current_->priority_) {
+      PreemptCurrent(/*front=*/true);
+    } else {
+      RequestDispatch();
+    }
+  }
+}
+
+void CpuSystem::RunInterrupt(SimDuration overhead, std::function<void()> body) {
+  intr_queue_.push_back(PendingInterrupt{overhead, std::move(body)});
+  if (!in_interrupt_) {
+    DrainInterrupts();
+  }
+}
+
+void CpuSystem::ChargeInterrupt(SimDuration t) {
+  assert(in_interrupt_ && "ChargeInterrupt outside an interrupt body");
+  assert(t >= 0);
+  intr_charge_ += t;
+}
+
+void CpuSystem::DrainInterrupts() {
+  if (intr_queue_.empty()) {
+    return;
+  }
+  const SimTime now = sim_->Now();
+  if (now < intr_busy_until_) {
+    if (!intr_drain_armed_) {
+      intr_drain_armed_ = true;
+      sim_->At(intr_busy_until_, [this] {
+        intr_drain_armed_ = false;
+        DrainInterrupts();
+      });
+    }
+    return;
+  }
+  PendingInterrupt work = std::move(intr_queue_.front());
+  intr_queue_.pop_front();
+  in_interrupt_ = true;
+  intr_charge_ = work.overhead;
+  work.body();
+  in_interrupt_ = false;
+  const SimDuration total = intr_charge_;
+  if (trace_ != nullptr) {
+    trace_->Record(now, TraceKind::kInterrupt, total);
+  }
+  stats_.interrupt_work += total;
+  ++stats_.interrupts;
+  intr_busy_until_ = now + total;
+  if (burst_.active) {
+    // Steal the interrupt's cycles from the in-progress process burst.
+    burst_.stolen += total;
+    sim_->Cancel(burst_.event);
+    const SimTime end =
+        burst_.start + burst_.lead_in + burst_.planned + burst_.stolen;
+    burst_.event = sim_->At(end, [this] { FinishBurst(); });
+  }
+  if (!intr_queue_.empty() && !intr_drain_armed_) {
+    intr_drain_armed_ = true;
+    sim_->At(intr_busy_until_, [this] {
+      intr_drain_armed_ = false;
+      DrainInterrupts();
+    });
+  }
+}
+
+}  // namespace ikdp

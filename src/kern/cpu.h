@@ -1,0 +1,200 @@
+// The simulated CPU: process scheduling plus interrupt-level work.
+//
+// One CPU is shared by
+//   * processes, dispatched by priority with round-robin among equals and a
+//     4.3BSD-style 100 ms quantum, paying a context-switch cost on every
+//     switch, and
+//   * interrupt-level work (device interrupts, softclock callouts), which
+//     *steals* cycles from whatever process is running: an in-progress CPU
+//     burst is pushed back by the interrupt's duration.
+//
+// Processes consume CPU with `co_await cpu.Use(t)` and block with
+// `co_await cpu.Sleep(chan, pri)`.  Wakeup(chan) makes sleepers runnable; a
+// sleeper waking at a stronger priority than the running process preempts it
+// immediately, which is how I/O-bound programs (cp) interleave with CPU
+// hogs (the paper's test program).
+//
+// Interrupt-level work is serialized: overlapping requests queue.  A handler
+// body may add to its own cost with ChargeInterrupt() as it discovers work
+// (e.g. a RAM-disk copy performed inside biodone).
+//
+// The accounting identity used by the experiments:
+//   elapsed = Σ process work + Σ context switches + Σ interrupt work + idle.
+
+#ifndef SRC_KERN_CPU_H_
+#define SRC_KERN_CPU_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/hw/costs.h"
+#include "src/kern/process.h"
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+#include "src/sim/trace.h"
+
+namespace ikdp {
+
+class CpuSystem {
+ public:
+  CpuSystem(Simulator* sim, CostConfig costs);
+  ~CpuSystem();
+
+  CpuSystem(const CpuSystem&) = delete;
+  CpuSystem& operator=(const CpuSystem&) = delete;
+
+  const CostConfig& costs() const { return costs_; }
+  Simulator* sim() { return sim_; }
+
+  // --- process management ---
+
+  // Creates a process whose body is produced by `factory` (invoked once, with
+  // the new process).  The process becomes runnable immediately and starts
+  // executing when first dispatched.  The returned pointer stays valid until
+  // the CpuSystem is destroyed.
+  Process* Spawn(std::string name, std::function<Task<>(Process&)> factory);
+
+  // Number of processes not yet dead.
+  int alive() const { return alive_; }
+
+  // Invoked (if set) each time a process body runs to completion.
+  void set_on_exit(std::function<void(Process&)> cb) { on_exit_ = std::move(cb); }
+
+  // --- process-context primitives (call only from the running process) ---
+
+  // Consumes `t` of CPU time, competing with other processes and interrupt
+  // work.  t == 0 completes without suspending the simulation clock but may
+  // still trigger a preemption check.
+  SuspendAndCall Use(Process& p, SimDuration t);
+
+  // Blocks on `chan` until Wakeup(chan).  On wakeup the process's priority
+  // becomes `pri` (kernel sleep priority) until ResetPriority().  If
+  // `interruptible` is true, a posted signal also wakes the process.
+  SuspendAndCall Sleep(Process& p, const void* chan, int pri, bool interruptible = false);
+
+  // --- callable from any context ---
+
+  // Makes every process sleeping on `chan` runnable.  May preempt the
+  // running process if a woken sleeper has a stronger priority.
+  void Wakeup(const void* chan);
+
+  // Posts a signal; wakes the process if it is in an interruptible sleep.
+  void Post(Process& p, int sig);
+
+  // Runs `body` at interrupt level as soon as the CPU finishes any interrupt
+  // work already in progress.  `overhead` is charged before any
+  // ChargeInterrupt() additions made by the body.
+  void RunInterrupt(SimDuration overhead, std::function<void()> body);
+
+  // Adds `t` to the cost of the interrupt-level work currently executing.
+  // Must only be called from within a RunInterrupt body.
+  void ChargeInterrupt(SimDuration t);
+
+  // True while a RunInterrupt body is executing.
+  bool InInterrupt() const { return in_interrupt_; }
+
+  // The currently running process, or nullptr (idle / interrupt only).
+  Process* current() const { return current_; }
+
+  // Attaches a ktrace-style event log (nullptr detaches; default off).
+  void set_trace(TraceLog* trace) { trace_ = trace; }
+  TraceLog* trace() const { return trace_; }
+
+  // --- accounting ---
+  struct Stats {
+    SimDuration process_work = 0;     // CPU granted to Use() calls
+    SimDuration context_switch = 0;   // switch overhead
+    SimDuration interrupt_work = 0;   // interrupt + softclock work
+    uint64_t switches = 0;
+    uint64_t interrupts = 0;
+  };
+  // Cumulative since simulation start; harnesses snapshot and diff to get
+  // per-interval busy fractions.
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Burst {
+    bool active = false;
+    SimTime start = 0;            // when the burst began
+    SimDuration planned = 0;      // work to complete in this burst
+    SimDuration stolen = 0;       // interrupt time overlapping the burst
+    SimDuration lead_in = 0;      // context-switch / residual-interrupt lead
+    EventId event = kInvalidEventId;
+    bool is_quantum_slice = false;  // burst ends at quantum, work continues
+  };
+
+  struct PendingInterrupt {
+    SimDuration overhead;
+    std::function<void()> body;
+  };
+
+  // Inserts `p` into the run queue in priority order (FIFO within equal
+  // priority); `front` additionally places it ahead of equals (used when a
+  // preempted process should resume first among its peers).
+  void Enqueue(Process* p, bool front = false);
+
+  // Schedules a DispatchNext() event if none is pending and the CPU has no
+  // running process.
+  void RequestDispatch();
+  void DispatchNext();
+
+  // Starts executing the current process's outstanding work.
+  void StartBurst(SimDuration lead_in);
+  void FinishBurst();
+
+  // Removes the current process from the CPU (burst bookkeeping) and
+  // enqueues it as runnable.  `front` as in Enqueue.
+  void PreemptCurrent(bool front);
+
+  // Runs queued interrupt work when the CPU reaches intr_busy_until_.
+  void DrainInterrupts();
+
+  // 4.3BSD schedcpu(): decays every process's CPU-usage estimate and
+  // recomputes user-priority penalties.  Armed while processes are alive
+  // and costs().priority_decay is set.
+  void ArmDecayTimer();
+  void DecayTick();
+
+  // Adds completed work to the running process's usage estimate.
+  void AccountUsage(Process* p, SimDuration work);
+
+  // Resumes the process coroutine (first dispatch starts the body).
+  void Activate(Process* p);
+
+  Simulator* sim_;
+  CostConfig costs_;
+
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::deque<Process*> run_queue_;
+  Process* current_ = nullptr;
+  Burst burst_;
+  // CPU time left in the current process's quantum.  Tracked across bursts
+  // so a stream of short Use() calls cannot starve equal-priority peers.
+  SimDuration slice_remaining_ = 0;
+  bool dispatch_pending_ = false;
+  int alive_ = 0;
+  int next_pid_ = 1;
+  std::function<void(Process&)> on_exit_;
+
+  bool decay_armed_ = false;
+  TraceLog* trace_ = nullptr;
+
+  // Interrupt engine.
+  std::deque<PendingInterrupt> intr_queue_;
+  SimTime intr_busy_until_ = 0;
+  bool intr_drain_armed_ = false;
+  bool in_interrupt_ = false;
+  SimDuration intr_charge_ = 0;
+
+  Stats stats_;
+};
+
+}  // namespace ikdp
+
+#endif  // SRC_KERN_CPU_H_

@@ -1,0 +1,76 @@
+// The experiment harness for the paper's evaluation (Section 6).
+//
+// One call builds a fresh machine modelled on the paper's configuration —
+// DECstation 5000/200 costs, a 3.2 MB buffer cache, hz = 256, and a pair of
+// identical disks of the chosen type, each with its own filesystem — places
+// an 8 MB source file on the first disk, and copies it to the second with
+// either cp (read/write) or scp (splice), optionally while the CPU-bound
+// test program runs.
+//
+// Reported metrics map onto the paper's tables:
+//  * slowdown F = elapsed / (test ops completed x op cost): how much slower
+//    the test program ran than in the IDLE environment (Table 1);
+//  * throughput = bytes / elapsed (Table 2, measured with the test program
+//    disabled).
+//
+// Every run verifies the destination file's bytes against the source pattern
+// before reporting, so a throughput number can never come from a broken
+// copy.
+
+#ifndef SRC_METRICS_EXPERIMENT_H_
+#define SRC_METRICS_EXPERIMENT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "src/hw/costs.h"
+#include "src/kern/cpu.h"
+#include "src/splice/splice_engine.h"
+
+namespace ikdp {
+
+enum class DiskKind { kRam, kRz56, kRz58 };
+
+const char* DiskKindName(DiskKind k);
+
+struct ExperimentConfig {
+  DiskKind disk = DiskKind::kRam;
+  int64_t file_bytes = 8 << 20;  // the paper's 8 MB representative case
+  bool use_splice = false;       // scp vs cp
+  bool with_test_program = true; // Table 1 vs Table 2 mode
+  CostConfig costs = DecStation5000Costs();
+  SpliceOptions splice_options{};
+  int cache_bufs = 400;  // 3.2 MB of 8 KB buffers
+  int hz = 256;
+  SimDuration test_op_cost = Milliseconds(1);
+  int64_t cp_chunk = 8192;
+};
+
+struct ExperimentResult {
+  ExperimentConfig config;
+  bool ok = false;           // copy completed and contents verified
+  int64_t bytes = 0;
+  double elapsed_s = 0;
+  double throughput_kbs = 0;  // KB/s, paper units
+
+  // Test-program metrics (with_test_program runs only).
+  int64_t test_ops = 0;
+  double slowdown = 0;  // F: >= 1.0
+
+  // Machine-level accounting over the copy interval.
+  CpuSystem::Stats cpu;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t splice_transients = 0;
+};
+
+// Runs one copy experiment on a fresh machine.
+ExperimentResult RunCopyExperiment(const ExperimentConfig& config);
+
+// Formats a one-line summary (for harness logs).
+std::string Summary(const ExperimentResult& r);
+
+}  // namespace ikdp
+
+#endif  // SRC_METRICS_EXPERIMENT_H_

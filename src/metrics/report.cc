@@ -1,0 +1,60 @@
+#include "src/metrics/report.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace ikdp {
+
+double IdleFraction(const Kernel& kernel, SimTime elapsed) {
+  if (elapsed <= 0) {
+    return 1.0;
+  }
+  const CpuSystem::Stats& s = const_cast<Kernel&>(kernel).cpu().stats();
+  const SimDuration busy = s.process_work + s.context_switch + s.interrupt_work;
+  return 1.0 - static_cast<double>(busy) / static_cast<double>(elapsed);
+}
+
+void PrintMachineReport(std::ostream& os, Kernel& kernel) {
+  char line[256];
+  const SimTime now = kernel.sim()->Now();
+  const CpuSystem::Stats& cpu = kernel.cpu().stats();
+  const BufferCache::Stats& cache = kernel.cache().stats();
+  const SpliceEngine::Stats& splice = kernel.splice_engine().stats();
+  const Kernel::Stats& sys = kernel.stats();
+
+  os << "=== machine report @ " << FormatDuration(now) << " ===\n";
+  std::snprintf(line, sizeof(line),
+                "cpu:    process %s, switch %s (%llu), interrupt %s (%llu), idle %.1f%%\n",
+                FormatDuration(cpu.process_work).c_str(),
+                FormatDuration(cpu.context_switch).c_str(),
+                static_cast<unsigned long long>(cpu.switches),
+                FormatDuration(cpu.interrupt_work).c_str(),
+                static_cast<unsigned long long>(cpu.interrupts),
+                100.0 * IdleFraction(kernel, now));
+  os << line;
+  std::snprintf(line, sizeof(line),
+                "sys:    %llu syscalls, %llu sync + %llu async splices\n",
+                static_cast<unsigned long long>(sys.syscalls),
+                static_cast<unsigned long long>(sys.splices_sync),
+                static_cast<unsigned long long>(sys.splices_async));
+  os << line;
+  const uint64_t lookups = cache.hits + cache.misses;
+  std::snprintf(line, sizeof(line),
+                "cache:  %d bufs, %llu hits / %llu misses (%.1f%% hit), %llu victim flushes, "
+                "%llu transient headers\n",
+                kernel.cache().nbufs(), static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.misses),
+                lookups > 0 ? 100.0 * static_cast<double>(cache.hits) /
+                                  static_cast<double>(lookups)
+                            : 0.0,
+                static_cast<unsigned long long>(cache.delwri_flushes),
+                static_cast<unsigned long long>(cache.transient_allocs));
+  os << line;
+  std::snprintf(line, sizeof(line), "splice: %llu started, %llu completed, %lld bytes moved\n",
+                static_cast<unsigned long long>(splice.splices_started),
+                static_cast<unsigned long long>(splice.splices_completed),
+                static_cast<long long>(splice.total_bytes));
+  os << line;
+}
+
+}  // namespace ikdp

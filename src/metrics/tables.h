@@ -1,0 +1,66 @@
+// Reproduction of the paper's evaluation tables.
+//
+// Table 1 — "CPU Availability Factors (Copying 8 MB File)": slowdown of the
+// CPU-bound test program under CP and SCP per disk type, the improvement
+// factor I = F_cp / F_scp, and the percentage CPU-availability improvement
+// (I - 1) x 100.
+//
+// Table 2 — "Mean Throughput Measurements (Copying 8 MB File)": SCP and CP
+// throughput in KB/s per disk type and the percentage improvement, measured
+// with the test program disabled ("maximum attainable throughput ... assuming
+// an otherwise idle CPU").
+//
+// Each printer runs the six underlying experiments on fresh machines and
+// prints our measured values next to the paper's published ones.  The
+// paper's Table 2 rows for the real disks are not fully legible in the
+// surviving text; the paper states the improvement there is "minor", which
+// is recorded as the qualitative expectation.
+
+#ifndef SRC_METRICS_TABLES_H_
+#define SRC_METRICS_TABLES_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "src/metrics/experiment.h"
+
+namespace ikdp {
+
+struct Table1Row {
+  DiskKind disk;
+  // Paper values (Section 6.2 narrative: test program runs at 50-60% of the
+  // IDLE rate under CP and 70-80% under SCP).
+  double paper_f_cp;
+  double paper_f_scp;
+  // Measured.
+  ExperimentResult cp;
+  ExperimentResult scp;
+
+  double MeasuredImprovement() const { return cp.slowdown / scp.slowdown; }
+  double PaperImprovement() const { return paper_f_cp / paper_f_scp; }
+};
+
+struct Table2Row {
+  DiskKind disk;
+  // Paper values; < 0 marks "not legible in the surviving text".
+  double paper_scp_kbs;
+  double paper_cp_kbs;
+  ExperimentResult cp;
+  ExperimentResult scp;
+
+  double MeasuredImprovementPct() const {
+    return (scp.throughput_kbs / cp.throughput_kbs - 1.0) * 100.0;
+  }
+};
+
+// Runs the experiments behind each table.  `file_bytes` defaults to the
+// paper's 8 MB; tests use smaller files for speed.
+std::vector<Table1Row> RunTable1(int64_t file_bytes = 8 << 20);
+std::vector<Table2Row> RunTable2(int64_t file_bytes = 8 << 20);
+
+void PrintTable1(std::ostream& os, const std::vector<Table1Row>& rows);
+void PrintTable2(std::ostream& os, const std::vector<Table2Row>& rows);
+
+}  // namespace ikdp
+
+#endif  // SRC_METRICS_TABLES_H_

@@ -1,0 +1,103 @@
+#include "src/net/udp_socket.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace ikdp {
+
+UdpSocket::UdpSocket(CpuSystem* cpu, int64_t sndbuf_bytes, int64_t rcvbuf_bytes)
+    : cpu_(cpu), sndbuf_bytes_(sndbuf_bytes), rcvbuf_bytes_(rcvbuf_bytes) {}
+
+void UdpSocket::ConnectTo(UdpSocket* peer, NetworkLink* link) {
+  peer_ = peer;
+  link_ = link;
+}
+
+bool UdpSocket::SendAsync(BufData data, int64_t nbytes, std::function<void()> done) {
+  assert(nbytes >= 0);  // zero-length datagrams are legal UDP (end-of-stream marker)
+  if (peer_ == nullptr || link_ == nullptr) {
+    return false;
+  }
+  if (snd_inflight_ + nbytes > sndbuf_bytes_) {
+    return false;
+  }
+  // Output protocol processing runs in the sender's context; charge it when
+  // that context is an interrupt (splice handlers).  Process-context sends
+  // are charged by the syscall layer.
+  if (cpu_->InInterrupt()) {
+    cpu_->ChargeInterrupt(cpu_->costs().UdpPacketTime(nbytes));
+  }
+  UdpSocket* peer = peer_;
+  // Snapshot the payload: the wire carries the bytes as they were when the
+  // datagram was queued, and the sender is free to recycle its buffer once
+  // `done` fires (before the propagation delay has elapsed).
+  BufData wire_copy = std::make_shared<std::vector<uint8_t>>(
+      data->begin(), data->begin() + std::min<int64_t>(nbytes, data->size()));
+  wire_copy->resize(static_cast<size_t>(nbytes), 0);
+  const bool accepted = link_->Send(
+      nbytes,
+      [peer, wire_copy = std::move(wire_copy), nbytes](int64_t) {
+        peer->Deliver(wire_copy, nbytes);
+      },
+      [this, nbytes, done = std::move(done)] {
+        snd_inflight_ -= nbytes;
+        cpu_->Wakeup(SendChannel());
+        if (done) {
+          done();
+        }
+      });
+  if (!accepted) {
+    ++stats_.dgrams_dropped_wire;
+    return false;
+  }
+  snd_inflight_ += nbytes;
+  ++stats_.dgrams_sent;
+  stats_.bytes_sent += nbytes;
+  return true;
+}
+
+void UdpSocket::Deliver(BufData data, int64_t nbytes) {
+  // Input side: network interrupt + protocol processing + checksum.
+  cpu_->RunInterrupt(
+      cpu_->costs().interrupt_overhead + cpu_->costs().UdpPacketTime(nbytes),
+      [this, data = std::move(data), nbytes]() mutable {
+        if (rcv_queued_bytes_ + nbytes > rcvbuf_bytes_) {
+          ++stats_.dgrams_dropped_rcvbuf;
+          return;
+        }
+        rcv_queue_.push_back(Datagram{std::move(data), nbytes});
+        rcv_queued_bytes_ += nbytes;
+        ++stats_.dgrams_received;
+        stats_.bytes_received += nbytes;
+        TryCompleteRecv();
+        cpu_->Wakeup(RecvChannel());
+      });
+}
+
+bool UdpSocket::RecvAsync(int64_t max_bytes, std::function<void(BufData, int64_t)> done) {
+  if (recv_pending_ || max_bytes <= 0) {
+    return false;
+  }
+  recv_pending_ = true;
+  recv_max_ = max_bytes;
+  recv_done_ = std::move(done);
+  TryCompleteRecv();
+  return true;
+}
+
+void UdpSocket::TryCompleteRecv() {
+  if (!recv_pending_ || rcv_queue_.empty()) {
+    return;
+  }
+  Datagram d = std::move(rcv_queue_.front());
+  rcv_queue_.pop_front();
+  rcv_queued_bytes_ -= d.nbytes;
+  const int64_t n = std::min(d.nbytes, recv_max_);  // truncation, UDP-style
+  recv_pending_ = false;
+  auto done = std::move(recv_done_);
+  recv_done_ = nullptr;
+  done(std::move(d.data), n);
+}
+
+}  // namespace ikdp

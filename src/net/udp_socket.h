@@ -1,0 +1,110 @@
+// UDP sockets over simulated links.
+//
+// The paper's implementation supports "socket-to-socket splices for the UDP
+// transport protocol" (Section 5.1).  This socket models the 4.2BSD UDP path
+// at datagram granularity:
+//
+//  * SendAsync: one call = one datagram.  The datagram occupies send-buffer
+//    space until the interface has put it on the wire; `done` fires then.
+//    Returns false when the send buffer has no room (caller backs off and
+//    retries from a completion, which is exactly the splice flow-control
+//    hook) or when the socket has no peer.
+//  * Datagram arrival raises a network interrupt, charges protocol
+//    processing (fixed per-packet cost + a checksum pass over the data) and
+//    queues the datagram in the receive buffer, dropping it if full — UDP
+//    semantics.  A pending RecvAsync is completed from the interrupt.
+//
+// Process-context send/recv syscalls are built on these hooks by the OS
+// layer (src/os/kernel.h) with sleep/wakeup at kPriSock.
+
+#ifndef SRC_NET_UDP_SOCKET_H_
+#define SRC_NET_UDP_SOCKET_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "src/buf/buf.h"
+#include "src/hw/link.h"
+#include "src/kern/cpu.h"
+
+namespace ikdp {
+
+class UdpSocket {
+ public:
+  UdpSocket(CpuSystem* cpu, int64_t sndbuf_bytes = 48 * 1024, int64_t rcvbuf_bytes = 48 * 1024);
+
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  // Connects the send side of this socket to `peer` across `link`
+  // (unidirectional; call on both sockets with both links for full duplex).
+  void ConnectTo(UdpSocket* peer, NetworkLink* link);
+
+  // --- kernel-level asynchronous API ---
+
+  // Sends one datagram of `nbytes`.  `done` fires when the datagram has left
+  // the interface (send-buffer space released).  Returns false if there is
+  // no room, no peer, or the interface queue rejected it.
+  bool SendAsync(BufData data, int64_t nbytes, std::function<void()> done);
+
+  // Delivers the next datagram (truncated to `max_bytes`, UDP-style) to
+  // `done` as soon as one is available.  One outstanding request at a time.
+  bool RecvAsync(int64_t max_bytes, std::function<void(BufData, int64_t)> done);
+
+  // Send-buffer space currently free.
+  int64_t SendSpace() const { return sndbuf_bytes_ - snd_inflight_; }
+
+  // Receive queue state.
+  bool HasData() const { return !rcv_queue_.empty(); }
+  int64_t RecvQueuedBytes() const { return rcv_queued_bytes_; }
+
+  // Wakeup channels for blocking wrappers: the OS layer sleeps on these and
+  // the socket wakes them on send-space / data arrival.
+  const void* SendChannel() const { return &snd_inflight_; }
+  const void* RecvChannel() const { return &rcv_queued_bytes_; }
+
+  struct Stats {
+    uint64_t dgrams_sent = 0;
+    uint64_t dgrams_received = 0;
+    uint64_t dgrams_dropped_rcvbuf = 0;  // receive-buffer overflow
+    uint64_t dgrams_dropped_wire = 0;    // interface queue overflow
+    int64_t bytes_sent = 0;
+    int64_t bytes_received = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Datagram {
+    BufData data;
+    int64_t nbytes;
+  };
+
+  // Receive-side entry, called from the link in interrupt context.
+  void Deliver(BufData data, int64_t nbytes);
+
+  // Completes a pending RecvAsync if there is data.
+  void TryCompleteRecv();
+
+  CpuSystem* cpu_;
+  int64_t sndbuf_bytes_;
+  int64_t rcvbuf_bytes_;
+
+  UdpSocket* peer_ = nullptr;
+  NetworkLink* link_ = nullptr;
+
+  int64_t snd_inflight_ = 0;
+  std::deque<Datagram> rcv_queue_;
+  int64_t rcv_queued_bytes_ = 0;
+
+  bool recv_pending_ = false;
+  int64_t recv_max_ = 0;
+  std::function<void(BufData, int64_t)> recv_done_;
+
+  Stats stats_;
+};
+
+}  // namespace ikdp
+
+#endif  // SRC_NET_UDP_SOCKET_H_

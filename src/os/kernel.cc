@@ -1,0 +1,480 @@
+#include "src/os/kernel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "src/splice/file_endpoint.h"
+#include "src/splice/stream_endpoint.h"
+
+namespace ikdp {
+
+Kernel::Kernel(Simulator* sim, CostConfig costs, int nbufs, int hz)
+    : sim_(sim),
+      cpu_(sim, costs),
+      callouts_(sim, hz),
+      cache_(&cpu_, nbufs),
+      splice_(&cpu_, &callouts_) {}
+
+// --- setup ---
+
+FileSystem* Kernel::MountFs(BlockDevice* dev, const std::string& name) {
+  assert(mounts_.count(name) == 0);
+  auto fs = std::make_unique<FileSystem>(&cpu_, &cache_, dev, name);
+  FileSystem* out = fs.get();
+  mounts_[name] = std::move(fs);
+  return out;
+}
+
+FileSystem* Kernel::FindFs(const std::string& name) {
+  auto it = mounts_.find(name);
+  return it == mounts_.end() ? nullptr : it->second.get();
+}
+
+void Kernel::RegisterCharDev(const std::string& name, CharDevice* dev) {
+  char_devs_[name] = dev;
+}
+
+Process* Kernel::Spawn(const std::string& name, std::function<Task<>(Process&)> body) {
+  return cpu_.Spawn(name, std::move(body));
+}
+
+// --- syscall plumbing ---
+
+Task<> Kernel::SyscallEnter(Process& p, const char* name) {
+  ++stats_.syscalls;
+  if (cpu_.trace() != nullptr) {
+    cpu_.trace()->Record(sim_->Now(), TraceKind::kSyscallEnter, p.pid(), 0, name);
+  }
+  co_await cpu_.Use(p, cpu_.costs().syscall_overhead);
+}
+
+void Kernel::SyscallExit(Process& p, const char* name) {
+  if (cpu_.trace() != nullptr) {
+    cpu_.trace()->Record(sim_->Now(), TraceKind::kSyscallExit, p.pid(), 0, name);
+  }
+  p.ResetPriority();
+  p.TakeSignals();
+}
+
+int Kernel::Install(Process& p, std::shared_ptr<File> f) {
+  ProcFiles& pf = files_[&p];
+  const int fd = pf.next_fd++;
+  pf.fds[fd] = std::move(f);
+  return fd;
+}
+
+std::shared_ptr<File> Kernel::GetFile(Process& p, int fd) {
+  auto pit = files_.find(&p);
+  if (pit == files_.end()) {
+    return nullptr;
+  }
+  auto fit = pit->second.fds.find(fd);
+  return fit == pit->second.fds.end() ? nullptr : fit->second;
+}
+
+// --- file syscalls ---
+
+Task<int> Kernel::Open(Process& p, const std::string& path, uint32_t flags) {
+  co_await SyscallEnter(p, "open");
+  int result = -1;
+  if (path.rfind("/dev/", 0) == 0) {
+    auto it = char_devs_.find(path.substr(5));
+    if (it != char_devs_.end()) {
+      result = Install(p, std::make_shared<DeviceFile>(&cpu_, it->second));
+    }
+  } else if (const size_t colon = path.find(':'); colon != std::string::npos) {
+    FileSystem* fs = FindFs(path.substr(0, colon));
+    if (fs != nullptr) {
+      const std::string fname = path.substr(colon + 1);
+      Inode* ip = fs->Lookup(fname);
+      if (ip == nullptr && (flags & kOpenCreate) != 0) {
+        ip = fs->Create(fname);
+      }
+      if (ip != nullptr) {
+        if ((flags & kOpenTrunc) != 0) {
+          fs->Truncate(ip);
+        }
+        result = Install(p, std::make_shared<RegularFile>(fs, ip));
+      }
+    }
+  }
+  SyscallExit(p, "open");
+  co_return result;
+}
+
+Task<int> Kernel::Close(Process& p, int fd) {
+  co_await SyscallEnter(p, "close");
+  auto pit = files_.find(&p);
+  const int result = (pit != files_.end() && pit->second.fds.erase(fd) > 0) ? 0 : -1;
+  SyscallExit(p, "close");
+  co_return result;
+}
+
+Task<int64_t> Kernel::Read(Process& p, int fd, int64_t n, std::vector<uint8_t>* out) {
+  co_await SyscallEnter(p, "read");
+  std::shared_ptr<File> f = GetFile(p, fd);
+  int64_t result = -1;
+  if (f != nullptr) {
+    result = co_await f->Read(p, n, out);
+  }
+  SyscallExit(p, "read");
+  co_return result;
+}
+
+Task<int64_t> Kernel::Write(Process& p, int fd, const uint8_t* data, int64_t n) {
+  co_await SyscallEnter(p, "write");
+  std::shared_ptr<File> f = GetFile(p, fd);
+  int64_t result = -1;
+  if (f != nullptr) {
+    result = co_await f->Write(p, data, n);
+  }
+  SyscallExit(p, "write");
+  co_return result;
+}
+
+Task<int64_t> Kernel::Write(Process& p, int fd, const std::vector<uint8_t>& data) {
+  co_return co_await Write(p, fd, data.data(), static_cast<int64_t>(data.size()));
+}
+
+Task<int64_t> Kernel::Lseek(Process& p, int fd, int64_t offset) {
+  co_await SyscallEnter(p, "lseek");
+  std::shared_ptr<File> f = GetFile(p, fd);
+  int64_t result = -1;
+  if (f != nullptr && f->kind() == File::Kind::kRegular && offset >= 0) {
+    static_cast<RegularFile*>(f.get())->offset = offset;
+    result = offset;
+  }
+  SyscallExit(p, "lseek");
+  co_return result;
+}
+
+Task<int> Kernel::Dup(Process& p, int fd) {
+  co_await SyscallEnter(p, "dup");
+  std::shared_ptr<File> f = GetFile(p, fd);
+  int result = -1;
+  if (f != nullptr) {
+    result = Install(p, std::move(f));
+  }
+  SyscallExit(p, "dup");
+  co_return result;
+}
+
+Task<int> Kernel::Fcntl(Process& p, int fd, bool fasync) {
+  co_await SyscallEnter(p, "fcntl");
+  std::shared_ptr<File> f = GetFile(p, fd);
+  int result = -1;
+  if (f != nullptr) {
+    f->fasync = fasync;
+    result = 0;
+  }
+  SyscallExit(p, "fcntl");
+  co_return result;
+}
+
+Task<int> Kernel::FsyncFd(Process& p, int fd) {
+  co_await SyscallEnter(p, "fsync");
+  std::shared_ptr<File> f = GetFile(p, fd);
+  int result = -1;
+  if (f != nullptr) {
+    co_await f->Fsync(p);
+    result = 0;
+  }
+  SyscallExit(p, "fsync");
+  co_return result;
+}
+
+// --- splice ---
+
+Task<std::unique_ptr<SpliceSource>> Kernel::MakeSource(Process& p,
+                                                       const std::shared_ptr<File>& f,
+                                                       int64_t nbytes, bool sink_is_file,
+                                                       int64_t* resolved_bytes) {
+  *resolved_bytes = -1;
+  switch (f->kind()) {
+    case File::Kind::kRegular: {
+      auto* rf = static_cast<RegularFile*>(f.get());
+      Inode* ip = rf->inode();
+      if (rf->offset % kBlockSize != 0) {
+        co_return nullptr;  // file splices require block-aligned offsets
+      }
+      const int64_t avail = ip->size - rf->offset;
+      const int64_t len = nbytes == kSpliceEof ? avail : std::min(nbytes, avail);
+      if (len < 0) {
+        co_return nullptr;
+      }
+      // "The entire list of all physical block numbers comprising the
+      // source file is determined by successive calls to bmap()."
+      const int64_t first = rf->offset / kBlockSize;
+      const int64_t nblocks = (len + kBlockSize - 1) / kBlockSize;
+      std::vector<int64_t> map;
+      map.reserve(static_cast<size_t>(nblocks));
+      for (int64_t i = 0; i < nblocks; ++i) {
+        const int64_t pbn = co_await rf->fs()->Bmap(p, ip, first + i, /*alloc=*/false);
+        if (pbn == 0) {
+          co_return nullptr;  // holes are not spliceable
+        }
+        map.push_back(pbn);
+      }
+      rf->offset += len;
+      *resolved_bytes = len;
+      co_return std::make_unique<FileSpliceSource>(&cache_, rf->fs()->dev(), std::move(map),
+                                                   len);
+    }
+    case File::Kind::kCharDev: {
+      auto* df = static_cast<DeviceFile*>(f.get());
+      if (!df->dev()->SupportsRead()) {
+        co_return nullptr;
+      }
+      const int64_t len = nbytes == kSpliceEof ? -1 : nbytes;
+      *resolved_bytes = len;
+      co_return std::make_unique<DeviceSpliceSource>(df->dev(), len, kBlockSize, sink_is_file);
+    }
+    case File::Kind::kSocket: {
+      auto* sf = static_cast<SocketFile*>(f.get());
+      // Sockets are streams: the splice runs until the zero-length
+      // end-of-stream datagram (or cancellation); a byte limit is advisory.
+      co_return std::make_unique<SocketSpliceSource>(sf->socket());
+    }
+    case File::Kind::kPipe: {
+      auto* pf = static_cast<PipeEndFile*>(f.get());
+      if (!pf->read_end()) {
+        co_return nullptr;
+      }
+      // A pipe is a byte stream: bounded by the byte budget, or unbounded
+      // until the writer's EOF (which ReadAsync reports as 0 bytes).
+      const int64_t len = nbytes == kSpliceEof ? -1 : nbytes;
+      *resolved_bytes = len;
+      co_return std::make_unique<DeviceSpliceSource>(pf->pipe(), len, kBlockSize, sink_is_file);
+    }
+  }
+  co_return nullptr;
+}
+
+Task<std::unique_ptr<SpliceSink>> Kernel::MakeSink(Process& p, const std::shared_ptr<File>& f,
+                                                   int64_t nbytes,
+                                                   std::function<void(int64_t)>* on_moved) {
+  *on_moved = nullptr;
+  switch (f->kind()) {
+    case File::Kind::kRegular: {
+      auto* rf = static_cast<RegularFile*>(f.get());
+      Inode* ip = rf->inode();
+      if (rf->offset % kBlockSize != 0 || nbytes < 0) {
+        co_return nullptr;  // unbounded splice into a file is unsupported
+      }
+      // Premap the destination, allocating with the special splice bmap
+      // (no zero-fill delayed writes) unless the ablation asks for stock.
+      const int64_t first = rf->offset / kBlockSize;
+      const int64_t nblocks = (nbytes + kBlockSize - 1) / kBlockSize;
+      std::vector<int64_t> map;
+      map.reserve(static_cast<size_t>(nblocks));
+      for (int64_t i = 0; i < nblocks; ++i) {
+        const int64_t pbn =
+            co_await rf->fs()->Bmap(p, ip, first + i, /*alloc=*/true,
+                                    /*for_splice=*/!splice_options_.stock_destination_bmap);
+        if (pbn == 0) {
+          co_return nullptr;  // device full
+        }
+        map.push_back(pbn);
+      }
+      const int64_t start = rf->offset;
+      std::shared_ptr<File> keep = f;  // pin the open file until completion
+      *on_moved = [keep, ip, start](int64_t moved) {
+        auto* file = static_cast<RegularFile*>(keep.get());
+        file->offset = start + moved;
+        ip->size = std::max(ip->size, start + moved);
+      };
+      co_return std::make_unique<FileSpliceSink>(&cache_, rf->fs()->dev(), std::move(map));
+    }
+    case File::Kind::kCharDev: {
+      auto* df = static_cast<DeviceFile*>(f.get());
+      if (!df->dev()->SupportsWrite()) {
+        co_return nullptr;
+      }
+      co_return std::make_unique<DeviceSpliceSink>(&cpu_, df->dev());
+    }
+    case File::Kind::kSocket: {
+      auto* sf = static_cast<SocketFile*>(f.get());
+      co_return std::make_unique<SocketSpliceSink>(&cpu_, sf->socket());
+    }
+    case File::Kind::kPipe: {
+      auto* pf = static_cast<PipeEndFile*>(f.get());
+      if (pf->read_end()) {
+        co_return nullptr;
+      }
+      co_return std::make_unique<DeviceSpliceSink>(&cpu_, pf->pipe());
+    }
+  }
+  co_return nullptr;
+}
+
+Task<int64_t> Kernel::Splice(Process& p, int src_fd, int dst_fd, int64_t nbytes) {
+  co_await SyscallEnter(p, "splice");
+  std::shared_ptr<File> src = GetFile(p, src_fd);
+  std::shared_ptr<File> dst = GetFile(p, dst_fd);
+  if (src == nullptr || dst == nullptr || (nbytes < 0 && nbytes != kSpliceEof)) {
+    SyscallExit(p, "splice");
+    co_return -1;
+  }
+  if (src->kind() == File::Kind::kRegular && dst->kind() == File::Kind::kRegular &&
+      static_cast<RegularFile*>(src.get())->inode() ==
+          static_cast<RegularFile*>(dst.get())->inode()) {
+    // Splicing a file onto itself would interleave reads and writes over one
+    // block map; refuse it (the paper's splice has no such mode either).
+    SyscallExit(p, "splice");
+    co_return -1;
+  }
+  int64_t resolved = -1;
+  const bool sink_is_file = dst->kind() == File::Kind::kRegular;
+  std::unique_ptr<SpliceSource> source =
+      co_await MakeSource(p, src, nbytes, sink_is_file, &resolved);
+  if (source == nullptr) {
+    SyscallExit(p, "splice");
+    co_return -1;
+  }
+  std::function<void(int64_t)> on_moved;
+  std::unique_ptr<SpliceSink> sink = co_await MakeSink(p, dst, resolved, &on_moved);
+  if (sink == nullptr) {
+    SyscallExit(p, "splice");
+    co_return -1;
+  }
+
+  // "The splice operates asynchronously if either of the file descriptors
+  // have the FASYNC flag enabled."  (Section 3)
+  const bool async = src->fasync || dst->fasync;
+  // The initial read batch is issued from this process's context inside
+  // Start(); synchronous devices perform their copies right there, so the
+  // accumulated cost lands on the caller.
+  auto charge_setup = [this, &p]() -> Task<> {
+    const SimDuration charge = cache_.TakeSyncCharge();
+    if (charge > 0) {
+      co_await cpu_.Use(p, charge);
+    }
+  };
+  if (async) {
+    ++stats_.splices_async;
+    Process* proc = &p;
+    splice_.Start(std::move(source), std::move(sink), splice_options_,
+                  [this, proc, on_moved, src, dst](int64_t moved) {
+                    if (on_moved && moved >= 0) {
+                      on_moved(moved);
+                    }
+                    // "A calling program can opt to catch SIGIO to detect
+                    // the completion of an asynchronous splice."
+                    cpu_.Post(*proc, kSigIo);
+                  });
+    co_await charge_setup();
+    SyscallExit(p, "splice");
+    co_return 0;
+  }
+
+  ++stats_.splices_sync;
+  struct Waiter {
+    bool done = false;
+    int64_t moved = 0;
+  } w;
+  SpliceDescriptor* d =
+      splice_.Start(std::move(source), std::move(sink), splice_options_,
+                    [this, &w, on_moved](int64_t moved) {
+                      if (on_moved && moved >= 0) {
+                        on_moved(moved);
+                      }
+                      w.done = true;
+                      w.moved = moved;
+                      cpu_.Wakeup(&w);
+                    });
+  co_await charge_setup();
+  // "... until an end of file condition is reached or the operation is
+  // interrupted by the caller" (Section 3): a signal cancels the transfer;
+  // in-flight chunks drain and the partial byte count is returned.
+  bool cancelled = false;
+  while (!w.done) {
+    // Once cancelled, wait uninterruptibly for the drain: the signal that
+    // triggered the cancel is still pending (delivered at syscall exit) and
+    // must not spin this loop.
+    co_await cpu_.Sleep(p, &w, kPriWait, /*interruptible=*/!cancelled);
+    if (!w.done && !cancelled && p.SignalPending()) {
+      splice_.Cancel(d);
+      cancelled = true;
+    }
+  }
+  SyscallExit(p, "splice");
+  co_return w.moved;
+}
+
+// --- signals, timers, pause ---
+
+Task<> Kernel::Pause(Process& p) {
+  co_await SyscallEnter(p, "pause");
+  while (!p.SignalPending()) {
+    co_await cpu_.Sleep(p, &p, kPriWait, /*interruptible=*/true);
+  }
+  SyscallExit(p, "pause");  // TakeSignals runs the handlers
+}
+
+Task<> Kernel::SleepFor(Process& p, SimDuration d) {
+  co_await SyscallEnter(p, "sleep");
+  struct Flag {
+    bool fired = false;
+  } flag;
+  sim_->After(d, [this, &flag] {
+    flag.fired = true;
+    cpu_.Wakeup(&flag);
+  });
+  while (!flag.fired) {
+    co_await cpu_.Sleep(p, &flag, kPriWait);
+  }
+  SyscallExit(p, "sleep");
+}
+
+void Kernel::Sigaction(Process& p, int sig, std::function<void()> handler) {
+  p.Sigaction(sig, std::move(handler));
+}
+
+void Kernel::Setitimer(Process& p, SimDuration interval) {
+  Itimer& t = itimers_[&p];
+  t.ticks = std::max<int64_t>(1, interval / callouts_.TickDuration());
+  if (t.armed) {
+    return;  // already ticking; new interval takes effect from the next fire
+  }
+  t.armed = true;
+  Process* proc = &p;
+  std::function<void()> fire = [this, proc]() {
+    Itimer& timer = itimers_[proc];
+    if (!timer.armed) {
+      return;
+    }
+    cpu_.Post(*proc, kSigAlrm);
+    timer.callout = callouts_.Timeout([this, proc] { itimers_[proc].Refire(); }, timer.ticks);
+  };
+  // Store the refire closure so the callout chain can reschedule itself.
+  t.refire = std::move(fire);
+  t.callout = callouts_.Timeout([this, proc] { itimers_[proc].Refire(); }, t.ticks);
+}
+
+void Kernel::StopItimer(Process& p) {
+  auto it = itimers_.find(&p);
+  if (it == itimers_.end()) {
+    return;
+  }
+  it->second.armed = false;
+  if (it->second.callout != kInvalidCalloutId) {
+    callouts_.Untimeout(it->second.callout);
+    it->second.callout = kInvalidCalloutId;
+  }
+}
+
+int Kernel::OpenSocket(Process& p, UdpSocket* sock) {
+  return Install(p, std::make_shared<SocketFile>(&cpu_, sock));
+}
+
+Task<int> Kernel::CreatePipe(Process& p, int* read_fd, int* write_fd) {
+  co_await SyscallEnter(p, "pipe");
+  auto pipe = std::make_shared<Pipe>();
+  *read_fd = Install(p, std::make_shared<PipeEndFile>(&cpu_, pipe, /*read_end=*/true));
+  *write_fd = Install(p, std::make_shared<PipeEndFile>(&cpu_, pipe, /*read_end=*/false));
+  SyscallExit(p, "pipe");
+  co_return 0;
+}
+
+}  // namespace ikdp

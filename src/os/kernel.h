@@ -1,0 +1,187 @@
+// The Kernel façade: the system-call interface simulated programs use.
+//
+// Composes the whole machine — CPU/scheduler, callout table, buffer cache,
+// filesystems, devices, sockets, and the splice engine — behind a UNIX-ish
+// syscall surface.  Programs are coroutines (one per process) that invoke
+// these calls with their Process handle:
+//
+//   int fd = co_await k.Open(p, "disk0:movie.audio", kOpenRead);
+//   co_await k.Fcntl(p, fd, /*fasync=*/true);
+//   co_await k.Splice(p, fd, dac, kSpliceEof);     // returns immediately
+//   co_await k.Pause(p);                           // SIGIO on completion
+//
+// Every syscall charges the trap overhead, resets the process priority on
+// the way out ("return to user mode"), and delivers pending signals.
+//
+// Paths:  "<fsname>:<filename>" opens a regular file on a mounted
+// filesystem; "/dev/<name>" opens a registered character device.  Sockets
+// enter a process's descriptor table via OpenSocket.
+
+#ifndef SRC_OS_KERNEL_H_
+#define SRC_OS_KERNEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/buf/buffer_cache.h"
+#include "src/dev/char_device.h"
+#include "src/fs/filesystem.h"
+#include "src/hw/costs.h"
+#include "src/kern/cpu.h"
+#include "src/net/udp_socket.h"
+#include "src/sim/callout.h"
+#include "src/sim/simulator.h"
+#include "src/splice/splice_engine.h"
+#include "src/vfs/file.h"
+
+namespace ikdp {
+
+// splice(2) size argument: "a special value indicates the splice should
+// execute until an end of file condition is reached" (paper Section 3).
+inline constexpr int64_t kSpliceEof = -1;
+
+class Kernel {
+ public:
+  // The defaults model the paper's machine: 3.2 MB buffer cache (400 x 8 KB)
+  // and hz = 256.
+  Kernel(Simulator* sim, CostConfig costs, int nbufs = 400, int hz = 256);
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  Simulator* sim() { return sim_; }
+  CpuSystem& cpu() { return cpu_; }
+  CalloutTable& callouts() { return callouts_; }
+  BufferCache& cache() { return cache_; }
+  SpliceEngine& splice_engine() { return splice_; }
+
+  // Splice flow-control/zero-copy configuration used by Splice(); benches
+  // override it for ablations.
+  SpliceOptions& splice_options() { return splice_options_; }
+
+  // --- machine setup (host side, no simulated time) ---
+
+  // Creates and mounts a filesystem named `name` on `dev`.
+  FileSystem* MountFs(BlockDevice* dev, const std::string& name);
+  FileSystem* FindFs(const std::string& name);
+
+  // Registers `/dev/<name>`.
+  void RegisterCharDev(const std::string& name, CharDevice* dev);
+
+  // Spawns a process running `body`.
+  Process* Spawn(const std::string& name, std::function<Task<>(Process&)> body);
+
+  // --- system calls ---
+
+  Task<int> Open(Process& p, const std::string& path, uint32_t flags);
+  Task<int> Close(Process& p, int fd);
+  Task<int64_t> Read(Process& p, int fd, int64_t n, std::vector<uint8_t>* out);
+  Task<int64_t> Write(Process& p, int fd, const uint8_t* data, int64_t n);
+  Task<int64_t> Write(Process& p, int fd, const std::vector<uint8_t>& data);
+  Task<int64_t> Lseek(Process& p, int fd, int64_t offset);
+  // dup(2): a new descriptor sharing the same open-file object (offset and
+  // flags included).
+  Task<int> Dup(Process& p, int fd);
+
+  // Sets or clears FASYNC (fcntl(fd, F_SETFL, FASYNC)).
+  Task<int> Fcntl(Process& p, int fd, bool fasync);
+  Task<int> FsyncFd(Process& p, int fd);
+
+  // splice(2): moves `nbytes` (or kSpliceEof) from `src_fd` to `dst_fd`
+  // entirely in the kernel.  Synchronous unless either descriptor has
+  // FASYNC, in which case it returns 0 immediately and SIGIO is posted on
+  // completion.  File endpoints require block-aligned offsets.  Returns
+  // bytes moved, 0 (async started), or -1 on error.
+  Task<int64_t> Splice(Process& p, int src_fd, int dst_fd, int64_t nbytes);
+
+  // Blocks until a signal is delivered, then runs its handler(s).
+  Task<> Pause(Process& p);
+
+  // Suspends the process for a duration (testing convenience; a sleep(3)
+  // built on the callout table).
+  Task<> SleepFor(Process& p, SimDuration d);
+
+  // Installs a signal handler (no trap cost; bookkeeping only).
+  void Sigaction(Process& p, int sig, std::function<void()> handler);
+
+  // Arms a periodic interval timer posting SIGALRM (setitimer ITIMER_REAL).
+  void Setitimer(Process& p, SimDuration interval);
+  void StopItimer(Process& p);
+
+  // Enters `sock` into p's descriptor table (socket(2)+connect(2) stand-in).
+  int OpenSocket(Process& p, UdpSocket* sock);
+
+  // pipe(2): creates an in-kernel pipe and installs the read and write
+  // descriptors into p's table.  Returns 0 on success.
+  Task<int> CreatePipe(Process& p, int* read_fd, int* write_fd);
+
+  // Descriptor lookup (tests and endpoint plumbing).
+  std::shared_ptr<File> GetFile(Process& p, int fd);
+
+  struct Stats {
+    uint64_t syscalls = 0;
+    uint64_t splices_sync = 0;
+    uint64_t splices_async = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct ProcFiles {
+    std::map<int, std::shared_ptr<File>> fds;
+    int next_fd = 3;  // 0-2 reserved, as tradition demands
+  };
+
+  struct Itimer {
+    CalloutId callout = kInvalidCalloutId;
+    int64_t ticks = 1;
+    bool armed = false;
+    std::function<void()> refire;  // reschedules the callout chain
+
+    void Refire() {
+      if (refire) {
+        refire();
+      }
+    }
+  };
+
+  // Common syscall entry/exit.
+  Task<> SyscallEnter(Process& p, const char* name);
+  void SyscallExit(Process& p, const char* name);
+
+  int Install(Process& p, std::shared_ptr<File> f);
+
+  // Builds splice endpoints from an open file.  Returns nullptr on
+  // unsupported/invalid combinations.  For regular files, consumes and
+  // advances the file offset and premaps blocks (in process context).
+  // `sink_is_file` makes stream sources coalesce short deliveries into full
+  // blocks, which the file sink's block map requires.
+  Task<std::unique_ptr<SpliceSource>> MakeSource(Process& p, const std::shared_ptr<File>& f,
+                                                 int64_t nbytes, bool sink_is_file,
+                                                 int64_t* resolved_bytes);
+  // `on_moved` receives a completion hook that updates sink-side file state
+  // (inode size, seek offset) once the byte count is known.
+  Task<std::unique_ptr<SpliceSink>> MakeSink(Process& p, const std::shared_ptr<File>& f,
+                                             int64_t nbytes,
+                                             std::function<void(int64_t)>* on_moved);
+
+  Simulator* sim_;
+  CpuSystem cpu_;
+  CalloutTable callouts_;
+  BufferCache cache_;
+  SpliceEngine splice_;
+  SpliceOptions splice_options_;
+
+  std::map<std::string, std::unique_ptr<FileSystem>> mounts_;
+  std::map<std::string, CharDevice*> char_devs_;
+  std::map<Process*, ProcFiles> files_;
+  std::map<Process*, Itimer> itimers_;
+  Stats stats_;
+};
+
+}  // namespace ikdp
+
+#endif  // SRC_OS_KERNEL_H_

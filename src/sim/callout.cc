@@ -1,0 +1,100 @@
+#include "src/sim/callout.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace ikdp {
+
+CalloutTable::CalloutTable(Simulator* sim, int hz) : sim_(sim), hz_(hz) {
+  assert(hz > 0);
+  tick_ = kSecond / hz;
+  assert(tick_ > 0);
+}
+
+SimTime CalloutTable::NextTickAfter(SimTime now) const {
+  return (now / tick_ + 1) * tick_;
+}
+
+CalloutId CalloutTable::Timeout(std::function<void()> fn, int ticks) {
+  assert(ticks >= 1);
+  const SimTime when = NextTickAfter(sim_->Now()) + static_cast<SimTime>(ticks - 1) * tick_;
+  const CalloutId id = ++next_id_;
+  buckets_[when].push_back(Entry{id, std::move(fn), /*head=*/false});
+  pending_[id] = when;
+  ArmSoftclock(when);
+  return id;
+}
+
+CalloutId CalloutTable::ScheduleHead(std::function<void()> fn) {
+  const SimTime when = NextTickAfter(sim_->Now());
+  const CalloutId id = ++next_id_;
+  auto& bucket = buckets_[when];
+  // Head entries run before FIFO entries; among themselves they keep
+  // insertion order (first ScheduleHead call on a tick runs first, matching
+  // a list where each insert-at-head is drained in the original order by the
+  // splice engine's per-descriptor sequencing — the exact intra-tick order is
+  // not observable by the modelled workloads).
+  auto it = std::find_if(bucket.begin(), bucket.end(), [](const Entry& e) { return !e.head; });
+  bucket.insert(it, Entry{id, std::move(fn), /*head=*/true});
+  pending_[id] = when;
+  ArmSoftclock(when);
+  return id;
+}
+
+bool CalloutTable::Untimeout(CalloutId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) {
+    return false;
+  }
+  const SimTime when = it->second;
+  pending_.erase(it);
+  auto bucket_it = buckets_.find(when);
+  if (bucket_it != buckets_.end()) {
+    auto& entries = bucket_it->second;
+    entries.erase(
+        std::remove_if(entries.begin(), entries.end(), [id](const Entry& e) { return e.id == id; }),
+        entries.end());
+    if (entries.empty()) {
+      buckets_.erase(bucket_it);
+      auto armed_it = armed_.find(when);
+      if (armed_it != armed_.end()) {
+        sim_->Cancel(armed_it->second);
+        armed_.erase(armed_it);
+      }
+    }
+  }
+  return true;
+}
+
+void CalloutTable::ArmSoftclock(SimTime when) {
+  if (armed_.count(when) > 0) {
+    return;
+  }
+  armed_[when] = sim_->At(when, [this, when] { RunTick(when); });
+}
+
+void CalloutTable::RunTick(SimTime when) {
+  armed_.erase(when);
+  auto it = buckets_.find(when);
+  if (it == buckets_.end()) {
+    return;
+  }
+  // Detach the bucket first: callouts frequently re-schedule themselves, and
+  // fresh ScheduleHead() calls from inside a handler must land on the *next*
+  // tick, not this one (NextTickAfter is strict, so they do).
+  std::vector<Entry> entries = std::move(it->second);
+  buckets_.erase(it);
+  ++softclock_runs_;
+  for (Entry& e : entries) {
+    pending_.erase(e.id);
+  }
+  if (observer_) {
+    observer_(static_cast<int>(entries.size()));
+  }
+  for (Entry& e : entries) {
+    e.fn();
+  }
+}
+
+}  // namespace ikdp

@@ -1,0 +1,101 @@
+// The BSD kernel callout list, as used by the splice write side.
+//
+// In 4.2BSD-derived kernels (including Ultrix 4.2A), timeout(fn, arg, ticks)
+// places an entry on the callout list; the softclock interrupt, driven by the
+// hardware clock at `hz` ticks per second, walks expired entries at software
+// interrupt priority.  The splice implementation "places a reference to the
+// write handler at the head of the system callout list" (paper Section 5.2.2)
+// so the write side runs at the *next softclock tick* rather than in the disk
+// interrupt handler itself, decoupling the I/O access periods of the source
+// and destination devices.
+//
+// This model exposes both the classic timeout()/untimeout() interface and the
+// head-of-list scheduling splice relies on.  Callouts fire only on tick
+// boundaries, which matters for pacing: scheduling at the head of the list
+// still delays execution to the next tick edge.
+
+#ifndef SRC_SIM_CALLOUT_H_
+#define SRC_SIM_CALLOUT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace ikdp {
+
+// Identifies a pending callout so it can be removed with Untimeout().
+using CalloutId = uint64_t;
+
+inline constexpr CalloutId kInvalidCalloutId = 0;
+
+class CalloutTable {
+ public:
+  // `hz` is the clock interrupt frequency.  Ultrix on the DECstation 5000
+  // used hz = 256.
+  CalloutTable(Simulator* sim, int hz);
+
+  CalloutTable(const CalloutTable&) = delete;
+  CalloutTable& operator=(const CalloutTable&) = delete;
+
+  // Classic BSD timeout(): run `fn` after `ticks` clock ticks (>= 1).
+  CalloutId Timeout(std::function<void()> fn, int ticks);
+
+  // Schedules `fn` at the head of the callout list: it fires at the next
+  // softclock tick, before any other entry expiring on that tick.
+  CalloutId ScheduleHead(std::function<void()> fn);
+
+  // Removes a pending callout.  Returns true if it had not yet fired.
+  bool Untimeout(CalloutId id);
+
+  // Duration of one clock tick.
+  SimDuration TickDuration() const { return tick_; }
+
+  int hz() const { return hz_; }
+
+  // Number of callouts currently pending (for tests).
+  size_t Pending() const { return pending_.size(); }
+
+  // Total softclock activations (for stats).
+  uint64_t softclock_runs() const { return softclock_runs_; }
+
+  // Optional hook invoked with the total run duration each time softclock
+  // dispatches a batch of callouts; the kernel scheduler uses this to charge
+  // softclock CPU time.  The int argument is the number of callouts run.
+  void set_softclock_observer(std::function<void(int)> obs) { observer_ = std::move(obs); }
+
+ private:
+  struct Entry {
+    CalloutId id;
+    std::function<void()> fn;
+    bool head;  // head-of-list entries run before FIFO entries on the tick
+  };
+
+  // The absolute time of the next tick edge strictly after `now`.
+  SimTime NextTickAfter(SimTime now) const;
+
+  // Makes sure a softclock event is scheduled for tick time `when`.
+  void ArmSoftclock(SimTime when);
+
+  // Runs all entries expiring at tick `when`.
+  void RunTick(SimTime when);
+
+  Simulator* sim_;
+  int hz_;
+  SimDuration tick_;
+  // tick time -> entries expiring on that tick, in insertion order (head
+  // entries are prepended).
+  std::map<SimTime, std::vector<Entry>> buckets_;
+  std::map<SimTime, EventId> armed_;
+  std::map<CalloutId, SimTime> pending_;
+  CalloutId next_id_ = 0;
+  uint64_t softclock_runs_ = 0;
+  std::function<void(int)> observer_;
+};
+
+}  // namespace ikdp
+
+#endif  // SRC_SIM_CALLOUT_H_

@@ -1,0 +1,88 @@
+// A cancellable priority queue of timed events.
+//
+// This is the heart of the discrete-event engine.  Events are closures tagged
+// with a firing time; ties are broken by insertion order so the simulation is
+// fully deterministic.  Cancellation is lazy: a cancelled event stays in the
+// heap but is skipped when popped, which keeps both schedule and cancel at
+// O(log n) without a secondary index.
+
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace ikdp {
+
+// Identifies a scheduled event so it can be cancelled.  Ids are never reused
+// within one EventQueue instance.
+using EventId = uint64_t;
+
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Schedules `fn` to fire at absolute time `when`.  Returns an id usable
+  // with Cancel().  Events scheduled for the same time fire in insertion
+  // order.
+  EventId Schedule(SimTime when, std::function<void()> fn);
+
+  // Cancels a previously scheduled event.  Returns true if the event existed
+  // and had not yet fired (or been cancelled).
+  bool Cancel(EventId id);
+
+  // True when no live (non-cancelled) events remain.
+  bool empty() const { return live_.empty(); }
+
+  // Number of live events.
+  size_t size() const { return live_.size(); }
+
+  // The firing time of the earliest live event.  Must not be called on an
+  // empty queue.
+  SimTime NextTime();
+
+  // Pops and returns the earliest live event's closure, setting `*when` to
+  // its firing time.  Must not be called on an empty queue.
+  std::function<void()> PopNext(SimTime* when);
+
+  // Total number of events ever scheduled (for stats / tests).
+  uint64_t total_scheduled() const { return next_seq_; }
+
+ private:
+  struct Entry {
+    SimTime when = 0;
+    EventId id = kInvalidEventId;  // doubles as the insertion sequence number
+    std::function<void()> fn;
+  };
+
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.id > b.id;
+    }
+  };
+
+  // Drops cancelled entries from the top of the heap.
+  void SkipCancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> live_;
+  std::unordered_set<EventId> cancelled_;
+  EventId next_seq_ = 0;
+};
+
+}  // namespace ikdp
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,73 @@
+// Deterministic pseudo-random number generation for the simulation.
+//
+// The only stochastic quantities in the model are rotational position at the
+// moment a disk request reaches the platters and datagram jitter on the
+// simulated network link.  A small, seedable generator keeps runs exactly
+// reproducible (the experiment harness prints its seed).
+
+#ifndef SRC_SIM_RANDOM_H_
+#define SRC_SIM_RANDOM_H_
+
+#include <cstdint>
+
+namespace ikdp {
+
+// xoshiro256** with a SplitMix64 seeding stage.  Public domain algorithms by
+// Blackman & Vigna; reimplemented here so the simulation does not depend on
+// libstdc++'s unspecified distribution implementations.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  // Next 64 uniformly random bits.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound).  `bound` must be positive.
+  uint64_t Below(uint64_t bound) {
+    // Lemire's nearly-divisionless method would be overkill; simple rejection
+    // keeps the distribution exact.
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+      const uint64_t r = Next();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t v, int k) { return (v << k) | (v >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace ikdp
+
+#endif  // SRC_SIM_RANDOM_H_

@@ -1,0 +1,49 @@
+#include "src/sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ikdp {
+
+EventId Simulator::After(SimDuration delay, std::function<void()> fn) {
+  if (delay < 0) {
+    delay = 0;
+  }
+  return queue_.Schedule(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::At(SimTime when, std::function<void()> fn) {
+  assert(when >= now_ && "scheduling into the past");
+  return queue_.Schedule(when, std::move(fn));
+}
+
+SimTime Simulator::Run() {
+  while (Step()) {
+  }
+  return now_;
+}
+
+SimTime Simulator::RunUntil(SimTime deadline) {
+  while (!queue_.empty() && queue_.NextTime() <= deadline) {
+    Step();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return now_;
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  SimTime when = 0;
+  std::function<void()> fn = queue_.PopNext(&when);
+  assert(when >= now_ && "event queue went backwards");
+  now_ = when;
+  ++events_executed_;
+  fn();
+  return true;
+}
+
+}  // namespace ikdp

@@ -1,0 +1,22 @@
+#include "src/sim/time.h"
+
+#include <cstdio>
+
+namespace ikdp {
+
+std::string FormatDuration(SimDuration d) {
+  char out[64];
+  const double abs = static_cast<double>(d < 0 ? -d : d);
+  if (abs >= static_cast<double>(kSecond)) {
+    std::snprintf(out, sizeof(out), "%.3fs", static_cast<double>(d) / kSecond);
+  } else if (abs >= static_cast<double>(kMillisecond)) {
+    std::snprintf(out, sizeof(out), "%.3fms", static_cast<double>(d) / kMillisecond);
+  } else if (abs >= static_cast<double>(kMicrosecond)) {
+    std::snprintf(out, sizeof(out), "%.3fus", static_cast<double>(d) / kMicrosecond);
+  } else {
+    std::snprintf(out, sizeof(out), "%ldns", static_cast<long>(d));
+  }
+  return out;
+}
+
+}  // namespace ikdp

@@ -1,0 +1,63 @@
+// Simulated time primitives.
+//
+// All simulation components share a single virtual clock measured in integer
+// nanoseconds.  Integer time keeps the simulation exactly deterministic and
+// makes event ordering total (ties are broken by insertion sequence numbers
+// in the event queue).
+
+#ifndef SRC_SIM_TIME_H_
+#define SRC_SIM_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ikdp {
+
+// A point in simulated time, in nanoseconds since simulation start.
+using SimTime = int64_t;
+
+// A span of simulated time, in nanoseconds.  Durations may be added to
+// SimTime values freely; both are plain 64-bit integers.
+using SimDuration = int64_t;
+
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+constexpr SimDuration Nanoseconds(int64_t n) { return n * kNanosecond; }
+constexpr SimDuration Microseconds(int64_t n) { return n * kMicrosecond; }
+constexpr SimDuration Milliseconds(int64_t n) { return n * kMillisecond; }
+constexpr SimDuration Seconds(int64_t n) { return n * kSecond; }
+
+// Fractional constructors, useful for derived quantities such as
+// "bytes / bandwidth".  Rounds to the nearest nanosecond.
+constexpr SimDuration SecondsF(double s) {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond) + 0.5);
+}
+constexpr SimDuration MillisecondsF(double ms) {
+  return static_cast<SimDuration>(ms * static_cast<double>(kMillisecond) + 0.5);
+}
+constexpr SimDuration MicrosecondsF(double us) {
+  return static_cast<SimDuration>(us * static_cast<double>(kMicrosecond) + 0.5);
+}
+
+// Converts a duration back to floating-point seconds (for reporting).
+constexpr double ToSeconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+constexpr double ToMilliseconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+// The time it takes to move `bytes` bytes at `bytes_per_second`.
+constexpr SimDuration TransferTime(int64_t bytes, double bytes_per_second) {
+  return SecondsF(static_cast<double>(bytes) / bytes_per_second);
+}
+
+// Renders a time as a human-readable string, e.g. "1.204s" or "318.2us".
+std::string FormatDuration(SimDuration d);
+
+}  // namespace ikdp
+
+#endif  // SRC_SIM_TIME_H_

@@ -1,0 +1,41 @@
+#include "src/sim/trace.h"
+
+#include <cstdio>
+
+namespace ikdp {
+
+const char* TraceKindName(TraceKind k) {
+  switch (k) {
+    case TraceKind::kDispatch:
+      return "dispatch";
+    case TraceKind::kSleep:
+      return "sleep";
+    case TraceKind::kWakeup:
+      return "wakeup";
+    case TraceKind::kInterrupt:
+      return "interrupt";
+    case TraceKind::kSyscallEnter:
+      return "syscall-enter";
+    case TraceKind::kSyscallExit:
+      return "syscall-exit";
+    case TraceKind::kSpliceStart:
+      return "splice-start";
+    case TraceKind::kSpliceChunk:
+      return "splice-chunk";
+    case TraceKind::kSpliceDone:
+      return "splice-done";
+  }
+  return "?";
+}
+
+void TraceLog::Dump(std::ostream& os) const {
+  char line[160];
+  for (const TraceRecord& r : Snapshot()) {
+    std::snprintf(line, sizeof(line), "%12.6fs %-14s a=%-8lld b=%-8lld %s\n",
+                  ToSeconds(r.time), TraceKindName(r.kind), static_cast<long long>(r.a),
+                  static_cast<long long>(r.b), r.tag);
+    os << line;
+  }
+}
+
+}  // namespace ikdp

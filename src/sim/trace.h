@@ -1,0 +1,103 @@
+// A ktrace-style kernel event log.
+//
+// A fixed-capacity ring of typed records, cheap enough to leave compiled in:
+// when no TraceLog is attached (the default), every hook is a null-pointer
+// check.  The kernel records scheduling transitions, interrupts, syscalls,
+// and splice lifecycle events; tests and debugging sessions snapshot or dump
+// the ring to see exactly what the machine did and when.
+//
+// Records carry two integer arguments and a static tag string; meaning is
+// per-event (documented at each recording site).
+
+#ifndef SRC_SIM_TRACE_H_
+#define SRC_SIM_TRACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace ikdp {
+
+enum class TraceKind : uint8_t {
+  kDispatch,      // a = pid
+  kSleep,         // a = pid, b = priority
+  kWakeup,        // a = woken count
+  kInterrupt,     // a = duration ns
+  kSyscallEnter,  // a = pid, tag = syscall name
+  kSyscallExit,   // a = pid, tag = syscall name
+  kSpliceStart,   // a = descriptor serial
+  kSpliceChunk,   // a = descriptor serial, b = chunk index
+  kSpliceDone,    // a = descriptor serial, b = bytes moved
+};
+
+const char* TraceKindName(TraceKind k);
+
+struct TraceRecord {
+  SimTime time = 0;
+  TraceKind kind = TraceKind::kDispatch;
+  int64_t a = 0;
+  int64_t b = 0;
+  const char* tag = "";  // static storage only
+};
+
+class TraceLog {
+ public:
+  explicit TraceLog(size_t capacity = 4096) : capacity_(capacity) { ring_.reserve(capacity); }
+
+  TraceLog(const TraceLog&) = delete;
+  TraceLog& operator=(const TraceLog&) = delete;
+
+  void Record(SimTime t, TraceKind kind, int64_t a = 0, int64_t b = 0, const char* tag = "") {
+    TraceRecord rec{t, kind, a, b, tag};
+    if (ring_.size() < capacity_) {
+      ring_.push_back(rec);
+    } else {
+      ring_[next_ % capacity_] = rec;
+    }
+    ++next_;
+  }
+
+  // Total records ever written (>= Snapshot().size()).
+  uint64_t total() const { return next_; }
+
+  // Records currently retained, oldest first.
+  std::vector<TraceRecord> Snapshot() const {
+    std::vector<TraceRecord> out;
+    out.reserve(ring_.size());
+    if (ring_.size() < capacity_) {
+      out = ring_;
+    } else {
+      const size_t head = next_ % capacity_;
+      out.insert(out.end(), ring_.begin() + static_cast<int64_t>(head), ring_.end());
+      out.insert(out.end(), ring_.begin(), ring_.begin() + static_cast<int64_t>(head));
+    }
+    return out;
+  }
+
+  // Retained records matching `pred` (oldest first).
+  std::vector<TraceRecord> Filter(const std::function<bool(const TraceRecord&)>& pred) const {
+    std::vector<TraceRecord> out;
+    for (const TraceRecord& r : Snapshot()) {
+      if (pred(r)) {
+        out.push_back(r);
+      }
+    }
+    return out;
+  }
+
+  // Human-readable dump, one record per line.
+  void Dump(std::ostream& os) const;
+
+ private:
+  size_t capacity_;
+  std::vector<TraceRecord> ring_;
+  uint64_t next_ = 0;
+};
+
+}  // namespace ikdp
+
+#endif  // SRC_SIM_TRACE_H_

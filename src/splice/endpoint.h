@@ -1,0 +1,68 @@
+// Splice endpoints: the abstraction the engine pumps data between.
+//
+// The paper's implementation supports file-to-file, socket-to-socket (UDP),
+// and framebuffer-to-socket splices, plus file-to-device playback in its
+// example code.  The engine (splice_engine.h) is endpoint-agnostic: a source
+// produces chunks asynchronously, a sink consumes them asynchronously, and
+// everything in between — callout-deferred write handlers, rate-based flow
+// control, shared data areas — is common mechanism.
+//
+// A chunk is at most one file block.  For file endpoints, `data` is the
+// cache buffer's data area and `src_buf` the cache buffer itself, so the
+// sink can alias the same memory (the paper's zero-copy buffer-header trick)
+// and the engine can release the buffer when the sink is done.
+
+#ifndef SRC_SPLICE_ENDPOINT_H_
+#define SRC_SPLICE_ENDPOINT_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/buf/buf.h"
+
+namespace ikdp {
+
+struct SpliceChunk {
+  int64_t index = 0;   // sequence number within the splice
+  int64_t nbytes = 0;  // valid payload bytes (0 = end-of-file marker)
+  BufData data;        // shared data area
+  Buf* src_buf = nullptr;  // cache buffer to release (file sources)
+  bool error = false;      // the read failed (kBufError); aborts the splice
+};
+
+class SpliceSource {
+ public:
+  virtual ~SpliceSource() = default;
+
+  // Total bytes this source will produce, or -1 when unknown (streams).
+  virtual int64_t TotalBytes() const = 0;
+
+  // Preferred chunk payload size.
+  virtual int64_t ChunkBytes() const = 0;
+
+  // Starts the asynchronous read of chunk `index`.  `done` fires in kernel
+  // context (interrupt level, or synchronously for cache hits) with the
+  // chunk; nbytes == 0 signals end of stream.  Returns false if the read
+  // cannot be started right now (no buffer, request already outstanding) —
+  // the engine retries on the next softclock tick or flow-control event.
+  virtual bool StartRead(int64_t index, std::function<void(SpliceChunk)> done) = 0;
+
+  // Releases source-side resources of a chunk whose write completed.
+  virtual void Release(SpliceChunk& chunk) = 0;
+};
+
+class SpliceSink {
+ public:
+  virtual ~SpliceSink() = default;
+
+  // Starts writing `chunk`; `done(ok)` fires in kernel context when the sink
+  // has consumed it (ok == false: unrecoverable write error, which aborts
+  // the splice).  Returns false if the sink cannot accept right now (device
+  // FIFO or socket buffer full) — the engine retries on the next softclock
+  // tick, and must not have retained `done`.
+  virtual bool StartWrite(SpliceChunk& chunk, std::function<void(bool ok)> done) = 0;
+};
+
+}  // namespace ikdp
+
+#endif  // SRC_SPLICE_ENDPOINT_H_

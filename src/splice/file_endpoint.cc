@@ -1,0 +1,53 @@
+#include "src/splice/file_endpoint.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ikdp {
+
+bool FileSpliceSource::StartRead(int64_t index, std::function<void(SpliceChunk)> done) {
+  assert(index >= 0 && index < static_cast<int64_t>(block_map_.size()));
+  const int64_t pbn = block_map_[static_cast<size_t>(index)];
+  const int64_t nbytes = std::min<int64_t>(kBlockSize, total_bytes_ - index * kBlockSize);
+  return cache_->BreadAsync(dev_, pbn, [index, nbytes, done = std::move(done)](Buf& b) {
+    SpliceChunk chunk;
+    chunk.index = index;
+    chunk.nbytes = nbytes;
+    chunk.data = b.data;
+    chunk.src_buf = &b;
+    chunk.error = b.Has(kBufError);
+    b.logical_blkno = index;
+    done(std::move(chunk));
+  });
+}
+
+void FileSpliceSource::Release(SpliceChunk& chunk) {
+  if (chunk.src_buf != nullptr) {
+    cache_->Brelse(chunk.src_buf);
+    chunk.src_buf = nullptr;
+  }
+}
+
+bool FileSpliceSink::StartWrite(SpliceChunk& chunk, std::function<void(bool)> done) {
+  assert(chunk.index >= 0 && chunk.index < static_cast<int64_t>(block_map_.size()));
+  const int64_t pbn = block_map_[static_cast<size_t>(chunk.index)];
+  // "The physical block number is used to request a buffer header using a
+  // modified version of getblk() which avoids allocating any real memory to
+  // the buffer ... the data pointer [is] altered to point to the same
+  // address the data pointer in the read-side buffer does, so both buffers
+  // share a common data area."  (Section 5.2.3)
+  Buf* w = cache_->AllocTransientHeader(dev_, pbn);
+  w->data = chunk.data;
+  w->bcount = kBlockSize;  // whole-block write; tail bytes beyond nbytes are 0
+  w->logical_blkno = chunk.index;
+  w->splice_peer = chunk.src_buf;
+  BufferCache* cache = cache_;
+  cache_->BawriteAsync(w, [cache, done = std::move(done)](Buf& wb) {
+    const bool ok = !wb.Has(kBufError);
+    cache->FreeTransientHeader(&wb);
+    done(ok);
+  });
+  return true;
+}
+
+}  // namespace ikdp

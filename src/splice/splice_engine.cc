@@ -1,0 +1,280 @@
+#include "src/splice/splice_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace ikdp {
+
+SpliceEngine::SpliceEngine(CpuSystem* cpu, CalloutTable* callouts)
+    : cpu_(cpu), callouts_(callouts) {}
+
+void SpliceEngine::Charge(SimDuration d) {
+  if (cpu_->InInterrupt()) {
+    cpu_->ChargeInterrupt(d);
+  }
+}
+
+void SpliceEngine::Softclock(std::function<void()> fn) {
+  callouts_->ScheduleHead([this, fn = std::move(fn)] {
+    cpu_->RunInterrupt(cpu_->costs().softclock_per_callout, fn);
+  });
+}
+
+SpliceDescriptor* SpliceEngine::Start(std::unique_ptr<SpliceSource> source,
+                                      std::unique_ptr<SpliceSink> sink, SpliceOptions opts,
+                                      std::function<void(int64_t)> on_complete) {
+  auto owned = std::make_unique<SpliceDescriptor>();
+  SpliceDescriptor* d = owned.get();
+  d->source_ = std::move(source);
+  d->sink_ = std::move(sink);
+  d->opts_ = opts;
+  d->on_complete_ = std::move(on_complete);
+  const int64_t total = d->source_->TotalBytes();
+  if (total >= 0) {
+    const int64_t chunk = d->source_->ChunkBytes();
+    d->chunks_total_ = (total + chunk - 1) / chunk;
+  }
+  descriptors_[d] = std::move(owned);
+  ++stats_.splices_started;
+  d->serial_ = stats_.splices_started;
+  if (cpu_->trace() != nullptr) {
+    cpu_->trace()->Record(cpu_->sim()->Now(), TraceKind::kSpliceStart,
+                          static_cast<int64_t>(d->serial_), d->chunks_total_);
+  }
+  if (d->chunks_total_ == 0) {
+    // Empty transfer: finish immediately (still asynchronously, so callers
+    // always see completion after Start returns).
+    Softclock([this, d] { MaybeFinish(d); });
+    return d;
+  }
+  IssueReads(d);
+  return d;
+}
+
+void SpliceEngine::Cancel(SpliceDescriptor* d) {
+  if (d->finished_) {
+    return;
+  }
+  d->cancelled_ = true;
+  if (!d->ready_.empty()) {
+    // Queued chunks still need releasing; the drain consumes them.
+    ArmDrain(d);
+  }
+  MaybeFinish(d);
+}
+
+void SpliceEngine::IssueReads(SpliceDescriptor* d) {
+  if (d->cancelled_ || d->eof_) {
+    return;
+  }
+  // The eof/cancel re-check inside the loop matters: StartRead may complete
+  // synchronously (queued datagram, cache hit) and deliver the end-of-stream
+  // marker while this loop is still issuing.  The in-flight bound keeps a
+  // synchronous source (whose reads complete inside StartRead, leaving
+  // pending_reads at zero) from reading the whole file ahead of the writes.
+  while (!d->eof_ && !d->cancelled_ && d->pending_reads_ < d->opts_.refill_batch &&
+         d->InFlight() < d->opts_.max_inflight_chunks &&
+         (d->chunks_total_ < 0 || d->next_read_ < d->chunks_total_)) {
+    const int64_t index = d->next_read_;
+    // Count the read as issued BEFORE starting it: synchronous devices (RAM
+    // disk, cache hits) complete inside StartRead, and the completion
+    // handler must see consistent counters.
+    ++d->next_read_;
+    ++d->reads_issued_;
+    ++d->pending_reads_;
+    d->stats_.max_pending_reads = std::max(d->stats_.max_pending_reads, d->pending_reads_);
+    const bool ok = d->source_->StartRead(
+        index, [this, d](SpliceChunk chunk) { ReadDone(d, std::move(chunk)); });
+    if (!ok) {
+      --d->next_read_;
+      --d->reads_issued_;
+      --d->pending_reads_;
+      ++d->stats_.read_retries;
+      ArmReadRetry(d);
+      return;
+    }
+  }
+}
+
+void SpliceEngine::ArmReadRetry(SpliceDescriptor* d) {
+  if (d->read_retry_armed_) {
+    return;
+  }
+  d->read_retry_armed_ = true;
+  d->retry_callout_ = callouts_->ScheduleHead([this, d] {
+    cpu_->RunInterrupt(cpu_->costs().softclock_per_callout, [this, d] {
+      d->read_retry_armed_ = false;
+      d->retry_callout_ = kInvalidCalloutId;
+      IssueReads(d);
+    });
+  });
+}
+
+void SpliceEngine::ReadDone(SpliceDescriptor* d, SpliceChunk chunk) {
+  Charge(cpu_->costs().splice_read_handler);
+  --d->pending_reads_;
+  if (chunk.error) {
+    // Unrecoverable read error: stop issuing, drain what is in flight, and
+    // report the failure.
+    d->io_error_ = true;
+    d->cancelled_ = true;
+    ++d->chunks_done_;
+    d->source_->Release(chunk);
+    MaybeFinish(d);
+    return;
+  }
+  if (chunk.nbytes == 0) {
+    // End-of-stream marker from an unbounded source; it carries no data, so
+    // it drains right here.
+    d->eof_ = true;
+    ++d->chunks_done_;
+    if (chunk.src_buf != nullptr) {
+      d->source_->Release(chunk);
+    }
+    MaybeFinish(d);
+    return;
+  }
+  // "When a read completes, the read handler is invoked which in turn
+  // schedules a write by placing a reference to the write handler at the
+  // head of the system callout list."  (Section 5.2.2)
+  if (d->opts_.callout_deferral) {
+    d->ready_.push_back(std::move(chunk));
+    ArmDrain(d);
+  } else {
+    // Ablation: run the write side directly in the read handler (lock-step
+    // coupling of the two devices' access periods).
+    if (!StartChunkWrite(d, std::move(chunk))) {
+      // Sink refused: fall back to the callout path for the retry.
+      ArmDrain(d);
+    }
+  }
+}
+
+void SpliceEngine::ArmDrain(SpliceDescriptor* d) {
+  if (d->drain_armed_) {
+    return;
+  }
+  d->drain_armed_ = true;
+  callouts_->ScheduleHead([this, d] {
+    cpu_->RunInterrupt(cpu_->costs().softclock_per_callout, [this, d] {
+      d->drain_armed_ = false;
+      DrainWrites(d);
+    });
+  });
+}
+
+void SpliceEngine::DrainWrites(SpliceDescriptor* d) {
+  // Bounded softclock work: start at most max_chunks_per_tick writes, leave
+  // the rest for the next tick.  This is what paces a splice between two
+  // synchronous devices and keeps the CPU available to user processes.
+  int budget = d->opts_.max_chunks_per_tick;
+  while (budget > 0 && !d->ready_.empty()) {
+    SpliceChunk chunk = std::move(d->ready_.front());
+    d->ready_.pop_front();
+    if (!StartChunkWrite(d, std::move(chunk))) {
+      break;  // sink full; the refused chunk was re-queued at the front
+    }
+    --budget;
+  }
+  if (!d->ready_.empty()) {
+    ArmDrain(d);
+  }
+}
+
+bool SpliceEngine::StartChunkWrite(SpliceDescriptor* d, SpliceChunk chunk) {
+  Charge(cpu_->costs().splice_write_handler);
+  if (d->cancelled_) {
+    d->source_->Release(chunk);
+    // Count it as drained so cancellation converges.
+    ++d->chunks_done_;
+    MaybeFinish(d);
+    return true;  // consumed
+  }
+  if (!d->opts_.zero_copy) {
+    // Ablation: copy between kernel buffers instead of sharing the data
+    // area.  The simulation charges the copy and physically duplicates the
+    // bytes so content checks stay honest.
+    Charge(cpu_->costs().BcopyTime(chunk.nbytes));
+    chunk.data = std::make_shared<std::vector<uint8_t>>(*chunk.data);
+  }
+  // Count the write BEFORE starting it: synchronous sinks (RAM disk)
+  // complete inside StartWrite and their completion handler must see
+  // consistent counters.
+  ++d->pending_writes_;
+  d->stats_.max_pending_writes = std::max(d->stats_.max_pending_writes, d->pending_writes_);
+  SpliceChunk* heap_chunk = new SpliceChunk(std::move(chunk));
+  const bool ok = d->sink_->StartWrite(*heap_chunk, [this, d, heap_chunk](bool write_ok) {
+    SpliceChunk done_chunk = std::move(*heap_chunk);
+    delete heap_chunk;
+    WriteDone(d, std::move(done_chunk), write_ok);
+  });
+  if (!ok) {
+    // Sink full: requeue at the front; the drain retries next tick, pacing
+    // the splice at the sink's drain rate.
+    --d->pending_writes_;
+    ++d->stats_.write_retries;
+    d->ready_.push_front(std::move(*heap_chunk));
+    delete heap_chunk;
+    return false;
+  }
+  return true;
+}
+
+void SpliceEngine::WriteDone(SpliceDescriptor* d, SpliceChunk chunk, bool ok) {
+  Charge(cpu_->costs().splice_wdone_handler);
+  --d->pending_writes_;
+  ++d->chunks_done_;
+  if (cpu_->trace() != nullptr) {
+    cpu_->trace()->Record(cpu_->sim()->Now(), TraceKind::kSpliceChunk,
+                          static_cast<int64_t>(d->serial_), chunk.index);
+  }
+  if (ok) {
+    d->bytes_moved_ += chunk.nbytes;
+  } else {
+    d->io_error_ = true;
+    d->cancelled_ = true;  // stop issuing further reads
+  }
+  d->source_->Release(chunk);
+  // Rate-based flow control (Section 5.2.4): write completions pull more
+  // reads when both pending counts are below their watermarks.
+  if (d->pending_reads_ < d->opts_.read_low_watermark &&
+      d->pending_writes_ < d->opts_.write_high_watermark) {
+    ++d->stats_.refills;
+    IssueReads(d);
+  }
+  MaybeFinish(d);
+}
+
+void SpliceEngine::MaybeFinish(SpliceDescriptor* d) {
+  if (d->finished_) {
+    return;
+  }
+  const bool no_more_input =
+      d->cancelled_ || d->eof_ || (d->chunks_total_ >= 0 && d->reads_issued_ == d->chunks_total_);
+  const bool drained = d->reads_issued_ == d->chunks_done_ && d->pending_reads_ == 0 &&
+                       d->pending_writes_ == 0;
+  if (!no_more_input || !drained) {
+    return;
+  }
+  d->finished_ = true;
+  if (d->retry_callout_ != kInvalidCalloutId) {
+    callouts_->Untimeout(d->retry_callout_);
+    d->retry_callout_ = kInvalidCalloutId;
+  }
+  ++stats_.splices_completed;
+  stats_.total_bytes += d->bytes_moved_;
+  if (cpu_->trace() != nullptr) {
+    cpu_->trace()->Record(cpu_->sim()->Now(), TraceKind::kSpliceDone,
+                          static_cast<int64_t>(d->serial_), d->bytes_moved_);
+  }
+  if (d->on_complete_) {
+    auto cb = std::move(d->on_complete_);
+    cb(d->io_error_ ? -1 : d->bytes_moved_);
+  }
+  // Defer destruction: callers (e.g. the write-drain loop) may still hold
+  // `d` on their stack when the last chunk completes.
+  cpu_->sim()->After(0, [this, d] { descriptors_.erase(d); });
+}
+
+}  // namespace ikdp

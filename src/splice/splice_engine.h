@@ -1,0 +1,194 @@
+// The splice engine: the paper's in-kernel data path (Sections 5.2-5.5).
+//
+// One SpliceDescriptor per active splice keeps "all necessary information
+// ... so I/O [can] proceed without requiring the calling process context to
+// be available" (Section 5.2.1).  The mechanism:
+//
+//  * Read side (5.2.2): asynchronous reads are issued through the source
+//    endpoint (for files, the modified no-biowait bread()).  A completed
+//    read's handler runs in interrupt context and schedules the write
+//    handler "at the head of the system callout list".
+//
+//  * Write side (5.2.3): the write handler runs at softclock, acquires a
+//    sink-side buffer that SHARES the read buffer's data area (no copy),
+//    and issues an asynchronous write.  The write-completion handler
+//    releases both buffers and restarts the cycle.
+//
+//  * Flow control (5.2.4): rate-based, driven by write completions.  "If
+//    the number of pending reads and the number of pending writes drop
+//    below pre-specified watermarks (currently 3 and 5, respectively), the
+//    write handler will issue up to five additional reads."
+//
+// The callout indirection decouples the I/O access periods of the two
+// devices (no lock-step), and chunks may complete out of order — each
+// carries its logical index, as the paper's extended buffer headers do.
+//
+// SpliceOptions exposes the watermarks and a zero_copy switch so the
+// ablation benches can measure each design choice in isolation.
+
+#ifndef SRC_SPLICE_SPLICE_ENGINE_H_
+#define SRC_SPLICE_SPLICE_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <deque>
+#include <unordered_map>
+
+#include "src/kern/cpu.h"
+#include "src/sim/callout.h"
+#include "src/sim/trace.h"
+#include "src/splice/endpoint.h"
+
+namespace ikdp {
+
+struct SpliceOptions {
+  // Flow-control watermarks (paper defaults: 3 pending reads, 5 pending
+  // writes, refill batches of up to 5 reads).
+  int read_low_watermark = 3;
+  int write_high_watermark = 5;
+  int refill_batch = 5;
+
+  // Upper bound on chunks a descriptor may hold between read completion and
+  // write completion.  Keeps synchronous devices (RAM disk, cache hits) from
+  // cascading the whole file through one call chain; async disks never reach
+  // it (their depth is bounded by the watermarks).
+  int max_inflight_chunks = 8;
+
+  // Write-side chunks started per softclock tick.  Kernels bound the work
+  // done at software-interrupt level per tick; this is what paces a splice
+  // between fast (synchronous) devices and leaves CPU for user processes —
+  // the RAM-disk rows of the paper's Tables 1 and 2 reflect exactly this
+  // pacing.
+  int max_chunks_per_tick = 2;
+
+  // When false, the write side copies the data between buffers instead of
+  // aliasing the read buffer's data area (ablation of the paper's zero-copy
+  // design; the copy is charged as kernel bcopy time).
+  bool zero_copy = true;
+
+  // When false, the write handler runs directly from the read-completion
+  // handler instead of via the callout list (ablation of the decoupling).
+  bool callout_deferral = true;
+
+  // When true, destination-file premapping uses the stock bmap, which
+  // schedules zero-fill delayed writes for every fresh block (the behaviour
+  // the paper's special bmap avoids, Section 5.2.1).  Consumed by the
+  // syscall layer, not the engine.
+  bool stock_destination_bmap = false;
+};
+
+class SpliceDescriptor {
+ public:
+  uint64_t serial() const { return serial_; }
+  int64_t bytes_moved() const { return bytes_moved_; }
+  int64_t chunks_done() const { return chunks_done_; }
+  bool finished() const { return finished_; }
+
+  struct Stats {
+    uint64_t read_retries = 0;   // StartRead refusals
+    uint64_t write_retries = 0;  // StartWrite refusals
+    uint64_t refills = 0;        // flow-control read batches issued
+    int max_pending_reads = 0;
+    int max_pending_writes = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  friend class SpliceEngine;
+
+  uint64_t serial_ = 0;
+  std::unique_ptr<SpliceSource> source_;
+  std::unique_ptr<SpliceSink> sink_;
+  SpliceOptions opts_;
+
+  int64_t chunks_total_ = -1;  // -1 until EOF bounds a stream
+  int64_t next_read_ = 0;      // next chunk index to issue
+  int64_t reads_issued_ = 0;   // StartRead successes
+  int64_t chunks_done_ = 0;    // write completions
+  int pending_reads_ = 0;      // issued, not yet completed reads
+  int pending_writes_ = 0;     // issued, not yet completed writes
+  int64_t bytes_moved_ = 0;
+  bool eof_ = false;
+  bool cancelled_ = false;
+  bool io_error_ = false;  // an unrecoverable read or write error occurred
+  bool finished_ = false;
+  bool read_retry_armed_ = false;
+  bool drain_armed_ = false;
+  CalloutId retry_callout_ = kInvalidCalloutId;
+  // Chunks whose reads completed, awaiting the softclock write handler.
+  std::deque<SpliceChunk> ready_;
+  std::function<void(int64_t)> on_complete_;
+  Stats stats_;
+
+  int InFlight() const { return static_cast<int>(reads_issued_ - chunks_done_); }
+};
+
+class SpliceEngine {
+ public:
+  SpliceEngine(CpuSystem* cpu, CalloutTable* callouts);
+
+  SpliceEngine(const SpliceEngine&) = delete;
+  SpliceEngine& operator=(const SpliceEngine&) = delete;
+
+  // Starts a splice.  The source bounds the transfer (TotalBytes, or EOF
+  // chunks for streams); `on_complete(bytes_moved)` fires in kernel context
+  // when every chunk has drained; bytes_moved is -1 if an unrecoverable I/O
+  // error aborted the transfer.  The descriptor stays valid until then.
+  SpliceDescriptor* Start(std::unique_ptr<SpliceSource> source, std::unique_ptr<SpliceSink> sink,
+                          SpliceOptions opts, std::function<void(int64_t)> on_complete);
+
+  // Stops issuing reads; the splice completes (invoking on_complete) once
+  // in-flight chunks drain.
+  void Cancel(SpliceDescriptor* d);
+
+  int active() const { return static_cast<int>(descriptors_.size()); }
+
+  struct Stats {
+    uint64_t splices_started = 0;
+    uint64_t splices_completed = 0;
+    int64_t total_bytes = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  // Issues reads up to the refill batch (paper Section 5.2.4).
+  void IssueReads(SpliceDescriptor* d);
+
+  // Read-completion handler (interrupt context).
+  void ReadDone(SpliceDescriptor* d, SpliceChunk chunk);
+
+  // Arms the next-tick write-side drain (softclock context).
+  void ArmDrain(SpliceDescriptor* d);
+
+  // Softclock write handler: starts up to max_chunks_per_tick ready chunks.
+  void DrainWrites(SpliceDescriptor* d);
+
+  // Starts the write of one chunk.  Returns false if the sink refused it
+  // (caller re-queues).
+  bool StartChunkWrite(SpliceDescriptor* d, SpliceChunk chunk);
+
+  // Write-completion handler.
+  void WriteDone(SpliceDescriptor* d, SpliceChunk chunk, bool ok);
+
+  // Arms a next-tick retry for refused reads.
+  void ArmReadRetry(SpliceDescriptor* d);
+
+  // Completes the splice if nothing is left in flight.
+  void MaybeFinish(SpliceDescriptor* d);
+
+  // Runs `fn` at the next softclock tick, charged as softclock work.
+  void Softclock(std::function<void()> fn);
+
+  // Charges interrupt-context work when executing at interrupt level.
+  void Charge(SimDuration d);
+
+  CpuSystem* cpu_;
+  CalloutTable* callouts_;
+  std::unordered_map<SpliceDescriptor*, std::unique_ptr<SpliceDescriptor>> descriptors_;
+  Stats stats_;
+};
+
+}  // namespace ikdp
+
+#endif  // SRC_SPLICE_SPLICE_ENGINE_H_

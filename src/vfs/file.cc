@@ -1,0 +1,177 @@
+#include "src/vfs/file.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ikdp {
+
+// --- RegularFile ---
+
+Task<int64_t> RegularFile::Read(Process& p, int64_t n, std::vector<uint8_t>* out) {
+  const int64_t got = co_await fs_->Read(p, ip_, offset, n, out);
+  offset += got;
+  co_return got;
+}
+
+Task<int64_t> RegularFile::Write(Process& p, const uint8_t* data, int64_t n) {
+  const int64_t put = co_await fs_->Write(p, ip_, offset, data, n);
+  offset += put;
+  co_return put;
+}
+
+Task<> RegularFile::Fsync(Process& p) { co_await fs_->Fsync(p, ip_); }
+
+// --- DeviceFile ---
+
+Task<int64_t> DeviceFile::Read(Process& p, int64_t n, std::vector<uint8_t>* out) {
+  out->clear();
+  if (!dev_->SupportsRead()) {
+    co_return -1;
+  }
+  if (n <= 0) {
+    co_return 0;
+  }
+  // One outstanding device read, delivered via callback; park until then.
+  struct Result {
+    BufData data;
+    int64_t n = -1;
+  } res;
+  CpuSystem* cpu = cpu_;
+  const bool ok = dev_->ReadAsync(n, [&res, cpu](BufData d, int64_t got) {
+    res.data = std::move(d);
+    res.n = got;
+    cpu->Wakeup(&res);
+  });
+  if (!ok) {
+    co_return -1;  // device busy or not readable
+  }
+  while (res.n < 0) {
+    co_await cpu_->Sleep(p, &res, kPriWait);
+  }
+  out->assign(res.data->begin(), res.data->begin() + res.n);
+  // copyout to user space.
+  co_await cpu_->Use(p, cpu_->costs().CopyioTime(res.n));
+  p.ResetPriority();
+  co_return res.n;
+}
+
+Task<int64_t> DeviceFile::Write(Process& p, const uint8_t* data, int64_t n) {
+  if (!dev_->SupportsWrite()) {
+    co_return -1;
+  }
+  int64_t done = 0;
+  CpuSystem* cpu = cpu_;
+  CharDevice* dev = dev_;
+  while (done < n) {
+    const int64_t chunk = std::min<int64_t>(n - done, kBlockSize);
+    // copyin to a kernel chunk.
+    auto kbuf = std::make_shared<std::vector<uint8_t>>(data + done, data + done + chunk);
+    co_await cpu_->Use(p, cpu_->costs().CopyioTime(chunk));
+    // Each accepted chunk wakes the device's write channel when it drains,
+    // which is what un-blocks us (and other writers) when the FIFO is full.
+    while (!dev_->WriteAsync(kbuf, chunk, [cpu, dev] { cpu->Wakeup(dev->WriteChannel()); })) {
+      co_await cpu_->Sleep(p, dev_->WriteChannel(), kPriWait);
+    }
+    done += chunk;
+  }
+  p.ResetPriority();
+  co_return done;
+}
+
+// --- PipeEndFile ---
+
+Task<int64_t> PipeEndFile::Read(Process& p, int64_t n, std::vector<uint8_t>* out) {
+  out->clear();
+  if (!read_end_ || n <= 0) {
+    co_return -1;
+  }
+  struct Result {
+    BufData data;
+    int64_t n = -1;
+  } res;
+  CpuSystem* cpu = cpu_;
+  const bool ok = pipe_->ReadAsync(n, [&res, cpu](BufData d, int64_t got) {
+    res.data = std::move(d);
+    res.n = got;
+    cpu->Wakeup(&res);
+  });
+  if (!ok) {
+    co_return -1;  // second concurrent reader, or read end closed
+  }
+  while (res.n < 0) {
+    co_await cpu_->Sleep(p, &res, kPriWait);
+  }
+  if (res.n > 0) {
+    out->assign(res.data->begin(), res.data->begin() + res.n);
+    co_await cpu_->Use(p, cpu_->costs().CopyioTime(res.n));
+  }
+  p.ResetPriority();
+  co_return res.n;
+}
+
+Task<int64_t> PipeEndFile::Write(Process& p, const uint8_t* data, int64_t n) {
+  if (read_end_ || n < 0) {
+    co_return -1;
+  }
+  int64_t done = 0;
+  CpuSystem* cpu = cpu_;
+  Pipe* pipe = pipe_.get();
+  while (done < n) {
+    const int64_t chunk = std::min<int64_t>(n - done, kBlockSize);
+    auto kbuf = std::make_shared<std::vector<uint8_t>>(data + done, data + done + chunk);
+    co_await cpu_->Use(p, cpu_->costs().CopyioTime(chunk));
+    while (!pipe->WriteAsync(kbuf, chunk, [cpu, pipe] { cpu->Wakeup(pipe->WriteChannel()); })) {
+      if (pipe->read_closed()) {
+        p.ResetPriority();
+        co_return done > 0 ? done : -1;  // EPIPE
+      }
+      co_await cpu_->Sleep(p, pipe->WriteChannel(), kPriWait);
+    }
+    done += chunk;
+  }
+  p.ResetPriority();
+  co_return done;
+}
+
+// --- SocketFile ---
+
+Task<int64_t> SocketFile::Read(Process& p, int64_t n, std::vector<uint8_t>* out) {
+  out->clear();
+  if (n <= 0) {
+    co_return 0;
+  }
+  while (!sock_->HasData()) {
+    co_await cpu_->Sleep(p, sock_->RecvChannel(), kPriSock, /*interruptible=*/true);
+    if (!sock_->HasData() && p.SignalPending()) {
+      p.ResetPriority();
+      co_return -1;  // EINTR
+    }
+  }
+  BufData data;
+  int64_t got = -1;
+  const bool ok = sock_->RecvAsync(n, [&](BufData d, int64_t m) {
+    data = std::move(d);
+    got = m;
+  });
+  assert(ok && got >= 0 && "recv must complete synchronously when data is queued");
+  (void)ok;
+  out->assign(data->begin(), data->begin() + got);
+  co_await cpu_->Use(p, cpu_->costs().CopyioTime(got));
+  p.ResetPriority();
+  co_return got;
+}
+
+Task<int64_t> SocketFile::Write(Process& p, const uint8_t* data, int64_t n) {
+  assert(n >= 0);  // zero-length datagrams carry the end-of-stream convention
+  // copyin + output protocol processing run in the sender's process context.
+  auto kbuf = n > 0 ? std::make_shared<std::vector<uint8_t>>(data, data + n)
+                    : std::make_shared<std::vector<uint8_t>>();
+  co_await cpu_->Use(p, cpu_->costs().CopyioTime(n) + cpu_->costs().UdpPacketTime(n));
+  while (!sock_->SendAsync(kbuf, n, nullptr)) {
+    co_await cpu_->Sleep(p, sock_->SendChannel(), kPriSock, /*interruptible=*/true);
+  }
+  p.ResetPriority();
+  co_return n;
+}
+
+}  // namespace ikdp

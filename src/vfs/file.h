@@ -1,0 +1,147 @@
+// Open-file objects: the descriptor layer's view of files, character
+// devices, and sockets.
+//
+// A File is what a file descriptor refers to: it carries the open flags
+// (including FASYNC, which selects asynchronous splice behaviour), the seek
+// offset for regular files, and the read/write syscall implementations as
+// process-context coroutines.  Device and socket files adapt the kernel-level
+// asynchronous interfaces (src/dev, src/net) with sleep/wakeup.
+
+#ifndef SRC_VFS_FILE_H_
+#define SRC_VFS_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/dev/char_device.h"
+#include "src/fs/filesystem.h"
+#include "src/ipc/pipe.h"
+#include "src/kern/cpu.h"
+#include "src/net/udp_socket.h"
+#include "src/sim/task.h"
+
+namespace ikdp {
+
+// open(2) flags (subset).
+enum OpenFlags : uint32_t {
+  kOpenRead = 1u << 0,
+  kOpenWrite = 1u << 1,
+  kOpenCreate = 1u << 2,
+  kOpenTrunc = 1u << 3,
+};
+
+class File {
+ public:
+  enum class Kind { kRegular, kCharDev, kSocket, kPipe };
+
+  virtual ~File() = default;
+
+  virtual Kind kind() const = 0;
+
+  // Reads up to `n` bytes into `out`; returns bytes read (0 at EOF).
+  virtual Task<int64_t> Read(Process& p, int64_t n, std::vector<uint8_t>* out) = 0;
+
+  // Writes `n` bytes; returns bytes written.
+  virtual Task<int64_t> Write(Process& p, const uint8_t* data, int64_t n) = 0;
+
+  // Flushes dirty state to the underlying object (regular files only).
+  virtual Task<> Fsync(Process& p) {
+    (void)p;
+    co_return;
+  }
+
+  // FASYNC, set with fcntl(): splices involving this file run asynchronously
+  // and completion is signalled with SIGIO (paper Section 3).
+  bool fasync = false;
+};
+
+// A regular file on a FileSystem.
+class RegularFile : public File {
+ public:
+  RegularFile(FileSystem* fs, Inode* ip) : fs_(fs), ip_(ip) {}
+
+  Kind kind() const override { return Kind::kRegular; }
+
+  Task<int64_t> Read(Process& p, int64_t n, std::vector<uint8_t>* out) override;
+  Task<int64_t> Write(Process& p, const uint8_t* data, int64_t n) override;
+  Task<> Fsync(Process& p) override;
+
+  FileSystem* fs() { return fs_; }
+  Inode* inode() { return ip_; }
+
+  int64_t offset = 0;
+
+ private:
+  FileSystem* fs_;
+  Inode* ip_;
+};
+
+// A character special file.
+class DeviceFile : public File {
+ public:
+  DeviceFile(CpuSystem* cpu, CharDevice* dev) : cpu_(cpu), dev_(dev) {}
+
+  Kind kind() const override { return Kind::kCharDev; }
+
+  Task<int64_t> Read(Process& p, int64_t n, std::vector<uint8_t>* out) override;
+  Task<int64_t> Write(Process& p, const uint8_t* data, int64_t n) override;
+
+  CharDevice* dev() { return dev_; }
+
+ private:
+  CpuSystem* cpu_;
+  CharDevice* dev_;
+};
+
+// One end of a pipe.  Behaves like a character device file for read/write
+// (the Pipe implements the CharDevice interface), plus pipe(2) end-of-life
+// semantics: dropping the last descriptor for an end closes that end.
+class PipeEndFile : public File {
+ public:
+  // `pipe` is shared by both end files and destroyed with the last of them.
+  PipeEndFile(CpuSystem* cpu, std::shared_ptr<Pipe> pipe, bool read_end)
+      : cpu_(cpu), pipe_(std::move(pipe)), read_end_(read_end) {}
+
+  ~PipeEndFile() override {
+    if (read_end_) {
+      pipe_->CloseReadEnd();
+    } else {
+      pipe_->CloseWriteEnd();
+    }
+  }
+
+  Kind kind() const override { return Kind::kPipe; }
+
+  Task<int64_t> Read(Process& p, int64_t n, std::vector<uint8_t>* out) override;
+  Task<int64_t> Write(Process& p, const uint8_t* data, int64_t n) override;
+
+  Pipe* pipe() { return pipe_.get(); }
+  bool read_end() const { return read_end_; }
+
+ private:
+  CpuSystem* cpu_;
+  std::shared_ptr<Pipe> pipe_;
+  bool read_end_;
+};
+
+// A (connected, datagram) socket.
+class SocketFile : public File {
+ public:
+  SocketFile(CpuSystem* cpu, UdpSocket* sock) : cpu_(cpu), sock_(sock) {}
+
+  Kind kind() const override { return Kind::kSocket; }
+
+  Task<int64_t> Read(Process& p, int64_t n, std::vector<uint8_t>* out) override;
+  Task<int64_t> Write(Process& p, const uint8_t* data, int64_t n) override;
+
+  UdpSocket* socket() { return sock_; }
+
+ private:
+  CpuSystem* cpu_;
+  UdpSocket* sock_;
+};
+
+}  // namespace ikdp
+
+#endif  // SRC_VFS_FILE_H_

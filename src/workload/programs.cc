@@ -1,0 +1,59 @@
+#include "src/workload/programs.h"
+
+#include <utility>
+#include <vector>
+
+namespace ikdp {
+
+Task<> CpProgram(Kernel& k, Process& p, std::string src, std::string dst, int64_t chunk,
+                 CopyResult* out) {
+  out->start = k.sim()->Now();
+  const int sfd = co_await k.Open(p, src, kOpenRead);
+  const int dfd = co_await k.Open(p, dst, kOpenWrite | kOpenCreate | kOpenTrunc);
+  if (sfd < 0 || dfd < 0) {
+    out->end = k.sim()->Now();
+    co_return;
+  }
+  std::vector<uint8_t> buf;
+  for (;;) {
+    const int64_t n = co_await k.Read(p, sfd, chunk, &buf);
+    if (n <= 0) {
+      break;
+    }
+    const int64_t put = co_await k.Write(p, dfd, buf.data(), n);
+    if (put != n) {
+      break;
+    }
+    out->bytes += n;
+  }
+  co_await k.FsyncFd(p, dfd);
+  co_await k.Close(p, sfd);
+  co_await k.Close(p, dfd);
+  out->end = k.sim()->Now();
+  out->ok = true;
+}
+
+Task<> ScpProgram(Kernel& k, Process& p, std::string src, std::string dst, CopyResult* out) {
+  out->start = k.sim()->Now();
+  const int sfd = co_await k.Open(p, src, kOpenRead);
+  const int dfd = co_await k.Open(p, dst, kOpenWrite | kOpenCreate | kOpenTrunc);
+  if (sfd < 0 || dfd < 0) {
+    out->end = k.sim()->Now();
+    co_return;
+  }
+  const int64_t moved = co_await k.Splice(p, sfd, dfd, kSpliceEof);
+  out->bytes = moved > 0 ? moved : 0;
+  co_await k.Close(p, sfd);
+  co_await k.Close(p, dfd);
+  out->end = k.sim()->Now();
+  out->ok = moved >= 0;
+}
+
+Task<> TestProgram(Kernel& k, Process& p, SimDuration op_cost, TestProgramState* state) {
+  while (!state->stop) {
+    co_await k.cpu().Use(p, op_cost);
+    ++state->ops;
+  }
+}
+
+}  // namespace ikdp

@@ -1,0 +1,52 @@
+// The paper's user programs, as simulated-process coroutines.
+//
+//  * CpProgram — the UNIX cp used in the CP environments: an 8 KB
+//    read()/write() loop through the buffer cache, with fsync() on the
+//    destination "to ensure write-through behavior" (Section 6.1).
+//  * ScpProgram — the splice-based copy (scp): open both files and issue
+//    one splice(src, dst, SPLICE_EOF).
+//  * TestProgram — the CPU-bound test program whose progress rate measures
+//    CPU availability (Section 6.2): a loop of fixed-cost operations.
+
+#ifndef SRC_WORKLOAD_PROGRAMS_H_
+#define SRC_WORKLOAD_PROGRAMS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/os/kernel.h"
+
+namespace ikdp {
+
+struct CopyResult {
+  int64_t bytes = 0;
+  SimTime start = 0;
+  SimTime end = 0;
+  bool ok = false;
+
+  double ElapsedSeconds() const { return ToSeconds(end - start); }
+  // KB/s as the paper reports (1 KB = 1024 bytes).
+  double ThroughputKbs() const {
+    const double secs = ElapsedSeconds();
+    return secs > 0 ? static_cast<double>(bytes) / 1024.0 / secs : 0.0;
+  }
+};
+
+// cp: read/write in `chunk`-byte units (the paper's 8 KB blocks), then fsync.
+Task<> CpProgram(Kernel& k, Process& p, std::string src, std::string dst, int64_t chunk,
+                 CopyResult* out);
+
+// scp: a single synchronous whole-file splice.
+Task<> ScpProgram(Kernel& k, Process& p, std::string src, std::string dst, CopyResult* out);
+
+struct TestProgramState {
+  bool stop = false;
+  int64_t ops = 0;
+};
+
+// The CPU-bound test program: runs ops of `op_cost` until state->stop.
+Task<> TestProgram(Kernel& k, Process& p, SimDuration op_cost, TestProgramState* state);
+
+}  // namespace ikdp
+
+#endif  // SRC_WORKLOAD_PROGRAMS_H_

@@ -1,0 +1,272 @@
+// Unit tests for the hardware timing models: DiskModel, NetworkLink, costs.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/hw/costs.h"
+#include "src/hw/disk.h"
+#include "src/hw/link.h"
+#include "src/sim/simulator.h"
+
+namespace ikdp {
+namespace {
+
+constexpr int64_t kBlock = 8192;
+
+TEST(CostsTest, CopyTimesScaleLinearly) {
+  const CostConfig c = DecStation5000Costs();
+  EXPECT_EQ(c.BcopyTime(0), 0);
+  EXPECT_NEAR(static_cast<double>(c.BcopyTime(2 * kBlock)),
+              2.0 * static_cast<double>(c.BcopyTime(kBlock)), 2.0);
+  // Kernel block copy: 8 KB at 20 MB/s (cache-warm) is ~410 us.
+  EXPECT_GT(c.BcopyTime(kBlock), Microseconds(350));
+  EXPECT_LT(c.BcopyTime(kBlock), Microseconds(500));
+  // User copy: 8 KB at 6.7 MB/s (uncached) is ~1.2 ms.
+  EXPECT_GT(c.CopyioTime(kBlock), Microseconds(1000));
+  EXPECT_LT(c.CopyioTime(kBlock), Microseconds(1400));
+}
+
+class DiskTest : public ::testing::Test {
+ protected:
+  SimDuration TimeOneRequest(DiskModel& disk, int64_t offset, int64_t nbytes, bool is_read) {
+    const SimTime start = sim_.Now();
+    SimTime end = -1;
+    disk.Submit(DiskRequest{offset, nbytes, is_read, [&](bool) { end = sim_.Now(); }});
+    sim_.Run();
+    EXPECT_GE(end, 0) << "request never completed";
+    return end - start;
+  }
+
+  Simulator sim_;
+};
+
+TEST_F(DiskTest, FirstReadPaysSeekRotationTransfer) {
+  DiskModel disk(&sim_, Rz56Params());
+  const DiskParams& p = disk.params();
+  const SimDuration t = TimeOneRequest(disk, 100 * kBlock, kBlock, /*is_read=*/true);
+  // First access from cylinder 0 to a nearby cylinder: overhead + small seek
+  // + avg rotation + media transfer.
+  const SimDuration media = TransferTime(kBlock, p.media_rate_bps);
+  EXPECT_GT(t, p.controller_overhead + p.avg_rotational_latency + media);
+  EXPECT_LT(t, p.controller_overhead + p.max_seek + p.avg_rotational_latency + media +
+                   Milliseconds(1));
+}
+
+TEST_F(DiskTest, SequentialReadsHitReadAheadCache) {
+  DiskModel disk(&sim_, Rz56Params());
+  const SimDuration t0 = TimeOneRequest(disk, 0, kBlock, true);
+  // Give the drive time to prefetch the next blocks into its cache.
+  sim_.RunUntil(sim_.Now() + Milliseconds(50));
+  const SimDuration t1 = TimeOneRequest(disk, kBlock, kBlock, true);
+  // The second read is served from the cache segment at bus rate: no seek,
+  // no rotation, no media transfer.
+  EXPECT_LT(t1, t0 / 2);
+  EXPECT_EQ(t1, disk.params().controller_overhead +
+                    TransferTime(kBlock, disk.params().bus_rate_bps));
+  EXPECT_EQ(disk.stats().read_cache_hits, 1u);
+}
+
+TEST_F(DiskTest, CacheHitWaitsForPrefetchFrontier) {
+  DiskModel disk(&sim_, Rz56Params());
+  const DiskParams& p = disk.params();
+  TimeOneRequest(disk, 0, kBlock, true);
+  // Immediately read the last block of the 64 KB segment: the prefetch
+  // frontier (filling at media rate) has not reached it yet, so the request
+  // waits roughly (56 KB - already_filled) / media_rate.
+  const SimDuration t = TimeOneRequest(disk, 7 * kBlock, kBlock, true);
+  const SimDuration full_fill = TransferTime(7 * kBlock, p.media_rate_bps);
+  EXPECT_LT(t, full_fill + TransferTime(kBlock, p.bus_rate_bps) + p.controller_overhead +
+                   Milliseconds(1));
+  EXPECT_GT(t, TransferTime(kBlock, p.bus_rate_bps));
+}
+
+TEST_F(DiskTest, SequentialMediaAccessSkipsRotationalLatency) {
+  DiskParams p = Rz56Params();
+  p.cache_bytes = 0;  // force every read to the media
+  DiskModel disk(&sim_, p);
+  TimeOneRequest(disk, 0, kBlock, true);
+  const SimDuration t1 = TimeOneRequest(disk, kBlock, kBlock, true);
+  // Same cylinder, physically sequential: overhead + transfer only.
+  EXPECT_EQ(t1, p.controller_overhead + TransferTime(kBlock, p.media_rate_bps));
+}
+
+TEST_F(DiskTest, NonSequentialWritePaysRotation) {
+  DiskModel disk(&sim_, Rz56Params());
+  const DiskParams& p = disk.params();
+  TimeOneRequest(disk, 0, kBlock, false);
+  const SimDuration t = TimeOneRequest(disk, 10 * kBlock, kBlock, false);
+  EXPECT_GE(t, p.controller_overhead + p.avg_rotational_latency +
+                   TransferTime(kBlock, p.media_rate_bps));
+}
+
+TEST_F(DiskTest, WriteInvalidatesOverlappingSegment) {
+  DiskModel disk(&sim_, Rz56Params());
+  TimeOneRequest(disk, 0, kBlock, true);         // creates segment [8K, 72K)
+  TimeOneRequest(disk, 2 * kBlock, kBlock, false);  // overlaps the segment
+  const uint64_t hits_before = disk.stats().read_cache_hits;
+  TimeOneRequest(disk, kBlock, kBlock, true);
+  EXPECT_EQ(disk.stats().read_cache_hits, hits_before);  // miss: segment gone
+}
+
+TEST_F(DiskTest, RequestsServiceFifo) {
+  DiskModel disk(&sim_, Rz56Params());
+  std::vector<int> order;
+  disk.Submit(DiskRequest{0, kBlock, true, [&](bool) { order.push_back(0); }});
+  disk.Submit(DiskRequest{50 * kBlock, kBlock, true, [&](bool) { order.push_back(1); }});
+  disk.Submit(DiskRequest{kBlock, kBlock, true, [&](bool) { order.push_back(2); }});
+  EXPECT_EQ(disk.QueueDepth(), 3u);
+  sim_.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(disk.Idle());
+}
+
+TEST_F(DiskTest, StatsAccumulate) {
+  DiskModel disk(&sim_, Rz58Params());
+  TimeOneRequest(disk, 0, kBlock, true);
+  TimeOneRequest(disk, kBlock, kBlock, true);
+  TimeOneRequest(disk, 0, kBlock, false);
+  EXPECT_EQ(disk.stats().reads, 2u);
+  EXPECT_EQ(disk.stats().writes, 1u);
+  EXPECT_EQ(disk.stats().bytes_read, 2 * kBlock);
+  EXPECT_EQ(disk.stats().bytes_written, kBlock);
+  EXPECT_GT(disk.stats().busy_time, 0);
+}
+
+TEST_F(DiskTest, Rz58SegmentedCacheTracksMultipleStreams) {
+  DiskModel disk(&sim_, Rz58Params());
+  // Interleave two sequential streams far apart; both should enjoy read-ahead
+  // hits because the RZ58 keeps 4 independent segments.
+  const int64_t base_a = 0;
+  const int64_t base_b = 500ll * 1000 * 1000;
+  TimeOneRequest(disk, base_a, kBlock, true);
+  TimeOneRequest(disk, base_b, kBlock, true);
+  TimeOneRequest(disk, base_a + kBlock, kBlock, true);
+  TimeOneRequest(disk, base_b + kBlock, kBlock, true);
+  EXPECT_EQ(disk.stats().read_cache_hits, 2u);
+}
+
+TEST_F(DiskTest, Rz56SingleSegmentThrashesOnTwoStreams) {
+  DiskModel disk(&sim_, Rz56Params());
+  const int64_t base_a = 0;
+  const int64_t base_b = 300ll * 1000 * 1000;
+  TimeOneRequest(disk, base_a, kBlock, true);
+  TimeOneRequest(disk, base_b, kBlock, true);  // evicts stream A's segment
+  TimeOneRequest(disk, base_a + kBlock, kBlock, true);
+  EXPECT_EQ(disk.stats().read_cache_hits, 0u);
+}
+
+TEST_F(DiskTest, SustainedSequentialReadApproachesMediaRate) {
+  DiskModel disk(&sim_, Rz56Params());
+  constexpr int kBlocks = 256;  // 2 MB
+  int done = 0;
+  const SimTime start = sim_.Now();
+  for (int i = 0; i < kBlocks; ++i) {
+    disk.Submit(DiskRequest{i * kBlock, kBlock, true, [&](bool) { ++done; }});
+  }
+  sim_.Run();
+  EXPECT_EQ(done, kBlocks);
+  const double secs = ToSeconds(sim_.Now() - start);
+  const double rate = kBlocks * kBlock / secs;
+  // Sequential streaming should land within a factor ~[0.55, 1.0] of the
+  // media rate (controller overhead and bus transfers cost something).
+  EXPECT_GT(rate, 0.55 * disk.params().media_rate_bps);
+  EXPECT_LT(rate, 1.0 * disk.params().media_rate_bps);
+}
+
+
+TEST_F(DiskTest, SeekTimeMonotoneInDistance) {
+  // Property: longer seeks never take less time.  Probed by timing cold
+  // random reads at increasing distances from cylinder 0.
+  DiskParams p = Rz56Params();
+  p.cache_bytes = 0;  // no read-ahead interference
+  SimDuration prev = 0;
+  const int64_t cyl_bytes = p.bytes_per_cylinder;
+  for (int64_t cyls : {1, 10, 100, 400, 800}) {
+    DiskModel disk(&sim_, p);
+    const int64_t offset = (cyls * cyl_bytes / kBlock) * kBlock;
+    const SimDuration t = TimeOneRequest(disk, offset, kBlock, true);
+    EXPECT_GE(t, prev) << "seek of " << cyls << " cylinders";
+    prev = t;
+  }
+}
+
+TEST_F(DiskTest, PrefetchFrontierNeverExceedsSegment) {
+  DiskModel disk(&sim_, Rz56Params());
+  TimeOneRequest(disk, 0, kBlock, true);  // starts a 64 KB segment at 8 KB
+  // Long after the segment has fully filled, a read at its far edge is a
+  // pure bus-rate hit; a read just beyond it is a miss.
+  sim_.RunUntil(sim_.Now() + Seconds(1));
+  const SimDuration hit = TimeOneRequest(disk, 8 * kBlock, kBlock, true);
+  EXPECT_EQ(hit, disk.params().controller_overhead +
+                     TransferTime(kBlock, disk.params().bus_rate_bps));
+}
+
+TEST(LinkTest, FrameTransmissionTime) {
+  Simulator sim;
+  NetworkLink link(&sim, EthernetParams());
+  SimTime delivered = -1;
+  link.Send(1466, [&](int64_t bytes) {
+    EXPECT_EQ(bytes, 1466);
+    delivered = sim.Now();
+  });
+  sim.Run();
+  const LinkParams& p = link.params();
+  EXPECT_EQ(delivered, TransferTime(1466 + p.per_frame_overhead_bytes, p.bandwidth_bps) +
+                           p.propagation_delay);
+}
+
+TEST(LinkTest, FramesSerializeOnTheWire) {
+  Simulator sim;
+  NetworkLink link(&sim, EthernetParams());
+  std::vector<SimTime> arrivals;
+  for (int i = 0; i < 3; ++i) {
+    link.Send(1000, [&](int64_t) { arrivals.push_back(sim.Now()); });
+  }
+  sim.Run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  const SimDuration tx =
+      TransferTime(1000 + link.params().per_frame_overhead_bytes, link.params().bandwidth_bps);
+  EXPECT_EQ(arrivals[1] - arrivals[0], tx);
+  EXPECT_EQ(arrivals[2] - arrivals[1], tx);
+}
+
+TEST(LinkTest, QueueOverflowDropsFrames) {
+  Simulator sim;
+  LinkParams p = EthernetParams();
+  p.tx_queue_frames = 2;
+  NetworkLink link(&sim, p);
+  int delivered = 0;
+  int accepted = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (link.Send(1000, [&](int64_t) { ++delivered; })) {
+      ++accepted;
+    }
+  }
+  sim.Run();
+  // One in flight + two queued.
+  EXPECT_EQ(accepted, 3);
+  EXPECT_EQ(delivered, 3);
+  EXPECT_EQ(link.stats().frames_dropped, 7u);
+}
+
+TEST(LinkTest, TenMbitEthernetThroughput) {
+  Simulator sim;
+  NetworkLink link(&sim, EthernetParams());
+  constexpr int kFrames = 100;
+  constexpr int64_t kPayload = 1466;
+  int64_t received = 0;
+  std::function<void()> pump = [&] {
+    link.Send(kPayload, [&](int64_t b) { received += b; });
+  };
+  for (int i = 0; i < kFrames; ++i) {
+    pump();
+  }
+  sim.Run();
+  const double rate = static_cast<double>(received) / ToSeconds(sim.Now());
+  EXPECT_GT(rate, 1.1e6);  // > 1.1 MB/s of payload on a 1.25 MB/s wire
+  EXPECT_LT(rate, 1.25e6);
+}
+
+}  // namespace
+}  // namespace ikdp

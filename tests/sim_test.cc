@@ -1,0 +1,329 @@
+// Unit tests for the discrete-event engine: EventQueue, Simulator,
+// CalloutTable, Rng, and time helpers.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/sim/callout.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace ikdp {
+namespace {
+
+TEST(TimeTest, UnitConversions) {
+  EXPECT_EQ(Microseconds(1), 1000);
+  EXPECT_EQ(Milliseconds(1), 1000 * 1000);
+  EXPECT_EQ(Seconds(2), 2ll * 1000 * 1000 * 1000);
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(3)), 3.0);
+  EXPECT_DOUBLE_EQ(ToMilliseconds(Microseconds(1500)), 1.5);
+}
+
+TEST(TimeTest, FractionalConstructorsRound) {
+  EXPECT_EQ(MillisecondsF(0.5), Microseconds(500));
+  EXPECT_EQ(MicrosecondsF(0.0005), Nanoseconds(1));  // rounds 0.5ns up
+  EXPECT_EQ(SecondsF(1e-9), 1);
+}
+
+TEST(TimeTest, TransferTime) {
+  // 1 MB at 1 MB/s is one second.
+  EXPECT_EQ(TransferTime(1000000, 1e6), kSecond);
+  // 8 KB at 20 MB/s.
+  EXPECT_EQ(TransferTime(8192, 20e6), SecondsF(8192 / 20e6));
+}
+
+TEST(TimeTest, FormatDuration) {
+  EXPECT_EQ(FormatDuration(Seconds(2)), "2.000s");
+  EXPECT_EQ(FormatDuration(Milliseconds(5)), "5.000ms");
+  EXPECT_EQ(FormatDuration(Microseconds(7)), "7.000us");
+  EXPECT_EQ(FormatDuration(42), "42ns");
+}
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(30, [&] { order.push_back(3); });
+  q.Schedule(10, [&] { order.push_back(1); });
+  q.Schedule(20, [&] { order.push_back(2); });
+  while (!q.empty()) {
+    SimTime when = 0;
+    q.PopNext(&when)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    q.Schedule(100, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) {
+    SimTime when = 0;
+    q.PopNext(&when)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(EventQueueTest, CancelPreventsFiring) {
+  EventQueue q;
+  int fired = 0;
+  EventId a = q.Schedule(10, [&] { ++fired; });
+  q.Schedule(20, [&] { ++fired; });
+  EXPECT_TRUE(q.Cancel(a));
+  EXPECT_EQ(q.size(), 1u);
+  SimTime when = 0;
+  q.PopNext(&when)();
+  EXPECT_EQ(when, 20);
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CancelFiredEventReturnsFalse) {
+  EventQueue q;
+  EventId a = q.Schedule(10, [] {});
+  SimTime when = 0;
+  q.PopNext(&when);
+  EXPECT_FALSE(q.Cancel(a));
+}
+
+TEST(EventQueueTest, DoubleCancelReturnsFalse) {
+  EventQueue q;
+  EventId a = q.Schedule(10, [] {});
+  EXPECT_TRUE(q.Cancel(a));
+  EXPECT_FALSE(q.Cancel(a));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CancelInvalidIdReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.Cancel(kInvalidEventId));
+  EXPECT_FALSE(q.Cancel(12345));
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelled) {
+  EventQueue q;
+  EventId a = q.Schedule(10, [] {});
+  q.Schedule(20, [] {});
+  q.Cancel(a);
+  EXPECT_EQ(q.NextTime(), 20);
+}
+
+TEST(SimulatorTest, ClockAdvancesWithEvents) {
+  Simulator sim;
+  std::vector<SimTime> seen;
+  sim.After(Milliseconds(5), [&] { seen.push_back(sim.Now()); });
+  sim.After(Milliseconds(1), [&] { seen.push_back(sim.Now()); });
+  EXPECT_EQ(sim.Run(), Milliseconds(5));
+  EXPECT_EQ(seen, (std::vector<SimTime>{Milliseconds(1), Milliseconds(5)}));
+}
+
+TEST(SimulatorTest, NestedSchedulingFromHandlers) {
+  Simulator sim;
+  int hops = 0;
+  std::function<void()> hop = [&] {
+    if (++hops < 10) {
+      sim.After(Microseconds(10), hop);
+    }
+  };
+  sim.After(0, hop);
+  sim.Run();
+  EXPECT_EQ(hops, 10);
+  EXPECT_EQ(sim.Now(), Microseconds(90));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.After(Milliseconds(1), [&] { ++fired; });
+  sim.After(Milliseconds(10), [&] { ++fired; });
+  EXPECT_EQ(sim.RunUntil(Milliseconds(5)), Milliseconds(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockOnEmptyQueue) {
+  Simulator sim;
+  EXPECT_EQ(sim.RunUntil(Seconds(3)), Seconds(3));
+  EXPECT_EQ(sim.Now(), Seconds(3));
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator sim;
+  sim.After(Milliseconds(2), [] {});
+  sim.RunUntil(Milliseconds(2));
+  bool fired = false;
+  sim.After(-5, [&] { fired = true; });
+  sim.Run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.Now(), Milliseconds(2));
+}
+
+TEST(SimulatorTest, CancelStopsEvent) {
+  Simulator sim;
+  bool fired = false;
+  EventId id = sim.After(Milliseconds(1), [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) {
+    sim.After(i, [] {});
+  }
+  sim.Run();
+  EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+class CalloutTest : public ::testing::Test {
+ protected:
+  Simulator sim_;
+  CalloutTable callouts_{&sim_, /*hz=*/256};
+};
+
+TEST_F(CalloutTest, TickDuration) {
+  EXPECT_EQ(callouts_.TickDuration(), kSecond / 256);
+  EXPECT_EQ(callouts_.hz(), 256);
+}
+
+TEST_F(CalloutTest, TimeoutFiresOnTickBoundary) {
+  SimTime fired_at = -1;
+  callouts_.Timeout([&] { fired_at = sim_.Now(); }, 1);
+  sim_.Run();
+  EXPECT_EQ(fired_at, callouts_.TickDuration());
+  EXPECT_EQ(fired_at % callouts_.TickDuration(), 0);
+}
+
+TEST_F(CalloutTest, TimeoutMultipleTicks) {
+  SimTime fired_at = -1;
+  callouts_.Timeout([&] { fired_at = sim_.Now(); }, 5);
+  sim_.Run();
+  EXPECT_EQ(fired_at, 5 * callouts_.TickDuration());
+}
+
+TEST_F(CalloutTest, ScheduleHeadRunsBeforeFifoEntriesOnSameTick) {
+  std::vector<int> order;
+  callouts_.Timeout([&] { order.push_back(1); }, 1);
+  callouts_.Timeout([&] { order.push_back(2); }, 1);
+  callouts_.ScheduleHead([&] { order.push_back(0); });
+  sim_.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST_F(CalloutTest, ScheduleHeadFromHandlerLandsOnNextTick) {
+  std::vector<SimTime> fire_times;
+  callouts_.ScheduleHead([&] {
+    fire_times.push_back(sim_.Now());
+    callouts_.ScheduleHead([&] { fire_times.push_back(sim_.Now()); });
+  });
+  sim_.Run();
+  ASSERT_EQ(fire_times.size(), 2u);
+  EXPECT_EQ(fire_times[1] - fire_times[0], callouts_.TickDuration());
+}
+
+TEST_F(CalloutTest, UntimeoutRemovesPendingEntry) {
+  bool fired = false;
+  CalloutId id = callouts_.Timeout([&] { fired = true; }, 3);
+  EXPECT_TRUE(callouts_.Untimeout(id));
+  EXPECT_FALSE(callouts_.Untimeout(id));
+  sim_.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(callouts_.Pending(), 0u);
+}
+
+TEST_F(CalloutTest, ObserverSeesBatchSizes) {
+  std::vector<int> batches;
+  callouts_.set_softclock_observer([&](int n) { batches.push_back(n); });
+  callouts_.Timeout([] {}, 1);
+  callouts_.Timeout([] {}, 1);
+  callouts_.Timeout([] {}, 2);
+  sim_.Run();
+  EXPECT_EQ(batches, (std::vector<int>{2, 1}));
+  EXPECT_EQ(callouts_.softclock_runs(), 2u);
+}
+
+TEST_F(CalloutTest, MidTickTimeoutRoundsUpToNextEdge) {
+  // Advance to the middle of a tick, then ask for a 1-tick timeout: it must
+  // fire at the next edge, not a full tick later.
+  sim_.After(callouts_.TickDuration() / 2, [&] {
+    callouts_.Timeout([] {}, 1);
+  });
+  sim_.Run();
+  EXPECT_EQ(sim_.Now(), callouts_.TickDuration());
+}
+
+
+TEST_F(CalloutTest, UntimeoutAfterFireReturnsFalse) {
+  CalloutId id = callouts_.Timeout([] {}, 1);
+  sim_.Run();
+  EXPECT_FALSE(callouts_.Untimeout(id));
+}
+
+TEST_F(CalloutTest, IndependentTablesDoNotInterfere) {
+  CalloutTable other(&sim_, 100);
+  std::vector<int> order;
+  callouts_.Timeout([&] { order.push_back(256); }, 1);   // fires at 1/256 s
+  other.Timeout([&] { order.push_back(100); }, 1);       // fires at 1/100 s
+  sim_.Run();
+  EXPECT_EQ(order, (std::vector<int>{256, 100}));
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BelowIsRoughlyUniform) {
+  Rng rng(2024);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.Below(kBuckets)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets / 10);
+  }
+}
+
+}  // namespace
+}  // namespace ikdp

@@ -1,0 +1,155 @@
+// Unit tests for the coroutine task layer.
+
+#include <gtest/gtest.h>
+
+#include <coroutine>
+#include <stdexcept>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace ikdp {
+namespace {
+
+// An awaitable that suspends and resumes via a simulator event after `delay`.
+SuspendAndCall SimSleep(Simulator* sim, SimDuration delay) {
+  return SuspendAndCall(
+      [sim, delay](std::coroutine_handle<> h) { sim->After(delay, [h] { h.resume(); }); });
+}
+
+TEST(TaskTest, RootTaskRunsOnStart) {
+  bool ran = false;
+  auto body = [&]() -> Task<> {
+    ran = true;
+    co_return;
+  };
+  Task<> t = body();
+  EXPECT_FALSE(ran);  // lazy start
+  bool done = false;
+  t.Start([&] { done = true; });
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(t.done());
+}
+
+TEST(TaskTest, SuspendsAcrossSimEvents) {
+  Simulator sim;
+  std::vector<SimTime> stamps;
+  auto body = [&]() -> Task<> {
+    stamps.push_back(sim.Now());
+    co_await SimSleep(&sim, Milliseconds(3));
+    stamps.push_back(sim.Now());
+    co_await SimSleep(&sim, Milliseconds(4));
+    stamps.push_back(sim.Now());
+  };
+  Task<> t = body();
+  bool done = false;
+  t.Start([&] { done = true; });
+  EXPECT_FALSE(done);
+  sim.Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(stamps, (std::vector<SimTime>{0, Milliseconds(3), Milliseconds(7)}));
+}
+
+TEST(TaskTest, NestedTasksChainValues) {
+  Simulator sim;
+  auto leaf = [&](int x) -> Task<int> {
+    co_await SimSleep(&sim, Milliseconds(1));
+    co_return x * 2;
+  };
+  int result = 0;
+  auto root = [&]() -> Task<> {
+    const int a = co_await leaf(10);
+    const int b = co_await leaf(a);
+    result = b;
+  };
+  Task<> t = root();
+  t.Start();
+  sim.Run();
+  EXPECT_EQ(result, 40);
+  EXPECT_EQ(sim.Now(), Milliseconds(2));
+}
+
+TEST(TaskTest, DeeplyNestedSynchronousTasksDontOverflow) {
+  // Symmetric transfer means a long chain of immediately-completing child
+  // tasks must not grow the real stack.
+  std::function<Task<int>(int)> countdown = [&](int n) -> Task<int> {
+    if (n == 0) {
+      co_return 0;
+    }
+    co_return 1 + co_await countdown(n - 1);
+  };
+  int result = -1;
+  auto root = [&]() -> Task<> { result = co_await countdown(50000); };
+  Task<> t = root();
+  t.Start();
+  EXPECT_EQ(result, 50000);
+}
+
+TEST(TaskTest, ExceptionPropagatesToAwaiter) {
+  auto thrower = []() -> Task<int> {
+    throw std::runtime_error("boom");
+    co_return 0;  // unreachable; makes this a coroutine
+  };
+  bool caught = false;
+  auto root = [&]() -> Task<> {
+    try {
+      (void)co_await thrower();
+    } catch (const std::runtime_error& e) {
+      caught = std::string(e.what()) == "boom";
+    }
+  };
+  Task<> t = root();
+  t.Start();
+  EXPECT_TRUE(caught);
+}
+
+TEST(TaskTest, TwoRootsInterleaveDeterministically) {
+  Simulator sim;
+  std::vector<int> order;
+  auto make = [&](int id, SimDuration step) -> Task<> {
+    for (int i = 0; i < 3; ++i) {
+      co_await SimSleep(&sim, step);
+      order.push_back(id);
+    }
+  };
+  Task<> a = make(1, Milliseconds(2));
+  Task<> b = make(2, Milliseconds(3));
+  a.Start();
+  b.Start();
+  sim.Run();
+  // a fires at 2,4,6; b at 3,6,9.  At t=6 b's event was scheduled first
+  // (inserted at t=3, before a's t=4 insertion), so b precedes a there.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2, 1, 2}));
+}
+
+TEST(TaskTest, MoveTransfersOwnership) {
+  auto body = []() -> Task<int> { co_return 7; };
+  Task<int> a = body();
+  Task<int> b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): testing moved-from state
+  EXPECT_TRUE(b.valid());
+}
+
+TEST(TaskTest, VoidTaskAwaitable) {
+  Simulator sim;
+  int steps = 0;
+  auto child = [&]() -> Task<> {
+    ++steps;
+    co_await SimSleep(&sim, Milliseconds(1));
+    ++steps;
+  };
+  auto root = [&]() -> Task<> {
+    co_await child();
+    ++steps;
+  };
+  Task<> t = root();
+  t.Start();
+  sim.Run();
+  EXPECT_EQ(steps, 3);
+}
+
+}  // namespace
+}  // namespace ikdp

@@ -1,0 +1,180 @@
+// Tests for the ktrace-style event log: ring semantics, kernel hook
+// coverage (syscalls, dispatch, sleep/wakeup, interrupts, splice
+// lifecycle), ordering, and the off-by-default guarantee.
+
+#include <gtest/gtest.h>
+#include "src/dev/disk_driver.h"
+#include "src/hw/disk.h"
+
+#include <sstream>
+
+#include "src/dev/ram_disk.h"
+#include "src/os/kernel.h"
+#include "src/sim/trace.h"
+
+namespace ikdp {
+namespace {
+
+uint8_t Fill(int64_t i) { return static_cast<uint8_t>(i * 31); }
+
+TEST(TraceLogTest, RecordsAndSnapshotsInOrder) {
+  TraceLog log(16);
+  log.Record(100, TraceKind::kDispatch, 1);
+  log.Record(200, TraceKind::kSleep, 1, 20);
+  log.Record(300, TraceKind::kWakeup, 1);
+  const auto snap = log.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].time, 100);
+  EXPECT_EQ(snap[1].kind, TraceKind::kSleep);
+  EXPECT_EQ(snap[1].b, 20);
+  EXPECT_EQ(snap[2].time, 300);
+  EXPECT_EQ(log.total(), 3u);
+}
+
+TEST(TraceLogTest, RingWrapsKeepingNewest) {
+  TraceLog log(4);
+  for (int i = 0; i < 10; ++i) {
+    log.Record(i, TraceKind::kDispatch, i);
+  }
+  const auto snap = log.Snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap[0].a, 6);  // oldest retained
+  EXPECT_EQ(snap[3].a, 9);  // newest
+  EXPECT_EQ(log.total(), 10u);
+}
+
+TEST(TraceLogTest, FilterSelects) {
+  TraceLog log(16);
+  log.Record(1, TraceKind::kDispatch, 1);
+  log.Record(2, TraceKind::kInterrupt, 500);
+  log.Record(3, TraceKind::kDispatch, 2);
+  const auto only = log.Filter(
+      [](const TraceRecord& r) { return r.kind == TraceKind::kDispatch; });
+  ASSERT_EQ(only.size(), 2u);
+  EXPECT_EQ(only[1].a, 2);
+}
+
+TEST(TraceLogTest, DumpIsHumanReadable) {
+  TraceLog log(8);
+  log.Record(Milliseconds(5), TraceKind::kSyscallEnter, 7, 0, "read");
+  std::ostringstream os;
+  log.Dump(os);
+  EXPECT_NE(os.str().find("syscall-enter"), std::string::npos);
+  EXPECT_NE(os.str().find("read"), std::string::npos);
+}
+
+class TraceKernelTest : public ::testing::Test {
+ protected:
+  TraceKernelTest()
+      : kernel_(&sim_, DecStation5000Costs()),
+        rama_(&kernel_.cpu(), 16 << 20),
+        ramb_(&kernel_.cpu(), 16 << 20) {
+    fsa_ = kernel_.MountFs(&rama_, "a");
+    fsb_ = kernel_.MountFs(&ramb_, "b");
+  }
+
+  Simulator sim_;
+  Kernel kernel_;
+  RamDisk rama_;
+  RamDisk ramb_;
+  FileSystem* fsa_;
+  FileSystem* fsb_;
+};
+
+TEST_F(TraceKernelTest, OffByDefaultRecordsNothing) {
+  fsa_->CreateFileInstant("f", 4 * kBlockSize, Fill);
+  kernel_.Spawn("p", [&](Process& p) -> Task<> {
+    const int s = co_await kernel_.Open(p, "a:f", kOpenRead);
+    const int d = co_await kernel_.Open(p, "b:g", kOpenWrite | kOpenCreate);
+    co_await kernel_.Splice(p, s, d, kSpliceEof);
+  });
+  sim_.Run();
+  EXPECT_EQ(kernel_.cpu().trace(), nullptr);  // nothing attached, nothing to record
+}
+
+TEST_F(TraceKernelTest, CapturesSpliceLifecycle) {
+  TraceLog log(8192);
+  kernel_.cpu().set_trace(&log);
+  constexpr int64_t kBytes = 6 * kBlockSize;
+  fsa_->CreateFileInstant("f", kBytes, Fill);
+  kernel_.Spawn("p", [&](Process& p) -> Task<> {
+    const int s = co_await kernel_.Open(p, "a:f", kOpenRead);
+    const int d = co_await kernel_.Open(p, "b:g", kOpenWrite | kOpenCreate);
+    co_await kernel_.Splice(p, s, d, kSpliceEof);
+  });
+  sim_.Run();
+
+  const auto starts =
+      log.Filter([](const TraceRecord& r) { return r.kind == TraceKind::kSpliceStart; });
+  const auto chunks =
+      log.Filter([](const TraceRecord& r) { return r.kind == TraceKind::kSpliceChunk; });
+  const auto dones =
+      log.Filter([](const TraceRecord& r) { return r.kind == TraceKind::kSpliceDone; });
+  ASSERT_EQ(starts.size(), 1u);
+  EXPECT_EQ(chunks.size(), 6u);  // one per block
+  ASSERT_EQ(dones.size(), 1u);
+  EXPECT_EQ(dones[0].b, kBytes);
+  // Lifecycle ordering: start before every chunk, done after the last.
+  EXPECT_LE(starts[0].time, chunks.front().time);
+  EXPECT_LE(chunks.back().time, dones[0].time);
+  // All records share the descriptor serial.
+  for (const auto& c : chunks) {
+    EXPECT_EQ(c.a, starts[0].a);
+  }
+}
+
+TEST_F(TraceKernelTest, CapturesSyscallsAndScheduling) {
+  TraceLog log(8192);
+  kernel_.cpu().set_trace(&log);
+  fsa_->CreateFileInstant("f", 2 * kBlockSize, Fill);
+  kernel_.Spawn("reader", [&](Process& p) -> Task<> {
+    const int fd = co_await kernel_.Open(p, "a:f", kOpenRead);
+    std::vector<uint8_t> buf;
+    co_await kernel_.Read(p, fd, kBlockSize, &buf);
+    co_await kernel_.Close(p, fd);
+  });
+  sim_.Run();
+
+  auto by_tag = [&](const char* tag, TraceKind kind) {
+    return log.Filter([tag, kind](const TraceRecord& r) {
+      return r.kind == kind && std::string(r.tag) == tag;
+    });
+  };
+  EXPECT_EQ(by_tag("open", TraceKind::kSyscallEnter).size(), 1u);
+  EXPECT_EQ(by_tag("read", TraceKind::kSyscallEnter).size(), 1u);
+  EXPECT_EQ(by_tag("read", TraceKind::kSyscallExit).size(), 1u);
+  EXPECT_EQ(by_tag("close", TraceKind::kSyscallEnter).size(), 1u);
+  // At least one dispatch (the process starting).
+  EXPECT_GE(
+      log.Filter([](const TraceRecord& r) { return r.kind == TraceKind::kDispatch; }).size(),
+      1u);
+  // Enter precedes exit for the read call.
+  const auto enter = by_tag("read", TraceKind::kSyscallEnter)[0];
+  const auto exit_rec = by_tag("read", TraceKind::kSyscallExit)[0];
+  EXPECT_LT(enter.time, exit_rec.time);
+}
+
+TEST_F(TraceKernelTest, CapturesInterruptsOnScsiPath) {
+  TraceLog log(8192);
+  Simulator sim;
+  Kernel kernel(&sim, DecStation5000Costs());
+  kernel.cpu().set_trace(&log);
+  DiskDriver scsi(&kernel.cpu(), &sim, Rz56Params());
+  FileSystem* fs = kernel.MountFs(&scsi, "d");
+  fs->CreateFileInstant("f", 2 * kBlockSize, Fill);
+  kernel.Spawn("p", [&](Process& p) -> Task<> {
+    const int fd = co_await kernel.Open(p, "d:f", kOpenRead);
+    std::vector<uint8_t> buf;
+    co_await kernel.Read(p, fd, 2 * kBlockSize, &buf);
+  });
+  sim.Run();
+  const auto intrs =
+      log.Filter([](const TraceRecord& r) { return r.kind == TraceKind::kInterrupt; });
+  EXPECT_GE(intrs.size(), 2u);  // one per disk completion at least
+  for (const auto& r : intrs) {
+    EXPECT_GT(r.a, 0);  // charged duration recorded
+  }
+}
+
+}  // namespace
+}  // namespace ikdp
