@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_cache_size"
+  "../bench/ablate_cache_size.pdb"
+  "CMakeFiles/ablate_cache_size.dir/ablate_cache_size.cc.o"
+  "CMakeFiles/ablate_cache_size.dir/ablate_cache_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_cache_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_callout"
+  "../bench/ablate_callout.pdb"
+  "CMakeFiles/ablate_callout.dir/ablate_callout.cc.o"
+  "CMakeFiles/ablate_callout.dir/ablate_callout.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_callout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

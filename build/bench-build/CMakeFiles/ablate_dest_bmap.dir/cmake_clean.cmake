@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_dest_bmap"
+  "../bench/ablate_dest_bmap.pdb"
+  "CMakeFiles/ablate_dest_bmap.dir/ablate_dest_bmap.cc.o"
+  "CMakeFiles/ablate_dest_bmap.dir/ablate_dest_bmap.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_dest_bmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_filesize"
+  "../bench/ablate_filesize.pdb"
+  "CMakeFiles/ablate_filesize.dir/ablate_filesize.cc.o"
+  "CMakeFiles/ablate_filesize.dir/ablate_filesize.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_filesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

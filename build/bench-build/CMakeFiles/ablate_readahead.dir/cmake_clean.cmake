@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_readahead"
+  "../bench/ablate_readahead.pdb"
+  "CMakeFiles/ablate_readahead.dir/ablate_readahead.cc.o"
+  "CMakeFiles/ablate_readahead.dir/ablate_readahead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_readahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

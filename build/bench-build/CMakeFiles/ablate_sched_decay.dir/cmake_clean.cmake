@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_sched_decay"
+  "../bench/ablate_sched_decay.pdb"
+  "CMakeFiles/ablate_sched_decay.dir/ablate_sched_decay.cc.o"
+  "CMakeFiles/ablate_sched_decay.dir/ablate_sched_decay.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_sched_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_watermarks"
+  "../bench/ablate_watermarks.pdb"
+  "CMakeFiles/ablate_watermarks.dir/ablate_watermarks.cc.o"
+  "CMakeFiles/ablate_watermarks.dir/ablate_watermarks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_watermarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_zero_copy"
+  "../bench/ablate_zero_copy.pdb"
+  "CMakeFiles/ablate_zero_copy.dir/ablate_zero_copy.cc.o"
+  "CMakeFiles/ablate_zero_copy.dir/ablate_zero_copy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_zero_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

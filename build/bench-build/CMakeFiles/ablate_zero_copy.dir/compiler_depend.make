@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablate_zero_copy.
+# This may be replaced when dependencies are built.

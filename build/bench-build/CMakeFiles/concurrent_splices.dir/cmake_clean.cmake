@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/concurrent_splices"
+  "../bench/concurrent_splices.pdb"
+  "CMakeFiles/concurrent_splices.dir/concurrent_splices.cc.o"
+  "CMakeFiles/concurrent_splices.dir/concurrent_splices.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_splices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for concurrent_splices.
+# This may be replaced when dependencies are built.

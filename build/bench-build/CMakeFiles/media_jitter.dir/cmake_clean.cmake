@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/media_jitter"
+  "../bench/media_jitter.pdb"
+  "CMakeFiles/media_jitter.dir/media_jitter.cc.o"
+  "CMakeFiles/media_jitter.dir/media_jitter.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/media_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for media_jitter.
+# This may be replaced when dependencies are built.

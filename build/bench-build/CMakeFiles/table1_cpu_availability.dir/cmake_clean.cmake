@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_cpu_availability"
+  "../bench/table1_cpu_availability.pdb"
+  "CMakeFiles/table1_cpu_availability.dir/table1_cpu_availability.cc.o"
+  "CMakeFiles/table1_cpu_availability.dir/table1_cpu_availability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_cpu_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

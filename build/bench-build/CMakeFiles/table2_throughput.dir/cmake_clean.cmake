@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_throughput"
+  "../bench/table2_throughput.pdb"
+  "CMakeFiles/table2_throughput.dir/table2_throughput.cc.o"
+  "CMakeFiles/table2_throughput.dir/table2_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

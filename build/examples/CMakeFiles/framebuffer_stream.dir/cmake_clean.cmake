@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/framebuffer_stream.dir/framebuffer_stream.cpp.o"
+  "CMakeFiles/framebuffer_stream.dir/framebuffer_stream.cpp.o.d"
+  "framebuffer_stream"
+  "framebuffer_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/framebuffer_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_player.dir/movie_player.cpp.o"
+  "CMakeFiles/movie_player.dir/movie_player.cpp.o.d"
+  "movie_player"
+  "movie_player.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_player.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

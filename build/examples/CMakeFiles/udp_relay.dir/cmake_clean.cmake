@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udp_relay.dir/udp_relay.cpp.o"
+  "CMakeFiles/udp_relay.dir/udp_relay.cpp.o.d"
+  "udp_relay"
+  "udp_relay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udp_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for udp_relay.
+# This may be replaced when dependencies are built.

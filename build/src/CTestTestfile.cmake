@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("hw")
+subdirs("kern")
+subdirs("buf")
+subdirs("dev")
+subdirs("fs")
+subdirs("net")
+subdirs("ipc")
+subdirs("vfs")
+subdirs("splice")
+subdirs("os")
+subdirs("workload")
+subdirs("metrics")

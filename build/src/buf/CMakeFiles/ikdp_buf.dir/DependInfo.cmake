@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/buf/buffer_cache.cc" "src/buf/CMakeFiles/ikdp_buf.dir/buffer_cache.cc.o" "gcc" "src/buf/CMakeFiles/ikdp_buf.dir/buffer_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kern/CMakeFiles/ikdp_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ikdp_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ikdp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ikdp_buf.dir/buffer_cache.cc.o"
+  "CMakeFiles/ikdp_buf.dir/buffer_cache.cc.o.d"
+  "libikdp_buf.a"
+  "libikdp_buf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ikdp_buf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

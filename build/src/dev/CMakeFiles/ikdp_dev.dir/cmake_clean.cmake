@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ikdp_dev.dir/disk_driver.cc.o"
+  "CMakeFiles/ikdp_dev.dir/disk_driver.cc.o.d"
+  "CMakeFiles/ikdp_dev.dir/frame_source.cc.o"
+  "CMakeFiles/ikdp_dev.dir/frame_source.cc.o.d"
+  "CMakeFiles/ikdp_dev.dir/paced_sink.cc.o"
+  "CMakeFiles/ikdp_dev.dir/paced_sink.cc.o.d"
+  "CMakeFiles/ikdp_dev.dir/ram_disk.cc.o"
+  "CMakeFiles/ikdp_dev.dir/ram_disk.cc.o.d"
+  "libikdp_dev.a"
+  "libikdp_dev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ikdp_dev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ikdp_dev.
+# This may be replaced when dependencies are built.

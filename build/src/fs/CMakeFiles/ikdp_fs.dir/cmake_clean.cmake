@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ikdp_fs.dir/filesystem.cc.o"
+  "CMakeFiles/ikdp_fs.dir/filesystem.cc.o.d"
+  "libikdp_fs.a"
+  "libikdp_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ikdp_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

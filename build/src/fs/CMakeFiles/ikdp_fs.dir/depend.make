@@ -1,0 +1,2 @@
+# Empty dependencies file for ikdp_fs.
+# This may be replaced when dependencies are built.

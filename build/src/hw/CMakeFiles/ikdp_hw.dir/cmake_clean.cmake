@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ikdp_hw.dir/disk.cc.o"
+  "CMakeFiles/ikdp_hw.dir/disk.cc.o.d"
+  "CMakeFiles/ikdp_hw.dir/link.cc.o"
+  "CMakeFiles/ikdp_hw.dir/link.cc.o.d"
+  "libikdp_hw.a"
+  "libikdp_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ikdp_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ikdp_ipc.dir/pipe.cc.o"
+  "CMakeFiles/ikdp_ipc.dir/pipe.cc.o.d"
+  "libikdp_ipc.a"
+  "libikdp_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ikdp_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libikdp_ipc.a"
+)

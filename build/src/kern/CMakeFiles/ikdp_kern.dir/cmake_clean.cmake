@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ikdp_kern.dir/cpu.cc.o"
+  "CMakeFiles/ikdp_kern.dir/cpu.cc.o.d"
+  "libikdp_kern.a"
+  "libikdp_kern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ikdp_kern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ikdp_kern.
+# This may be replaced when dependencies are built.

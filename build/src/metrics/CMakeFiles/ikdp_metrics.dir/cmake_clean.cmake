@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ikdp_metrics.dir/experiment.cc.o"
+  "CMakeFiles/ikdp_metrics.dir/experiment.cc.o.d"
+  "CMakeFiles/ikdp_metrics.dir/report.cc.o"
+  "CMakeFiles/ikdp_metrics.dir/report.cc.o.d"
+  "CMakeFiles/ikdp_metrics.dir/tables.cc.o"
+  "CMakeFiles/ikdp_metrics.dir/tables.cc.o.d"
+  "libikdp_metrics.a"
+  "libikdp_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ikdp_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ikdp_net.dir/udp_socket.cc.o"
+  "CMakeFiles/ikdp_net.dir/udp_socket.cc.o.d"
+  "libikdp_net.a"
+  "libikdp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ikdp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

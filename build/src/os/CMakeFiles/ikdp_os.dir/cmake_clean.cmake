@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ikdp_os.dir/kernel.cc.o"
+  "CMakeFiles/ikdp_os.dir/kernel.cc.o.d"
+  "libikdp_os.a"
+  "libikdp_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ikdp_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

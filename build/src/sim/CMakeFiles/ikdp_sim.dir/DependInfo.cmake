@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/callout.cc" "src/sim/CMakeFiles/ikdp_sim.dir/callout.cc.o" "gcc" "src/sim/CMakeFiles/ikdp_sim.dir/callout.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/ikdp_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/ikdp_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/ikdp_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/ikdp_sim.dir/simulator.cc.o.d"
+  "/root/repo/src/sim/time.cc" "src/sim/CMakeFiles/ikdp_sim.dir/time.cc.o" "gcc" "src/sim/CMakeFiles/ikdp_sim.dir/time.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/ikdp_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/ikdp_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

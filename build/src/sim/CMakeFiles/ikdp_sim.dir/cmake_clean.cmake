@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ikdp_sim.dir/callout.cc.o"
+  "CMakeFiles/ikdp_sim.dir/callout.cc.o.d"
+  "CMakeFiles/ikdp_sim.dir/event_queue.cc.o"
+  "CMakeFiles/ikdp_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/ikdp_sim.dir/simulator.cc.o"
+  "CMakeFiles/ikdp_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/ikdp_sim.dir/time.cc.o"
+  "CMakeFiles/ikdp_sim.dir/time.cc.o.d"
+  "CMakeFiles/ikdp_sim.dir/trace.cc.o"
+  "CMakeFiles/ikdp_sim.dir/trace.cc.o.d"
+  "libikdp_sim.a"
+  "libikdp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ikdp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ikdp_splice.dir/file_endpoint.cc.o"
+  "CMakeFiles/ikdp_splice.dir/file_endpoint.cc.o.d"
+  "CMakeFiles/ikdp_splice.dir/splice_engine.cc.o"
+  "CMakeFiles/ikdp_splice.dir/splice_engine.cc.o.d"
+  "CMakeFiles/ikdp_splice.dir/stream_endpoint.cc.o"
+  "CMakeFiles/ikdp_splice.dir/stream_endpoint.cc.o.d"
+  "libikdp_splice.a"
+  "libikdp_splice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ikdp_splice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ikdp_splice.
+# This may be replaced when dependencies are built.

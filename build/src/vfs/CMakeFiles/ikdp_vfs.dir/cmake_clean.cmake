@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ikdp_vfs.dir/file.cc.o"
+  "CMakeFiles/ikdp_vfs.dir/file.cc.o.d"
+  "libikdp_vfs.a"
+  "libikdp_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ikdp_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ikdp_workload.dir/programs.cc.o"
+  "CMakeFiles/ikdp_workload.dir/programs.cc.o.d"
+  "libikdp_workload.a"
+  "libikdp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ikdp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buf_test.dir/buf_test.cc.o"
+  "CMakeFiles/buf_test.dir/buf_test.cc.o.d"
+  "buf_test"
+  "buf_test.pdb"
+  "buf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_test.dir/hw_test.cc.o"
+  "CMakeFiles/hw_test.dir/hw_test.cc.o.d"
+  "hw_test"
+  "hw_test.pdb"
+  "hw_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/invariant_test.cc" "tests/CMakeFiles/invariant_test.dir/invariant_test.cc.o" "gcc" "tests/CMakeFiles/invariant_test.dir/invariant_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/ikdp_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ikdp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/ikdp_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/ikdp_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/ikdp_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/ikdp_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/splice/CMakeFiles/ikdp_splice.dir/DependInfo.cmake"
+  "/root/repo/build/src/dev/CMakeFiles/ikdp_dev.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ikdp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/buf/CMakeFiles/ikdp_buf.dir/DependInfo.cmake"
+  "/root/repo/build/src/kern/CMakeFiles/ikdp_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ikdp_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ikdp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

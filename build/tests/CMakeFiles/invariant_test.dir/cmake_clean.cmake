@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invariant_test.dir/invariant_test.cc.o"
+  "CMakeFiles/invariant_test.dir/invariant_test.cc.o.d"
+  "invariant_test"
+  "invariant_test.pdb"
+  "invariant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invariant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

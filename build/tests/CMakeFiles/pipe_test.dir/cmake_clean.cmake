@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipe_test.dir/pipe_test.cc.o"
+  "CMakeFiles/pipe_test.dir/pipe_test.cc.o.d"
+  "pipe_test"
+  "pipe_test.pdb"
+  "pipe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splice_property_test.dir/splice_property_test.cc.o"
+  "CMakeFiles/splice_property_test.dir/splice_property_test.cc.o.d"
+  "splice_property_test"
+  "splice_property_test.pdb"
+  "splice_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splice_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
