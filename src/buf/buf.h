@@ -69,9 +69,18 @@ struct Buf {
   Buf* splice_peer = nullptr;
 
   // --- cache bookkeeping (BufferCache internal) ---
+  //
+  // Intrusive links, 4.2BSD-style (av_forw/av_back and b_forw/b_back): the
+  // buffer is its own list node, so moving it between the LRU free list and
+  // a hash chain is O(1) with no allocation.
+  Buf* free_prev = nullptr;  // LRU free list (null when !on_freelist)
+  Buf* free_next = nullptr;
+  Buf* hash_prev = nullptr;  // per-bucket hash chain (null when !hashed)
+  Buf* hash_next = nullptr;
   bool hashed = false;
   bool on_freelist = false;
-  bool transient = false;  // header-only buffer outside the cache pool
+  bool transient = false;      // header-only buffer outside the cache pool
+  bool delwri_victim = false;  // in-flight victim write forced by reuse
 
   bool Has(BufFlags f) const { return (flags & f) != 0; }
   void Set(BufFlags f) { flags |= f; }

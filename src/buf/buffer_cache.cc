@@ -13,6 +13,12 @@ void Biodone(Buf& b) {
 
 BufferCache::BufferCache(CpuSystem* cpu, int nbufs) : cpu_(cpu), nbufs_(nbufs) {
   assert(nbufs > 0);
+  size_t buckets = 16;
+  while (buckets < static_cast<size_t>(nbufs) * 2) {
+    buckets <<= 1;
+  }
+  hash_buckets_.assign(buckets, nullptr);
+  hash_mask_ = buckets - 1;
   pool_.reserve(nbufs);
   for (int i = 0; i < nbufs; ++i) {
     auto b = std::make_unique<Buf>();
@@ -21,51 +27,141 @@ BufferCache::BufferCache(CpuSystem* cpu, int nbufs) : cpu_(cpu), nbufs_(nbufs) {
     FreelistPush(b.get(), /*front=*/false);
     pool_.push_back(std::move(b));
   }
+  ValidateInvariants();
 }
 
 BufferCache::~BufferCache() = default;
 
 // --- internal helpers ---
 
+size_t BufferCache::BucketOf(const BlockDevice* dev, int64_t blkno) const {
+  const size_t h =
+      std::hash<const void*>()(dev) ^ std::hash<int64_t>()(blkno) * 1099511628211u;
+  return h & hash_mask_;
+}
+
 void BufferCache::HashInsert(Buf* b) {
-  assert(!b->hashed);
-  hash_[{b->dev, b->blkno}] = b;
+  assert(!b->hashed && b->hash_prev == nullptr && b->hash_next == nullptr);
+  Buf*& head = hash_buckets_[BucketOf(b->dev, b->blkno)];
+  b->hash_next = head;
+  if (head != nullptr) {
+    head->hash_prev = b;
+  }
+  head = b;
   b->hashed = true;
 }
 
 void BufferCache::HashRemove(Buf* b) {
-  if (b->hashed) {
-    hash_.erase({b->dev, b->blkno});
-    b->hashed = false;
+  if (!b->hashed) {
+    return;
   }
+  if (b->hash_prev != nullptr) {
+    b->hash_prev->hash_next = b->hash_next;
+  } else {
+    assert(hash_buckets_[BucketOf(b->dev, b->blkno)] == b);
+    hash_buckets_[BucketOf(b->dev, b->blkno)] = b->hash_next;
+  }
+  if (b->hash_next != nullptr) {
+    b->hash_next->hash_prev = b->hash_prev;
+  }
+  b->hash_prev = nullptr;
+  b->hash_next = nullptr;
+  b->hashed = false;
 }
 
 void BufferCache::FreelistPush(Buf* b, bool front) {
-  assert(!b->on_freelist);
+  assert(!b->on_freelist && b->free_prev == nullptr && b->free_next == nullptr);
   if (front) {
-    freelist_.push_front(b);
+    b->free_next = free_head_;
+    if (free_head_ != nullptr) {
+      free_head_->free_prev = b;
+    } else {
+      free_tail_ = b;
+    }
+    free_head_ = b;
   } else {
-    freelist_.push_back(b);
+    b->free_prev = free_tail_;
+    if (free_tail_ != nullptr) {
+      free_tail_->free_next = b;
+    } else {
+      free_head_ = b;
+    }
+    free_tail_ = b;
   }
   b->on_freelist = true;
+  ++free_count_;
   cpu_->Wakeup(&freelist_waiters_chan_);
 }
 
-Buf* BufferCache::FreelistPop() {
-  assert(!freelist_.empty());
-  Buf* b = freelist_.front();
-  freelist_.pop_front();
+void BufferCache::FreelistRemove(Buf* b) {
+  assert(b->on_freelist);
+  assert((b->free_prev == nullptr) == (free_head_ == b));
+  assert((b->free_next == nullptr) == (free_tail_ == b));
+  if (b->free_prev != nullptr) {
+    b->free_prev->free_next = b->free_next;
+  } else {
+    free_head_ = b->free_next;
+  }
+  if (b->free_next != nullptr) {
+    b->free_next->free_prev = b->free_prev;
+  } else {
+    free_tail_ = b->free_prev;
+  }
+  b->free_prev = nullptr;
+  b->free_next = nullptr;
   b->on_freelist = false;
+  --free_count_;
+}
+
+Buf* BufferCache::FreelistPop() {
+  assert(free_head_ != nullptr);
+  Buf* b = free_head_;
+  FreelistRemove(b);
   return b;
 }
 
+void BufferCache::ValidateInvariants() const {
+  int forward = 0;
+  const Buf* prev = nullptr;
+  for (const Buf* b = free_head_; b != nullptr; b = b->free_next) {
+    assert(b->on_freelist);
+    assert(b->free_prev == prev);
+    assert(!b->Has(kBufBusy));
+    prev = b;
+    ++forward;
+  }
+  assert(prev == free_tail_);
+  assert(forward == free_count_);
+  for (const auto& owned : pool_) {
+    const Buf* b = owned.get();
+    assert(b->on_freelist == (b->free_prev != nullptr || b->free_next != nullptr ||
+                              free_head_ == b));
+    if (b->hashed) {
+      const Buf* found = nullptr;
+      for (const Buf* c = hash_buckets_[BucketOf(b->dev, b->blkno)]; c != nullptr;
+           c = c->hash_next) {
+        if (c == b) {
+          found = c;
+        }
+      }
+      assert(found == b && "hashed buffer missing from its bucket chain");
+    } else {
+      assert(b->hash_prev == nullptr && b->hash_next == nullptr);
+    }
+  }
+}
+
 Buf* BufferCache::Incore(BlockDevice* dev, int64_t blkno) {
-  auto it = hash_.find({dev, blkno});
-  return it == hash_.end() ? nullptr : it->second;
+  for (Buf* b = hash_buckets_[BucketOf(dev, blkno)]; b != nullptr; b = b->hash_next) {
+    if (b->dev == dev && b->blkno == blkno) {
+      return b;
+    }
+  }
+  return nullptr;
 }
 
 Buf* BufferCache::TryGrabFree() {
-  while (!freelist_.empty()) {
+  while (free_head_ != nullptr) {
     Buf* v = FreelistPop();
     if (v->Has(kBufDelwri)) {
       // The LRU victim is dirty: push it to the device asynchronously and
@@ -75,6 +171,7 @@ Buf* BufferCache::TryGrabFree() {
       v->Clear(kBufDelwri);
       v->Clear(kBufRead);
       v->Clear(kBufDone);
+      v->delwri_victim = true;
       ++pending_writes_[v->dev];
       ++stats_.delwri_flushes;
       SubmitIo(v);
@@ -92,8 +189,7 @@ Buf* BufferCache::TryGetBlk(BlockDevice* dev, int64_t blkno, bool* was_hit) {
       return nullptr;
     }
     assert(b->on_freelist);
-    freelist_.erase(std::find(freelist_.begin(), freelist_.end(), b));
-    b->on_freelist = false;
+    FreelistRemove(b);
     b->Set(kBufBusy);
     b->Clear(kBufInval);
     *was_hit = b->Has(kBufDone);
@@ -107,6 +203,7 @@ Buf* BufferCache::TryGetBlk(BlockDevice* dev, int64_t blkno, bool* was_hit) {
   v->dev = dev;
   v->blkno = blkno;
   v->flags = kBufBusy;
+  v->delwri_victim = false;
   v->bcount = kBlockSize;
   v->splice_owner = nullptr;
   v->logical_blkno = -1;
@@ -165,6 +262,15 @@ void BufferCache::IoDone(Buf* b) {
 void BufferCache::Brelse(Buf* b) {
   assert(!b->transient && "transient headers are freed, not released");
   assert(b->Has(kBufBusy));
+  if (b->delwri_victim) {
+    // A dirty victim flushed by TryGrabFree just completed.  If the write
+    // failed, the data is gone for good (the worthless path below discards
+    // it); account the loss rather than dropping it silently.
+    if (b->Has(kBufError)) {
+      ++stats_.delwri_write_errors;
+    }
+    b->delwri_victim = false;
+  }
   if (b->Has(kBufWanted)) {
     b->Clear(kBufWanted);
     cpu_->Wakeup(b);
@@ -257,10 +363,9 @@ Task<> BufferCache::Biowait(Process& p, Buf* b) {
   while (!b->Has(kBufDone)) {
     co_await cpu_->Sleep(p, b, kPriBio);
   }
-  if (b->Has(kBufError)) {
-    // Errors are not modelled by the current devices, but keep the flag
-    // visible to callers rather than asserting.
-  }
+  // On failure kBufError stays set for the caller to inspect: injected
+  // media errors surface here (tests/fault_test.cc) and ride up through
+  // read()/write() as short counts or -1.
 }
 
 Task<> BufferCache::Bwrite(Process& p, Buf* b) {
@@ -299,6 +404,7 @@ void BufferCache::Bdwrite(Process& /*p*/, Buf* b) {
 }
 
 Task<> BufferCache::FlushDev(Process& p, BlockDevice* dev) {
+  ValidateInvariants();
   // Push every idle delayed-write block of this device.
   for (const auto& owned : pool_) {
     Buf* b = owned.get();
@@ -306,8 +412,7 @@ Task<> BufferCache::FlushDev(Process& p, BlockDevice* dev) {
       continue;
     }
     assert(b->on_freelist);
-    freelist_.erase(std::find(freelist_.begin(), freelist_.end(), b));
-    b->on_freelist = false;
+    FreelistRemove(b);
     b->Set(kBufBusy);
     b->Clear(kBufDelwri);
     b->Clear(kBufDone);
@@ -333,11 +438,12 @@ void BufferCache::InvalidateDev(BlockDevice* dev) {
       b->Clear(kBufDone);
       // Move to the front of the free list: it is the best victim now.
       if (b->on_freelist) {
-        freelist_.erase(std::find(freelist_.begin(), freelist_.end(), b));
-        freelist_.push_front(b);
+        FreelistRemove(b);
+        FreelistPush(b, /*front=*/true);
       }
     }
   }
+  ValidateInvariants();
 }
 
 void BufferCache::FlushAllInstant() {

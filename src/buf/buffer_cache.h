@@ -25,7 +25,6 @@
 #define SRC_BUF_BUFFER_CACHE_H_
 
 #include <cstdint>
-#include <list>
 #include <map>
 #include <memory>
 #include <unordered_map>
@@ -134,19 +133,13 @@ class BufferCache {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t delwri_flushes = 0;   // victim writes forced by reuse
+    uint64_t delwri_write_errors = 0;  // victim writes that failed on media
     uint64_t transient_allocs = 0;
     uint64_t async_read_fails = 0; // BreadAsync could not get a buffer
   };
   const Stats& stats() const { return stats_; }
 
  private:
-  using HashKey = std::pair<const BlockDevice*, int64_t>;
-  struct HashKeyHash {
-    size_t operator()(const HashKey& k) const {
-      return std::hash<const void*>()(k.first) ^ std::hash<int64_t>()(k.second) * 1099511628211u;
-    }
-  };
-
   // Looks up (dev, blkno); returns nullptr if not cached.
   Buf* Incore(BlockDevice* dev, int64_t blkno);
 
@@ -159,10 +152,20 @@ class BufferCache {
   // available without sleeping.
   Buf* TryGrabFree();
 
+  // O(1) intrusive-list manipulation.  Every hot-path transition
+  // (hit-acquire, release, victim grab) is a constant number of pointer
+  // splices; no operation walks the free list.
+  size_t BucketOf(const BlockDevice* dev, int64_t blkno) const;
   void HashInsert(Buf* b);
   void HashRemove(Buf* b);
   void FreelistPush(Buf* b, bool front);
+  void FreelistRemove(Buf* b);
   Buf* FreelistPop();
+
+  // Full-structure invariant check (O(nbufs)): freelist forward/backward
+  // consistency and count, hash-chain membership, flag/link agreement.
+  // Called from cold paths only; hot paths carry O(1) asserts instead.
+  void ValidateInvariants() const;
 
   // Issues `b` to its device, charging the submitting context.
   void SubmitIo(Buf* b);
@@ -173,8 +176,16 @@ class BufferCache {
   CpuSystem* cpu_;
   const int nbufs_;
   std::vector<std::unique_ptr<Buf>> pool_;
-  std::unordered_map<HashKey, Buf*, HashKeyHash> hash_;
-  std::list<Buf*> freelist_;  // front = next victim (LRU)
+  // Hash table: power-of-two bucket array of intrusive chains through
+  // Buf::hash_prev/hash_next.
+  std::vector<Buf*> hash_buckets_;
+  size_t hash_mask_ = 0;
+  // LRU free list, intrusive through Buf::free_prev/free_next.
+  // free_head_ = next victim (LRU); releases push at the tail, worthless
+  // buffers at the head.
+  Buf* free_head_ = nullptr;
+  Buf* free_tail_ = nullptr;
+  int free_count_ = 0;
   std::map<const BlockDevice*, int> pending_writes_;
   std::unordered_map<Buf*, std::unique_ptr<Buf>> transients_;
   int freelist_waiters_chan_ = 0;  // sleep channel for free-list exhaustion

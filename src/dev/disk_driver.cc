@@ -17,6 +17,7 @@ SimDuration DiskDriver::Strategy(Buf& b) {
   assert(b.blkno >= 0 && b.blkno < CapacityBlocks());
   ++stats_.requests;
   Disksort(&b);
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, QueueDepth());
   if (!hw_busy_) {
     StartHw();
   }

@@ -43,7 +43,8 @@ class DiskDriver : public BlockDevice {
   struct Stats {
     uint64_t requests = 0;
     uint64_t interrupts = 0;
-    uint64_t sort_passes = 0;  // requests that were reordered by disksort
+    uint64_t sort_passes = 0;    // requests that were reordered by disksort
+    size_t max_queue_depth = 0;  // high-water mark incl. in-flight request
   };
   const Stats& stats() const { return stats_; }
 

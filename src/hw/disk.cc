@@ -70,8 +70,73 @@ void DiskModel::Submit(DiskRequest req) {
   assert(req.nbytes > 0);
   assert(req.offset >= 0 && req.offset + req.nbytes <= params_.capacity_bytes);
   queue_.push_back(std::move(req));
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, QueueDepth());
   if (!busy_) {
     StartNext();
+  }
+}
+
+DiskRequest DiskModel::ScheduleNext() {
+  assert(!queue_.empty());
+  auto pick = queue_.begin();
+  if (params_.sched == DiskSched::kCLook && queue_.size() > 1) {
+    ++stats_.queue_sort_passes;
+    // Circular LOOK: the lowest queued offset at or beyond the sweep
+    // position; when the sweep has passed everything, wrap to the lowest
+    // offset overall.  Ties keep arrival order (strict <).
+    auto ahead = queue_.end();
+    auto wrap = queue_.end();
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->offset >= sweep_pos_) {
+        if (ahead == queue_.end() || it->offset < ahead->offset) {
+          ahead = it;
+        }
+      } else if (wrap == queue_.end() || it->offset < wrap->offset) {
+        wrap = it;
+      }
+    }
+    pick = ahead != queue_.end() ? ahead : wrap;
+  }
+  DiskRequest req = std::move(*pick);
+  queue_.erase(pick);
+  return req;
+}
+
+void DiskModel::Coalesce(std::vector<DiskRequest>* batch) {
+  if (params_.max_coalesce_bytes <= 0) {
+    return;
+  }
+  int64_t total = batch->front().nbytes;
+  int64_t end = batch->front().offset + total;
+  const bool is_read = batch->front().is_read;
+  bool merged = true;
+  while (merged && total < params_.max_coalesce_bytes) {
+    merged = false;
+    if (params_.sched == DiskSched::kFifo) {
+      // FIFO compatibility: only a run at the queue front may merge, so
+      // completion order stays exactly arrival order.
+      if (!queue_.empty() && queue_.front().is_read == is_read &&
+          queue_.front().offset == end) {
+        batch->push_back(std::move(queue_.front()));
+        queue_.pop_front();
+        merged = true;
+      }
+    } else {
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->is_read == is_read && it->offset == end) {
+          batch->push_back(std::move(*it));
+          queue_.erase(it);
+          merged = true;
+          break;
+        }
+      }
+    }
+    if (merged) {
+      const int64_t n = batch->back().nbytes;
+      total += n;
+      end += n;
+      ++stats_.coalesced;
+    }
   }
 }
 
@@ -81,18 +146,43 @@ void DiskModel::StartNext() {
     return;
   }
   busy_ = true;
-  DiskRequest req = std::move(queue_.front());
-  queue_.pop_front();
-  const SimDuration service = ServiceTime(req);
-  stats_.busy_time += service;
-  bool ok = true;
-  if (fault_hook_ && fault_hook_(req.offset, req.is_read)) {
-    ok = false;
-    ++stats_.errors;
+  std::vector<DiskRequest> batch;
+  batch.push_back(ScheduleNext());
+  Coalesce(&batch);
+
+  int64_t total = 0;
+  const bool is_read = batch.front().is_read;
+  struct Done {
+    std::function<void(bool)> cb;
+    bool ok;
+  };
+  std::vector<Done> dones;
+  dones.reserve(batch.size());
+  for (DiskRequest& r : batch) {
+    total += r.nbytes;
+    if (r.is_read) {
+      ++stats_.reads;
+      stats_.bytes_read += r.nbytes;
+    } else {
+      ++stats_.writes;
+      stats_.bytes_written += r.nbytes;
+    }
+    bool ok = true;
+    if (fault_hook_ && fault_hook_(r.offset, r.is_read)) {
+      ok = false;
+      ++stats_.errors;
+    }
+    dones.push_back({std::move(r.done), ok});
   }
-  sim_->After(service, [this, ok, done = std::move(req.done)]() {
-    if (done) {
-      done(ok);
+  sweep_pos_ = batch.front().offset + total;
+
+  const SimDuration service = ServiceTime(batch.front().offset, total, is_read);
+  stats_.busy_time += service;
+  sim_->After(service, [this, dones = std::move(dones)]() mutable {
+    for (Done& d : dones) {
+      if (d.cb) {
+        d.cb(d.ok);
+      }
     }
     StartNext();
   });
@@ -143,48 +233,42 @@ void DiskModel::StartSegment(int64_t pos, SimTime t) {
   }
 }
 
-SimDuration DiskModel::ServiceTime(const DiskRequest& req) {
+SimDuration DiskModel::ServiceTime(int64_t offset, int64_t nbytes, bool is_read) {
   const SimTime now = sim_->Now();
   SimDuration t = params_.controller_overhead;
 
-  if (req.is_read) {
-    ++stats_.reads;
-    stats_.bytes_read += req.nbytes;
-    if (Segment* seg = FindSegment(req.offset, req.nbytes)) {
+  if (is_read) {
+    if (Segment* seg = FindSegment(offset, nbytes)) {
       // Cache segment hit.  Wait for the background prefetch to cover the
-      // request, then burst it over the bus.
+      // transfer, then burst it over the bus.
       ++stats_.read_cache_hits;
       const int64_t frontier = Frontier(*seg, now);
-      const int64_t need_end = req.offset + req.nbytes;
+      const int64_t need_end = offset + nbytes;
       if (need_end > frontier) {
         t += TransferTime(need_end - frontier, params_.media_rate_bps);
       }
-      t += TransferTime(req.nbytes, params_.bus_rate_bps);
+      t += TransferTime(nbytes, params_.bus_rate_bps);
       return t;
     }
-  } else {
-    ++stats_.writes;
-    stats_.bytes_written += req.nbytes;
   }
 
   // Media access: seek + rotation + transfer.
-  const int64_t cyl =
-      params_.bytes_per_cylinder > 0 ? req.offset / params_.bytes_per_cylinder : 0;
+  const int64_t cyl = params_.bytes_per_cylinder > 0 ? offset / params_.bytes_per_cylinder : 0;
   t += SeekTime(head_cylinder_, cyl);
   head_cylinder_ = cyl;
-  if (req.offset != last_end_offset_) {
+  if (offset != last_end_offset_) {
     t += params_.avg_rotational_latency;
   }
-  t += TransferTime(req.nbytes, params_.media_rate_bps);
-  last_end_offset_ = req.offset + req.nbytes;
+  t += TransferTime(nbytes, params_.media_rate_bps);
+  last_end_offset_ = offset + nbytes;
 
-  if (req.is_read) {
-    // The drive keeps prefetching past the request into a cache segment.
-    StartSegment(req.offset + req.nbytes, now + t);
+  if (is_read) {
+    // The drive keeps prefetching past the transfer into a cache segment.
+    StartSegment(offset + nbytes, now + t);
   } else {
     // A write through a region invalidates overlapping read-ahead state.
     for (auto it = segments_.begin(); it != segments_.end();) {
-      const bool overlap = req.offset < it->limit && req.offset + req.nbytes > it->start;
+      const bool overlap = offset < it->limit && offset + nbytes > it->start;
       it = overlap ? segments_.erase(it) : std::next(it);
     }
   }

@@ -8,9 +8,26 @@
 //   RZ58: 5.6 ms average rotational latency, 12.5 ms average seek,
 //         ~2.7 MB/s media rate, 256 KB read-ahead cache in 4 segments.
 //
-// Requests are serviced one at a time in arrival order (the elevator sort
-// lives in the device driver above, src/dev/disk_driver.h).  Service time
-// decomposes into controller overhead, seek, rotational delay, and transfer:
+// Requests are serviced one at a time; when several are queued, the next
+// one is chosen by a pluggable scheduler (DiskParams::sched):
+//
+//  * kFifo — strict arrival order, the pre-scheduler behaviour, for
+//    drivers that sort above the device (src/dev/disk_driver.h disksort).
+//  * kCLook (default) — circular LOOK: ascending offset from the end of
+//    the last transfer, wrapping to the lowest queued offset when nothing
+//    lies ahead.  This is what a command-queueing drive does internally
+//    and what the NetBSD bufq/disksort layer does in software.
+//
+// Queued requests physically adjacent to the one being started (same
+// direction) are coalesced into a single transfer up to
+// DiskParams::max_coalesce_bytes: one controller overhead and one
+// mechanical positioning for the whole run, with every merged request's
+// callback fired at the combined completion in transfer order.  Under
+// kFifo only a run at the queue front is merged, so completion order is
+// exactly arrival order in that mode.
+//
+// Service time decomposes into controller overhead, seek, rotational delay,
+// and transfer:
 //
 //  * A read that falls inside an already-prefetched region of a cache
 //    segment transfers at the SCSI bus rate with no mechanical delay.
@@ -35,11 +52,18 @@
 #include <functional>
 #include <list>
 #include <string>
+#include <vector>
 
 #include "src/sim/simulator.h"
 #include "src/sim/time.h"
 
 namespace ikdp {
+
+// Request scheduling policy for the queue in front of the mechanism.
+enum class DiskSched {
+  kFifo,   // strict arrival order (pre-scheduler behaviour)
+  kCLook,  // circular LOOK: ascending sweep, wrap to lowest queued offset
+};
 
 struct DiskParams {
   std::string name;
@@ -61,6 +85,13 @@ struct DiskParams {
   int cache_segments = 1;   // independent sequential streams tracked
 
   SimDuration controller_overhead = 0;  // fixed per-request cost
+
+  // Queue scheduling policy and the coalescing bound: queued requests
+  // physically adjacent to the one being started (same direction) merge
+  // into a single transfer of at most this many bytes.  0 disables
+  // coalescing.
+  DiskSched sched = DiskSched::kCLook;
+  int64_t max_coalesce_bytes = 64 * 1024;
 
   int64_t Cylinders() const {
     return bytes_per_cylinder > 0 ? capacity_bytes / bytes_per_cylinder : 1;
@@ -97,7 +128,10 @@ class DiskModel {
   DiskModel(const DiskModel&) = delete;
   DiskModel& operator=(const DiskModel&) = delete;
 
-  // Enqueues a request.  Completion callbacks fire in FIFO order.
+  // Enqueues a request.  Each request's callback fires exactly once, at the
+  // completion of the transfer that carried it; requests merged into one
+  // transfer complete together, callbacks in ascending-offset (transfer)
+  // order.  Under DiskSched::kFifo, completion order is arrival order.
   void Submit(DiskRequest req);
 
   const DiskParams& params() const { return params_; }
@@ -117,9 +151,12 @@ class DiskModel {
   struct Stats {
     uint64_t reads = 0;
     uint64_t writes = 0;
-    uint64_t read_cache_hits = 0;   // fully or partially serviced from cache
+    uint64_t read_cache_hits = 0;   // transfers fully/partially from cache
     uint64_t seeks = 0;             // non-zero-distance seeks performed
     uint64_t errors = 0;            // injected media errors
+    uint64_t coalesced = 0;         // requests merged into another transfer
+    uint64_t queue_sort_passes = 0; // scheduling scans of a multi-entry queue
+    size_t max_queue_depth = 0;     // high-water mark incl. in-flight request
     int64_t bytes_read = 0;
     int64_t bytes_written = 0;
     SimDuration busy_time = 0;      // total time servicing requests
@@ -139,7 +176,18 @@ class DiskModel {
   };
 
   void StartNext();
-  SimDuration ServiceTime(const DiskRequest& req);
+
+  // Picks the next request per the scheduling policy and removes it from
+  // the queue.
+  DiskRequest ScheduleNext();
+
+  // Removes queued requests physically adjacent to `batch` (same direction)
+  // and appends them, bounded by max_coalesce_bytes.
+  void Coalesce(std::vector<DiskRequest>* batch);
+
+  // Timing (and read-ahead segment bookkeeping) for one physical transfer
+  // of [offset, offset+nbytes).
+  SimDuration ServiceTime(int64_t offset, int64_t nbytes, bool is_read);
   SimDuration SeekTime(int64_t from_cyl, int64_t to_cyl);
 
   // Returns the prefetch frontier of `seg` at time `now`.
@@ -158,6 +206,7 @@ class DiskModel {
 
   int64_t head_cylinder_ = 0;
   int64_t last_end_offset_ = -1;  // end of the previous media access
+  int64_t sweep_pos_ = 0;         // C-LOOK sweep position (end of last issue)
   std::list<Segment> segments_;   // most recently used first
   FaultHook fault_hook_;
   Stats stats_;

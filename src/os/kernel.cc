@@ -346,7 +346,7 @@ Task<int64_t> Kernel::Splice(Process& p, int src_fd, int dst_fd, int64_t nbytes)
   // Start(); synchronous devices perform their copies right there, so the
   // accumulated cost lands on the caller.
   auto charge_setup = [this, &p]() -> Task<> {
-    const SimDuration charge = cache_.TakeSyncCharge();
+    const SimDuration charge = cache_.TakeSyncCharge() + splice_.TakeSyncCharge();
     if (charge > 0) {
       co_await cpu_.Use(p, charge);
     }

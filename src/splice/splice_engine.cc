@@ -12,6 +12,12 @@ SpliceEngine::SpliceEngine(CpuSystem* cpu, CalloutTable* callouts)
 void SpliceEngine::Charge(SimDuration d) {
   if (cpu_->InInterrupt()) {
     cpu_->ChargeInterrupt(d);
+  } else {
+    // Process context: a handler ran synchronously under a Start call (the
+    // RAM disk completes reads inline).  Dropping the cost here would make
+    // spliced setup look cheaper than it is; park it for the syscall layer
+    // to charge to the calling process via TakeSyncCharge.
+    pending_sync_charge_ += d;
   }
 }
 

@@ -34,6 +34,7 @@
 #include <memory>
 #include <deque>
 #include <unordered_map>
+#include <utility>
 
 #include "src/kern/cpu.h"
 #include "src/sim/callout.h"
@@ -151,6 +152,12 @@ class SpliceEngine {
   };
   const Stats& stats() const { return stats_; }
 
+  // Drains handler CPU cost accumulated while running in process context
+  // (handlers invoked synchronously from a Start call rather than from an
+  // interrupt).  The syscall layer charges this to the calling process;
+  // mirrors BufferCache::TakeSyncCharge.
+  SimDuration TakeSyncCharge() { return std::exchange(pending_sync_charge_, 0); }
+
  private:
   // Issues reads up to the refill batch (paper Section 5.2.4).
   void IssueReads(SpliceDescriptor* d);
@@ -180,12 +187,15 @@ class SpliceEngine {
   // Runs `fn` at the next softclock tick, charged as softclock work.
   void Softclock(std::function<void()> fn);
 
-  // Charges interrupt-context work when executing at interrupt level.
+  // Charges handler work to the executing interrupt, or accumulates it for
+  // TakeSyncCharge when running in process context (e.g. a read handler
+  // invoked synchronously by a RAM-disk Strategy during splice setup).
   void Charge(SimDuration d);
 
   CpuSystem* cpu_;
   CalloutTable* callouts_;
   std::unordered_map<SpliceDescriptor*, std::unique_ptr<SpliceDescriptor>> descriptors_;
+  SimDuration pending_sync_charge_ = 0;
   Stats stats_;
 };
 

@@ -180,6 +180,98 @@ TEST_F(BufTest, WantedBufferWakesSecondReader) {
   EXPECT_EQ(scsi_.stats().requests, 1u);  // one physical read, one hit
 }
 
+TEST_F(BufTest, BusyBlockRaceSleepsOnWantedAndWakes) {
+  // Two processes race on one cached block: the holder keeps it busy while
+  // the waiter's getblk must set kBufWanted, sleep, and wake on Brelse —
+  // without touching the device again.
+  ram_.PokeBlock(11, Pattern(11));
+  SimTime release_at = -1;
+  SimTime got_at = -1;
+  int holder_chan = 0;
+  cpu_.Spawn("holder", [&](Process& p) -> Task<> {
+    Buf* b = co_await cache_.Bread(p, &ram_, 11);
+    co_await cpu_.Sleep(p, &holder_chan, kPriWait);  // hold busy until woken
+    EXPECT_TRUE(b->Has(kBufWanted)) << "waiter should have marked the buffer";
+    release_at = sim_.Now();
+    cache_.Brelse(b);
+  });
+  cpu_.Spawn("waiter", [&](Process& p) -> Task<> {
+    co_await cpu_.Use(p, Microseconds(100));  // let the holder acquire first
+    Buf* b = co_await cache_.Bread(p, &ram_, 11);
+    got_at = sim_.Now();
+    EXPECT_EQ(*b->data, Pattern(11));
+    cache_.Brelse(b);
+  });
+  sim_.After(Milliseconds(20), [&] { cpu_.Wakeup(&holder_chan); });
+  sim_.Run();
+  EXPECT_EQ(cpu_.alive(), 0) << "a process deadlocked";
+  EXPECT_GE(release_at, Milliseconds(20));
+  EXPECT_GE(got_at, release_at);
+  EXPECT_EQ(ram_.stats().reads, 1u);  // the waiter hit the cache
+}
+
+TEST_F(BufTest, DelwriVictimIsWrittenBeforeFrameReuse) {
+  RunProc([&](Process& p) -> Task<> {
+    Buf* b = co_await cache_.GetBlk(p, &ram_, 0);
+    *b->data = Pattern(0);
+    cache_.Bdwrite(p, b);
+    Buf* victim = b;
+    bool reused = false;
+    // Cycle more fresh blocks than there are clean frames: the dirty buffer
+    // reaches the LRU head, is flushed, re-enters the freelist clean, and
+    // only then may its frame be reused.
+    for (int64_t i = 100; i < 132; ++i) {
+      Buf* f = co_await cache_.GetBlk(p, &ram_, i);
+      if (f == victim) {
+        reused = true;
+        EXPECT_EQ(ram_.stats().writes, 1u) << "flush must precede reuse";
+        EXPECT_EQ(ram_.PeekBlock(0), Pattern(0));
+      }
+      cache_.Brelse(f);
+    }
+    EXPECT_TRUE(reused);
+  });
+  EXPECT_GT(cache_.stats().delwri_flushes, 0u);
+  EXPECT_EQ(ram_.PeekBlock(0), Pattern(0));
+}
+
+TEST_F(BufTest, DelwriVictimWriteErrorIsCounted) {
+  // Every write to the SCSI disk fails at the media; a victim flush forced
+  // by reuse must surface in delwri_write_errors instead of vanishing.
+  scsi_.disk().SetFaultHook([](int64_t, bool is_read) { return !is_read; });
+  RunProc([&](Process& p) -> Task<> {
+    Buf* b = co_await cache_.GetBlk(p, &scsi_, 3);
+    *b->data = Pattern(3);
+    cache_.Bdwrite(p, b);
+    for (int64_t i = 100; i < 120; ++i) {
+      Buf* f = co_await cache_.Bread(p, &ram_, i);
+      cache_.Brelse(f);
+    }
+  });
+  EXPECT_GT(cache_.stats().delwri_flushes, 0u);
+  EXPECT_EQ(cache_.stats().delwri_write_errors, 1u);
+}
+
+TEST_F(BufTest, InvalidateDevPutsBuffersAtFreelistFront) {
+  ram_.PokeBlock(1, Pattern(1));
+  RunProc([&](Process& p) -> Task<> {
+    Buf* a = co_await cache_.Bread(p, &ram_, 1);
+    cache_.Brelse(a);
+    // Age other frames behind it (different device, so the invalidation
+    // below touches only `a`).
+    for (int64_t i = 50; i < 55; ++i) {
+      Buf* b = co_await cache_.GetBlk(p, &scsi_, i);
+      cache_.Brelse(b);
+    }
+    cache_.InvalidateDev(&ram_);
+    // Worthless buffers go to the freelist FRONT: the very next miss must
+    // recycle the invalidated frame ahead of every never-used frame.
+    Buf* b = co_await cache_.GetBlk(p, &ram_, 99);
+    EXPECT_EQ(b, a);
+    cache_.Brelse(b);
+  });
+}
+
 TEST_F(BufTest, BreadaIssuesReadAhead) {
   scsi_.PokeBlock(0, Pattern(0));
   scsi_.PokeBlock(1, Pattern(1));

@@ -203,6 +203,133 @@ TEST_F(EngineTest, StatsCountRetriesAndRefills) {
   EXPECT_GT(observed.refills, 0u);
 }
 
+TEST_F(EngineTest, CancelMidTransferReleasesAllChunksAndCompletesOnce) {
+  SourceObs obs;
+  auto src = std::make_unique<ScriptedSource>(64, 1000, 0, &obs);
+  auto sink = std::make_unique<ScriptedSink>(&sim_, nullptr);
+  SpliceOptions opts;
+  opts.max_inflight_chunks = 8;
+  opts.refill_batch = 8;
+  opts.max_chunks_per_tick = 2;
+  int completions = 0;
+  int64_t moved = -2;
+  SpliceDescriptor* d = engine_.Start(std::move(src), std::move(sink), opts, [&](int64_t m) {
+    ++completions;
+    moved = m;
+  });
+  // Let a few drain ticks run, then cancel with chunks still in flight.
+  sim_.RunUntil(3 * callouts_.TickDuration());
+  ASSERT_EQ(completions, 0);
+  engine_.Cancel(d);
+  sim_.Run();
+  EXPECT_EQ(completions, 1) << "on_complete must fire exactly once";
+  EXPECT_GE(moved, 0);
+  EXPECT_LT(moved, 64 * 1000);
+  EXPECT_EQ(obs.releases, obs.reads) << "every read chunk must be released";
+  EXPECT_EQ(engine_.active(), 0);
+}
+
+// A source whose reads complete from interrupt context after a short delay,
+// the way a real DMA device's completion arrives.
+class InterruptSource : public SpliceSource {
+ public:
+  InterruptSource(Simulator* sim, CpuSystem* cpu, int64_t total_chunks, int64_t chunk_bytes)
+      : sim_(sim), cpu_(cpu), total_chunks_(total_chunks), chunk_bytes_(chunk_bytes) {}
+
+  int64_t TotalBytes() const override { return total_chunks_ * chunk_bytes_; }
+  int64_t ChunkBytes() const override { return chunk_bytes_; }
+
+  bool StartRead(int64_t index, std::function<void(SpliceChunk)> done) override {
+    sim_->After(Microseconds(5), [this, index, done = std::move(done)] {
+      cpu_->RunInterrupt(0, [this, index, done] {
+        SpliceChunk c;
+        c.index = index;
+        c.nbytes = chunk_bytes_;
+        c.data = MakeBufData();
+        done(c);
+      });
+    });
+    return true;
+  }
+
+  void Release(SpliceChunk& chunk) override { (void)chunk; }
+
+ private:
+  Simulator* sim_;
+  CpuSystem* cpu_;
+  int64_t total_chunks_;
+  int64_t chunk_bytes_;
+};
+
+TEST(SpliceChargeTest, SyncCompletionChargeIsNotDropped) {
+  // ScriptedSource completes its reads synchronously inside Start(), in
+  // process context.  The read-handler cost of those completions must land
+  // in the pending sync charge for the syscall layer to bill, not vanish.
+  Simulator sim;
+  CpuSystem cpu(&sim, DecStation5000Costs());
+  CalloutTable callouts(&sim, 256);
+  SpliceEngine engine(&cpu, &callouts);
+
+  SourceObs obs;
+  SpliceOptions opts;
+  opts.max_inflight_chunks = 4;  // four reads complete inside Start()
+  opts.refill_batch = 4;
+  engine.Start(std::make_unique<ScriptedSource>(8, 1000, 0, &obs),
+               std::make_unique<ScriptedSink>(&sim, nullptr), opts, [](int64_t) {});
+  const int sync_reads = obs.reads;
+  EXPECT_GE(sync_reads, 1);
+  const SimDuration charge = engine.TakeSyncCharge();
+  EXPECT_EQ(charge, sync_reads * cpu.costs().splice_read_handler);
+  EXPECT_EQ(engine.TakeSyncCharge(), 0) << "charge must drain exactly once";
+
+  sim.Run();
+  // Post-setup handler work runs from softclock/interrupt context and is
+  // billed to interrupt accounting, never to the pending sync charge.
+  EXPECT_EQ(engine.TakeSyncCharge(), 0);
+}
+
+TEST(SpliceChargeTest, SyncAndAsyncCompletionChargeTheSameTotal) {
+  // The same transfer must account the same total handler CPU whether read
+  // completions arrive synchronously in process context (charged via
+  // TakeSyncCharge) or from interrupt context (charged to the interrupt).
+  // Zero the softclock overhead so interrupt_work isolates handler charges;
+  // the two modes may arm a different number of drain ticks.
+  CostConfig costs = DecStation5000Costs();
+  costs.softclock_per_callout = 0;
+  const int64_t kChunks = 8;
+  const int64_t kChunkBytes = 1000;
+
+  SimDuration sync_total = 0;
+  {
+    Simulator sim;
+    CpuSystem cpu(&sim, costs);
+    CalloutTable callouts(&sim, 256);
+    SpliceEngine engine(&cpu, &callouts);
+    engine.Start(std::make_unique<ScriptedSource>(kChunks, kChunkBytes),
+                 std::make_unique<ScriptedSink>(&sim, nullptr), SpliceOptions{}, [](int64_t) {});
+    sync_total += engine.TakeSyncCharge();
+    EXPECT_GT(sync_total, 0);  // the regression: this used to be dropped
+    sim.Run();
+    sync_total += engine.TakeSyncCharge() + cpu.stats().interrupt_work;
+  }
+
+  SimDuration async_total = 0;
+  {
+    Simulator sim;
+    CpuSystem cpu(&sim, costs);
+    CalloutTable callouts(&sim, 256);
+    SpliceEngine engine(&cpu, &callouts);
+    engine.Start(std::make_unique<InterruptSource>(&sim, &cpu, kChunks, kChunkBytes),
+                 std::make_unique<ScriptedSink>(&sim, nullptr), SpliceOptions{}, [](int64_t) {});
+    EXPECT_EQ(engine.TakeSyncCharge(), 0);  // nothing completed in Start()
+    sim.Run();
+    EXPECT_EQ(engine.TakeSyncCharge(), 0);  // all handlers ran at interrupt
+    async_total = cpu.stats().interrupt_work;
+  }
+
+  EXPECT_EQ(sync_total, async_total);
+}
+
 TEST_F(EngineTest, EngineStatsAccumulateAcrossSplices) {
   for (int i = 0; i < 3; ++i) {
     RunSplice(std::make_unique<ScriptedSource>(4, 250),
