@@ -31,6 +31,16 @@ int main(int argc, char** argv) {
     if (pct < 10.0 || !r.cp.ok || !r.scp.ok) {
       claim_holds = false;
     }
+    // Accounting identity: a negative idle fraction means the CPU ledger
+    // double-charged time somewhere.  Fail loudly rather than publish
+    // slowdown factors computed from a broken ledger.
+    for (const auto* e : {&r.cp, &r.scp}) {
+      if (e->idle_fraction < 0.0 || e->idle_fraction > 1.0) {
+        std::fprintf(stderr, "ACCOUNTING BUG: %s idle fraction %.4f out of [0,1]\n",
+                     ikdp::DiskKindName(r.disk), e->idle_fraction);
+        claim_holds = false;
+      }
+    }
   }
   std::printf("Measured: claim %s.\n", claim_holds ? "HOLDS" : "DOES NOT HOLD");
   return claim_holds ? 0 : 1;

@@ -26,6 +26,16 @@ int main(int argc, char** argv) {
       "throughput in the best case (RAM disk); for real disks the benefit is minor.\n");
   bool shape_holds = true;
   for (const auto& r : rows) {
+    // Accounting identity: idle = elapsed - (process + switch + interrupt
+    // work) must land in [0, 1] or the throughput numbers rest on a broken
+    // CPU ledger.  Print on stderr so a passing run's stdout is unchanged.
+    for (const auto* e : {&r.cp, &r.scp}) {
+      if (e->idle_fraction < 0.0 || e->idle_fraction > 1.0) {
+        std::fprintf(stderr, "ACCOUNTING BUG: %s idle fraction %.4f out of [0,1]\n",
+                     ikdp::DiskKindName(r.disk), e->idle_fraction);
+        shape_holds = false;
+      }
+    }
     if (!r.cp.ok || !r.scp.ok) {
       shape_holds = false;
       continue;

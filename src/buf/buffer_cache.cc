@@ -174,6 +174,9 @@ Buf* BufferCache::TryGrabFree() {
       v->delwri_victim = true;
       ++pending_writes_[v->dev];
       ++stats_.delwri_flushes;
+      if (TraceLog* t = cpu_->trace()) {
+        t->Record(cpu_->sim()->Now(), TraceKind::kDelwriFlush, v->blkno, 0, v->dev->Name());
+      }
       SubmitIo(v);
       continue;
     }
@@ -216,6 +219,13 @@ Buf* BufferCache::TryGetBlk(BlockDevice* dev, int64_t blkno, bool* was_hit) {
   }
   HashInsert(v);
   return v;
+}
+
+void BufferCache::TraceLookup(bool hit, const BlockDevice* dev, int64_t blkno) {
+  if (TraceLog* t = cpu_->trace()) {
+    t->Record(cpu_->sim()->Now(), hit ? TraceKind::kBreadHit : TraceKind::kBreadMiss, blkno, 0,
+              dev->Name());
+  }
 }
 
 void BufferCache::SubmitIo(Buf* b) {
@@ -300,11 +310,15 @@ Task<Buf*> BufferCache::GetBlk(Process& p, BlockDevice* dev, int64_t blkno) {
       } else {
         ++stats_.misses;
       }
+      TraceLookup(hit, dev, blkno);
       const SimDuration charge = std::exchange(pending_sync_charge_, 0);
       if (charge > 0) {
         co_await cpu_->Use(p, charge);
       }
       co_return b;
+    }
+    if (TraceLog* t = cpu_->trace()) {
+      t->Record(cpu_->sim()->Now(), TraceKind::kGetblkSleep, p.pid(), blkno, dev->Name());
     }
     if (Buf* busy = Incore(dev, blkno); busy != nullptr && busy->Has(kBufBusy)) {
       busy->Set(kBufWanted);
@@ -345,6 +359,7 @@ void BufferCache::IssueReadAhead(BlockDevice* dev, int64_t blkno) {
     return;
   }
   ++stats_.misses;
+  TraceLookup(/*hit=*/false, dev, blkno);
   ra->Set(kBufRead);
   ra->Set(kBufAsync);
   SubmitIo(ra);
@@ -471,6 +486,7 @@ bool BufferCache::BreadAsync(BlockDevice* dev, int64_t blkno, std::function<void
     ++stats_.async_read_fails;
     return false;
   }
+  TraceLookup(hit, dev, blkno);
   if (hit) {
     ++stats_.hits;
     // Already valid: deliver straight to the handler, as the paper's

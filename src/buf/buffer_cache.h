@@ -167,6 +167,9 @@ class BufferCache {
   // Called from cold paths only; hot paths carry O(1) asserts instead.
   void ValidateInvariants() const;
 
+  // Records a kBreadHit / kBreadMiss trace event when a log is attached.
+  void TraceLookup(bool hit, const BlockDevice* dev, int64_t blkno);
+
   // Issues `b` to its device, charging the submitting context.
   void SubmitIo(Buf* b);
 

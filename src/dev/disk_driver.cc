@@ -16,6 +16,14 @@ int64_t DiskDriver::CapacityBlocks() const {
 SimDuration DiskDriver::Strategy(Buf& b) {
   assert(b.blkno >= 0 && b.blkno < CapacityBlocks());
   ++stats_.requests;
+  // The DiskModel lives below the kernel layers and cannot see the CPU's
+  // trace; refresh its pointer here so a log attached mid-run (or detached)
+  // takes effect from the next request on.
+  disk_.set_trace(cpu_->trace());
+  if (TraceLog* t = cpu_->trace()) {
+    t->Record(cpu_->sim()->Now(), TraceKind::kDiskEnqueue, b.blkno * kBlockSize, b.bcount,
+              b.Has(kBufRead) ? "read" : "write");
+  }
   Disksort(&b);
   stats_.max_queue_depth = std::max(stats_.max_queue_depth, QueueDepth());
   if (!hw_busy_) {

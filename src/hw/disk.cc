@@ -95,7 +95,15 @@ DiskRequest DiskModel::ScheduleNext() {
         wrap = it;
       }
     }
-    pick = ahead != queue_.end() ? ahead : wrap;
+    if (ahead != queue_.end()) {
+      pick = ahead;
+    } else {
+      pick = wrap;
+      if (trace_ != nullptr) {
+        trace_->Record(sim_->Now(), TraceKind::kDiskSweepWrap, wrap->offset, sweep_pos_,
+                       params_.name.c_str());
+      }
+    }
   }
   DiskRequest req = std::move(*pick);
   queue_.erase(pick);
@@ -136,6 +144,10 @@ void DiskModel::Coalesce(std::vector<DiskRequest>* batch) {
       total += n;
       end += n;
       ++stats_.coalesced;
+      if (trace_ != nullptr) {
+        trace_->Record(sim_->Now(), TraceKind::kDiskCoalesce, transfer_serial_, n,
+                       params_.name.c_str());
+      }
     }
   }
 }
@@ -146,6 +158,7 @@ void DiskModel::StartNext() {
     return;
   }
   busy_ = true;
+  ++transfer_serial_;  // before Coalesce so its records carry this serial
   std::vector<DiskRequest> batch;
   batch.push_back(ScheduleNext());
   Coalesce(&batch);
@@ -178,7 +191,14 @@ void DiskModel::StartNext() {
 
   const SimDuration service = ServiceTime(batch.front().offset, total, is_read);
   stats_.busy_time += service;
-  sim_->After(service, [this, dones = std::move(dones)]() mutable {
+  const int64_t serial = transfer_serial_;
+  if (trace_ != nullptr) {
+    trace_->Record(sim_->Now(), TraceKind::kDiskDispatch, serial, total, params_.name.c_str());
+  }
+  sim_->After(service, [this, serial, total, dones = std::move(dones)]() mutable {
+    if (trace_ != nullptr) {
+      trace_->Record(sim_->Now(), TraceKind::kDiskComplete, serial, total, params_.name.c_str());
+    }
     for (Done& d : dones) {
       if (d.cb) {
         d.cb(d.ok);

@@ -56,6 +56,7 @@
 
 #include "src/sim/simulator.h"
 #include "src/sim/time.h"
+#include "src/sim/trace.h"
 
 namespace ikdp {
 
@@ -147,6 +148,13 @@ class DiskModel {
   using FaultHook = std::function<bool(int64_t offset, bool is_read)>;
   void SetFaultHook(FaultHook hook) { fault_hook_ = std::move(hook); }
 
+  // Attaches a trace log recording scheduler events: kDiskDispatch /
+  // kDiskComplete (paired by transfer serial), kDiskCoalesce, and
+  // kDiskSweepWrap.  nullptr detaches; default off.  DiskDriver refreshes
+  // this from the CPU's trace on every Strategy call, so attaching a log to
+  // a running machine picks up its disks automatically.
+  void set_trace(TraceLog* trace) { trace_ = trace; }
+
   // --- statistics ---
   struct Stats {
     uint64_t reads = 0;
@@ -209,6 +217,8 @@ class DiskModel {
   int64_t sweep_pos_ = 0;         // C-LOOK sweep position (end of last issue)
   std::list<Segment> segments_;   // most recently used first
   FaultHook fault_hook_;
+  TraceLog* trace_ = nullptr;
+  int64_t transfer_serial_ = 0;   // stamps kDiskDispatch/kDiskComplete pairs
   Stats stats_;
 };
 

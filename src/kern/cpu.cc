@@ -72,6 +72,9 @@ void CpuSystem::AccountUsage(Process* p, SimDuration work) {
 
 void CpuSystem::Enqueue(Process* p, bool front) {
   assert(p->state_ == ProcState::kRunnable);
+  if (trace_ != nullptr) {
+    trace_->Record(sim_->Now(), TraceKind::kRunnable, p->pid(), 0, p->name().c_str());
+  }
   auto pos = run_queue_.begin();
   if (front) {
     while (pos != run_queue_.end() && (*pos)->priority_ < p->priority_) {
@@ -111,10 +114,10 @@ void CpuSystem::DispatchNext() {
   stats_.context_switch += costs_.context_switch;
   ++stats_.switches;
   slice_remaining_ = costs_.quantum;
-  StartBurst(costs_.context_switch + residual);
+  StartBurst(costs_.context_switch + residual, costs_.context_switch);
 }
 
-void CpuSystem::StartBurst(SimDuration lead_in) {
+void CpuSystem::StartBurst(SimDuration lead_in, SimDuration switch_part) {
   Process* p = current_;
   assert(p != nullptr && !burst_.active);
   if (slice_remaining_ <= 0) {
@@ -124,6 +127,7 @@ void CpuSystem::StartBurst(SimDuration lead_in) {
   burst_.active = true;
   burst_.start = sim_->Now();
   burst_.lead_in = lead_in;
+  burst_.switch_part = switch_part;
   burst_.stolen = 0;
   burst_.planned = std::min(remaining, slice_remaining_);
   burst_.is_quantum_slice = burst_.planned < remaining;
@@ -227,7 +231,17 @@ void CpuSystem::PreemptCurrent(bool front) {
   assert(p != nullptr);
   if (burst_.active) {
     sim_->Cancel(burst_.event);
-    SimDuration done = (sim_->Now() - burst_.start) - burst_.stolen - burst_.lead_in;
+    const SimDuration progress = (sim_->Now() - burst_.start) - burst_.stolen;
+    // The lead-in occupies wall time before any process work: residual
+    // interrupt time first (already charged as interrupt work), then the
+    // context switch.  A preemption landing inside the lead-in leaves part
+    // of the switch charge unconsumed; refund it, or the re-dispatch's full
+    // charge double-counts the switch and busy time exceeds elapsed time.
+    const SimDuration residual = burst_.lead_in - burst_.switch_part;
+    const SimDuration switch_used =
+        std::clamp<SimDuration>(progress - residual, 0, burst_.switch_part);
+    stats_.context_switch -= burst_.switch_part - switch_used;
+    SimDuration done = progress - burst_.lead_in;
     done = std::clamp<SimDuration>(done, 0, burst_.planned);
     p->work_remaining_ -= done;
     AccountUsage(p, done);

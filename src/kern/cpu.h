@@ -125,6 +125,7 @@ class CpuSystem {
     SimDuration planned = 0;      // work to complete in this burst
     SimDuration stolen = 0;       // interrupt time overlapping the burst
     SimDuration lead_in = 0;      // context-switch / residual-interrupt lead
+    SimDuration switch_part = 0;  // portion of lead_in charged as switch cost
     EventId event = kInvalidEventId;
     bool is_quantum_slice = false;  // burst ends at quantum, work continues
   };
@@ -144,8 +145,10 @@ class CpuSystem {
   void RequestDispatch();
   void DispatchNext();
 
-  // Starts executing the current process's outstanding work.
-  void StartBurst(SimDuration lead_in);
+  // Starts executing the current process's outstanding work.  `switch_part`
+  // is how much of `lead_in` was charged to the context-switch ledger at
+  // dispatch time (refunded pro-rata if the burst is preempted mid-lead-in).
+  void StartBurst(SimDuration lead_in, SimDuration switch_part = 0);
   void FinishBurst();
 
   // Removes the current process from the CPU (burst bookkeeping) and

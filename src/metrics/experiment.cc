@@ -9,6 +9,7 @@
 #include "src/dev/ram_disk.h"
 #include "src/fs/filesystem.h"
 #include "src/hw/disk.h"
+#include "src/metrics/report.h"
 #include "src/os/kernel.h"
 #include "src/sim/simulator.h"
 #include "src/workload/programs.h"
@@ -19,15 +20,26 @@ namespace {
 
 uint8_t FilePattern(int64_t i) { return static_cast<uint8_t>((i * 2654435761u) >> 5 & 0xff); }
 
-std::unique_ptr<BlockDevice> MakeDisk(DiskKind kind, CpuSystem* cpu, Simulator* sim) {
+std::unique_ptr<BlockDevice> MakeDisk(DiskKind kind, CpuSystem* cpu, Simulator* sim,
+                                      const char* role) {
+  // The two disks of a run get distinct names ("RZ56.src" / "RZ56.dst"):
+  // trace records tag transfers by device name, and identically-named
+  // devices would collide in the (device, serial) pairing key and share a
+  // lane in the exported Chrome trace.
   switch (kind) {
     case DiskKind::kRam:
       // "The ram disk driver uses 16MB of statically allocated memory."
       return std::make_unique<RamDisk>(cpu, 16ll << 20);
-    case DiskKind::kRz56:
-      return std::make_unique<DiskDriver>(cpu, sim, Rz56Params());
-    case DiskKind::kRz58:
-      return std::make_unique<DiskDriver>(cpu, sim, Rz58Params());
+    case DiskKind::kRz56: {
+      DiskParams p = Rz56Params();
+      p.name += std::string(".") + role;
+      return std::make_unique<DiskDriver>(cpu, sim, std::move(p));
+    }
+    case DiskKind::kRz58: {
+      DiskParams p = Rz58Params();
+      p.name += std::string(".") + role;
+      return std::make_unique<DiskDriver>(cpu, sim, std::move(p));
+    }
   }
   return nullptr;
 }
@@ -53,9 +65,12 @@ ExperimentResult RunCopyExperiment(const ExperimentConfig& config) {
   Simulator sim;
   Kernel kernel(&sim, config.costs, config.cache_bufs, config.hz);
   kernel.splice_options() = config.splice_options;
+  if (config.trace != nullptr) {
+    kernel.AttachTrace(config.trace);
+  }
 
-  std::unique_ptr<BlockDevice> src_dev = MakeDisk(config.disk, &kernel.cpu(), &sim);
-  std::unique_ptr<BlockDevice> dst_dev = MakeDisk(config.disk, &kernel.cpu(), &sim);
+  std::unique_ptr<BlockDevice> src_dev = MakeDisk(config.disk, &kernel.cpu(), &sim, "src");
+  std::unique_ptr<BlockDevice> dst_dev = MakeDisk(config.disk, &kernel.cpu(), &sim, "dst");
   FileSystem* src_fs = kernel.MountFs(src_dev.get(), "srcfs");
   FileSystem* dst_fs = kernel.MountFs(dst_dev.get(), "dstfs");
 
@@ -114,6 +129,16 @@ ExperimentResult RunCopyExperiment(const ExperimentConfig& config) {
   result.cache_hits = kernel.cache().stats().hits;
   result.cache_misses = kernel.cache().stats().misses;
   result.splice_transients = kernel.cache().stats().transient_allocs;
+  // The accounting identity is a run-level invariant: busy time charged to
+  // processes, switches, and interrupts can never exceed elapsed time.  A
+  // negative idle fraction means double-charged CPU somewhere — fail loudly
+  // rather than publish numbers from a broken ledger.
+  result.idle_fraction = IdleFraction(kernel, sim.Now());
+  assert(result.idle_fraction >= 0.0 && result.idle_fraction <= 1.0);
+
+  if (config.inspect) {
+    config.inspect(kernel);
+  }
 
   if (config.with_test_program) {
     result.test_ops = test_state.ops;

@@ -21,14 +21,18 @@
 #define SRC_METRICS_EXPERIMENT_H_
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 
 #include "src/hw/costs.h"
 #include "src/kern/cpu.h"
+#include "src/sim/trace.h"
 #include "src/splice/splice_engine.h"
 
 namespace ikdp {
+
+class Kernel;
 
 enum class DiskKind { kRam, kRz56, kRz58 };
 
@@ -45,6 +49,15 @@ struct ExperimentConfig {
   int hz = 256;
   SimDuration test_op_cost = Milliseconds(1);
   int64_t cp_chunk = 8192;
+
+  // Optional observability taps.  `trace` (when non-null) is attached to
+  // the machine before the run — recording never advances simulated time,
+  // so results are identical with or without it.  `inspect` runs after the
+  // copy verifies, while the kernel is still alive, so callers can sample
+  // per-subsystem stats (e.g. CaptureKernelCounters) that the plain result
+  // struct does not carry.
+  TraceLog* trace = nullptr;
+  std::function<void(Kernel&)> inspect;
 };
 
 struct ExperimentResult {
@@ -63,6 +76,10 @@ struct ExperimentResult {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t splice_transients = 0;
+  // Fraction of the run the CPU sat idle, from the accounting identity
+  // process_work + context_switch + interrupt_work + idle == elapsed.
+  // Always in [0, 1]; the harness asserts non-negativity every run.
+  double idle_fraction = 0;
 };
 
 // Runs one copy experiment on a fresh machine.

@@ -3,6 +3,9 @@
 #include <cstdio>
 #include <ostream>
 
+#include "src/dev/disk_driver.h"
+#include "src/fs/filesystem.h"
+
 namespace ikdp {
 
 double IdleFraction(const Kernel& kernel, SimTime elapsed) {
@@ -40,14 +43,15 @@ void PrintMachineReport(std::ostream& os, Kernel& kernel) {
   os << line;
   const uint64_t lookups = cache.hits + cache.misses;
   std::snprintf(line, sizeof(line),
-                "cache:  %d bufs, %llu hits / %llu misses (%.1f%% hit), %llu victim flushes, "
-                "%llu transient headers\n",
+                "cache:  %d bufs, %llu hits / %llu misses (%.1f%% hit), %llu victim flushes "
+                "(%llu write errors), %llu transient headers\n",
                 kernel.cache().nbufs(), static_cast<unsigned long long>(cache.hits),
                 static_cast<unsigned long long>(cache.misses),
                 lookups > 0 ? 100.0 * static_cast<double>(cache.hits) /
                                   static_cast<double>(lookups)
                             : 0.0,
                 static_cast<unsigned long long>(cache.delwri_flushes),
+                static_cast<unsigned long long>(cache.delwri_write_errors),
                 static_cast<unsigned long long>(cache.transient_allocs));
   os << line;
   std::snprintf(line, sizeof(line), "splice: %llu started, %llu completed, %lld bytes moved\n",
@@ -55,6 +59,29 @@ void PrintMachineReport(std::ostream& os, Kernel& kernel) {
                 static_cast<unsigned long long>(splice.splices_completed),
                 static_cast<long long>(splice.total_bytes));
   os << line;
+  // iostat-style per-disk lines for mounted filesystems whose device has a
+  // real scheduler underneath (RAM disks have none).
+  for (FileSystem* fs : kernel.Mounts()) {
+    auto* drv = dynamic_cast<DiskDriver*>(fs->dev());
+    if (drv == nullptr) {
+      continue;
+    }
+    const DiskModel::Stats& m = drv->disk().stats();
+    std::snprintf(line, sizeof(line),
+                  "disk:   %s (%s): %llu requests (%llu r / %llu w), %llu coalesced, "
+                  "%llu sort passes, depth %llu/%llu, busy %s, %llu errors\n",
+                  fs->name().c_str(), drv->Name(),
+                  static_cast<unsigned long long>(drv->stats().requests),
+                  static_cast<unsigned long long>(m.reads),
+                  static_cast<unsigned long long>(m.writes),
+                  static_cast<unsigned long long>(m.coalesced),
+                  static_cast<unsigned long long>(m.queue_sort_passes),
+                  static_cast<unsigned long long>(drv->stats().max_queue_depth),
+                  static_cast<unsigned long long>(m.max_queue_depth),
+                  FormatDuration(m.busy_time).c_str(),
+                  static_cast<unsigned long long>(m.errors));
+    os << line;
+  }
 }
 
 }  // namespace ikdp

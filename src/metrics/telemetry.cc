@@ -1,0 +1,120 @@
+#include "src/metrics/telemetry.h"
+
+#include "src/dev/disk_driver.h"
+#include "src/fs/filesystem.h"
+
+namespace ikdp {
+
+void TelemetryCollector::Attach(TraceLog* log) {
+  log->set_observer([this](const TraceRecord& rec) { Observe(rec); });
+}
+
+void TelemetryCollector::Observe(const TraceRecord& rec) {
+  switch (rec.kind) {
+    case TraceKind::kRunnable:
+      runnable_[rec.a] = rec.time;
+      break;
+    case TraceKind::kDispatch: {
+      auto it = runnable_.find(rec.a);
+      if (it != runnable_.end()) {
+        registry_->Histogram("cpu.runq_wait")->Add(rec.time - it->second);
+        runnable_.erase(it);
+      }
+      break;
+    }
+    case TraceKind::kSyscallEnter:
+      syscalls_[rec.a] = {rec.time, rec.tag};
+      break;
+    case TraceKind::kSyscallExit: {
+      auto it = syscalls_.find(rec.a);
+      if (it != syscalls_.end()) {
+        registry_->Histogram("syscall.latency." + it->second.second)
+            ->Add(rec.time - it->second.first);
+        syscalls_.erase(it);
+      }
+      break;
+    }
+    case TraceKind::kDiskDispatch:
+      disk_[{rec.tag, rec.a}] = rec.time;
+      break;
+    case TraceKind::kDiskComplete: {
+      auto it = disk_.find({rec.tag, rec.a});
+      if (it != disk_.end()) {
+        registry_->Histogram(std::string("disk.service_time.") + rec.tag)
+            ->Add(rec.time - it->second);
+        disk_.erase(it);
+      }
+      break;
+    }
+    case TraceKind::kSpliceRead:
+      splice_reads_[{rec.a, rec.b}] = rec.time;
+      break;
+    case TraceKind::kSpliceChunk: {
+      auto it = splice_reads_.find({rec.a, rec.b});
+      if (it != splice_reads_.end()) {
+        registry_->Histogram("splice.chunk_latency")->Add(rec.time - it->second);
+        splice_reads_.erase(it);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void CaptureKernelCounters(MetricsRegistry* registry, Kernel& kernel) {
+  const CpuSystem::Stats& cpu = kernel.cpu().stats();
+  registry->SetCounter("cpu.process_work_ns", cpu.process_work);
+  registry->SetCounter("cpu.context_switch_ns", cpu.context_switch);
+  registry->SetCounter("cpu.interrupt_work_ns", cpu.interrupt_work);
+  registry->SetCounter("cpu.switches", static_cast<int64_t>(cpu.switches));
+  registry->SetCounter("cpu.interrupts", static_cast<int64_t>(cpu.interrupts));
+
+  const Kernel::Stats& sys = kernel.stats();
+  registry->SetCounter("sys.syscalls", static_cast<int64_t>(sys.syscalls));
+  registry->SetCounter("sys.splices_sync", static_cast<int64_t>(sys.splices_sync));
+  registry->SetCounter("sys.splices_async", static_cast<int64_t>(sys.splices_async));
+
+  const BufferCache::Stats& cache = kernel.cache().stats();
+  registry->SetCounter("cache.hits", static_cast<int64_t>(cache.hits));
+  registry->SetCounter("cache.misses", static_cast<int64_t>(cache.misses));
+  registry->SetCounter("cache.delwri_flushes", static_cast<int64_t>(cache.delwri_flushes));
+  registry->SetCounter("cache.delwri_write_errors",
+                       static_cast<int64_t>(cache.delwri_write_errors));
+  registry->SetCounter("cache.transient_allocs", static_cast<int64_t>(cache.transient_allocs));
+  registry->SetCounter("cache.async_read_fails", static_cast<int64_t>(cache.async_read_fails));
+
+  const SpliceEngine::Stats& splice = kernel.splice_engine().stats();
+  registry->SetCounter("splice.started", static_cast<int64_t>(splice.splices_started));
+  registry->SetCounter("splice.completed", static_cast<int64_t>(splice.splices_completed));
+  registry->SetCounter("splice.total_bytes", splice.total_bytes);
+
+  for (FileSystem* fs : kernel.Mounts()) {
+    auto* drv = dynamic_cast<DiskDriver*>(fs->dev());
+    if (drv == nullptr) {
+      continue;  // RAM disks have no scheduler underneath
+    }
+    const std::string prefix = "disk." + fs->name() + ".";
+    const DiskDriver::Stats& d = drv->stats();
+    registry->SetCounter(prefix + "requests", static_cast<int64_t>(d.requests));
+    registry->SetCounter(prefix + "interrupts", static_cast<int64_t>(d.interrupts));
+    registry->SetCounter(prefix + "sort_passes", static_cast<int64_t>(d.sort_passes));
+    registry->SetCounter(prefix + "max_queue_depth", static_cast<int64_t>(d.max_queue_depth));
+    const DiskModel::Stats& m = drv->disk().stats();
+    registry->SetCounter(prefix + "reads", static_cast<int64_t>(m.reads));
+    registry->SetCounter(prefix + "writes", static_cast<int64_t>(m.writes));
+    registry->SetCounter(prefix + "read_cache_hits", static_cast<int64_t>(m.read_cache_hits));
+    registry->SetCounter(prefix + "seeks", static_cast<int64_t>(m.seeks));
+    registry->SetCounter(prefix + "errors", static_cast<int64_t>(m.errors));
+    registry->SetCounter(prefix + "coalesced", static_cast<int64_t>(m.coalesced));
+    registry->SetCounter(prefix + "queue_sort_passes",
+                         static_cast<int64_t>(m.queue_sort_passes));
+    registry->SetCounter(prefix + "hw_max_queue_depth",
+                         static_cast<int64_t>(m.max_queue_depth));
+    registry->SetCounter(prefix + "bytes_read", m.bytes_read);
+    registry->SetCounter(prefix + "bytes_written", m.bytes_written);
+    registry->SetCounter(prefix + "busy_time_ns", m.busy_time);
+  }
+}
+
+}  // namespace ikdp

@@ -1,0 +1,70 @@
+// Online telemetry: trace records in, latency histograms out.
+//
+// TelemetryCollector installs itself as a TraceLog observer and pairs
+// begin/end records (the keys documented in src/sim/trace.h) into interval
+// samples as they happen, so latencies survive ring eviction:
+//
+//   disk.service_time.<device>   kDiskDispatch -> kDiskComplete
+//   splice.chunk_latency         kSpliceRead   -> kSpliceChunk
+//   syscall.latency.<name>       kSyscallEnter -> kSyscallExit
+//   cpu.runq_wait                kRunnable     -> kDispatch
+//
+// Everything runs on the host side of the simulation boundary: observing a
+// record never advances the simulated clock, so a traced run and an
+// untraced run produce identical simulated results.
+//
+// CaptureKernelCounters samples the kernel's scattered Stats structs (CPU,
+// syscalls, buffer cache, splice engine, and each mounted disk's driver +
+// scheduler) into the registry's counter namespace, giving exporters one
+// enumerable view of the whole machine.
+
+#ifndef SRC_METRICS_TELEMETRY_H_
+#define SRC_METRICS_TELEMETRY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "src/metrics/histogram.h"
+#include "src/os/kernel.h"
+#include "src/sim/trace.h"
+
+namespace ikdp {
+
+class TelemetryCollector {
+ public:
+  explicit TelemetryCollector(MetricsRegistry* registry) : registry_(registry) {}
+
+  TelemetryCollector(const TelemetryCollector&) = delete;
+  TelemetryCollector& operator=(const TelemetryCollector&) = delete;
+
+  // Installs this collector as `log`'s observer.  The collector must
+  // outlive the log (or a later set_observer call).
+  void Attach(TraceLog* log);
+
+  // Feeds one record; public so tests can drive the pairing logic directly.
+  void Observe(const TraceRecord& rec);
+
+  // Begin records whose end has not arrived yet (unfinished intervals).
+  size_t PendingIntervals() const {
+    return runnable_.size() + syscalls_.size() + disk_.size() + splice_reads_.size();
+  }
+
+ private:
+  MetricsRegistry* registry_;
+
+  std::map<int64_t, SimTime> runnable_;                          // pid -> kRunnable time
+  std::map<int64_t, std::pair<SimTime, std::string>> syscalls_;  // pid -> (enter, name)
+  std::map<std::pair<std::string, int64_t>, SimTime> disk_;      // (device, serial)
+  std::map<std::pair<int64_t, int64_t>, SimTime> splice_reads_;  // (serial, chunk)
+};
+
+// Samples every kernel Stats struct into `registry` counters under stable
+// dotted names ("cpu.switches", "cache.delwri_write_errors",
+// "disk.<mount>.coalesced", ...).  Idempotent: sampling twice overwrites.
+void CaptureKernelCounters(MetricsRegistry* registry, Kernel& kernel);
+
+}  // namespace ikdp
+
+#endif  // SRC_METRICS_TELEMETRY_H_

@@ -1,0 +1,474 @@
+#include "src/metrics/trace_export.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+namespace ikdp {
+
+namespace {
+
+// Escapes a string for inclusion in a JSON string literal.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Chrome trace timestamps are microseconds; keep nanosecond precision in
+// the fraction.
+std::string Micros(SimTime t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld", static_cast<long long>(t / 1000),
+                static_cast<long long>(t % 1000));
+  return buf;
+}
+
+class EventWriter {
+ public:
+  explicit EventWriter(std::ostream& os) : os_(os) {}
+
+  // Emits one trace event.  `extra` is spliced in raw (pre-rendered JSON
+  // fields, e.g. "\"dur\":12.5" or "\"id\":\"3\""); pass "" for none.
+  void Emit(const std::string& name, const char* cat, const char* ph, SimTime ts, int64_t tid,
+            const std::string& extra, int64_t arg_a, int64_t arg_b) {
+    os_ << (first_ ? "\n" : ",\n");
+    first_ = false;
+    os_ << "{\"name\":\"" << JsonEscape(name) << "\",\"cat\":\"" << cat << "\",\"ph\":\"" << ph
+        << "\",\"ts\":" << Micros(ts) << ",\"pid\":1,\"tid\":" << tid;
+    if (!extra.empty()) {
+      os_ << "," << extra;
+    }
+    os_ << ",\"args\":{\"a\":" << arg_a << ",\"b\":" << arg_b << "}}";
+  }
+
+  void Meta(const std::string& json) {
+    os_ << (first_ ? "\n" : ",\n");
+    first_ = false;
+    os_ << json;
+  }
+
+ private:
+  std::ostream& os_;
+  bool first_ = true;
+};
+
+}  // namespace
+
+void ExportChromeTrace(const TraceLog& log, std::ostream& os) {
+  const std::vector<TraceRecord> records = log.Snapshot();
+
+  // Thread layout: tid 0 is machine-wide events, process events use
+  // tid = pid, each disk gets its own lane so dispatch/complete slices
+  // nest per device.
+  std::map<std::string, int64_t> device_tids;
+  std::map<int64_t, bool> pids_seen;
+  for (const TraceRecord& r : records) {
+    switch (r.kind) {
+      case TraceKind::kDispatch:
+      case TraceKind::kRunnable:
+      case TraceKind::kSleep:
+      case TraceKind::kSyscallEnter:
+      case TraceKind::kSyscallExit:
+        pids_seen[r.a] = true;
+        break;
+      case TraceKind::kDiskDispatch:
+      case TraceKind::kDiskComplete:
+        if (device_tids.count(r.tag) == 0) {
+          device_tids[r.tag] = 1000 + static_cast<int64_t>(device_tids.size());
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  EventWriter w(os);
+
+  w.Meta("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+         "\"args\":{\"name\":\"ikdp kernel\"}}");
+  w.Meta("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"machine\"}}");
+  for (const auto& [pid, seen] : pids_seen) {
+    (void)seen;
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%lld,"
+                  "\"args\":{\"name\":\"pid %lld\"}}",
+                  static_cast<long long>(pid), static_cast<long long>(pid));
+    w.Meta(buf);
+  }
+  for (const auto& [dev, tid] : device_tids) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%lld,"
+                  "\"args\":{\"name\":\"disk %s\"}}",
+                  static_cast<long long>(tid), JsonEscape(dev).c_str());
+    w.Meta(buf);
+  }
+
+  auto async_id = [](int64_t serial) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "\"id\":\"%lld\"", static_cast<long long>(serial));
+    return std::string(buf);
+  };
+
+  for (const TraceRecord& r : records) {
+    const std::string tag = r.tag;
+    switch (r.kind) {
+      // --- duration slices on per-process lanes ---
+      case TraceKind::kSyscallEnter:
+        w.Emit(tag.empty() ? "syscall" : tag, "syscall", "B", r.time, r.a, "", r.a, r.b);
+        break;
+      case TraceKind::kSyscallExit:
+        w.Emit(tag.empty() ? "syscall" : tag, "syscall", "E", r.time, r.a, "", r.a, r.b);
+        break;
+      // --- scheduler instants on the process lane ---
+      case TraceKind::kDispatch:
+      case TraceKind::kRunnable:
+      case TraceKind::kSleep:
+        w.Emit(TraceKindName(r.kind), "sched", "i", r.time, r.a, "\"s\":\"t\"", r.a, r.b);
+        break;
+      // --- interrupts: complete events with duration, machine lane ---
+      case TraceKind::kInterrupt: {
+        char dur[48];
+        std::snprintf(dur, sizeof(dur), "\"dur\":%s", Micros(r.a).c_str());
+        w.Emit("interrupt", "irq", "X", r.time, 0, dur, r.a, r.b);
+        break;
+      }
+      // --- disk transfers: slices on the device lane ---
+      case TraceKind::kDiskDispatch:
+        w.Emit("xfer #" + std::to_string(r.a), "disk", "B", r.time, device_tids[tag], "", r.a,
+               r.b);
+        break;
+      case TraceKind::kDiskComplete:
+        w.Emit("xfer #" + std::to_string(r.a), "disk", "E", r.time, device_tids[tag], "", r.a,
+               r.b);
+        break;
+      // --- splices: async spans keyed by descriptor serial ---
+      case TraceKind::kSpliceStart:
+        w.Emit("splice #" + std::to_string(r.a), "splice", "b", r.time, 0, async_id(r.a), r.a,
+               r.b);
+        break;
+      case TraceKind::kSpliceDone:
+        w.Emit("splice #" + std::to_string(r.a), "splice", "e", r.time, 0, async_id(r.a), r.a,
+               r.b);
+        break;
+      case TraceKind::kSpliceRead:
+      case TraceKind::kSpliceChunk:
+      case TraceKind::kSpliceLowWater:
+      case TraceKind::kSpliceRefill:
+        w.Emit(std::string("splice #") + std::to_string(r.a) + " " + TraceKindName(r.kind),
+               "splice", "n", r.time, 0, async_id(r.a), r.a, r.b);
+        break;
+      // --- everything else: machine-lane instants ---
+      default:
+        w.Emit(tag.empty() ? TraceKindName(r.kind)
+                           : std::string(TraceKindName(r.kind)) + " " + tag,
+               "kernel", "i", r.time, 0, "\"s\":\"g\"", r.a, r.b);
+        break;
+    }
+  }
+  os << "\n]}\n";
+}
+
+void ExportRegistryJson(const MetricsRegistry& registry, std::ostream& os) {
+  os << "{\n\"schema\":\"" << kTelemetrySchema << "\",\n\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : registry.counters()) {
+    os << (first ? "\n" : ",\n") << "\"" << JsonEscape(name) << "\":" << value;
+    first = false;
+  }
+  os << "\n},\n\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : registry.histograms()) {
+    os << (first ? "\n" : ",\n") << "\"" << JsonEscape(name) << "\":{";
+    os << "\"count\":" << h.count() << ",\"sum\":" << h.sum() << ",\"min\":" << h.min()
+       << ",\"max\":" << h.max() << ",\"p50\":" << h.Quantile(0.5)
+       << ",\"p90\":" << h.Quantile(0.9) << ",\"p99\":" << h.Quantile(0.99) << ",\"buckets\":[";
+    bool bfirst = true;
+    for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
+      if (h.bucket_count(i) == 0) {
+        continue;
+      }
+      os << (bfirst ? "" : ",") << "{\"lo\":" << LatencyHistogram::BucketLo(i)
+         << ",\"hi\":" << LatencyHistogram::BucketHi(i) << ",\"count\":" << h.bucket_count(i)
+         << "}";
+      bfirst = false;
+    }
+    os << "]}";
+    first = false;
+  }
+  os << "\n}\n}\n";
+}
+
+// --- minimal JSON reader ---
+
+const JsonValue* JsonValue::Get(const std::string& key) const {
+  if (kind != Kind::kObject) {
+    return nullptr;
+  }
+  auto it = members.find(key);
+  return it == members.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool Parse(JsonValue* out) {
+    SkipWs();
+    if (!Value(out)) {
+      return false;
+    }
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* lit) {
+    const size_t n = std::char_traits<char>::length(lit);
+    if (s_.compare(pos_, n, lit) != 0) {
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  bool Value(JsonValue* out) {
+    if (pos_ >= s_.size()) {
+      return false;
+    }
+    switch (s_[pos_]) {
+      case '{':
+        return Object(out);
+      case '[':
+        return Array(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return String(&out->str);
+      case 't':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = true;
+        return Literal("true");
+      case 'f':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = false;
+        return Literal("false");
+      case 'n':
+        out->kind = JsonValue::Kind::kNull;
+        return Literal("null");
+      default:
+        return Number(out);
+    }
+  }
+
+  bool Object(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (!String(&key)) {
+        return false;
+      }
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_] != ':') {
+        return false;
+      }
+      ++pos_;
+      SkipWs();
+      JsonValue v;
+      if (!Value(&v)) {
+        return false;
+      }
+      out->members[key] = std::move(v);
+      SkipWs();
+      if (pos_ >= s_.size()) {
+        return false;
+      }
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      JsonValue v;
+      if (!Value(&v)) {
+        return false;
+      }
+      out->items.push_back(std::move(v));
+      SkipWs();
+      if (pos_ >= s_.size()) {
+        return false;
+      }
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String(std::string* out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') {
+      return false;
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) {
+        return false;
+      }
+      char esc = s_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          *out += esc;
+          break;
+        case 'b':
+          *out += '\b';
+          break;
+        case 'f':
+          *out += '\f';
+          break;
+        case 'n':
+          *out += '\n';
+          break;
+        case 'r':
+          *out += '\r';
+          break;
+        case 't':
+          *out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) {
+            return false;
+          }
+          // Keep it simple: decode BMP code points to UTF-8.
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = s_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return false;
+            }
+          }
+          if (cp < 0x80) {
+            *out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            *out += static_cast<char>(0xc0 | (cp >> 6));
+            *out += static_cast<char>(0x80 | (cp & 0x3f));
+          } else {
+            *out += static_cast<char>(0xe0 | (cp >> 12));
+            *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            *out += static_cast<char>(0x80 | (cp & 0x3f));
+          }
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool Number(JsonValue* out) {
+    const char* start = s_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start) {
+      return false;
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = v;
+    pos_ += static_cast<size_t>(end - start);
+    return true;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool ParseJson(const std::string& text, JsonValue* out) { return JsonParser(text).Parse(out); }
+
+}  // namespace ikdp

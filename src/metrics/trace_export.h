@@ -1,0 +1,69 @@
+// Machine-readable exports of the tracing/telemetry layer.
+//
+// ExportChromeTrace serializes a TraceLog snapshot as Chrome trace-event
+// JSON (the {"traceEvents": [...]} format), loadable in Perfetto or
+// chrome://tracing.  The paired kinds documented in src/sim/trace.h become
+// duration slices (syscalls, disk transfers) and async spans (splices);
+// everything else becomes instant events.  Timestamps are microseconds with
+// nanosecond precision kept in the fraction.
+//
+// ExportRegistryJson serializes a MetricsRegistry under the stable schema
+// id "ikdp.telemetry.v1":
+//
+//   { "schema": "ikdp.telemetry.v1",
+//     "counters": { "<name>": <int>, ... },
+//     "histograms": { "<name>": { "count", "sum", "min", "max",
+//                                 "p50", "p90", "p99",
+//                                 "buckets": [ {"lo","hi","count"}, ... ] } } }
+//
+// ParseJson is a minimal self-contained JSON reader — just enough for tests
+// and benches to round-trip the exports without external dependencies.
+
+#ifndef SRC_METRICS_TRACE_EXPORT_H_
+#define SRC_METRICS_TRACE_EXPORT_H_
+
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/metrics/histogram.h"
+#include "src/sim/trace.h"
+
+namespace ikdp {
+
+inline constexpr const char* kTelemetrySchema = "ikdp.telemetry.v1";
+
+void ExportChromeTrace(const TraceLog& log, std::ostream& os);
+
+void ExportRegistryJson(const MetricsRegistry& registry, std::ostream& os);
+
+// --- minimal JSON reader (for round-trip validation) ---
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> items;                // kArray
+  std::map<std::string, JsonValue> members;    // kObject
+
+  bool IsObject() const { return kind == Kind::kObject; }
+  bool IsArray() const { return kind == Kind::kArray; }
+  bool IsNumber() const { return kind == Kind::kNumber; }
+  bool IsString() const { return kind == Kind::kString; }
+
+  // Object member access; returns nullptr when absent or not an object.
+  const JsonValue* Get(const std::string& key) const;
+};
+
+// Parses `text` into `*out`.  Returns false (and leaves *out unspecified)
+// on malformed input or trailing garbage.
+bool ParseJson(const std::string& text, JsonValue* out);
+
+}  // namespace ikdp
+
+#endif  // SRC_METRICS_TRACE_EXPORT_H_

@@ -18,6 +18,11 @@ Kernel::Kernel(Simulator* sim, CostConfig costs, int nbufs, int hz)
 
 // --- setup ---
 
+void Kernel::AttachTrace(TraceLog* trace) {
+  cpu_.set_trace(trace);
+  callouts_.set_trace(trace);
+}
+
 FileSystem* Kernel::MountFs(BlockDevice* dev, const std::string& name) {
   assert(mounts_.count(name) == 0);
   auto fs = std::make_unique<FileSystem>(&cpu_, &cache_, dev, name);
@@ -29,6 +34,15 @@ FileSystem* Kernel::MountFs(BlockDevice* dev, const std::string& name) {
 FileSystem* Kernel::FindFs(const std::string& name) {
   auto it = mounts_.find(name);
   return it == mounts_.end() ? nullptr : it->second.get();
+}
+
+std::vector<FileSystem*> Kernel::Mounts() {
+  std::vector<FileSystem*> out;
+  out.reserve(mounts_.size());
+  for (auto& [name, fs] : mounts_) {
+    out.push_back(fs.get());
+  }
+  return out;
 }
 
 void Kernel::RegisterCharDev(const std::string& name, CharDevice* dev) {

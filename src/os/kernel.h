@@ -65,9 +65,19 @@ class Kernel {
 
   // --- machine setup (host side, no simulated time) ---
 
+  // Attaches `trace` (nullptr detaches) to every layer that records:
+  // scheduler/syscalls (CPU), callout table, and — via the per-request
+  // refresh in DiskDriver::Strategy — the disk models underneath mounted
+  // filesystems.  Recording never advances simulated time, so attaching a
+  // log does not perturb an experiment.
+  void AttachTrace(TraceLog* trace);
+
   // Creates and mounts a filesystem named `name` on `dev`.
   FileSystem* MountFs(BlockDevice* dev, const std::string& name);
   FileSystem* FindFs(const std::string& name);
+
+  // All mounted filesystems in mount-name order (deterministic).
+  std::vector<FileSystem*> Mounts();
 
   // Registers `/dev/<name>`.
   void RegisterCharDev(const std::string& name, CharDevice* dev);

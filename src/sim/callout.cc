@@ -22,6 +22,9 @@ CalloutId CalloutTable::Timeout(std::function<void()> fn, int ticks) {
   const CalloutId id = ++next_id_;
   buckets_[when].push_back(Entry{id, std::move(fn), /*head=*/false});
   pending_[id] = when;
+  if (trace_ != nullptr) {
+    trace_->Record(sim_->Now(), TraceKind::kCalloutArm, static_cast<int64_t>(id), ticks);
+  }
   ArmSoftclock(when);
   return id;
 }
@@ -38,6 +41,9 @@ CalloutId CalloutTable::ScheduleHead(std::function<void()> fn) {
   auto it = std::find_if(bucket.begin(), bucket.end(), [](const Entry& e) { return !e.head; });
   bucket.insert(it, Entry{id, std::move(fn), /*head=*/true});
   pending_[id] = when;
+  if (trace_ != nullptr) {
+    trace_->Record(sim_->Now(), TraceKind::kCalloutArm, static_cast<int64_t>(id), 0);
+  }
   ArmSoftclock(when);
   return id;
 }
@@ -86,6 +92,9 @@ void CalloutTable::RunTick(SimTime when) {
   std::vector<Entry> entries = std::move(it->second);
   buckets_.erase(it);
   ++softclock_runs_;
+  if (trace_ != nullptr) {
+    trace_->Record(when, TraceKind::kSoftclockRun, static_cast<int64_t>(entries.size()));
+  }
   for (Entry& e : entries) {
     pending_.erase(e.id);
   }

@@ -24,6 +24,7 @@
 
 #include "src/sim/simulator.h"
 #include "src/sim/time.h"
+#include "src/sim/trace.h"
 
 namespace ikdp {
 
@@ -67,6 +68,10 @@ class CalloutTable {
   // softclock CPU time.  The int argument is the number of callouts run.
   void set_softclock_observer(std::function<void(int)> obs) { observer_ = std::move(obs); }
 
+  // Attaches a trace log recording kCalloutArm / kSoftclockRun events
+  // (nullptr detaches; default off).  Kernel::AttachTrace wires this.
+  void set_trace(TraceLog* trace) { trace_ = trace; }
+
  private:
   struct Entry {
     CalloutId id;
@@ -94,6 +99,7 @@ class CalloutTable {
   CalloutId next_id_ = 0;
   uint64_t softclock_runs_ = 0;
   std::function<void(int)> observer_;
+  TraceLog* trace_ = nullptr;
 };
 
 }  // namespace ikdp

@@ -24,6 +24,36 @@ const char* TraceKindName(TraceKind k) {
       return "splice-chunk";
     case TraceKind::kSpliceDone:
       return "splice-done";
+    case TraceKind::kRunnable:
+      return "runnable";
+    case TraceKind::kSpliceRead:
+      return "splice-read";
+    case TraceKind::kSpliceLowWater:
+      return "splice-lowwater";
+    case TraceKind::kSpliceRefill:
+      return "splice-refill";
+    case TraceKind::kBreadHit:
+      return "bread-hit";
+    case TraceKind::kBreadMiss:
+      return "bread-miss";
+    case TraceKind::kGetblkSleep:
+      return "getblk-sleep";
+    case TraceKind::kDelwriFlush:
+      return "delwri-flush";
+    case TraceKind::kDiskEnqueue:
+      return "disk-enqueue";
+    case TraceKind::kDiskDispatch:
+      return "disk-dispatch";
+    case TraceKind::kDiskComplete:
+      return "disk-complete";
+    case TraceKind::kDiskCoalesce:
+      return "disk-coalesce";
+    case TraceKind::kDiskSweepWrap:
+      return "disk-sweepwrap";
+    case TraceKind::kCalloutArm:
+      return "callout-arm";
+    case TraceKind::kSoftclockRun:
+      return "softclock-run";
   }
   return "?";
 }

@@ -7,7 +7,18 @@
 // the ring to see exactly what the machine did and when.
 //
 // Records carry two integer arguments and a static tag string; meaning is
-// per-event (documented at each recording site).
+// per-event (documented at each recording site).  Tags must point at storage
+// that outlives the log (string literals, or names owned by a live device).
+//
+// Several kinds form begin/end pairs from which intervals can be
+// reconstructed (src/metrics/telemetry.h does this online, and the Chrome
+// trace exporter renders them as slices):
+//
+//   kSyscallEnter -> kSyscallExit   keyed by pid (syscalls do not nest)
+//   kRunnable     -> kDispatch      keyed by pid (run-queue wait)
+//   kDiskDispatch -> kDiskComplete  keyed by (device tag, transfer serial)
+//   kSpliceRead   -> kSpliceChunk   keyed by (descriptor serial, chunk index)
+//   kSpliceStart  -> kSpliceDone    keyed by descriptor serial
 
 #ifndef SRC_SIM_TRACE_H_
 #define SRC_SIM_TRACE_H_
@@ -16,6 +27,7 @@
 #include <functional>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/sim/time.h"
@@ -23,15 +35,37 @@
 namespace ikdp {
 
 enum class TraceKind : uint8_t {
-  kDispatch,      // a = pid
-  kSleep,         // a = pid, b = priority
+  // --- scheduler ---
+  kDispatch,      // a = pid, tag = process name
+  kSleep,         // a = pid, b = priority, tag = process name
   kWakeup,        // a = woken count
+  kRunnable,      // a = pid — entered the run queue (pairs with kDispatch)
   kInterrupt,     // a = duration ns
+  // --- syscalls ---
   kSyscallEnter,  // a = pid, tag = syscall name
   kSyscallExit,   // a = pid, tag = syscall name
-  kSpliceStart,   // a = descriptor serial
-  kSpliceChunk,   // a = descriptor serial, b = chunk index
+  // --- splice lifecycle ---
+  kSpliceStart,   // a = descriptor serial, b = total chunks (-1 unbounded)
+  kSpliceChunk,   // a = descriptor serial, b = chunk index (write completed)
   kSpliceDone,    // a = descriptor serial, b = bytes moved
+  // --- splice flow control ---
+  kSpliceRead,      // a = descriptor serial, b = chunk index — read issued
+  kSpliceLowWater,  // a = descriptor serial, b = pending reads at the crossing
+  kSpliceRefill,    // a = descriptor serial, b = reads issued by the batch
+  // --- buffer cache ---
+  kBreadHit,      // a = blkno, tag = device name
+  kBreadMiss,     // a = blkno, tag = device name
+  kGetblkSleep,   // a = pid, b = blkno — getblk blocked (busy buf / no free)
+  kDelwriFlush,   // a = blkno, tag = device name — dirty LRU victim pushed out
+  // --- disk driver / DiskModel scheduler ---
+  kDiskEnqueue,   // a = byte offset, b = nbytes, tag = "read" / "write"
+  kDiskDispatch,  // a = transfer serial, b = total bytes, tag = device name
+  kDiskComplete,  // a = transfer serial, b = total bytes, tag = device name
+  kDiskCoalesce,  // a = transfer serial, b = bytes merged in, tag = device name
+  kDiskSweepWrap, // a = wrap-to offset, b = sweep position before the wrap
+  // --- callout table ---
+  kCalloutArm,    // a = callout id, b = ticks ahead (0 = head of list)
+  kSoftclockRun,  // a = callouts run on this tick
 };
 
 const char* TraceKindName(TraceKind k);
@@ -59,7 +93,16 @@ class TraceLog {
       ring_[next_ % capacity_] = rec;
     }
     ++next_;
+    if (observer_) {
+      observer_(rec);
+    }
   }
+
+  // Optional live tap: invoked with every record as it is written, before
+  // ring eviction can drop it.  The telemetry collector uses this to feed
+  // latency histograms online.  Observers run on the host only and must not
+  // touch simulated state.
+  void set_observer(std::function<void(const TraceRecord&)> obs) { observer_ = std::move(obs); }
 
   // Total records ever written (>= Snapshot().size()).
   uint64_t total() const { return next_; }
@@ -96,6 +139,7 @@ class TraceLog {
   size_t capacity_;
   std::vector<TraceRecord> ring_;
   uint64_t next_ = 0;
+  std::function<void(const TraceRecord&)> observer_;
 };
 
 }  // namespace ikdp

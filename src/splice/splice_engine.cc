@@ -90,6 +90,10 @@ void SpliceEngine::IssueReads(SpliceDescriptor* d) {
     ++d->reads_issued_;
     ++d->pending_reads_;
     d->stats_.max_pending_reads = std::max(d->stats_.max_pending_reads, d->pending_reads_);
+    if (cpu_->trace() != nullptr) {
+      cpu_->trace()->Record(cpu_->sim()->Now(), TraceKind::kSpliceRead,
+                            static_cast<int64_t>(d->serial_), index);
+    }
     const bool ok = d->source_->StartRead(
         index, [this, d](SpliceChunk chunk) { ReadDone(d, std::move(chunk)); });
     if (!ok) {
@@ -247,7 +251,17 @@ void SpliceEngine::WriteDone(SpliceDescriptor* d, SpliceChunk chunk, bool ok) {
   if (d->pending_reads_ < d->opts_.read_low_watermark &&
       d->pending_writes_ < d->opts_.write_high_watermark) {
     ++d->stats_.refills;
+    if (cpu_->trace() != nullptr) {
+      cpu_->trace()->Record(cpu_->sim()->Now(), TraceKind::kSpliceLowWater,
+                            static_cast<int64_t>(d->serial_), d->pending_reads_);
+    }
+    const int64_t issued_before = d->reads_issued_;
     IssueReads(d);
+    if (cpu_->trace() != nullptr) {
+      cpu_->trace()->Record(cpu_->sim()->Now(), TraceKind::kSpliceRefill,
+                            static_cast<int64_t>(d->serial_),
+                            d->reads_issued_ - issued_before);
+    }
   }
   MaybeFinish(d);
 }

@@ -1,0 +1,194 @@
+// Tests for the metrics layer: log2 histogram bucketing and quantiles, the
+// named-metric registry, the online telemetry collector's interval pairing,
+// and whole-kernel counter capture.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/dev/disk_driver.h"
+#include "src/dev/ram_disk.h"
+#include "src/metrics/histogram.h"
+#include "src/metrics/telemetry.h"
+#include "src/os/kernel.h"
+
+namespace ikdp {
+namespace {
+
+uint8_t Fill(int64_t i) { return static_cast<uint8_t>(i * 13 + 1); }
+
+TEST(LatencyHistogramTest, BucketBoundariesArePowersOfTwo) {
+  LatencyHistogram h;
+  h.Add(0);
+  h.Add(1);        // [1, 2)      -> bucket 1
+  h.Add(2);        // [2, 4)      -> bucket 2
+  h.Add(3);        // [2, 4)
+  h.Add(1024);     // [1024, 2048) -> bucket 11
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  EXPECT_EQ(h.bucket_count(11), 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 1030);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 1024);
+  EXPECT_EQ(LatencyHistogram::BucketLo(11), 1024);
+  EXPECT_EQ(LatencyHistogram::BucketHi(11), 2048);
+  EXPECT_EQ(LatencyHistogram::BucketLo(0), 0);
+}
+
+TEST(LatencyHistogramTest, HugeValuesLandInTheLastBucket) {
+  LatencyHistogram h;
+  h.Add(INT64_MAX);
+  EXPECT_EQ(h.bucket_count(LatencyHistogram::kBuckets - 1), 1u);
+  EXPECT_EQ(h.max(), INT64_MAX);
+  EXPECT_EQ(h.Quantile(1.0), INT64_MAX);
+}
+
+TEST(LatencyHistogramTest, QuantilesAreConservativeUpperBounds) {
+  LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) {
+    h.Add(100);  // bucket [64, 128)
+  }
+  for (int i = 0; i < 10; ++i) {
+    h.Add(10000);  // bucket [8192, 16384)
+  }
+  // p50 falls in the low bucket: bound 127, capped at nothing below max.
+  EXPECT_EQ(h.Quantile(0.5), 127);
+  // p99 falls in the high bucket; the bound is capped at the true max.
+  EXPECT_EQ(h.Quantile(0.99), 10000);
+  EXPECT_EQ(h.Quantile(0.0), 127);  // lowest non-empty bucket
+  // Empty histogram.
+  LatencyHistogram empty;
+  EXPECT_EQ(empty.Quantile(0.5), 0);
+  EXPECT_EQ(empty.min(), 0);
+  EXPECT_EQ(empty.max(), 0);
+}
+
+TEST(LatencyHistogramTest, PrintShowsDistribution) {
+  LatencyHistogram h;
+  h.Add(1000);
+  h.Add(2000);
+  std::ostringstream os;
+  h.Print(os);
+  EXPECT_NE(os.str().find("count 2"), std::string::npos);
+  EXPECT_NE(os.str().find('*'), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, CountersAndEnumerationOrder) {
+  MetricsRegistry r;
+  r.SetCounter("z.last", 3);
+  r.SetCounter("a.first", 1);
+  r.SetCounter("m.middle", 2);
+  EXPECT_EQ(r.GetCounter("a.first"), 1);
+  EXPECT_EQ(r.GetCounter("missing"), 0);
+  EXPECT_FALSE(r.HasCounter("missing"));
+  r.SetCounter("a.first", 10);  // overwrite
+  EXPECT_EQ(r.GetCounter("a.first"), 10);
+  // Deterministic name-ordered enumeration.
+  std::vector<std::string> names;
+  for (const auto& [name, v] : r.counters()) {
+    names.push_back(name);
+  }
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "a.first");
+  EXPECT_EQ(names[2], "z.last");
+  // Histogram get-or-create returns a stable pointer.
+  LatencyHistogram* h = r.Histogram("lat");
+  h->Add(5);
+  EXPECT_EQ(r.Histogram("lat"), h);
+  EXPECT_EQ(r.Histogram("lat")->count(), 1u);
+}
+
+TEST(TelemetryCollectorTest, PairsIntervalsByKey) {
+  MetricsRegistry registry;
+  TelemetryCollector collector(&registry);
+
+  // Two interleaved syscalls on different pids.
+  collector.Observe({1000, TraceKind::kSyscallEnter, 1, 0, "read"});
+  collector.Observe({1500, TraceKind::kSyscallEnter, 2, 0, "write"});
+  collector.Observe({4000, TraceKind::kSyscallExit, 1, 0, "read"});
+  collector.Observe({9500, TraceKind::kSyscallExit, 2, 0, "write"});
+  EXPECT_EQ(registry.Histogram("syscall.latency.read")->count(), 1u);
+  EXPECT_EQ(registry.Histogram("syscall.latency.read")->sum(), 3000);
+  EXPECT_EQ(registry.Histogram("syscall.latency.write")->sum(), 8000);
+
+  // Run-queue wait.
+  collector.Observe({100, TraceKind::kRunnable, 7, 0, "p"});
+  collector.Observe({700, TraceKind::kDispatch, 7, 0, "p"});
+  EXPECT_EQ(registry.Histogram("cpu.runq_wait")->sum(), 600);
+
+  // Disk transfers keyed by (device, serial): same serial on two devices
+  // must not collide.
+  collector.Observe({0, TraceKind::kDiskDispatch, 1, 8192, "dev.a"});
+  collector.Observe({100, TraceKind::kDiskDispatch, 1, 8192, "dev.b"});
+  collector.Observe({5000, TraceKind::kDiskComplete, 1, 8192, "dev.a"});
+  collector.Observe({5100, TraceKind::kDiskComplete, 1, 8192, "dev.b"});
+  EXPECT_EQ(registry.Histogram("disk.service_time.dev.a")->sum(), 5000);
+  EXPECT_EQ(registry.Histogram("disk.service_time.dev.b")->sum(), 5000);
+
+  // Splice chunk latency keyed by (serial, index).
+  collector.Observe({0, TraceKind::kSpliceRead, 1, 0, ""});
+  collector.Observe({10, TraceKind::kSpliceRead, 1, 1, ""});
+  collector.Observe({300, TraceKind::kSpliceChunk, 1, 1, ""});
+  collector.Observe({500, TraceKind::kSpliceChunk, 1, 0, ""});
+  const LatencyHistogram* chunk = registry.Histogram("splice.chunk_latency");
+  EXPECT_EQ(chunk->count(), 2u);
+  EXPECT_EQ(chunk->sum(), 290 + 500);
+  EXPECT_EQ(collector.PendingIntervals(), 0u);
+
+  // Unmatched ends are ignored, unmatched begins stay pending.
+  collector.Observe({100, TraceKind::kDiskComplete, 9, 0, "dev.a"});
+  collector.Observe({200, TraceKind::kSpliceRead, 2, 0, ""});
+  EXPECT_EQ(collector.PendingIntervals(), 1u);
+  EXPECT_EQ(registry.Histogram("disk.service_time.dev.a")->count(), 1u);
+}
+
+TEST(TelemetryCollectorTest, FeedsFromLiveKernelRun) {
+  Simulator sim;
+  Kernel kernel(&sim, DecStation5000Costs());
+  DiskDriver disk(&kernel.cpu(), &sim, Rz56Params());
+  RamDisk ram(&kernel.cpu(), 16 << 20);
+  FileSystem* src = kernel.MountFs(&disk, "d");
+  kernel.MountFs(&ram, "r");
+  src->CreateFileInstant("f", 4 * kBlockSize, Fill);
+
+  TraceLog log(1 << 14);
+  MetricsRegistry registry;
+  TelemetryCollector collector(&registry);
+  collector.Attach(&log);
+  kernel.AttachTrace(&log);
+
+  kernel.Spawn("p", [&](Process& p) -> Task<> {
+    const int s = co_await kernel.Open(p, "d:f", kOpenRead);
+    const int d = co_await kernel.Open(p, "r:g", kOpenWrite | kOpenCreate);
+    co_await kernel.Splice(p, s, d, kSpliceEof);
+  });
+  sim.Run();
+
+  CaptureKernelCounters(&registry, kernel);
+
+  // Online histograms fed through the observer.
+  EXPECT_EQ(registry.Histogram("splice.chunk_latency")->count(), 4u);
+  EXPECT_GE(registry.Histogram("disk.service_time.RZ56")->count(), 1u);
+  EXPECT_GE(registry.Histogram("syscall.latency.open")->count(), 2u);
+  EXPECT_GE(registry.Histogram("cpu.runq_wait")->count(), 1u);
+  // Histogram time sum must agree with the disk's own busy-time ledger.
+  EXPECT_EQ(registry.Histogram("disk.service_time.RZ56")->sum(),
+            registry.GetCounter("disk.d.busy_time_ns"));
+
+  // Sampled counters mirror the kernel's stats structs.
+  EXPECT_EQ(registry.GetCounter("sys.syscalls"),
+            static_cast<int64_t>(kernel.stats().syscalls));
+  EXPECT_EQ(registry.GetCounter("splice.total_bytes"), 4 * kBlockSize);
+  EXPECT_EQ(registry.GetCounter("cache.misses"),
+            static_cast<int64_t>(kernel.cache().stats().misses));
+  EXPECT_EQ(registry.GetCounter("disk.d.requests"),
+            static_cast<int64_t>(disk.stats().requests));
+  EXPECT_GT(registry.GetCounter("cpu.process_work_ns"), 0);
+  // The RAM-disk mount has no scheduler: no counters under its prefix.
+  EXPECT_FALSE(registry.HasCounter("disk.r.requests"));
+}
+
+}  // namespace
+}  // namespace ikdp
