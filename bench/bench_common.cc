@@ -1,0 +1,42 @@
+#include "bench/bench_common.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace ikdp::bench {
+
+int64_t ParseMb(int argc, char** argv, int64_t def) {
+  int64_t mb = def;
+  if (argc > 1) {
+    mb = std::max(1l, std::strtol(argv[1], nullptr, 10));
+  }
+  return mb;
+}
+
+bool LedgerOk(const ExperimentResult& e, const char* label) {
+  if (e.idle_fraction < 0.0 || e.idle_fraction > 1.0) {
+    std::fprintf(stderr, "ACCOUNTING BUG: %s idle fraction %.4f out of [0,1]\n", label,
+                 e.idle_fraction);
+    return false;
+  }
+  return true;
+}
+
+void CheckList::Check(bool cond, const char* what) {
+  std::printf("  %-58s %s\n", what, cond ? "ok" : "FAIL");
+  if (!cond) {
+    ok = false;
+  }
+}
+
+std::string Slurp(const char* path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace ikdp::bench

@@ -1,0 +1,36 @@
+// Shared scaffolding for the bench executables: argv parsing, the CPU-ledger
+// sanity check, the aligned pass/FAIL check list, and file slurping for
+// JSON round-trips.  Keeping these in one place keeps every bench's output
+// format and exit-code discipline identical.
+
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/metrics/experiment.h"
+
+namespace ikdp::bench {
+
+// Parses the optional leading megabyte-count argument (clamped to >= 1).
+int64_t ParseMb(int argc, char** argv, int64_t def = 8);
+
+// Accounting identity: idle = elapsed - (process + switch + interrupt work)
+// must land in [0, 1] or the bench's numbers rest on a broken CPU ledger.
+// Prints on stderr (so a passing run's stdout is unchanged) and returns
+// false on violation.
+bool LedgerOk(const ExperimentResult& e, const char* label);
+
+// An aligned "  <what>  ok|FAIL" list; `ok` latches false on any failure.
+struct CheckList {
+  bool ok = true;
+  void Check(bool cond, const char* what);
+};
+
+// Reads a whole file into a string (empty on open failure).
+std::string Slurp(const char* path);
+
+}  // namespace ikdp::bench
+
+#endif  // BENCH_BENCH_COMMON_H_

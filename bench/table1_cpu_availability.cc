@@ -10,13 +10,11 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench/bench_common.h"
 #include "src/metrics/tables.h"
 
 int main(int argc, char** argv) {
-  int64_t mb = 8;
-  if (argc > 1) {
-    mb = std::max(1l, std::strtol(argv[1], nullptr, 10));
-  }
+  const int64_t mb = ikdp::bench::ParseMb(argc, argv);
   std::printf("ikdp bench: Table 1 reproduction (file size %lld MB)\n\n",
               static_cast<long long>(mb));
   const auto rows = ikdp::RunTable1(mb << 20);
@@ -31,13 +29,10 @@ int main(int argc, char** argv) {
     if (pct < 10.0 || !r.cp.ok || !r.scp.ok) {
       claim_holds = false;
     }
-    // Accounting identity: a negative idle fraction means the CPU ledger
-    // double-charged time somewhere.  Fail loudly rather than publish
-    // slowdown factors computed from a broken ledger.
+    // Fail loudly rather than publish slowdown factors computed from a
+    // broken ledger.
     for (const auto* e : {&r.cp, &r.scp}) {
-      if (e->idle_fraction < 0.0 || e->idle_fraction > 1.0) {
-        std::fprintf(stderr, "ACCOUNTING BUG: %s idle fraction %.4f out of [0,1]\n",
-                     ikdp::DiskKindName(r.disk), e->idle_fraction);
+      if (!ikdp::bench::LedgerOk(*e, ikdp::DiskKindName(r.disk))) {
         claim_holds = false;
       }
     }

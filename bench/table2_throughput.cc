@@ -10,13 +10,11 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench/bench_common.h"
 #include "src/metrics/tables.h"
 
 int main(int argc, char** argv) {
-  int64_t mb = 8;
-  if (argc > 1) {
-    mb = std::max(1l, std::strtol(argv[1], nullptr, 10));
-  }
+  const int64_t mb = ikdp::bench::ParseMb(argc, argv);
   std::printf("ikdp bench: Table 2 reproduction (file size %lld MB)\n\n",
               static_cast<long long>(mb));
   const auto rows = ikdp::RunTable2(mb << 20);
@@ -26,13 +24,8 @@ int main(int argc, char** argv) {
       "throughput in the best case (RAM disk); for real disks the benefit is minor.\n");
   bool shape_holds = true;
   for (const auto& r : rows) {
-    // Accounting identity: idle = elapsed - (process + switch + interrupt
-    // work) must land in [0, 1] or the throughput numbers rest on a broken
-    // CPU ledger.  Print on stderr so a passing run's stdout is unchanged.
     for (const auto* e : {&r.cp, &r.scp}) {
-      if (e->idle_fraction < 0.0 || e->idle_fraction > 1.0) {
-        std::fprintf(stderr, "ACCOUNTING BUG: %s idle fraction %.4f out of [0,1]\n",
-                     ikdp::DiskKindName(r.disk), e->idle_fraction);
+      if (!ikdp::bench::LedgerOk(*e, ikdp::DiskKindName(r.disk))) {
         shape_holds = false;
       }
     }

@@ -22,36 +22,24 @@
 #include <sstream>
 #include <string>
 
+#include "bench/bench_common.h"
 #include "src/metrics/experiment.h"
 #include "src/metrics/report.h"
 #include "src/metrics/telemetry.h"
 #include "src/metrics/trace_export.h"
 
+using ikdp::bench::Slurp;
+
 namespace {
 
-bool g_ok = true;
+ikdp::bench::CheckList g_checks;
 
-void Check(bool cond, const char* what) {
-  std::printf("  %-58s %s\n", what, cond ? "ok" : "FAIL");
-  if (!cond) {
-    g_ok = false;
-  }
-}
-
-std::string Slurp(const char* path) {
-  std::ifstream in(path);
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
-}
+void Check(bool cond, const char* what) { g_checks.Check(cond, what); }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  int64_t mb = 8;
-  if (argc > 1) {
-    mb = std::max(1l, std::strtol(argv[1], nullptr, 10));
-  }
+  const int64_t mb = ikdp::bench::ParseMb(argc, argv);
   const int64_t file_bytes = mb << 20;
   const int64_t chunks = file_bytes / 8192;
   std::printf("ikdp bench: traced Table 2 run (RZ56, splice, %lld MB)\n\n",
@@ -180,6 +168,6 @@ int main(int argc, char** argv) {
   registry.Histogram("disk.service_time.RZ56.src")->Print(hist);
   std::fputs(hist.str().c_str(), stdout);
 
-  std::printf("\n%s\n", g_ok ? "ALL CHECKS PASS" : "CHECKS FAILED");
-  return g_ok ? 0 : 1;
+  std::printf("\n%s\n", g_checks.ok ? "ALL CHECKS PASS" : "CHECKS FAILED");
+  return g_checks.ok ? 0 : 1;
 }

@@ -1,0 +1,283 @@
+#include "src/aio/splice_ring.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace ikdp {
+
+SpliceRing::SpliceRing(int id, CpuSystem* cpu, CalloutTable* callouts, SpliceEngine* engine,
+                       RingConfig config)
+    : id_(id), cpu_(cpu), callouts_(callouts), engine_(engine), config_(config) {}
+
+void SpliceRing::Trace(TraceKind kind, int64_t b) {
+  if (cpu_->trace() != nullptr) {
+    cpu_->trace()->Record(cpu_->sim()->Now(), kind, id_, b);
+  }
+}
+
+int SpliceRing::NextGroupSize() const {
+  if (prepared_.empty()) {
+    return 0;
+  }
+  // A linked run: every member except the last carries kSqeLinked.  The flag
+  // on the final prepared entry has no successor and is ignored.
+  size_t i = 0;
+  while (i + 1 < prepared_.size() && (prepared_[i].flags & kSqeLinked) != 0) {
+    ++i;
+  }
+  return static_cast<int>(i) + 1;
+}
+
+SpliceSqe SpliceRing::PopPrepared() {
+  assert(!prepared_.empty());
+  SpliceSqe sqe = prepared_.front();
+  prepared_.pop_front();
+  return sqe;
+}
+
+void SpliceRing::AdmitGroup(std::vector<PreparedOp> group) {
+  const int gid = next_group_++;
+  for (PreparedOp& prep : group) {
+    auto op = std::make_unique<Op>();
+    op->sqe = prep.sqe;
+    op->group = gid;
+    op->source = std::move(prep.source);
+    op->sink = std::move(prep.sink);
+    op->on_moved = std::move(prep.on_moved);
+    op->opts = prep.opts;
+    op->submitted_at = cpu_->sim()->Now();
+    ++stats_.submitted;
+    Trace(TraceKind::kRingOpSubmit, static_cast<int64_t>(op->sqe.cookie));
+    queued_.push_back(std::move(op));
+  }
+  stats_.sq_depth_max = std::max(stats_.sq_depth_max, unfinished());
+  Pump();
+}
+
+void SpliceRing::FailSqe(const SpliceSqe& sqe, int error) {
+  auto op = std::make_unique<Op>();
+  op->sqe = sqe;
+  op->submitted_at = cpu_->sim()->Now();
+  ++stats_.submitted;
+  Trace(TraceKind::kRingOpSubmit, static_cast<int64_t>(sqe.cookie));
+  Op* raw = op.get();
+  queued_.push_back(std::move(op));
+  stats_.sq_depth_max = std::max(stats_.sq_depth_max, unfinished());
+  Retire(raw, 0, error);
+}
+
+void SpliceRing::NoteSubmitBatch(int admitted) {
+  Trace(TraceKind::kRingSubmit, admitted);
+  Trace(TraceKind::kRingSqDepth, unfinished());
+}
+
+void SpliceRing::Pump() {
+  while (!queued_.empty()) {
+    const int group = queued_.front()->group;
+    size_t gsize = 0;
+    while (gsize < queued_.size() && queued_[gsize]->group == group) {
+      ++gsize;
+    }
+    // A group's stages start atomically (a pipeline member without its
+    // consumer would wedge); a head group that doesn't fit blocks the line —
+    // FIFO order is part of the submission contract.
+    if (static_cast<int>(started_.size() + gsize) > config_.max_inflight) {
+      break;
+    }
+    std::vector<Op*> batch;
+    batch.reserve(gsize);
+    for (size_t i = 0; i < gsize; ++i) {
+      std::unique_ptr<Op> owned = std::move(queued_.front());
+      queued_.pop_front();
+      Op* op = owned.get();
+      op->st = Op::St::kStarted;
+      batch.push_back(op);
+      started_.push_back(std::move(owned));
+    }
+    for (Op* op : batch) {
+      // A synchronously-failing sibling may have cancelled this member
+      // while an earlier batch member was starting.
+      if (op->st == Op::St::kStarted && !op->engine_called) {
+        StartOp(op);
+      }
+    }
+  }
+}
+
+void SpliceRing::StartOp(Op* op) {
+  op->engine_called = true;
+  Op* raw = op;
+  SpliceDescriptor* d =
+      engine_->StartEx(std::move(op->source), std::move(op->sink), op->opts,
+                       [this, raw](const SpliceCompletion& c) { OnEngineComplete(raw, c); });
+  // The splice can run to completion inside StartEx (synchronous devices);
+  // only remember the descriptor while the op is still in flight.
+  if (raw->st == Op::St::kStarted) {
+    raw->desc = d;
+  }
+}
+
+void SpliceRing::OnEngineComplete(Op* op, const SpliceCompletion& c) {
+  if (op->on_moved && !c.io_error) {
+    // Partial byte counts from a cancel still update sink-side file state:
+    // those bytes are on the device.
+    op->on_moved(c.bytes_moved);
+  }
+  const int error = c.io_error ? kAioEIo : (c.cancelled ? kAioECanceled : 0);
+  const int group = op->group;
+  op->finished_at = c.finished_at;
+  Retire(op, c.bytes_moved, error);
+  // An I/O error tears down the rest of the pipeline group — a downstream
+  // stage would otherwise wait forever for bytes that will never arrive.
+  // Cancel-driven completions do NOT re-propagate (that would recurse).
+  if (c.io_error) {
+    CancelGroupSiblings(group, op);
+  }
+}
+
+void SpliceRing::Retire(Op* op, int64_t result, int error) {
+  op->result = result;
+  op->error = error;
+  if (op->finished_at == 0) {
+    op->finished_at = cpu_->sim()->Now();
+  }
+  op->st = Op::St::kRetired;
+  op->desc = nullptr;
+  if (error == kAioECanceled) {
+    ++stats_.cancelled;
+  }
+  Trace(TraceKind::kRingOpComplete, static_cast<int64_t>(op->sqe.cookie));
+  std::unique_ptr<Op> owned;
+  for (auto it = queued_.begin(); it != queued_.end(); ++it) {
+    if (it->get() == op) {
+      owned = std::move(*it);
+      queued_.erase(it);
+      break;
+    }
+  }
+  if (owned == nullptr) {
+    for (auto it = started_.begin(); it != started_.end(); ++it) {
+      if (it->get() == op) {
+        owned = std::move(*it);
+        started_.erase(it);
+        break;
+      }
+    }
+  }
+  assert(owned != nullptr);
+  retired_.push_back(std::move(owned));
+  ArmReaper();
+}
+
+void SpliceRing::CancelGroupSiblings(int group, const Op* except) {
+  if (group == 0) {
+    return;  // immediate-failure ops carry no group
+  }
+  // Collect first: Retire() and engine_->Cancel() both mutate the lists
+  // (Cancel can complete a drained descriptor synchronously).
+  std::vector<Op*> members;
+  for (const auto& q : queued_) {
+    if (q->group == group && q.get() != except) {
+      members.push_back(q.get());
+    }
+  }
+  for (const auto& s : started_) {
+    if (s->group == group && s.get() != except) {
+      members.push_back(s.get());
+    }
+  }
+  for (Op* op : members) {
+    if (op->st == Op::St::kQueued) {
+      Retire(op, 0, kAioECanceled);
+    } else if (op->st == Op::St::kStarted) {
+      if (op->desc != nullptr) {
+        // In flight: the engine drains it and the completion arrives with
+        // cancelled=true (partial bytes reported).
+        engine_->Cancel(op->desc);
+      } else {
+        Retire(op, 0, kAioECanceled);
+      }
+    }
+  }
+}
+
+int SpliceRing::Cancel(uint64_t cookie) {
+  for (const auto& q : queued_) {
+    if (q->sqe.cookie == cookie) {
+      Trace(TraceKind::kRingCancel, static_cast<int64_t>(cookie));
+      Op* op = q.get();
+      const int group = op->group;
+      Retire(op, 0, kAioECanceled);
+      // A partial pipeline cannot run: the queued group goes down together.
+      // (Groups start atomically, so no sibling can be mid-flight here.)
+      CancelGroupSiblings(group, op);
+      return 0;
+    }
+  }
+  for (const auto& s : started_) {
+    if (s->sqe.cookie == cookie) {
+      return -kAioEBusy;
+    }
+  }
+  return -kAioENoent;
+}
+
+void SpliceRing::ArmReaper() {
+  if (reaper_armed_) {
+    return;
+  }
+  reaper_armed_ = true;
+  // The reaper rides the existing callout machinery, like the engine's
+  // write-side drain: head of the callout list, charged as softclock work.
+  callouts_->ScheduleHead([this] {
+    cpu_->RunInterrupt(cpu_->costs().softclock_per_callout, [this] {
+      reaper_armed_ = false;
+      Reap();
+    });
+  });
+}
+
+void SpliceRing::Reap() {
+  ++stats_.reaps;
+  std::vector<std::unique_ptr<Op>> batch;
+  batch.swap(retired_);
+  int posted = 0;
+  for (const std::unique_ptr<Op>& op : batch) {
+    SpliceCqe cqe;
+    cqe.cookie = op->sqe.cookie;
+    cqe.result = op->result;
+    cqe.error = op->error;
+    cqe.latency = op->finished_at - op->submitted_at;
+    if (static_cast<int>(cq_.size()) < config_.cq_entries) {
+      cq_.push_back(cqe);
+    } else {
+      overflow_.push_back(cqe);
+      ++stats_.overflows;
+      Trace(TraceKind::kRingOverflow, static_cast<int64_t>(overflow_.size()));
+    }
+    ++stats_.completed;
+    ++posted;
+  }
+  Trace(TraceKind::kRingReap, posted);
+  // Posted completions free SQ slots and satisfy RingEnter's wait.
+  cpu_->Wakeup(CqChan());
+  cpu_->Wakeup(SqSpaceChan());
+  Pump();
+}
+
+int SpliceRing::Harvest(SpliceCqe* out, int max) {
+  int n = 0;
+  while (n < max && !cq_.empty()) {
+    out[n++] = cq_.front();
+    cq_.pop_front();
+    ++stats_.harvested;
+    if (!overflow_.empty()) {
+      cq_.push_back(overflow_.front());
+      overflow_.pop_front();
+    }
+  }
+  return n;
+}
+
+}  // namespace ikdp

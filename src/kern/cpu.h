@@ -107,6 +107,16 @@ class CpuSystem {
   TraceLog* trace() const { return trace_; }
 
   // --- accounting ---
+
+  // Books `t` of trap overhead against `p`'s mode-switch ledger
+  // (Process::Stats::trap_time / syscall_traps).  Pure bookkeeping: the
+  // caller still charges the time through Use(), so simulated behaviour is
+  // unchanged.
+  void AccountTrap(Process& p, SimDuration t) {
+    p.stats_.trap_time += t;
+    ++p.stats_.syscall_traps;
+  }
+
   struct Stats {
     SimDuration process_work = 0;     // CPU granted to Use() calls
     SimDuration context_switch = 0;   // switch overhead

@@ -103,6 +103,12 @@ class Process {
     uint64_t voluntary_switches = 0; // blocked on a channel
     uint64_t involuntary_switches = 0;
     uint64_t signals_taken = 0;
+    // Mode-switch ledger: the portion of cpu_time that was pure syscall
+    // trap overhead (entry/exit/validation), and how many kernel entries
+    // paid it.  A batched submission interface (the splice ring) shows up
+    // here as strictly fewer traps for the same amount of I/O.
+    SimDuration trap_time = 0;
+    uint64_t syscall_traps = 0;
   };
   const Stats& stats() const { return stats_; }
 

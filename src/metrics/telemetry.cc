@@ -1,5 +1,7 @@
 #include "src/metrics/telemetry.h"
 
+#include <algorithm>
+
 #include "src/dev/disk_driver.h"
 #include "src/fs/filesystem.h"
 
@@ -57,6 +59,20 @@ void TelemetryCollector::Observe(const TraceRecord& rec) {
       }
       break;
     }
+    case TraceKind::kRingOpSubmit:
+      ring_ops_[{rec.a, rec.b}] = rec.time;
+      break;
+    case TraceKind::kRingOpComplete: {
+      auto it = ring_ops_.find({rec.a, rec.b});
+      if (it != ring_ops_.end()) {
+        registry_->Histogram("aio.completion_latency")->Add(rec.time - it->second);
+        ring_ops_.erase(it);
+      }
+      break;
+    }
+    case TraceKind::kRingSqDepth:
+      registry_->Histogram("aio.sq_depth")->Add(rec.b);
+      break;
     default:
       break;
   }
@@ -88,6 +104,32 @@ void CaptureKernelCounters(MetricsRegistry* registry, Kernel& kernel) {
   registry->SetCounter("splice.started", static_cast<int64_t>(splice.splices_started));
   registry->SetCounter("splice.completed", static_cast<int64_t>(splice.splices_completed));
   registry->SetCounter("splice.total_bytes", splice.total_bytes);
+
+  // Ring counters are emitted even when no ring exists (all zeros), so the
+  // counter namespace is stable across configurations.
+  SpliceRing::Stats aio;
+  int nrings = 0;
+  for (SpliceRing* ring : kernel.Rings()) {
+    ++nrings;
+    const SpliceRing::Stats& r = ring->stats();
+    aio.submitted += r.submitted;
+    aio.completed += r.completed;
+    aio.harvested += r.harvested;
+    aio.cancelled += r.cancelled;
+    aio.eagain_returns += r.eagain_returns;
+    aio.overflows += r.overflows;
+    aio.reaps += r.reaps;
+    aio.sq_depth_max = std::max(aio.sq_depth_max, r.sq_depth_max);
+  }
+  registry->SetCounter("aio.rings", nrings);
+  registry->SetCounter("aio.submitted", static_cast<int64_t>(aio.submitted));
+  registry->SetCounter("aio.completed", static_cast<int64_t>(aio.completed));
+  registry->SetCounter("aio.harvested", static_cast<int64_t>(aio.harvested));
+  registry->SetCounter("aio.cancelled", static_cast<int64_t>(aio.cancelled));
+  registry->SetCounter("aio.eagain_returns", static_cast<int64_t>(aio.eagain_returns));
+  registry->SetCounter("aio.overflows", static_cast<int64_t>(aio.overflows));
+  registry->SetCounter("aio.reaps", static_cast<int64_t>(aio.reaps));
+  registry->SetCounter("aio.sq_depth_max", aio.sq_depth_max);
 
   for (FileSystem* fs : kernel.Mounts()) {
     auto* drv = dynamic_cast<DiskDriver*>(fs->dev());

@@ -8,6 +8,10 @@
 //   splice.chunk_latency         kSpliceRead   -> kSpliceChunk
 //   syscall.latency.<name>       kSyscallEnter -> kSyscallExit
 //   cpu.runq_wait                kRunnable     -> kDispatch
+//   aio.completion_latency       kRingOpSubmit -> kRingOpComplete
+//
+// kRingSqDepth records additionally feed the aio.sq_depth histogram (the
+// unfinished-op count sampled after every submission batch).
 //
 // Everything runs on the host side of the simulation boundary: observing a
 // record never advances the simulated clock, so a traced run and an
@@ -48,7 +52,8 @@ class TelemetryCollector {
 
   // Begin records whose end has not arrived yet (unfinished intervals).
   size_t PendingIntervals() const {
-    return runnable_.size() + syscalls_.size() + disk_.size() + splice_reads_.size();
+    return runnable_.size() + syscalls_.size() + disk_.size() + splice_reads_.size() +
+           ring_ops_.size();
   }
 
  private:
@@ -58,6 +63,7 @@ class TelemetryCollector {
   std::map<int64_t, std::pair<SimTime, std::string>> syscalls_;  // pid -> (enter, name)
   std::map<std::pair<std::string, int64_t>, SimTime> disk_;      // (device, serial)
   std::map<std::pair<int64_t, int64_t>, SimTime> splice_reads_;  // (serial, chunk)
+  std::map<std::pair<int64_t, int64_t>, SimTime> ring_ops_;      // (ring, cookie)
 };
 
 // Samples every kernel Stats struct into `registry` counters under stable

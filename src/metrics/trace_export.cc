@@ -7,9 +7,6 @@
 
 namespace ikdp {
 
-namespace {
-
-// Escapes a string for inclusion in a JSON string literal.
 std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 2);
@@ -42,6 +39,8 @@ std::string JsonEscape(const std::string& s) {
   }
   return out;
 }
+
+namespace {
 
 // Chrome trace timestamps are microseconds; keep nanosecond precision in
 // the fraction.
@@ -118,28 +117,28 @@ void ExportChromeTrace(const TraceLog& log, std::ostream& os) {
          "\"args\":{\"name\":\"ikdp kernel\"}}");
   w.Meta("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
          "\"args\":{\"name\":\"machine\"}}");
+  // Metas are assembled as std::string: a fixed snprintf buffer would
+  // truncate a long (escaped) device name mid-token and corrupt the JSON.
   for (const auto& [pid, seen] : pids_seen) {
     (void)seen;
-    char buf[128];
-    std::snprintf(buf, sizeof(buf),
-                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%lld,"
-                  "\"args\":{\"name\":\"pid %lld\"}}",
-                  static_cast<long long>(pid), static_cast<long long>(pid));
-    w.Meta(buf);
+    const std::string p = std::to_string(pid);
+    w.Meta("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" + p +
+           ",\"args\":{\"name\":\"pid " + p + "\"}}");
   }
   for (const auto& [dev, tid] : device_tids) {
-    char buf[160];
-    std::snprintf(buf, sizeof(buf),
-                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%lld,"
-                  "\"args\":{\"name\":\"disk %s\"}}",
-                  static_cast<long long>(tid), JsonEscape(dev).c_str());
-    w.Meta(buf);
+    w.Meta("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+           ",\"args\":{\"name\":\"disk " + JsonEscape(dev) + "\"}}");
   }
 
   auto async_id = [](int64_t serial) {
     char buf[48];
     std::snprintf(buf, sizeof(buf), "\"id\":\"%lld\"", static_cast<long long>(serial));
     return std::string(buf);
+  };
+  // Ring-op spans pair on (ring id, cookie); the composite id keeps them
+  // distinct from splice-serial spans and from each other across rings.
+  auto ring_id = [](int64_t ring, int64_t cookie) {
+    return "\"id\":\"r" + std::to_string(ring) + "." + std::to_string(cookie) + "\"";
   };
 
   for (const TraceRecord& r : records) {
@@ -189,6 +188,24 @@ void ExportChromeTrace(const TraceLog& log, std::ostream& os) {
       case TraceKind::kSpliceRefill:
         w.Emit(std::string("splice #") + std::to_string(r.a) + " " + TraceKindName(r.kind),
                "splice", "n", r.time, 0, async_id(r.a), r.a, r.b);
+        break;
+      // --- splice ring ops: async spans keyed by (ring, cookie) ---
+      case TraceKind::kRingOpSubmit:
+        w.Emit("aio r" + std::to_string(r.a) + " op " + std::to_string(r.b), "aio", "b", r.time,
+               0, ring_id(r.a, r.b), r.a, r.b);
+        break;
+      case TraceKind::kRingOpComplete:
+        w.Emit("aio r" + std::to_string(r.a) + " op " + std::to_string(r.b), "aio", "e", r.time,
+               0, ring_id(r.a, r.b), r.a, r.b);
+        break;
+      // --- ring batch/reaper activity: machine-lane instants ---
+      case TraceKind::kRingSubmit:
+      case TraceKind::kRingSqDepth:
+      case TraceKind::kRingReap:
+      case TraceKind::kRingOverflow:
+      case TraceKind::kRingCancel:
+        w.Emit(std::string(TraceKindName(r.kind)) + " r" + std::to_string(r.a), "aio", "i",
+               r.time, 0, "\"s\":\"g\"", r.a, r.b);
         break;
       // --- everything else: machine-lane instants ---
       default:

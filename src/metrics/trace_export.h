@@ -35,6 +35,13 @@ namespace ikdp {
 
 inline constexpr const char* kTelemetrySchema = "ikdp.telemetry.v1";
 
+// Escapes `s` for inclusion inside a JSON string literal (quotes,
+// backslashes, and control characters).  Every string this module writes —
+// event names, counter keys, device tags — goes through here; emitters
+// elsewhere that hand-build JSON should too, so a device named
+// `rz56"\evil` can never produce unparseable output.
+std::string JsonEscape(const std::string& s);
+
 void ExportChromeTrace(const TraceLog& log, std::ostream& os);
 
 void ExportRegistryJson(const MetricsRegistry& registry, std::ostream& os);

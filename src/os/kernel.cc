@@ -60,6 +60,7 @@ Task<> Kernel::SyscallEnter(Process& p, const char* name) {
   if (cpu_.trace() != nullptr) {
     cpu_.trace()->Record(sim_->Now(), TraceKind::kSyscallEnter, p.pid(), 0, name);
   }
+  cpu_.AccountTrap(p, cpu_.costs().syscall_overhead);
   co_await cpu_.Use(p, cpu_.costs().syscall_overhead);
 }
 
@@ -160,6 +161,17 @@ Task<int64_t> Kernel::Lseek(Process& p, int fd, int64_t offset) {
     result = offset;
   }
   SyscallExit(p, "lseek");
+  co_return result;
+}
+
+Task<int64_t> Kernel::Tell(Process& p, int fd) {
+  co_await SyscallEnter(p, "tell");
+  std::shared_ptr<File> f = GetFile(p, fd);
+  int64_t result = -1;
+  if (f != nullptr && f->kind() == File::Kind::kRegular) {
+    result = static_cast<RegularFile*>(f.get())->offset;
+  }
+  SyscallExit(p, "tell");
   co_return result;
 }
 
@@ -414,6 +426,180 @@ Task<int64_t> Kernel::Splice(Process& p, int src_fd, int dst_fd, int64_t nbytes)
   }
   SyscallExit(p, "splice");
   co_return w.moved;
+}
+
+// --- asynchronous splice ring ---
+
+Task<int> Kernel::RingSetup(Process& p, const RingConfig& config) {
+  co_await SyscallEnter(p, "ring_setup");
+  int result = -kAioEInval;
+  if (config.sq_entries > 0 && config.cq_entries > 0 && config.max_inflight > 0) {
+    const int id = next_ring_id_++;
+    rings_[&p][id] = std::make_unique<SpliceRing>(id, &cpu_, &callouts_, &splice_, config);
+    result = id;
+  }
+  SyscallExit(p, "ring_setup");
+  co_return result;
+}
+
+SpliceRing* Kernel::GetRing(Process& p, int ring_id) {
+  auto pit = rings_.find(&p);
+  if (pit == rings_.end()) {
+    return nullptr;
+  }
+  auto rit = pit->second.find(ring_id);
+  return rit == pit->second.end() ? nullptr : rit->second.get();
+}
+
+std::vector<SpliceRing*> Kernel::Rings() {
+  std::vector<SpliceRing*> out;
+  for (auto& [proc, rings] : rings_) {
+    for (auto& [id, ring] : rings) {
+      out.push_back(ring.get());
+    }
+  }
+  return out;
+}
+
+int Kernel::RingPrepare(Process& p, int ring_id, const SpliceSqe& sqe) {
+  SpliceRing* ring = GetRing(p, ring_id);
+  if (ring == nullptr) {
+    return -kAioEBadf;
+  }
+  ring->Prepare(sqe);
+  return 0;
+}
+
+int Kernel::RingHarvest(Process& p, int ring_id, SpliceCqe* out, int max) {
+  SpliceRing* ring = GetRing(p, ring_id);
+  if (ring == nullptr) {
+    return -kAioEBadf;
+  }
+  return ring->Harvest(out, max);
+}
+
+Task<int> Kernel::ResolveSqe(Process& p, const SpliceSqe& sqe, SpliceRing::PreparedOp* out) {
+  std::shared_ptr<File> src = GetFile(p, sqe.src_fd);
+  std::shared_ptr<File> dst = GetFile(p, sqe.dst_fd);
+  if (src == nullptr || dst == nullptr) {
+    co_return -kAioEBadf;
+  }
+  if (sqe.nbytes < 0 && sqe.nbytes != kSpliceEof) {
+    co_return -kAioEInval;
+  }
+  if (src->kind() == File::Kind::kRegular && dst->kind() == File::Kind::kRegular &&
+      static_cast<RegularFile*>(src.get())->inode() ==
+          static_cast<RegularFile*>(dst.get())->inode()) {
+    co_return -kAioEInval;
+  }
+  int64_t resolved = -1;
+  const bool sink_is_file = dst->kind() == File::Kind::kRegular;
+  std::unique_ptr<SpliceSource> source =
+      co_await MakeSource(p, src, sqe.nbytes, sink_is_file, &resolved);
+  if (source == nullptr) {
+    co_return -kAioEInval;
+  }
+  std::function<void(int64_t)> on_moved;
+  std::unique_ptr<SpliceSink> sink = co_await MakeSink(p, dst, resolved, &on_moved);
+  if (sink == nullptr) {
+    co_return -kAioEInval;
+  }
+  out->sqe = sqe;
+  out->source = std::move(source);
+  out->sink = std::move(sink);
+  out->on_moved = std::move(on_moved);
+  out->opts = splice_options_;
+  co_return 0;
+}
+
+Task<int> Kernel::RingEnter(Process& p, int ring_id, int to_submit, int min_complete) {
+  co_await SyscallEnter(p, "ring_enter");
+  SpliceRing* ring = GetRing(p, ring_id);
+  if (ring == nullptr) {
+    SyscallExit(p, "ring_enter");
+    co_return -kAioEBadf;
+  }
+
+  int submitted = 0;
+  bool sq_full = false;
+  while (submitted < to_submit && ring->NextGroupSize() > 0) {
+    const int gsize = ring->NextGroupSize();
+    // A linked group is admitted whole or not at all; it may round the
+    // batch past to_submit.
+    while (!ring->CanAdmit(gsize) && ring->config().block_on_full && !p.SignalPending()) {
+      co_await cpu_.Sleep(p, ring->SqSpaceChan(), kPriWait, /*interruptible=*/true);
+    }
+    if (!ring->CanAdmit(gsize)) {
+      sq_full = true;
+      break;
+    }
+    std::vector<SpliceSqe> sqes;
+    sqes.reserve(gsize);
+    for (int i = 0; i < gsize; ++i) {
+      sqes.push_back(ring->PopPrepared());
+    }
+    std::vector<SpliceRing::PreparedOp> ops;
+    int bad_index = -1;
+    int bad_error = 0;
+    for (int i = 0; i < gsize; ++i) {
+      SpliceRing::PreparedOp op;
+      const int rc = co_await ResolveSqe(p, sqes[i], &op);
+      if (rc < 0) {
+        bad_index = i;
+        bad_error = -rc;
+        break;
+      }
+      ops.push_back(std::move(op));
+    }
+    if (bad_index >= 0) {
+      // The malformed SQE fails with its own error; a partial pipeline
+      // cannot run, so the rest of its group fails ECANCELED.  Nothing in
+      // the group starts.
+      for (int i = 0; i < gsize; ++i) {
+        ring->FailSqe(sqes[i], i == bad_index ? bad_error : kAioECanceled);
+      }
+    } else {
+      ring->AdmitGroup(std::move(ops));
+    }
+    submitted += gsize;
+  }
+  if (submitted > 0) {
+    ring->NoteSubmitBatch(submitted);
+  }
+  // Endpoint setup and any synchronous-device work above ran in this
+  // process's context; charge it here, all under the one trap.
+  {
+    const SimDuration charge = cache_.TakeSyncCharge() + splice_.TakeSyncCharge();
+    if (charge > 0) {
+      co_await cpu_.Use(p, charge);
+    }
+  }
+
+  if (submitted == 0 && sq_full && !ring->config().block_on_full) {
+    ring->NoteEagain();
+    SyscallExit(p, "ring_enter");
+    co_return -kAioEAgain;
+  }
+
+  // Wait for completions — but never for more than can still arrive, so a
+  // min_complete above the outstanding count cannot hang the process.
+  while (!p.SignalPending()) {
+    const int target = std::min(min_complete, ring->CqAvailable() + ring->unfinished());
+    if (ring->CqAvailable() >= target) {
+      break;
+    }
+    co_await cpu_.Sleep(p, ring->CqChan(), kPriWait, /*interruptible=*/true);
+  }
+  SyscallExit(p, "ring_enter");
+  co_return submitted;
+}
+
+Task<int> Kernel::RingCancel(Process& p, int ring_id, uint64_t cookie) {
+  co_await SyscallEnter(p, "ring_cancel");
+  SpliceRing* ring = GetRing(p, ring_id);
+  const int result = ring == nullptr ? -kAioEBadf : ring->Cancel(cookie);
+  SyscallExit(p, "ring_cancel");
+  co_return result;
 }
 
 // --- signals, timers, pause ---

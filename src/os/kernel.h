@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "src/aio/splice_ring.h"
 #include "src/buf/buffer_cache.h"
 #include "src/dev/char_device.h"
 #include "src/fs/filesystem.h"
@@ -108,6 +109,42 @@ class Kernel {
   // bytes moved, 0 (async started), or -1 on error.
   Task<int64_t> Splice(Process& p, int src_fd, int dst_fd, int64_t nbytes);
 
+  // tell(2): the current seek offset of a regular file.  FASYNC programs
+  // poll destination offsets with this to learn which of several outstanding
+  // splices completed — SIGIO carries no per-operation status, so each poll
+  // costs a full trap (the scalability gap the splice ring closes).
+  Task<int64_t> Tell(Process& p, int fd);
+
+  // --- asynchronous splice ring (see docs/splice_ring.2.md) ---
+
+  // Creates a per-process ring; returns its id (> 0) or -errno.
+  Task<int> RingSetup(Process& p, const RingConfig& config);
+
+  // Appends an SQE to the ring's submission queue.  A user-memory store:
+  // no trap, no charge.  Returns 0 or -kAioEBadf.
+  int RingPrepare(Process& p, int ring_id, const SpliceSqe& sqe);
+
+  // ONE trap that admits up to `to_submit` prepared SQEs (linked groups are
+  // atomic and may round the count up), then waits until at least
+  // `min_complete` completions are available to harvest.  Returns the number
+  // of SQEs consumed (admitted or failed-with-CQE), or -errno:
+  // -kAioEAgain when the SQ cap blocks every admission and the ring is not
+  // block_on_full; -kAioEBadf for an unknown ring.  A signal interrupts
+  // either wait; the count of already-admitted SQEs is still returned.
+  Task<int> RingEnter(Process& p, int ring_id, int to_submit, int min_complete);
+
+  // Copies up to `max` posted CQEs into `out`.  A user-memory load from the
+  // completion queue: no trap, no charge.  Returns the count or -kAioEBadf.
+  int RingHarvest(Process& p, int ring_id, SpliceCqe* out, int max);
+
+  // Cancels a queued-but-unstarted op by cookie.  Returns 0, -kAioEBusy,
+  // -kAioENoent, or -kAioEBadf.
+  Task<int> RingCancel(Process& p, int ring_id, uint64_t cookie);
+
+  // Ring lookup (tests, telemetry).
+  SpliceRing* GetRing(Process& p, int ring_id);
+  std::vector<SpliceRing*> Rings();
+
   // Blocks until a signal is delivered, then runs its handler(s).
   Task<> Pause(Process& p);
 
@@ -178,6 +215,10 @@ class Kernel {
                                              int64_t nbytes,
                                              std::function<void(int64_t)>* on_moved);
 
+  // Resolves one SQE into engine endpoints (same validation as Splice).
+  // Returns 0 and fills `out`, or -errno.
+  Task<int> ResolveSqe(Process& p, const SpliceSqe& sqe, SpliceRing::PreparedOp* out);
+
   Simulator* sim_;
   CpuSystem cpu_;
   CalloutTable callouts_;
@@ -189,6 +230,8 @@ class Kernel {
   std::map<std::string, CharDevice*> char_devs_;
   std::map<Process*, ProcFiles> files_;
   std::map<Process*, Itimer> itimers_;
+  std::map<Process*, std::map<int, std::unique_ptr<SpliceRing>>> rings_;
+  int next_ring_id_ = 1;
   Stats stats_;
 };
 

@@ -54,6 +54,20 @@ const char* TraceKindName(TraceKind k) {
       return "callout-arm";
     case TraceKind::kSoftclockRun:
       return "softclock-run";
+    case TraceKind::kRingSubmit:
+      return "ring-submit";
+    case TraceKind::kRingSqDepth:
+      return "ring-sqdepth";
+    case TraceKind::kRingOpSubmit:
+      return "ring-op-submit";
+    case TraceKind::kRingOpComplete:
+      return "ring-op-complete";
+    case TraceKind::kRingReap:
+      return "ring-reap";
+    case TraceKind::kRingOverflow:
+      return "ring-overflow";
+    case TraceKind::kRingCancel:
+      return "ring-cancel";
   }
   return "?";
 }

@@ -19,6 +19,9 @@
 //   kDiskDispatch -> kDiskComplete  keyed by (device tag, transfer serial)
 //   kSpliceRead   -> kSpliceChunk   keyed by (descriptor serial, chunk index)
 //   kSpliceStart  -> kSpliceDone    keyed by descriptor serial
+//   kRingOpSubmit -> kRingOpComplete keyed by (ring id, cookie) — cookies
+//                                    must be unique among a ring's in-flight
+//                                    ops for the pairing to be well defined
 
 #ifndef SRC_SIM_TRACE_H_
 #define SRC_SIM_TRACE_H_
@@ -66,6 +69,14 @@ enum class TraceKind : uint8_t {
   // --- callout table ---
   kCalloutArm,    // a = callout id, b = ticks ahead (0 = head of list)
   kSoftclockRun,  // a = callouts run on this tick
+  // --- aio splice ring ---
+  kRingSubmit,     // a = ring id, b = sqes admitted by one RingEnter batch
+  kRingSqDepth,    // a = ring id, b = unfinished ops right after the batch
+  kRingOpSubmit,   // a = ring id, b = cookie — op admitted to the kernel
+  kRingOpComplete, // a = ring id, b = cookie — op finished (CQE ready)
+  kRingReap,       // a = ring id, b = completions posted by this reaper pass
+  kRingOverflow,   // a = ring id, b = overflow-staged completions (CQ full)
+  kRingCancel,     // a = ring id, b = cookie — queued op cancelled
 };
 
 const char* TraceKindName(TraceKind k);

@@ -30,6 +30,15 @@ void SpliceEngine::Softclock(std::function<void()> fn) {
 SpliceDescriptor* SpliceEngine::Start(std::unique_ptr<SpliceSource> source,
                                       std::unique_ptr<SpliceSink> sink, SpliceOptions opts,
                                       std::function<void(int64_t)> on_complete) {
+  return StartEx(std::move(source), std::move(sink), opts,
+                 [cb = std::move(on_complete)](const SpliceCompletion& c) {
+                   cb(c.io_error ? -1 : c.bytes_moved);
+                 });
+}
+
+SpliceDescriptor* SpliceEngine::StartEx(std::unique_ptr<SpliceSource> source,
+                                        std::unique_ptr<SpliceSink> sink, SpliceOptions opts,
+                                        std::function<void(const SpliceCompletion&)> on_complete) {
   auto owned = std::make_unique<SpliceDescriptor>();
   SpliceDescriptor* d = owned.get();
   d->source_ = std::move(source);
@@ -44,6 +53,7 @@ SpliceDescriptor* SpliceEngine::Start(std::unique_ptr<SpliceSource> source,
   descriptors_[d] = std::move(owned);
   ++stats_.splices_started;
   d->serial_ = stats_.splices_started;
+  d->started_at_ = cpu_->sim()->Now();
   if (cpu_->trace() != nullptr) {
     cpu_->trace()->Record(cpu_->sim()->Now(), TraceKind::kSpliceStart,
                           static_cast<int64_t>(d->serial_), d->chunks_total_);
@@ -290,7 +300,16 @@ void SpliceEngine::MaybeFinish(SpliceDescriptor* d) {
   }
   if (d->on_complete_) {
     auto cb = std::move(d->on_complete_);
-    cb(d->io_error_ ? -1 : d->bytes_moved_);
+    SpliceCompletion c;
+    c.serial = d->serial_;
+    c.bytes_moved = d->bytes_moved_;
+    c.io_error = d->io_error_;
+    // cancelled_ is also set on the error path (to stop issuing reads);
+    // report "cancelled" only for genuine user cancels.
+    c.cancelled = d->cancelled_ && !d->io_error_;
+    c.started_at = d->started_at_;
+    c.finished_at = cpu_->sim()->Now();
+    cb(c);
   }
   // Defer destruction: callers (e.g. the write-drain loop) may still hold
   // `d` on their stack when the last chunk completes.

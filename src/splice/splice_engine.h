@@ -79,6 +79,19 @@ struct SpliceOptions {
   bool stock_destination_bmap = false;
 };
 
+// Rich completion report delivered by StartEx: enough to build a
+// completion-queue entry (result, error class, per-op latency) without the
+// caller keeping shadow state.  `cancelled` means a user cancel, not an
+// error-driven abort (io_error covers that).
+struct SpliceCompletion {
+  uint64_t serial = 0;
+  int64_t bytes_moved = 0;
+  bool io_error = false;
+  bool cancelled = false;
+  SimTime started_at = 0;
+  SimTime finished_at = 0;
+};
+
 class SpliceDescriptor {
  public:
   uint64_t serial() const { return serial_; }
@@ -116,10 +129,11 @@ class SpliceDescriptor {
   bool finished_ = false;
   bool read_retry_armed_ = false;
   bool drain_armed_ = false;
+  SimTime started_at_ = 0;
   CalloutId retry_callout_ = kInvalidCalloutId;
   // Chunks whose reads completed, awaiting the softclock write handler.
   std::deque<SpliceChunk> ready_;
-  std::function<void(int64_t)> on_complete_;
+  std::function<void(const SpliceCompletion&)> on_complete_;
   Stats stats_;
 
   int InFlight() const { return static_cast<int>(reads_issued_ - chunks_done_); }
@@ -138,6 +152,13 @@ class SpliceEngine {
   // error aborted the transfer.  The descriptor stays valid until then.
   SpliceDescriptor* Start(std::unique_ptr<SpliceSource> source, std::unique_ptr<SpliceSink> sink,
                           SpliceOptions opts, std::function<void(int64_t)> on_complete);
+
+  // Like Start, but the completion callback receives the full report
+  // (bytes, error/cancel flags, start and finish timestamps) — the splice
+  // ring builds CQEs from this without shadow bookkeeping.
+  SpliceDescriptor* StartEx(std::unique_ptr<SpliceSource> source,
+                            std::unique_ptr<SpliceSink> sink, SpliceOptions opts,
+                            std::function<void(const SpliceCompletion&)> on_complete);
 
   // Stops issuing reads; the splice completes (invoking on_complete) once
   // in-flight chunks drain.

@@ -56,4 +56,140 @@ Task<> TestProgram(Kernel& k, Process& p, SimDuration op_cost, TestProgramState*
   }
 }
 
+Task<> MultiStreamCopyProgram(Kernel& k, Process& p, SubmitMode mode,
+                              std::vector<StreamSpec> streams, MultiStreamResult* out,
+                              RingConfig ring_config) {
+  out->start = k.sim()->Now();
+  const SimDuration trap_time0 = p.stats().trap_time;
+  const uint64_t traps0 = p.stats().syscall_traps;
+  auto finish = [&](bool ok) {
+    out->end = k.sim()->Now();
+    out->ok = ok;
+    out->trap_time = p.stats().trap_time - trap_time0;
+    out->syscall_traps = p.stats().syscall_traps - traps0;
+  };
+
+  const int n = static_cast<int>(streams.size());
+  std::vector<int> sfd(n, -1);
+  std::vector<int> dfd(n, -1);
+  bool open_ok = true;
+  for (int i = 0; i < n; ++i) {
+    if (streams[i].nbytes <= 0) {
+      open_ok = false;  // explicit sizes only; see StreamSpec
+      break;
+    }
+    sfd[i] = co_await k.Open(p, streams[i].src, kOpenRead);
+    dfd[i] = co_await k.Open(p, streams[i].dst, kOpenWrite | kOpenCreate | kOpenTrunc);
+    if (sfd[i] < 0 || dfd[i] < 0) {
+      open_ok = false;
+      break;
+    }
+  }
+  if (!open_ok) {
+    finish(false);
+    co_return;
+  }
+
+  bool moved_ok = true;
+  switch (mode) {
+    case SubmitMode::kSyncLoop: {
+      for (int i = 0; i < n; ++i) {
+        const int64_t moved = co_await k.Splice(p, sfd[i], dfd[i], streams[i].nbytes);
+        if (moved != streams[i].nbytes) {
+          moved_ok = false;
+          continue;
+        }
+        out->bytes += moved;
+        ++out->streams_completed;
+      }
+      break;
+    }
+    case SubmitMode::kFasyncSigio: {
+      // The paper's interface: one SIGIO per completion, no per-operation
+      // status, and signals coalesce while pending.  The only way to learn
+      // WHICH splice finished is to poll each destination offset with
+      // tell(2) — a full trap per probe.
+      uint64_t sigio_seen = 0;
+      k.Sigaction(p, kSigIo, [&sigio_seen] { ++sigio_seen; });
+      for (int i = 0; i < n; ++i) {
+        if (co_await k.Fcntl(p, dfd[i], /*fasync=*/true) != 0 ||
+            co_await k.Splice(p, sfd[i], dfd[i], streams[i].nbytes) != 0) {
+          moved_ok = false;
+        }
+      }
+      std::vector<bool> done(n, false);
+      int remaining = moved_ok ? n : 0;
+      while (remaining > 0) {
+        const uint64_t sweep_start = sigio_seen;
+        for (int i = 0; i < n; ++i) {
+          if (done[i]) {
+            continue;
+          }
+          const int64_t off = co_await k.Tell(p, dfd[i]);
+          if (off >= streams[i].nbytes) {
+            done[i] = true;
+            --remaining;
+            out->bytes += streams[i].nbytes;
+            ++out->streams_completed;
+          }
+        }
+        if (remaining == 0) {
+          break;
+        }
+        // A completion that landed during the sweep was already polled past;
+        // its signal is consumed, so pausing could hang.  Re-sweep instead.
+        if (sigio_seen != sweep_start) {
+          continue;
+        }
+        co_await k.Pause(p);
+      }
+      out->sigio_handled = sigio_seen;
+      break;
+    }
+    case SubmitMode::kRing: {
+      const int ring = co_await k.RingSetup(p, ring_config);
+      if (ring < 0) {
+        moved_ok = false;
+        break;
+      }
+      for (int i = 0; i < n; ++i) {
+        SpliceSqe sqe;
+        sqe.src_fd = sfd[i];
+        sqe.dst_fd = dfd[i];
+        sqe.nbytes = streams[i].nbytes;
+        sqe.cookie = static_cast<uint64_t>(i);
+        k.RingPrepare(p, ring, sqe);
+      }
+      // ONE trap submits the batch and waits for every completion; the
+      // harvest below reads posted CQEs without re-entering the kernel.
+      const int rc = co_await k.RingEnter(p, ring, n, n);
+      if (rc != n) {
+        moved_ok = false;
+      }
+      std::vector<SpliceCqe> cqes(static_cast<size_t>(n) + 1);
+      const int got = k.RingHarvest(p, ring, cqes.data(), n);
+      for (int i = 0; i < got; ++i) {
+        const int idx = static_cast<int>(cqes[i].cookie);
+        if (cqes[i].error != 0 || idx < 0 || idx >= n ||
+            cqes[i].result != streams[idx].nbytes) {
+          moved_ok = false;
+          continue;
+        }
+        out->bytes += cqes[i].result;
+        ++out->streams_completed;
+      }
+      if (got != n) {
+        moved_ok = false;
+      }
+      break;
+    }
+  }
+
+  for (int i = 0; i < n; ++i) {
+    co_await k.Close(p, sfd[i]);
+    co_await k.Close(p, dfd[i]);
+  }
+  finish(moved_ok && out->streams_completed == n);
+}
+
 }  // namespace ikdp

@@ -7,12 +7,17 @@
 //    one splice(src, dst, SPLICE_EOF).
 //  * TestProgram — the CPU-bound test program whose progress rate measures
 //    CPU availability (Section 6.2): a loop of fixed-cost operations.
+//  * MultiStreamCopyProgram — N concurrent splice streams driven from one
+//    process, submitted one of three ways (a synchronous splice loop, the
+//    paper's FASYNC+SIGIO, or the splice ring).  The per-mode trap ledger
+//    is what bench_aio_ring compares.
 
 #ifndef SRC_WORKLOAD_PROGRAMS_H_
 #define SRC_WORKLOAD_PROGRAMS_H_
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/os/kernel.h"
 
@@ -46,6 +51,47 @@ struct TestProgramState {
 
 // The CPU-bound test program: runs ops of `op_cost` until state->stop.
 Task<> TestProgram(Kernel& k, Process& p, SimDuration op_cost, TestProgramState* state);
+
+// How MultiStreamCopyProgram submits its splices.
+enum class SubmitMode {
+  kSyncLoop,     // one synchronous splice at a time (no overlap)
+  kFasyncSigio,  // the paper's mechanism: N async splices, SIGIO + tell() polls
+  kRing,         // the splice ring: one RingEnter batch, trapless harvest
+};
+
+// One stream: src is spliced to dst.  `nbytes` must be explicit (not
+// kSpliceEof): FASYNC completion detection polls the destination offset
+// against it, and the ring modes keep the same contract for comparability.
+struct StreamSpec {
+  std::string src;
+  std::string dst;
+  int64_t nbytes = 0;
+};
+
+struct MultiStreamResult {
+  int64_t bytes = 0;
+  SimTime start = 0;
+  SimTime end = 0;
+  bool ok = false;
+  int streams_completed = 0;
+  // Mode-switch ledger over the run (delta of Process::Stats).
+  SimDuration trap_time = 0;
+  uint64_t syscall_traps = 0;
+  uint64_t sigio_handled = 0;  // FASYNC mode only
+
+  double ElapsedSeconds() const { return ToSeconds(end - start); }
+  double ThroughputKbs() const {
+    const double secs = ElapsedSeconds();
+    return secs > 0 ? static_cast<double>(bytes) / 1024.0 / secs : 0.0;
+  }
+};
+
+// Copies every stream concurrently (modes kFasyncSigio/kRing) or back to
+// back (kSyncLoop) from a single process, and fills `out` with aggregate
+// throughput plus the trap ledger.  `ring_config` is used by kRing only.
+Task<> MultiStreamCopyProgram(Kernel& k, Process& p, SubmitMode mode,
+                              std::vector<StreamSpec> streams, MultiStreamResult* out,
+                              RingConfig ring_config = {});
 
 }  // namespace ikdp
 

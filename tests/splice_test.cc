@@ -445,6 +445,89 @@ TEST_F(SpliceTest, ConcurrentSplicesShareTheEngine) {
 }
 
 
+TEST_F(SpliceTest, ConcurrentFasyncSplicesCompleteWithCoalescedSigio) {
+  // N concurrent FASYNC splices from ONE process: the paper's mechanism
+  // carries no per-operation status, and pending SIGIOs coalesce, so the
+  // process must discover per-stream completion itself (tell(2) on the
+  // destination offset, which moves only when a splice finishes).
+  constexpr int kStreams = 4;
+  constexpr int64_t kBytes = 16 * kBlockSize;
+  for (int i = 0; i < kStreams; ++i) {
+    fs_rama_->CreateFileInstant("s" + std::to_string(i), kBytes, Fill);
+  }
+  int sigio_count = 0;
+  Run([&](Process& p) -> Task<> {
+    kernel_.Sigaction(p, kSigIo, [&] { ++sigio_count; });
+    std::vector<int> dfd(kStreams);
+    for (int i = 0; i < kStreams; ++i) {
+      const int src = co_await kernel_.Open(p, "rama:s" + std::to_string(i), kOpenRead);
+      dfd[static_cast<size_t>(i)] = co_await kernel_.Open(
+          p, "ramb:d" + std::to_string(i), kOpenWrite | kOpenCreate);
+      co_await kernel_.Fcntl(p, src, /*fasync=*/true);
+      EXPECT_EQ(co_await kernel_.Splice(p, src, dfd[static_cast<size_t>(i)], kBytes), 0);
+    }
+    std::vector<bool> done(kStreams, false);
+    int remaining = kStreams;
+    while (remaining > 0) {
+      const int sweep_start = sigio_count;
+      for (int i = 0; i < kStreams; ++i) {
+        if (done[static_cast<size_t>(i)]) {
+          continue;
+        }
+        if (co_await kernel_.Tell(p, dfd[static_cast<size_t>(i)]) >= kBytes) {
+          done[static_cast<size_t>(i)] = true;
+          --remaining;
+        }
+      }
+      if (remaining == 0) {
+        break;
+      }
+      if (sigio_count != sweep_start) {
+        continue;  // a completion landed mid-sweep; re-sweep instead of pausing
+      }
+      co_await kernel_.Pause(p);
+    }
+  });
+  // Signals coalesce: anywhere from one SIGIO (all N merged) to one each.
+  EXPECT_GE(sigio_count, 1);
+  EXPECT_LE(sigio_count, kStreams);
+  for (int i = 0; i < kStreams; ++i) {
+    VerifyFile(fs_ramb_, "d" + std::to_string(i), kBytes);
+  }
+}
+
+TEST_F(SpliceTest, AsyncCompletionSigioInterruptsSyncSplice) {
+  // Cancel-while-pending ordering: a pending async splice completes while
+  // the same process sits in a long SYNCHRONOUS splice.  The completion's
+  // SIGIO interrupts the sync splice (a signal cancels it, Section 3), the
+  // call returns its partial count, and the async transfer is unaffected.
+  // The RAM-disk async splice is paced by the softclock (~250 ms for 1 MB),
+  // long enough for the SCSI sync splice to make real progress first.
+  constexpr int64_t kAsyncBytes = 128 * kBlockSize;  // RAM: ~250 ms
+  constexpr int64_t kSyncBytes = 512 * kBlockSize;   // SCSI: hundreds of ms
+  fs_rama_->CreateFileInstant("a", kAsyncBytes, Fill);
+  fs_scsia_->CreateFileInstant("big", kSyncBytes, Fill);
+  int sigio_count = 0;
+  int64_t sync_moved = -1;
+  Run([&](Process& p) -> Task<> {
+    kernel_.Sigaction(p, kSigIo, [&] { ++sigio_count; });
+    const int asrc = co_await kernel_.Open(p, "rama:a", kOpenRead);
+    const int adst = co_await kernel_.Open(p, "ramb:da", kOpenWrite | kOpenCreate);
+    co_await kernel_.Fcntl(p, asrc, /*fasync=*/true);
+    EXPECT_EQ(co_await kernel_.Splice(p, asrc, adst, kAsyncBytes), 0);
+    const int ssrc = co_await kernel_.Open(p, "scsia:big", kOpenRead);
+    const int sdst = co_await kernel_.Open(p, "scsib:dbig", kOpenWrite | kOpenCreate);
+    sync_moved = co_await kernel_.Splice(p, ssrc, sdst, kSpliceEof);
+    EXPECT_EQ(sigio_count, 1);  // the handler ran at the sync splice's exit
+  });
+  // The sync splice was cut short by the async completion's signal...
+  EXPECT_GT(sync_moved, 0);
+  EXPECT_LT(sync_moved, kSyncBytes);
+  // ...and the async transfer still finished intact.
+  VerifyFile(fs_ramb_, "da", kAsyncBytes);
+  EXPECT_EQ(kernel_.splice_engine().active(), 0);
+}
+
 TEST_F(SpliceTest, SignalInterruptsSynchronousSplice) {
   // Section 3: the splice runs "until an end of file condition is reached or
   // the operation is interrupted by the caller".  A signal during a long

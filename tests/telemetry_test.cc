@@ -10,6 +10,7 @@
 #include "src/dev/ram_disk.h"
 #include "src/metrics/histogram.h"
 #include "src/metrics/telemetry.h"
+#include "src/metrics/trace_export.h"
 #include "src/os/kernel.h"
 
 namespace ikdp {
@@ -142,6 +143,69 @@ TEST(TelemetryCollectorTest, PairsIntervalsByKey) {
   collector.Observe({200, TraceKind::kSpliceRead, 2, 0, ""});
   EXPECT_EQ(collector.PendingIntervals(), 1u);
   EXPECT_EQ(registry.Histogram("disk.service_time.dev.a")->count(), 1u);
+}
+
+TEST(TelemetryCollectorTest, PairsRingOpsByRingAndCookie) {
+  MetricsRegistry registry;
+  TelemetryCollector collector(&registry);
+  // The same cookie on two different rings must not collide: the pairing
+  // key is the (ring, cookie) composite.
+  collector.Observe({100, TraceKind::kRingOpSubmit, 1, 7, ""});
+  collector.Observe({200, TraceKind::kRingOpSubmit, 2, 7, ""});
+  collector.Observe({900, TraceKind::kRingOpComplete, 1, 7, ""});
+  collector.Observe({1200, TraceKind::kRingOpComplete, 2, 7, ""});
+  const LatencyHistogram* lat = registry.Histogram("aio.completion_latency");
+  EXPECT_EQ(lat->count(), 2u);
+  EXPECT_EQ(lat->sum(), 800 + 1000);
+  EXPECT_EQ(collector.PendingIntervals(), 0u);
+  // SQ depth samples land straight in the histogram.
+  collector.Observe({1300, TraceKind::kRingSqDepth, 1, 5, ""});
+  EXPECT_EQ(registry.Histogram("aio.sq_depth")->count(), 1u);
+  EXPECT_EQ(registry.Histogram("aio.sq_depth")->sum(), 5);
+  // An unmatched completion is ignored; an unmatched submit stays pending.
+  collector.Observe({1400, TraceKind::kRingOpComplete, 3, 9, ""});
+  collector.Observe({1500, TraceKind::kRingOpSubmit, 3, 9, ""});
+  EXPECT_EQ(lat->count(), 2u);
+  EXPECT_EQ(collector.PendingIntervals(), 1u);
+}
+
+TEST(TraceExportTest, JsonEscapeNeutralizesMetacharacters) {
+  EXPECT_EQ(JsonEscape("plain.name-42"), "plain.name-42");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(JsonEscape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(TraceExportTest, EvilDeviceNamesSurviveExportRoundTrip) {
+  // A device (or metric) name containing JSON metacharacters must never
+  // produce unparseable output from either exporter.
+  const std::string evil = "rz56\"\\evil\nname";
+
+  MetricsRegistry registry;
+  registry.SetCounter("disk." + evil + ".requests", 17);
+  registry.Histogram("disk.service_time." + evil)->Add(1234);
+  std::ostringstream reg_os;
+  ExportRegistryJson(registry, reg_os);
+  JsonValue reg_json;
+  ASSERT_TRUE(ParseJson(reg_os.str(), &reg_json)) << reg_os.str();
+  const JsonValue* counters = reg_json.Get("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* evil_counter = counters->Get("disk." + evil + ".requests");
+  ASSERT_NE(evil_counter, nullptr);  // the name round-trips intact
+  EXPECT_EQ(evil_counter->number, 17.0);
+
+  TraceLog log(1 << 10);
+  log.Record(100, TraceKind::kDiskDispatch, 1, 8192, evil.c_str());
+  log.Record(500, TraceKind::kDiskComplete, 1, 8192, evil.c_str());
+  std::ostringstream trace_os;
+  ExportChromeTrace(log, trace_os);
+  JsonValue trace_json;
+  ASSERT_TRUE(ParseJson(trace_os.str(), &trace_json)) << trace_os.str();
+  const JsonValue* events = trace_json.Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->IsArray());
+  EXPECT_FALSE(events->items.empty());
 }
 
 TEST(TelemetryCollectorTest, FeedsFromLiveKernelRun) {
