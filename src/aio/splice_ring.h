@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "src/kern/cpu.h"
+#include "src/kern/ctx.h"
 #include "src/sim/callout.h"
 #include "src/splice/splice_engine.h"
 
@@ -128,22 +129,22 @@ class SpliceRing {
   // starts whatever the in-flight cap allows (in the caller's context —
   // synchronous-device setup costs land in the engine's sync-charge ledger
   // for the syscall layer to drain).
-  void AdmitGroup(std::vector<PreparedOp> group);
+  IKDP_CTX_PROCESS void AdmitGroup(std::vector<PreparedOp> group);
 
   // Posts an immediate-failure completion for an SQE that failed validation
   // (bad fd, unspliceable endpoint).  Routed through the reaper like any
   // other completion.
-  void FailSqe(const SpliceSqe& sqe, int error);
+  IKDP_CTX_PROCESS void FailSqe(const SpliceSqe& sqe, int error);
 
   // Records the batch-level trace events (kRingSubmit, kRingSqDepth) after
   // an admission loop; `admitted` counts SQEs, including failed ones.
-  void NoteSubmitBatch(int admitted);
+  IKDP_CTX_PROCESS void NoteSubmitBatch(int admitted);
 
   // --- completions ---
 
   // Copies up to `max` posted CQEs into `out`, refilling the CQ from the
   // overflow stage as entries drain.  Never blocks, never traps.
-  int Harvest(SpliceCqe* out, int max);
+  IKDP_CTX_PROCESS int Harvest(SpliceCqe* out, int max);
 
   // Posted, unharvested completions (CQ + overflow stage).
   int CqAvailable() const { return static_cast<int>(cq_.size() + overflow_.size()); }
@@ -152,7 +153,7 @@ class SpliceRing {
   // group siblings with it, since a partial pipeline cannot run).  Returns 0,
   // -kAioEBusy if the op already started, or -kAioENoent for an unknown
   // cookie.
-  int Cancel(uint64_t cookie);
+  IKDP_CTX_PROCESS int Cancel(uint64_t cookie);
 
   // Admitted ops whose completion has not been posted yet.
   int unfinished() const {
@@ -196,27 +197,27 @@ class SpliceRing {
 
   // Starts queued groups FIFO while the in-flight cap has room for a whole
   // group (groups start atomically; a too-big head group blocks the line).
-  void Pump();
+  IKDP_CTX_ANY void Pump();
 
-  void StartOp(Op* op);
+  IKDP_CTX_ANY void StartOp(Op* op);
 
   // Engine completion: fills the op's CQE payload, cancels group siblings
   // on error, and arms the reaper.
-  void OnEngineComplete(Op* op, const SpliceCompletion& c);
+  IKDP_CTX_ANY void OnEngineComplete(Op* op, const SpliceCompletion& c);
 
   // Moves an op from wherever it lives into retired_ with the given payload.
-  void Retire(Op* op, int64_t result, int error);
+  IKDP_CTX_ANY void Retire(Op* op, int64_t result, int error);
 
   // Cancels every not-yet-retired member of `group` except `except`:
   // queued members retire immediately, started members are cancelled in
   // the engine (their completion arrives with cancelled=true).
-  void CancelGroupSiblings(int group, const Op* except);
+  IKDP_CTX_ANY void CancelGroupSiblings(int group, const Op* except);
 
-  void ArmReaper();
+  IKDP_CTX_ANY void ArmReaper();
 
   // Softclock reaper body: posts retired completions into the CQ (or the
   // overflow stage), wakes waiters, and pumps newly-fitting queued ops.
-  void Reap();
+  IKDP_CTX_SOFTCLOCK void Reap();
 
   void Trace(TraceKind kind, int64_t b);
 

@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/kern/ctx.h"
 #include "src/sim/time.h"
 
 namespace ikdp {
@@ -92,7 +93,7 @@ struct Buf {
 //  * else kBufAsync: release the buffer back to its cache;
 //  * else: set kBufDone and wake any biowait() sleeper.
 // Device drivers call this when a transfer finishes.
-void Biodone(Buf& b);
+IKDP_CTX_ANY void Biodone(Buf& b);
 
 // A block device as the buffer cache sees it: a strategy routine that
 // services one buffer and eventually calls Biodone(), plus a capacity.
@@ -108,7 +109,8 @@ class BlockDevice {
 
   // Begins servicing `b` (direction per kBufRead).  Completion is signalled
   // via Biodone(b), possibly synchronously before Strategy returns.
-  virtual SimDuration Strategy(Buf& b) = 0;
+  // Interrupt-safe: the splice read path submits from completion handlers.
+  IKDP_CTX_ANY virtual SimDuration Strategy(Buf& b) = 0;
 
   // Device size in kBlockSize blocks.
   virtual int64_t CapacityBlocks() const = 0;

@@ -1,0 +1,56 @@
+#include "src/buf/buf_check.h"
+
+#include "src/kern/ctx.h"
+
+namespace ikdp {
+
+void BufStateChecker::Fail(const char* rule, const Buf& b, const char* detail) {
+  ContractAbort(
+      "BufStateChecker: %s (dev=%s blkno=%lld flags=0x%x busy=%d done=%d "
+      "delwri=%d transient=%d on_freelist=%d): %s",
+      rule, b.dev != nullptr ? b.dev->Name() : "<none>",
+      static_cast<long long>(b.blkno), b.flags, b.Has(kBufBusy) ? 1 : 0,
+      b.Has(kBufDone) ? 1 : 0, b.Has(kBufDelwri) ? 1 : 0, b.transient ? 1 : 0,
+      b.on_freelist ? 1 : 0, detail);
+}
+
+void BufStateChecker::OnAcquire(const Buf& b) {
+  if (b.Has(kBufBusy)) {
+    Fail("acquire of a busy buffer", b,
+         "getblk must sleep on (or skip) a busy buffer, never hand it out twice");
+  }
+}
+
+void BufStateChecker::OnRelease(const Buf& b) {
+  if (b.transient) {
+    Fail("brelse of a transient header", b,
+         "transient splice headers are freed with FreeTransientHeader, not released");
+  }
+  if (!b.Has(kBufBusy)) {
+    Fail("brelse of a non-busy buffer", b,
+         "double-brelse, or a release on a path where kBufBusy was never established");
+  }
+}
+
+void BufStateChecker::OnIoSubmit(const Buf& b) {
+  if (!b.Has(kBufBusy)) {
+    Fail("I/O submitted on a non-busy buffer", b,
+         "strategy requires ownership: set kBufBusy before submitting");
+  }
+}
+
+void BufStateChecker::OnIoDone(const Buf& b) {
+  if (!b.Has(kBufBusy)) {
+    Fail("biodone on a non-busy buffer", b,
+         "completion after release: the buffer may already be reused");
+  }
+}
+
+void BufStateChecker::OnDelwri(const Buf& b) {
+  if (!b.Has(kBufBusy)) {
+    Fail("bdwrite on a non-busy buffer", b,
+         "only the busy holder may mark a buffer for delayed write");
+  }
+}
+
+}  // namespace ikdp

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "src/buf/buf_check.h"
+
 namespace ikdp {
 
 void Biodone(Buf& b) {
@@ -166,6 +168,7 @@ Buf* BufferCache::TryGrabFree() {
     if (v->Has(kBufDelwri)) {
       // The LRU victim is dirty: push it to the device asynchronously and
       // keep looking (4.2BSD getblk does the same bawrite-and-retry dance).
+      BufStateChecker::OnAcquire(*v);
       v->Set(kBufBusy);
       v->Set(kBufAsync);
       v->Clear(kBufDelwri);
@@ -192,6 +195,7 @@ Buf* BufferCache::TryGetBlk(BlockDevice* dev, int64_t blkno, bool* was_hit) {
       return nullptr;
     }
     assert(b->on_freelist);
+    BufStateChecker::OnAcquire(*b);
     FreelistRemove(b);
     b->Set(kBufBusy);
     b->Clear(kBufInval);
@@ -202,6 +206,7 @@ Buf* BufferCache::TryGetBlk(BlockDevice* dev, int64_t blkno, bool* was_hit) {
   if (v == nullptr) {
     return nullptr;
   }
+  BufStateChecker::OnAcquire(*v);
   HashRemove(v);
   v->dev = dev;
   v->blkno = blkno;
@@ -229,6 +234,7 @@ void BufferCache::TraceLookup(bool hit, const BlockDevice* dev, int64_t blkno) {
 }
 
 void BufferCache::SubmitIo(Buf* b) {
+  BufStateChecker::OnIoSubmit(*b);
   const SimDuration cost = cpu_->costs().driver_start + b->dev->Strategy(*b);
   if (cpu_->InInterrupt()) {
     cpu_->ChargeInterrupt(cost);
@@ -246,6 +252,7 @@ void BufferCache::ChargeIfInterrupt(SimDuration d) {
 // --- completion ---
 
 void BufferCache::IoDone(Buf* b) {
+  BufStateChecker::OnIoDone(*b);
   if (b->Has(kBufCall)) {
     b->Clear(kBufCall);
     b->Set(kBufDone);
@@ -270,8 +277,7 @@ void BufferCache::IoDone(Buf* b) {
 }
 
 void BufferCache::Brelse(Buf* b) {
-  assert(!b->transient && "transient headers are freed, not released");
-  assert(b->Has(kBufBusy));
+  BufStateChecker::OnRelease(*b);
   if (b->delwri_victim) {
     // A dirty victim flushed by TryGrabFree just completed.  If the write
     // failed, the data is gone for good (the worthless path below discards
@@ -413,6 +419,7 @@ Task<> BufferCache::Bawrite(Process& p, Buf* b) {
 }
 
 void BufferCache::Bdwrite(Process& /*p*/, Buf* b) {
+  BufStateChecker::OnDelwri(*b);
   b->Set(kBufDelwri);
   b->Set(kBufDone);
   Brelse(b);
@@ -427,6 +434,7 @@ Task<> BufferCache::FlushDev(Process& p, BlockDevice* dev) {
       continue;
     }
     assert(b->on_freelist);
+    BufStateChecker::OnAcquire(*b);
     FreelistRemove(b);
     b->Set(kBufBusy);
     b->Clear(kBufDelwri);

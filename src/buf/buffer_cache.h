@@ -33,6 +33,7 @@
 
 #include "src/buf/buf.h"
 #include "src/kern/cpu.h"
+#include "src/kern/ctx.h"
 #include "src/sim/task.h"
 
 namespace ikdp {
@@ -53,40 +54,41 @@ class BufferCache {
 
   // Returns the buffer for (dev, blkno) with valid data, reading from the
   // device if necessary.  The buffer is returned busy; release with Brelse.
-  Task<Buf*> Bread(Process& p, BlockDevice* dev, int64_t blkno);
+  IKDP_CTX_PROCESS Task<Buf*> Bread(Process& p, BlockDevice* dev, int64_t blkno);
 
   // Bread plus an asynchronous read-ahead of `rablkno` (pass -1 for none).
-  Task<Buf*> Breada(Process& p, BlockDevice* dev, int64_t blkno, int64_t rablkno);
+  IKDP_CTX_PROCESS Task<Buf*> Breada(Process& p, BlockDevice* dev, int64_t blkno, int64_t rablkno);
 
   // Fires an asynchronous read of (dev, blkno) into the cache if the block
   // is not already cached and a buffer is available without sleeping.
   // Non-blocking; used by the deeper read-ahead of FileSystem::Read.
-  void IssueReadAhead(BlockDevice* dev, int64_t blkno);
+  IKDP_CTX_ANY void IssueReadAhead(BlockDevice* dev, int64_t blkno);
 
   // Returns the buffer for (dev, blkno) busy, WITHOUT reading: contents are
   // valid only if kBufDone is set (cache hit).  Used by whole-block
   // overwrites.
-  Task<Buf*> GetBlk(Process& p, BlockDevice* dev, int64_t blkno);
+  IKDP_CTX_PROCESS Task<Buf*> GetBlk(Process& p, BlockDevice* dev, int64_t blkno);
 
   // Writes `b` synchronously: waits for the transfer, then releases it.
-  Task<> Bwrite(Process& p, Buf* b);
+  IKDP_CTX_PROCESS Task<> Bwrite(Process& p, Buf* b);
 
   // Starts an asynchronous write of `b` and returns once issued.  The
   // buffer releases itself on completion.
-  Task<> Bawrite(Process& p, Buf* b);
+  IKDP_CTX_PROCESS Task<> Bawrite(Process& p, Buf* b);
 
   // Marks `b` dirty for a delayed write and releases it (no I/O now).
-  void Bdwrite(Process& p, Buf* b);
+  IKDP_CTX_PROCESS void Bdwrite(Process& p, Buf* b);
 
   // Releases a busy buffer to the free list (tail; head if kBufInval).
-  void Brelse(Buf* b);
+  // Interrupt-safe: biodone paths release async buffers at interrupt level.
+  IKDP_CTX_ANY void Brelse(Buf* b);
 
   // Waits for I/O on a busy buffer to complete (kBufDone).
-  Task<> Biowait(Process& p, Buf* b);
+  IKDP_CTX_PROCESS Task<> Biowait(Process& p, Buf* b);
 
   // Writes out every delayed-write block for `dev` and waits for all
   // asynchronous writes on `dev` to drain (fsync(2) of the paper's cp).
-  Task<> FlushDev(Process& p, BlockDevice* dev);
+  IKDP_CTX_PROCESS Task<> FlushDev(Process& p, BlockDevice* dev);
 
   // Invalidates every clean cached block of `dev` (cold-cache priming for
   // the experiments).  Buffers that are busy or dirty are left alone.
@@ -103,22 +105,22 @@ class BufferCache {
   // a read with `iodone` installed (kBufCall); returns immediately.  If the
   // block is already cached and idle, `iodone` runs synchronously.  Returns
   // false when no buffer can be had without sleeping (caller retries later).
-  bool BreadAsync(BlockDevice* dev, int64_t blkno, std::function<void(Buf&)> iodone);
+  IKDP_CTX_ANY bool BreadAsync(BlockDevice* dev, int64_t blkno, std::function<void(Buf&)> iodone);
 
   // Paper's modified getblk: a transient header with NO data area, for the
   // splice write side.  Free with FreeTransientHeader (typically from the
   // write-completion handler).
-  Buf* AllocTransientHeader(BlockDevice* dev, int64_t blkno);
-  void FreeTransientHeader(Buf* b);
+  IKDP_CTX_ANY Buf* AllocTransientHeader(BlockDevice* dev, int64_t blkno);
+  IKDP_CTX_ANY void FreeTransientHeader(Buf* b);
 
   // Starts an asynchronous write of any busy buffer with `iodone` installed;
   // non-blocking, charges interrupt context if executing in one.
-  void BawriteAsync(Buf* b, std::function<void(Buf&)> iodone);
+  IKDP_CTX_ANY void BawriteAsync(Buf* b, std::function<void(Buf&)> iodone);
 
   // --- shared ---
 
   // Driver completion entry point (free-function Biodone forwards here).
-  void IoDone(Buf* b);
+  IKDP_CTX_ANY void IoDone(Buf* b);
 
   // Number of asynchronous writes outstanding on `dev`.
   int PendingWrites(BlockDevice* dev) const;
@@ -145,12 +147,12 @@ class BufferCache {
 
   // Non-blocking variant of the getblk body: returns a busy buffer for
   // (dev, blkno) or nullptr if it would have to sleep.  Sets *was_hit.
-  Buf* TryGetBlk(BlockDevice* dev, int64_t blkno, bool* was_hit);
+  IKDP_CTX_ANY Buf* TryGetBlk(BlockDevice* dev, int64_t blkno, bool* was_hit);
 
   // Takes a reusable buffer off the free list, writing out a delayed-write
   // victim if that is what the LRU yields.  Returns nullptr if none is
   // available without sleeping.
-  Buf* TryGrabFree();
+  IKDP_CTX_ANY Buf* TryGrabFree();
 
   // O(1) intrusive-list manipulation.  Every hot-path transition
   // (hit-acquire, release, victim grab) is a constant number of pointer
@@ -171,10 +173,10 @@ class BufferCache {
   void TraceLookup(bool hit, const BlockDevice* dev, int64_t blkno);
 
   // Issues `b` to its device, charging the submitting context.
-  void SubmitIo(Buf* b);
+  IKDP_CTX_ANY void SubmitIo(Buf* b);
 
   // Charges `d` to the current interrupt if executing at interrupt level.
-  void ChargeIfInterrupt(SimDuration d);
+  IKDP_CTX_ANY void ChargeIfInterrupt(SimDuration d);
 
   CpuSystem* cpu_;
   const int nbufs_;

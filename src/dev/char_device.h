@@ -21,6 +21,7 @@
 #include <functional>
 
 #include "src/buf/buf.h"
+#include "src/kern/ctx.h"
 
 namespace ikdp {
 
@@ -39,7 +40,7 @@ class CharDevice {
   // once the device has consumed them and can take more.  Returns false
   // (nothing scheduled) if the device cannot accept right now or does not
   // support writing.
-  virtual bool WriteAsync(BufData data, int64_t nbytes, std::function<void()> done) {
+  IKDP_CTX_ANY virtual bool WriteAsync(BufData data, int64_t nbytes, std::function<void()> done) {
     (void)data;
     (void)nbytes;
     (void)done;
@@ -49,7 +50,7 @@ class CharDevice {
   // Requests up to `max_bytes`.  When data is available `done` fires with a
   // buffer and the byte count.  Returns false if reading is unsupported or a
   // request is already outstanding.
-  virtual bool ReadAsync(int64_t max_bytes, std::function<void(BufData, int64_t)> done) {
+  IKDP_CTX_ANY virtual bool ReadAsync(int64_t max_bytes, std::function<void(BufData, int64_t)> done) {
     (void)max_bytes;
     (void)done;
     return false;

@@ -30,7 +30,7 @@ class DiskDriver : public BlockDevice {
   DiskDriver(CpuSystem* cpu, Simulator* sim, DiskParams params);
 
   // BlockDevice:
-  SimDuration Strategy(Buf& b) override;
+  IKDP_CTX_ANY SimDuration Strategy(Buf& b) override;
   int64_t CapacityBlocks() const override;
   const char* Name() const override { return disk_.params().name.c_str(); }
 
@@ -54,9 +54,11 @@ class DiskDriver : public BlockDevice {
  private:
   // Inserts into the elevator queue: ascending block order in the current
   // sweep, overflow requests sorted into the next sweep.
-  void Disksort(Buf* b);
-  void StartHw();
-  void Complete(Buf* b, bool ok);
+  IKDP_CTX_ANY void Disksort(Buf* b);
+  IKDP_CTX_ANY void StartHw();
+  // Hardware completion: raises the device interrupt itself (RunInterrupt),
+  // so it is callable from any context but its body runs at interrupt level.
+  IKDP_CTX_ANY void Complete(Buf* b, bool ok);
 
   CpuSystem* cpu_;
   DiskModel disk_;

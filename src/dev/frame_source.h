@@ -25,7 +25,7 @@ class FrameSource : public CharDevice {
   const char* Name() const override { return name_.c_str(); }
 
   bool SupportsRead() const override { return true; }
-  bool ReadAsync(int64_t max_bytes, std::function<void(BufData, int64_t)> done) override;
+  IKDP_CTX_ANY bool ReadAsync(int64_t max_bytes, std::function<void(BufData, int64_t)> done) override;
 
   int64_t frame_bytes() const { return frame_bytes_; }
   SimDuration frame_interval() const { return frame_interval_; }
@@ -36,7 +36,7 @@ class FrameSource : public CharDevice {
   static void FillFrame(int64_t n, int64_t nbytes, std::vector<uint8_t>* out);
 
  private:
-  void DeliverChunk();
+  IKDP_CTX_ANY void DeliverChunk();
 
   Simulator* sim_;
   std::string name_;

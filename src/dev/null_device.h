@@ -22,7 +22,7 @@ class NullDevice : public CharDevice {
 
   bool SupportsWrite() const override { return true; }
 
-  bool WriteAsync(BufData data, int64_t nbytes, std::function<void()> done) override {
+  IKDP_CTX_ANY bool WriteAsync(BufData data, int64_t nbytes, std::function<void()> done) override {
     (void)data;
     bytes_sunk_ += nbytes;
     sim_->After(0, [done = std::move(done)] {

@@ -30,7 +30,7 @@ class RamDisk : public BlockDevice {
   RamDisk(CpuSystem* cpu, int64_t capacity_bytes);
 
   // BlockDevice:
-  SimDuration Strategy(Buf& b) override;
+  IKDP_CTX_ANY SimDuration Strategy(Buf& b) override;
   int64_t CapacityBlocks() const override { return capacity_blocks_; }
   const char* Name() const override { return "RAM"; }
 

@@ -38,6 +38,7 @@
 #include "src/buf/buf.h"
 #include "src/buf/buffer_cache.h"
 #include "src/kern/cpu.h"
+#include "src/kern/ctx.h"
 #include "src/sim/task.h"
 
 namespace ikdp {
@@ -88,26 +89,29 @@ class FileSystem {
   // indirect blocks through the cache.  Returns 0 if unmapped and !alloc.
   // With alloc, allocates data (and indirect) blocks; stock allocation
   // zero-fills fresh data blocks via delayed writes unless `for_splice`.
-  Task<int64_t> Bmap(Process& p, Inode* ip, int64_t lbn, bool alloc, bool for_splice = false);
+  IKDP_CTX_PROCESS Task<int64_t> Bmap(Process& p, Inode* ip, int64_t lbn, bool alloc,
+                                      bool for_splice = false);
 
   // Maps blocks [0, nblocks) of `ip`, allocating as needed; the splice setup
   // path ("the entire list of all physical block numbers comprising the
   // source file is determined by successive calls to bmap()").
-  Task<std::vector<int64_t>> MapRange(Process& p, Inode* ip, int64_t nblocks, bool alloc,
-                                      bool for_splice);
+  IKDP_CTX_PROCESS Task<std::vector<int64_t>> MapRange(Process& p, Inode* ip, int64_t nblocks,
+                                                       bool alloc, bool for_splice);
 
   // --- the read()/write() data path ---
 
   // Reads up to `n` bytes at `off` into `out` (resized to what was read).
   // Charges copyout per block moved.
-  Task<int64_t> Read(Process& p, Inode* ip, int64_t off, int64_t n, std::vector<uint8_t>* out);
+  IKDP_CTX_PROCESS Task<int64_t> Read(Process& p, Inode* ip, int64_t off, int64_t n,
+                                      std::vector<uint8_t>* out);
 
   // Writes `n` bytes at `off`, extending the file; delayed writes.  Charges
   // copyin per block moved.
-  Task<int64_t> Write(Process& p, Inode* ip, int64_t off, const uint8_t* data, int64_t n);
+  IKDP_CTX_PROCESS Task<int64_t> Write(Process& p, Inode* ip, int64_t off, const uint8_t* data,
+                                       int64_t n);
 
   // Flushes delayed writes for this filesystem's device and waits.
-  Task<> Fsync(Process& p, Inode* ip);
+  IKDP_CTX_PROCESS Task<> Fsync(Process& p, Inode* ip);
 
   // --- untimed helpers for experiment setup and verification ---
 
@@ -146,12 +150,12 @@ class FileSystem {
 
   // Reads/writes a 32-bit entry in an on-device indirect block, through the
   // cache.
-  Task<int64_t> ReadPtr(Process& p, int64_t pbn, int64_t index);
-  Task<> WritePtr(Process& p, int64_t pbn, int64_t index, int64_t value);
+  IKDP_CTX_PROCESS Task<int64_t> ReadPtr(Process& p, int64_t pbn, int64_t index);
+  IKDP_CTX_PROCESS Task<> WritePtr(Process& p, int64_t pbn, int64_t index, int64_t value);
 
   // Zero-fills a freshly allocated data block as a delayed write (the stock
   // bmap behaviour splice's special bmap avoids).
-  Task<> ZeroFill(Process& p, int64_t pbn);
+  IKDP_CTX_PROCESS Task<> ZeroFill(Process& p, int64_t pbn);
 
   // Untimed physical-block mapper used by the Instant helpers; allocates
   // with zeroed metadata I/O.

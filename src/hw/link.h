@@ -13,6 +13,7 @@
 #include <functional>
 #include <string>
 
+#include "src/kern/ctx.h"
 #include "src/sim/simulator.h"
 #include "src/sim/time.h"
 
@@ -47,7 +48,8 @@ class NetworkLink {
   // receiver once it has fully arrived, `on_sent` (optional) at the sender
   // once it has left the interface.  Returns false (and drops the datagram)
   // if the transmit queue is full.
-  bool Send(int64_t payload_bytes, Deliver deliver, std::function<void()> on_sent = nullptr);
+  IKDP_CTX_ANY bool Send(int64_t payload_bytes, Deliver deliver,
+                         std::function<void()> on_sent = nullptr);
 
   const LinkParams& params() const { return params_; }
   bool Idle() const { return !busy_ && queued_ == 0; }

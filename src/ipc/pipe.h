@@ -42,13 +42,13 @@ class Pipe : public CharDevice {
   bool SupportsRead() const override { return true; }
 
   // CharDevice:
-  bool WriteAsync(BufData data, int64_t nbytes, std::function<void()> done) override;
-  bool ReadAsync(int64_t max_bytes, std::function<void(BufData, int64_t)> done) override;
+  IKDP_CTX_ANY bool WriteAsync(BufData data, int64_t nbytes, std::function<void()> done) override;
+  IKDP_CTX_ANY bool ReadAsync(int64_t max_bytes, std::function<void(BufData, int64_t)> done) override;
   int64_t WriteSpace() const override;
 
   // End-of-life transitions (driven by descriptor close).
-  void CloseWriteEnd();
-  void CloseReadEnd();
+  IKDP_CTX_ANY void CloseWriteEnd();
+  IKDP_CTX_ANY void CloseReadEnd();
 
   bool write_closed() const { return write_closed_; }
   bool read_closed() const { return read_closed_; }
@@ -68,8 +68,8 @@ class Pipe : public CharDevice {
 
   // Delivers data (or EOF) to a pending reader if possible, then fires any
   // write completions the drain reached.
-  void TryCompleteRead();
-  void FireDrainedWrites();
+  IKDP_CTX_ANY void TryCompleteRead();
+  IKDP_CTX_ANY void FireDrainedWrites();
 
   const int64_t capacity_;
   std::deque<uint8_t> ring_;

@@ -161,6 +161,9 @@ void CpuSystem::FinishBurst() {
 void CpuSystem::Activate(Process* p) {
   assert(current_ == p);
   p->state_ = ProcState::kRunning;
+  // Everything until the coroutine's next suspension executes as the
+  // process: blocking primitives are legal, ChargeInterrupt is not.
+  ContextGuard in_process(ExecContext::kProcess);
   if (!p->started_) {
     p->started_ = true;
     p->body_.Start([this, p] {
@@ -183,6 +186,7 @@ void CpuSystem::Activate(Process* p) {
 }
 
 SuspendAndCall CpuSystem::Use(Process& p, SimDuration t) {
+  AssertCanBlock("CpuSystem::Use");
   assert(t >= 0);
   return SuspendAndCall([this, &p, t](std::coroutine_handle<> h) {
     assert(current_ == &p && "Use() called by a non-running process");
@@ -204,13 +208,17 @@ SuspendAndCall CpuSystem::Use(Process& p, SimDuration t) {
 }
 
 SuspendAndCall CpuSystem::Sleep(Process& p, const void* chan, int pri, bool interruptible) {
+  AssertCanBlock("CpuSystem::Sleep");
   return SuspendAndCall([this, &p, chan, pri, interruptible](std::coroutine_handle<> h) {
     assert(current_ == &p && "Sleep() called by a non-running process");
     p.resume_point_ = h;
     if (interruptible && p.SignalPending()) {
       // A signal is already pending: do not sleep, resume immediately (after
       // the current event unwinds).
-      sim_->After(0, [h] { h.resume(); });
+      sim_->After(0, [h] {
+        ContextGuard in_process(ExecContext::kProcess);
+        h.resume();
+      });
       return;
     }
     p.state_ = ProcState::kSleeping;
@@ -305,6 +313,7 @@ void CpuSystem::RunInterrupt(SimDuration overhead, std::function<void()> body) {
 }
 
 void CpuSystem::ChargeInterrupt(SimDuration t) {
+  AssertInterruptLevel("CpuSystem::ChargeInterrupt");
   assert(in_interrupt_ && "ChargeInterrupt outside an interrupt body");
   assert(t >= 0);
   intr_charge_ += t;
@@ -329,7 +338,10 @@ void CpuSystem::DrainInterrupts() {
   intr_queue_.pop_front();
   in_interrupt_ = true;
   intr_charge_ = work.overhead;
-  work.body();
+  {
+    ContextGuard at_interrupt(ExecContext::kInterrupt);
+    work.body();
+  }
   in_interrupt_ = false;
   const SimDuration total = intr_charge_;
   if (trace_ != nullptr) {

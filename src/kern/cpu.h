@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "src/hw/costs.h"
+#include "src/kern/ctx.h"
 #include "src/kern/process.h"
 #include "src/sim/simulator.h"
 #include "src/sim/task.h"
@@ -71,30 +72,31 @@ class CpuSystem {
   // Consumes `t` of CPU time, competing with other processes and interrupt
   // work.  t == 0 completes without suspending the simulation clock but may
   // still trigger a preemption check.
-  SuspendAndCall Use(Process& p, SimDuration t);
+  IKDP_CTX_PROCESS SuspendAndCall Use(Process& p, SimDuration t);
 
   // Blocks on `chan` until Wakeup(chan).  On wakeup the process's priority
   // becomes `pri` (kernel sleep priority) until ResetPriority().  If
   // `interruptible` is true, a posted signal also wakes the process.
-  SuspendAndCall Sleep(Process& p, const void* chan, int pri, bool interruptible = false);
+  IKDP_CTX_PROCESS SuspendAndCall Sleep(Process& p, const void* chan, int pri,
+                                        bool interruptible = false);
 
   // --- callable from any context ---
 
   // Makes every process sleeping on `chan` runnable.  May preempt the
   // running process if a woken sleeper has a stronger priority.
-  void Wakeup(const void* chan);
+  IKDP_CTX_ANY void Wakeup(const void* chan);
 
   // Posts a signal; wakes the process if it is in an interruptible sleep.
-  void Post(Process& p, int sig);
+  IKDP_CTX_ANY void Post(Process& p, int sig);
 
   // Runs `body` at interrupt level as soon as the CPU finishes any interrupt
   // work already in progress.  `overhead` is charged before any
   // ChargeInterrupt() additions made by the body.
-  void RunInterrupt(SimDuration overhead, std::function<void()> body);
+  IKDP_CTX_ANY void RunInterrupt(SimDuration overhead, std::function<void()> body);
 
   // Adds `t` to the cost of the interrupt-level work currently executing.
   // Must only be called from within a RunInterrupt body.
-  void ChargeInterrupt(SimDuration t);
+  IKDP_CTX_INTERRUPT void ChargeInterrupt(SimDuration t);
 
   // True while a RunInterrupt body is executing.
   bool InInterrupt() const { return in_interrupt_; }
@@ -112,7 +114,7 @@ class CpuSystem {
   // (Process::Stats::trap_time / syscall_traps).  Pure bookkeeping: the
   // caller still charges the time through Use(), so simulated behaviour is
   // unchanged.
-  void AccountTrap(Process& p, SimDuration t) {
+  IKDP_CTX_PROCESS void AccountTrap(Process& p, SimDuration t) {
     p.stats_.trap_time += t;
     ++p.stats_.syscall_traps;
   }

@@ -1,0 +1,67 @@
+#include "src/kern/ctx.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ikdp {
+
+namespace {
+// One simulated CPU, one host thread: a single global tracks the context.
+ExecContext g_context = ExecContext::kHost;
+}  // namespace
+
+const char* ExecContextName(ExecContext c) {
+  switch (c) {
+    case ExecContext::kHost:
+      return "host";
+    case ExecContext::kProcess:
+      return "process";
+    case ExecContext::kInterrupt:
+      return "interrupt";
+    case ExecContext::kSoftclock:
+      return "softclock";
+  }
+  return "?";
+}
+
+ExecContext CurrentExecContext() { return g_context; }
+
+bool AtInterruptLevel() {
+  return g_context == ExecContext::kInterrupt || g_context == ExecContext::kSoftclock;
+}
+
+ContextGuard::ContextGuard(ExecContext ctx) : prev_(g_context) { g_context = ctx; }
+
+ContextGuard::~ContextGuard() { g_context = prev_; }
+
+void AssertCanBlock(const char* what) {
+  if (AtInterruptLevel()) {
+    ContractAbort(
+        "%s at %s level: blocking primitives may only run in process context "
+        "(IKDP_CTX_PROCESS); an interrupt/softclock path reached a sleep",
+        what, ExecContextName(g_context));
+  }
+}
+
+void AssertInterruptLevel(const char* what) {
+  if (g_context != ExecContext::kInterrupt) {
+    ContractAbort(
+        "%s in %s context: interrupt CPU accounting is only legal inside a "
+        "RunInterrupt body (IKDP_CTX_INTERRUPT)",
+        what, ExecContextName(g_context));
+  }
+}
+
+void ContractAbort(const char* fmt, ...) {
+  std::fprintf(stderr, "ikdp contract violation: ");
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace ikdp

@@ -1,0 +1,114 @@
+// Execution-context discipline: annotations + runtime enforcement.
+//
+// The paper's design hinges on rules the compiler never sees: b_iodone
+// handlers run at interrupt level and must not block, the splice write side
+// runs from the callout list at softclock level, and only process context may
+// sleep.  This header makes those rules machine-checkable twice over:
+//
+//  * STATICALLY — the IKDP_CTX_* macros annotate function declarations with
+//    the most restrictive context the function must tolerate.  The macro
+//    expands to a no-op (on clang, an `annotate` attribute carrying the
+//    registry string "ikdp_ctx:<context>"); tools/kcheck reads the macros
+//    straight from the source, builds the call graph, and rejects blocking
+//    primitives reachable from interrupt/softclock-annotated entry points,
+//    un-dominated ChargeInterrupt() calls, and buffer flag-discipline
+//    violations.  See docs/kcheck.md for the annotation reference.
+//
+//  * DYNAMICALLY — ContextGuard tracks the context the simulated kernel is
+//    executing in (process / interrupt / softclock / host).  The scheduler
+//    and callout table push guards around every dispatch, and the blocking
+//    primitives call AssertCanBlock(), so any rule kcheck enforces statically
+//    also aborts loudly at runtime if a dynamic path slips past the static
+//    call graph (e.g. through a std::function the analyzer cannot follow).
+//
+// Annotation semantics (the contract, not the observed behaviour):
+//
+//   IKDP_CTX_PROCESS    may sleep; must only be entered from process context
+//                       (a running process coroutine) or host code.
+//   IKDP_CTX_INTERRUPT  entered at interrupt level (device completion);
+//                       must never reach a blocking primitive.
+//   IKDP_CTX_SOFTCLOCK  entered from the callout list at softclock level;
+//                       must never reach a blocking primitive.
+//   IKDP_CTX_ANY        callable from every context, hence held to the
+//                       interrupt rules: must never reach a blocking
+//                       primitive.  Also used as an explicit waiver marker —
+//                       see docs/kcheck.md for waiver comments.
+//
+// A function that sometimes runs synchronously in process context (the RAM
+// disk completes I/O inside Strategy) and sometimes at interrupt level keeps
+// the *stricter* annotation: IKDP_CTX_INTERRUPT / IKDP_CTX_ANY mean "must be
+// safe at interrupt level", not "only ever runs there".
+
+#ifndef SRC_KERN_CTX_H_
+#define SRC_KERN_CTX_H_
+
+#include <cstdint>
+
+// The annotation macros expand to a no-op attribute carrying the registry
+// string.  GCC would warn (-Werror) on the unknown `annotate` attribute, so
+// the attribute itself is clang-only; kcheck parses the macro tokens from
+// source and never needs the compiled attribute.
+#if defined(__clang__)
+#define IKDP_CTX_ATTR(ctx) __attribute__((annotate("ikdp_ctx:" ctx)))
+#else
+#define IKDP_CTX_ATTR(ctx)
+#endif
+
+#define IKDP_CTX_PROCESS IKDP_CTX_ATTR("process")
+#define IKDP_CTX_INTERRUPT IKDP_CTX_ATTR("interrupt")
+#define IKDP_CTX_SOFTCLOCK IKDP_CTX_ATTR("softclock")
+#define IKDP_CTX_ANY IKDP_CTX_ATTR("any")
+
+namespace ikdp {
+
+enum class ExecContext : uint8_t {
+  kHost = 0,    // outside the simulated kernel: setup, tests, harnesses
+  kProcess,     // a process coroutine is executing
+  kInterrupt,   // inside a CpuSystem::RunInterrupt body
+  kSoftclock,   // dispatching callout-list entries (softclock tick)
+};
+
+const char* ExecContextName(ExecContext c);
+
+// The context currently executing.  Single simulated CPU, single host
+// thread: one global is exact.
+ExecContext CurrentExecContext();
+
+// True at interrupt or softclock level, where blocking is forbidden.
+bool AtInterruptLevel();
+
+// RAII context marker.  Guards nest (an interrupt stealing cycles during a
+// process burst, a softclock entry body raising to interrupt level); the
+// destructor restores the previous context.
+class ContextGuard {
+ public:
+  explicit ContextGuard(ExecContext ctx);
+  ~ContextGuard();
+
+  ContextGuard(const ContextGuard&) = delete;
+  ContextGuard& operator=(const ContextGuard&) = delete;
+
+ private:
+  ExecContext prev_;
+};
+
+// Aborts with a clear diagnostic unless the current context may block.
+// Called by every blocking primitive (CpuSystem::Sleep / CpuSystem::Use and
+// everything built on them); `what` names the primitive for the message.
+void AssertCanBlock(const char* what);
+
+// Aborts with a clear diagnostic unless running at interrupt level.  Used by
+// ChargeInterrupt(): interrupt CPU accounting outside an interrupt would
+// corrupt the ledger silently.
+void AssertInterruptLevel(const char* what);
+
+// printf-style abort shared by the context and buffer-state checkers: prints
+// "ikdp contract violation: ..." to stderr and calls std::abort(), so the
+// failure is loud in every build type (asserts stay on in this tree, but the
+// checkers do not even rely on that).
+[[noreturn]] void ContractAbort(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace ikdp
+
+#endif  // SRC_KERN_CTX_H_

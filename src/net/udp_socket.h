@@ -28,6 +28,7 @@
 #include "src/buf/buf.h"
 #include "src/hw/link.h"
 #include "src/kern/cpu.h"
+#include "src/kern/ctx.h"
 
 namespace ikdp {
 
@@ -47,11 +48,11 @@ class UdpSocket {
   // Sends one datagram of `nbytes`.  `done` fires when the datagram has left
   // the interface (send-buffer space released).  Returns false if there is
   // no room, no peer, or the interface queue rejected it.
-  bool SendAsync(BufData data, int64_t nbytes, std::function<void()> done);
+  IKDP_CTX_ANY bool SendAsync(BufData data, int64_t nbytes, std::function<void()> done);
 
   // Delivers the next datagram (truncated to `max_bytes`, UDP-style) to
   // `done` as soon as one is available.  One outstanding request at a time.
-  bool RecvAsync(int64_t max_bytes, std::function<void(BufData, int64_t)> done);
+  IKDP_CTX_ANY bool RecvAsync(int64_t max_bytes, std::function<void(BufData, int64_t)> done);
 
   // Send-buffer space currently free.
   int64_t SendSpace() const { return sndbuf_bytes_ - snd_inflight_; }
@@ -81,11 +82,13 @@ class UdpSocket {
     int64_t nbytes;
   };
 
-  // Receive-side entry, called from the link in interrupt context.
-  void Deliver(BufData data, int64_t nbytes);
+  // Receive-side entry, called from the link: raises the network interrupt
+  // itself (RunInterrupt), so callable from any context.
+  IKDP_CTX_ANY void Deliver(BufData data, int64_t nbytes);
 
-  // Completes a pending RecvAsync if there is data.
-  void TryCompleteRecv();
+  // Completes a pending RecvAsync if there is data (runs at interrupt level
+  // on the delivery path, in process context from RecvAsync).
+  IKDP_CTX_ANY void TryCompleteRecv();
 
   CpuSystem* cpu_;
   int64_t sndbuf_bytes_;

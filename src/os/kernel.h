@@ -33,6 +33,7 @@
 #include "src/fs/filesystem.h"
 #include "src/hw/costs.h"
 #include "src/kern/cpu.h"
+#include "src/kern/ctx.h"
 #include "src/net/udp_socket.h"
 #include "src/sim/callout.h"
 #include "src/sim/simulator.h"
@@ -88,41 +89,41 @@ class Kernel {
 
   // --- system calls ---
 
-  Task<int> Open(Process& p, const std::string& path, uint32_t flags);
-  Task<int> Close(Process& p, int fd);
-  Task<int64_t> Read(Process& p, int fd, int64_t n, std::vector<uint8_t>* out);
-  Task<int64_t> Write(Process& p, int fd, const uint8_t* data, int64_t n);
-  Task<int64_t> Write(Process& p, int fd, const std::vector<uint8_t>& data);
-  Task<int64_t> Lseek(Process& p, int fd, int64_t offset);
+  IKDP_CTX_PROCESS Task<int> Open(Process& p, const std::string& path, uint32_t flags);
+  IKDP_CTX_PROCESS Task<int> Close(Process& p, int fd);
+  IKDP_CTX_PROCESS Task<int64_t> Read(Process& p, int fd, int64_t n, std::vector<uint8_t>* out);
+  IKDP_CTX_PROCESS Task<int64_t> Write(Process& p, int fd, const uint8_t* data, int64_t n);
+  IKDP_CTX_PROCESS Task<int64_t> Write(Process& p, int fd, const std::vector<uint8_t>& data);
+  IKDP_CTX_PROCESS Task<int64_t> Lseek(Process& p, int fd, int64_t offset);
   // dup(2): a new descriptor sharing the same open-file object (offset and
   // flags included).
-  Task<int> Dup(Process& p, int fd);
+  IKDP_CTX_PROCESS Task<int> Dup(Process& p, int fd);
 
   // Sets or clears FASYNC (fcntl(fd, F_SETFL, FASYNC)).
-  Task<int> Fcntl(Process& p, int fd, bool fasync);
-  Task<int> FsyncFd(Process& p, int fd);
+  IKDP_CTX_PROCESS Task<int> Fcntl(Process& p, int fd, bool fasync);
+  IKDP_CTX_PROCESS Task<int> FsyncFd(Process& p, int fd);
 
   // splice(2): moves `nbytes` (or kSpliceEof) from `src_fd` to `dst_fd`
   // entirely in the kernel.  Synchronous unless either descriptor has
   // FASYNC, in which case it returns 0 immediately and SIGIO is posted on
   // completion.  File endpoints require block-aligned offsets.  Returns
   // bytes moved, 0 (async started), or -1 on error.
-  Task<int64_t> Splice(Process& p, int src_fd, int dst_fd, int64_t nbytes);
+  IKDP_CTX_PROCESS Task<int64_t> Splice(Process& p, int src_fd, int dst_fd, int64_t nbytes);
 
   // tell(2): the current seek offset of a regular file.  FASYNC programs
   // poll destination offsets with this to learn which of several outstanding
   // splices completed — SIGIO carries no per-operation status, so each poll
   // costs a full trap (the scalability gap the splice ring closes).
-  Task<int64_t> Tell(Process& p, int fd);
+  IKDP_CTX_PROCESS Task<int64_t> Tell(Process& p, int fd);
 
   // --- asynchronous splice ring (see docs/splice_ring.2.md) ---
 
   // Creates a per-process ring; returns its id (> 0) or -errno.
-  Task<int> RingSetup(Process& p, const RingConfig& config);
+  IKDP_CTX_PROCESS Task<int> RingSetup(Process& p, const RingConfig& config);
 
   // Appends an SQE to the ring's submission queue.  A user-memory store:
   // no trap, no charge.  Returns 0 or -kAioEBadf.
-  int RingPrepare(Process& p, int ring_id, const SpliceSqe& sqe);
+  IKDP_CTX_PROCESS int RingPrepare(Process& p, int ring_id, const SpliceSqe& sqe);
 
   // ONE trap that admits up to `to_submit` prepared SQEs (linked groups are
   // atomic and may round the count up), then waits until at least
@@ -131,26 +132,26 @@ class Kernel {
   // -kAioEAgain when the SQ cap blocks every admission and the ring is not
   // block_on_full; -kAioEBadf for an unknown ring.  A signal interrupts
   // either wait; the count of already-admitted SQEs is still returned.
-  Task<int> RingEnter(Process& p, int ring_id, int to_submit, int min_complete);
+  IKDP_CTX_PROCESS Task<int> RingEnter(Process& p, int ring_id, int to_submit, int min_complete);
 
   // Copies up to `max` posted CQEs into `out`.  A user-memory load from the
   // completion queue: no trap, no charge.  Returns the count or -kAioEBadf.
-  int RingHarvest(Process& p, int ring_id, SpliceCqe* out, int max);
+  IKDP_CTX_PROCESS int RingHarvest(Process& p, int ring_id, SpliceCqe* out, int max);
 
   // Cancels a queued-but-unstarted op by cookie.  Returns 0, -kAioEBusy,
   // -kAioENoent, or -kAioEBadf.
-  Task<int> RingCancel(Process& p, int ring_id, uint64_t cookie);
+  IKDP_CTX_PROCESS Task<int> RingCancel(Process& p, int ring_id, uint64_t cookie);
 
   // Ring lookup (tests, telemetry).
   SpliceRing* GetRing(Process& p, int ring_id);
   std::vector<SpliceRing*> Rings();
 
   // Blocks until a signal is delivered, then runs its handler(s).
-  Task<> Pause(Process& p);
+  IKDP_CTX_PROCESS Task<> Pause(Process& p);
 
   // Suspends the process for a duration (testing convenience; a sleep(3)
   // built on the callout table).
-  Task<> SleepFor(Process& p, SimDuration d);
+  IKDP_CTX_PROCESS Task<> SleepFor(Process& p, SimDuration d);
 
   // Installs a signal handler (no trap cost; bookkeeping only).
   void Sigaction(Process& p, int sig, std::function<void()> handler);
@@ -164,7 +165,7 @@ class Kernel {
 
   // pipe(2): creates an in-kernel pipe and installs the read and write
   // descriptors into p's table.  Returns 0 on success.
-  Task<int> CreatePipe(Process& p, int* read_fd, int* write_fd);
+  IKDP_CTX_PROCESS Task<int> CreatePipe(Process& p, int* read_fd, int* write_fd);
 
   // Descriptor lookup (tests and endpoint plumbing).
   std::shared_ptr<File> GetFile(Process& p, int fd);
@@ -196,8 +197,8 @@ class Kernel {
   };
 
   // Common syscall entry/exit.
-  Task<> SyscallEnter(Process& p, const char* name);
-  void SyscallExit(Process& p, const char* name);
+  IKDP_CTX_PROCESS Task<> SyscallEnter(Process& p, const char* name);
+  IKDP_CTX_PROCESS void SyscallExit(Process& p, const char* name);
 
   int Install(Process& p, std::shared_ptr<File> f);
 
@@ -206,18 +207,19 @@ class Kernel {
   // advances the file offset and premaps blocks (in process context).
   // `sink_is_file` makes stream sources coalesce short deliveries into full
   // blocks, which the file sink's block map requires.
-  Task<std::unique_ptr<SpliceSource>> MakeSource(Process& p, const std::shared_ptr<File>& f,
-                                                 int64_t nbytes, bool sink_is_file,
-                                                 int64_t* resolved_bytes);
+  IKDP_CTX_PROCESS Task<std::unique_ptr<SpliceSource>> MakeSource(
+      Process& p, const std::shared_ptr<File>& f, int64_t nbytes, bool sink_is_file,
+      int64_t* resolved_bytes);
   // `on_moved` receives a completion hook that updates sink-side file state
   // (inode size, seek offset) once the byte count is known.
-  Task<std::unique_ptr<SpliceSink>> MakeSink(Process& p, const std::shared_ptr<File>& f,
-                                             int64_t nbytes,
-                                             std::function<void(int64_t)>* on_moved);
+  IKDP_CTX_PROCESS Task<std::unique_ptr<SpliceSink>> MakeSink(
+      Process& p, const std::shared_ptr<File>& f, int64_t nbytes,
+      std::function<void(int64_t)>* on_moved);
 
   // Resolves one SQE into engine endpoints (same validation as Splice).
   // Returns 0 and fills `out`, or -errno.
-  Task<int> ResolveSqe(Process& p, const SpliceSqe& sqe, SpliceRing::PreparedOp* out);
+  IKDP_CTX_PROCESS Task<int> ResolveSqe(Process& p, const SpliceSqe& sqe,
+                                        SpliceRing::PreparedOp* out);
 
   Simulator* sim_;
   CpuSystem cpu_;

@@ -98,6 +98,10 @@ void CalloutTable::RunTick(SimTime when) {
   for (Entry& e : entries) {
     pending_.erase(e.id);
   }
+  // Everything below runs at softclock level: the observer (softclock CPU
+  // charging) and the expired entries themselves.  Entries that raise to
+  // interrupt level (RunInterrupt) nest their own guard on top.
+  ContextGuard at_softclock(ExecContext::kSoftclock);
   if (observer_) {
     observer_(static_cast<int>(entries.size()));
   }

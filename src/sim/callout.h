@@ -22,6 +22,7 @@
 #include <map>
 #include <vector>
 
+#include "src/kern/ctx.h"
 #include "src/sim/simulator.h"
 #include "src/sim/time.h"
 #include "src/sim/trace.h"
@@ -43,14 +44,14 @@ class CalloutTable {
   CalloutTable& operator=(const CalloutTable&) = delete;
 
   // Classic BSD timeout(): run `fn` after `ticks` clock ticks (>= 1).
-  CalloutId Timeout(std::function<void()> fn, int ticks);
+  IKDP_CTX_ANY CalloutId Timeout(std::function<void()> fn, int ticks);
 
   // Schedules `fn` at the head of the callout list: it fires at the next
   // softclock tick, before any other entry expiring on that tick.
-  CalloutId ScheduleHead(std::function<void()> fn);
+  IKDP_CTX_ANY CalloutId ScheduleHead(std::function<void()> fn);
 
   // Removes a pending callout.  Returns true if it had not yet fired.
-  bool Untimeout(CalloutId id);
+  IKDP_CTX_ANY bool Untimeout(CalloutId id);
 
   // Duration of one clock tick.
   SimDuration TickDuration() const { return tick_; }
@@ -85,8 +86,8 @@ class CalloutTable {
   // Makes sure a softclock event is scheduled for tick time `when`.
   void ArmSoftclock(SimTime when);
 
-  // Runs all entries expiring at tick `when`.
-  void RunTick(SimTime when);
+  // Runs all entries expiring at tick `when` at softclock level.
+  IKDP_CTX_SOFTCLOCK void RunTick(SimTime when);
 
   Simulator* sim_;
   int hz_;

@@ -19,6 +19,7 @@
 #include <functional>
 
 #include "src/buf/buf.h"
+#include "src/kern/ctx.h"
 
 namespace ikdp {
 
@@ -45,10 +46,10 @@ class SpliceSource {
   // chunk; nbytes == 0 signals end of stream.  Returns false if the read
   // cannot be started right now (no buffer, request already outstanding) —
   // the engine retries on the next softclock tick or flow-control event.
-  virtual bool StartRead(int64_t index, std::function<void(SpliceChunk)> done) = 0;
+  IKDP_CTX_ANY virtual bool StartRead(int64_t index, std::function<void(SpliceChunk)> done) = 0;
 
   // Releases source-side resources of a chunk whose write completed.
-  virtual void Release(SpliceChunk& chunk) = 0;
+  IKDP_CTX_ANY virtual void Release(SpliceChunk& chunk) = 0;
 };
 
 class SpliceSink {
@@ -60,7 +61,7 @@ class SpliceSink {
   // the splice).  Returns false if the sink cannot accept right now (device
   // FIFO or socket buffer full) — the engine retries on the next softclock
   // tick, and must not have retained `done`.
-  virtual bool StartWrite(SpliceChunk& chunk, std::function<void(bool ok)> done) = 0;
+  IKDP_CTX_ANY virtual bool StartWrite(SpliceChunk& chunk, std::function<void(bool ok)> done) = 0;
 };
 
 }  // namespace ikdp

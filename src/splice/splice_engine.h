@@ -37,6 +37,7 @@
 #include <utility>
 
 #include "src/kern/cpu.h"
+#include "src/kern/ctx.h"
 #include "src/sim/callout.h"
 #include "src/sim/trace.h"
 #include "src/splice/endpoint.h"
@@ -150,19 +151,20 @@ class SpliceEngine {
   // chunks for streams); `on_complete(bytes_moved)` fires in kernel context
   // when every chunk has drained; bytes_moved is -1 if an unrecoverable I/O
   // error aborted the transfer.  The descriptor stays valid until then.
-  SpliceDescriptor* Start(std::unique_ptr<SpliceSource> source, std::unique_ptr<SpliceSink> sink,
-                          SpliceOptions opts, std::function<void(int64_t)> on_complete);
+  IKDP_CTX_ANY SpliceDescriptor* Start(std::unique_ptr<SpliceSource> source,
+                                       std::unique_ptr<SpliceSink> sink, SpliceOptions opts,
+                                       std::function<void(int64_t)> on_complete);
 
   // Like Start, but the completion callback receives the full report
   // (bytes, error/cancel flags, start and finish timestamps) — the splice
   // ring builds CQEs from this without shadow bookkeeping.
-  SpliceDescriptor* StartEx(std::unique_ptr<SpliceSource> source,
-                            std::unique_ptr<SpliceSink> sink, SpliceOptions opts,
-                            std::function<void(const SpliceCompletion&)> on_complete);
+  IKDP_CTX_ANY SpliceDescriptor* StartEx(std::unique_ptr<SpliceSource> source,
+                                         std::unique_ptr<SpliceSink> sink, SpliceOptions opts,
+                                         std::function<void(const SpliceCompletion&)> on_complete);
 
   // Stops issuing reads; the splice completes (invoking on_complete) once
   // in-flight chunks drain.
-  void Cancel(SpliceDescriptor* d);
+  IKDP_CTX_ANY void Cancel(SpliceDescriptor* d);
 
   int active() const { return static_cast<int>(descriptors_.size()); }
 
@@ -181,37 +183,40 @@ class SpliceEngine {
 
  private:
   // Issues reads up to the refill batch (paper Section 5.2.4).
-  void IssueReads(SpliceDescriptor* d);
+  IKDP_CTX_ANY void IssueReads(SpliceDescriptor* d);
 
-  // Read-completion handler (interrupt context).
-  void ReadDone(SpliceDescriptor* d, SpliceChunk chunk);
+  // Read-completion handler.  Usually runs at interrupt level (device
+  // biodone), but synchronous devices invoke it from the submitting context,
+  // so it must tolerate any context.
+  IKDP_CTX_ANY void ReadDone(SpliceDescriptor* d, SpliceChunk chunk);
 
   // Arms the next-tick write-side drain (softclock context).
-  void ArmDrain(SpliceDescriptor* d);
+  IKDP_CTX_ANY void ArmDrain(SpliceDescriptor* d);
 
   // Softclock write handler: starts up to max_chunks_per_tick ready chunks.
-  void DrainWrites(SpliceDescriptor* d);
+  // (With callout_deferral off it runs straight from ReadDone instead.)
+  IKDP_CTX_SOFTCLOCK void DrainWrites(SpliceDescriptor* d);
 
   // Starts the write of one chunk.  Returns false if the sink refused it
   // (caller re-queues).
-  bool StartChunkWrite(SpliceDescriptor* d, SpliceChunk chunk);
+  IKDP_CTX_ANY bool StartChunkWrite(SpliceDescriptor* d, SpliceChunk chunk);
 
   // Write-completion handler.
-  void WriteDone(SpliceDescriptor* d, SpliceChunk chunk, bool ok);
+  IKDP_CTX_ANY void WriteDone(SpliceDescriptor* d, SpliceChunk chunk, bool ok);
 
   // Arms a next-tick retry for refused reads.
-  void ArmReadRetry(SpliceDescriptor* d);
+  IKDP_CTX_ANY void ArmReadRetry(SpliceDescriptor* d);
 
   // Completes the splice if nothing is left in flight.
-  void MaybeFinish(SpliceDescriptor* d);
+  IKDP_CTX_ANY void MaybeFinish(SpliceDescriptor* d);
 
   // Runs `fn` at the next softclock tick, charged as softclock work.
-  void Softclock(std::function<void()> fn);
+  IKDP_CTX_ANY void Softclock(std::function<void()> fn);
 
   // Charges handler work to the executing interrupt, or accumulates it for
   // TakeSyncCharge when running in process context (e.g. a read handler
   // invoked synchronously by a RAM-disk Strategy during splice setup).
-  void Charge(SimDuration d);
+  IKDP_CTX_ANY void Charge(SimDuration d);
 
   CpuSystem* cpu_;
   CalloutTable* callouts_;

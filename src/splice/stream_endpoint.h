@@ -33,7 +33,7 @@ class SocketSpliceSource : public SpliceSource {
   int64_t TotalBytes() const override { return -1; }
   int64_t ChunkBytes() const override { return chunk_bytes_; }
 
-  bool StartRead(int64_t index, std::function<void(SpliceChunk)> done) override;
+  IKDP_CTX_ANY bool StartRead(int64_t index, std::function<void(SpliceChunk)> done) override;
   void Release(SpliceChunk& chunk) override { (void)chunk; }
 
  private:
@@ -47,7 +47,7 @@ class SocketSpliceSink : public SpliceSink {
  public:
   SocketSpliceSink(CpuSystem* cpu, UdpSocket* sock) : cpu_(cpu), sock_(sock) {}
 
-  bool StartWrite(SpliceChunk& chunk, std::function<void(bool)> done) override;
+  IKDP_CTX_ANY bool StartWrite(SpliceChunk& chunk, std::function<void(bool)> done) override;
 
  private:
   CpuSystem* cpu_;
@@ -60,7 +60,7 @@ class DeviceSpliceSink : public SpliceSink {
  public:
   DeviceSpliceSink(CpuSystem* cpu, CharDevice* dev) : cpu_(cpu), dev_(dev) {}
 
-  bool StartWrite(SpliceChunk& chunk, std::function<void(bool)> done) override;
+  IKDP_CTX_ANY bool StartWrite(SpliceChunk& chunk, std::function<void(bool)> done) override;
 
  private:
   CpuSystem* cpu_;
@@ -86,13 +86,13 @@ class DeviceSpliceSource : public SpliceSource {
   int64_t TotalBytes() const override { return -1; }
   int64_t ChunkBytes() const override { return chunk_bytes_; }
 
-  bool StartRead(int64_t index, std::function<void(SpliceChunk)> done) override;
+  IKDP_CTX_ANY bool StartRead(int64_t index, std::function<void(SpliceChunk)> done) override;
   void Release(SpliceChunk& chunk) override { (void)chunk; }
 
  private:
   // Issues the next device read of an accumulating chunk.
-  bool IssueRead(int64_t index, int64_t target, std::function<void(SpliceChunk)> done);
-  void Deliver(int64_t index, const std::function<void(SpliceChunk)>& done);
+  IKDP_CTX_ANY bool IssueRead(int64_t index, int64_t target, std::function<void(SpliceChunk)> done);
+  IKDP_CTX_ANY void Deliver(int64_t index, const std::function<void(SpliceChunk)>& done);
 
   CharDevice* dev_;
   int64_t remaining_;  // bytes left in the budget; < 0 means unbounded

@@ -18,6 +18,7 @@
 #include "src/fs/filesystem.h"
 #include "src/ipc/pipe.h"
 #include "src/kern/cpu.h"
+#include "src/kern/ctx.h"
 #include "src/net/udp_socket.h"
 #include "src/sim/task.h"
 
@@ -40,13 +41,13 @@ class File {
   virtual Kind kind() const = 0;
 
   // Reads up to `n` bytes into `out`; returns bytes read (0 at EOF).
-  virtual Task<int64_t> Read(Process& p, int64_t n, std::vector<uint8_t>* out) = 0;
+  IKDP_CTX_PROCESS virtual Task<int64_t> Read(Process& p, int64_t n, std::vector<uint8_t>* out) = 0;
 
   // Writes `n` bytes; returns bytes written.
-  virtual Task<int64_t> Write(Process& p, const uint8_t* data, int64_t n) = 0;
+  IKDP_CTX_PROCESS virtual Task<int64_t> Write(Process& p, const uint8_t* data, int64_t n) = 0;
 
   // Flushes dirty state to the underlying object (regular files only).
-  virtual Task<> Fsync(Process& p) {
+  IKDP_CTX_PROCESS virtual Task<> Fsync(Process& p) {
     (void)p;
     co_return;
   }
@@ -63,9 +64,9 @@ class RegularFile : public File {
 
   Kind kind() const override { return Kind::kRegular; }
 
-  Task<int64_t> Read(Process& p, int64_t n, std::vector<uint8_t>* out) override;
-  Task<int64_t> Write(Process& p, const uint8_t* data, int64_t n) override;
-  Task<> Fsync(Process& p) override;
+  IKDP_CTX_PROCESS Task<int64_t> Read(Process& p, int64_t n, std::vector<uint8_t>* out) override;
+  IKDP_CTX_PROCESS Task<int64_t> Write(Process& p, const uint8_t* data, int64_t n) override;
+  IKDP_CTX_PROCESS Task<> Fsync(Process& p) override;
 
   FileSystem* fs() { return fs_; }
   Inode* inode() { return ip_; }
@@ -84,8 +85,8 @@ class DeviceFile : public File {
 
   Kind kind() const override { return Kind::kCharDev; }
 
-  Task<int64_t> Read(Process& p, int64_t n, std::vector<uint8_t>* out) override;
-  Task<int64_t> Write(Process& p, const uint8_t* data, int64_t n) override;
+  IKDP_CTX_PROCESS Task<int64_t> Read(Process& p, int64_t n, std::vector<uint8_t>* out) override;
+  IKDP_CTX_PROCESS Task<int64_t> Write(Process& p, const uint8_t* data, int64_t n) override;
 
   CharDevice* dev() { return dev_; }
 
@@ -113,8 +114,8 @@ class PipeEndFile : public File {
 
   Kind kind() const override { return Kind::kPipe; }
 
-  Task<int64_t> Read(Process& p, int64_t n, std::vector<uint8_t>* out) override;
-  Task<int64_t> Write(Process& p, const uint8_t* data, int64_t n) override;
+  IKDP_CTX_PROCESS Task<int64_t> Read(Process& p, int64_t n, std::vector<uint8_t>* out) override;
+  IKDP_CTX_PROCESS Task<int64_t> Write(Process& p, const uint8_t* data, int64_t n) override;
 
   Pipe* pipe() { return pipe_.get(); }
   bool read_end() const { return read_end_; }
@@ -132,8 +133,8 @@ class SocketFile : public File {
 
   Kind kind() const override { return Kind::kSocket; }
 
-  Task<int64_t> Read(Process& p, int64_t n, std::vector<uint8_t>* out) override;
-  Task<int64_t> Write(Process& p, const uint8_t* data, int64_t n) override;
+  IKDP_CTX_PROCESS Task<int64_t> Read(Process& p, int64_t n, std::vector<uint8_t>* out) override;
+  IKDP_CTX_PROCESS Task<int64_t> Write(Process& p, const uint8_t* data, int64_t n) override;
 
   UdpSocket* socket() { return sock_; }
 

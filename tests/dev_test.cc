@@ -33,6 +33,9 @@ Buf MakeIoBuf(BlockDevice* dev, int64_t blkno, bool read, BufferCache* cache = n
   b.dev = dev;
   b.blkno = blkno;
   b.data = MakeBufData();
+  // In-flight I/O must be on an owned buffer: BufStateChecker aborts a
+  // Strategy/Biodone on a non-busy header.
+  b.Set(kBufBusy);
   if (read) {
     b.Set(kBufRead);
   }
@@ -48,6 +51,7 @@ TEST_F(DevTest, DiskDriverCompletesViaInterruptAndCallback) {
   b.dev = &drv;
   b.blkno = 5;
   b.data = MakeBufData();
+  b.Set(kBufBusy);
   b.Set(kBufRead);
   b.Set(kBufCall);
   bool done = false;

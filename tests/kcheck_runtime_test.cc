@@ -1,0 +1,137 @@
+// Runtime mirrors of the kcheck static rules (docs/kcheck.md): ContextGuard
+// tracks the executing context and the blocking primitives assert on it;
+// BufStateChecker enforces the B_BUSY ownership discipline on every buffer
+// transition.  These tests pin down both directions — the trackers report
+// the right context on legal paths, and each illegal transition aborts with
+// a diagnostic naming the rule (EXPECT_DEATH).
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "src/buf/buf.h"
+#include "src/buf/buffer_cache.h"
+#include "src/dev/ram_disk.h"
+#include "src/hw/costs.h"
+#include "src/kern/cpu.h"
+#include "src/kern/ctx.h"
+#include "src/kern/process.h"
+#include "src/sim/callout.h"
+#include "src/sim/simulator.h"
+
+namespace ikdp {
+namespace {
+
+class KcheckRuntimeTest : public ::testing::Test {
+ protected:
+  KcheckRuntimeTest()
+      : cpu_(&sim_, DecStation5000Costs()), cache_(&cpu_, 16), ram_(&cpu_, 4 << 20) {}
+
+  void RunProc(std::function<Task<>(Process&)> body) {
+    cpu_.Spawn("test", std::move(body));
+    sim_.Run();
+    ASSERT_EQ(cpu_.alive(), 0) << "process deadlocked";
+  }
+
+  Simulator sim_;
+  CpuSystem cpu_;
+  BufferCache cache_;
+  RamDisk ram_;
+};
+
+// --- positive direction: the context tracker reports the truth ---
+
+TEST_F(KcheckRuntimeTest, HostContextByDefault) {
+  EXPECT_EQ(CurrentExecContext(), ExecContext::kHost);
+  EXPECT_FALSE(AtInterruptLevel());
+}
+
+TEST_F(KcheckRuntimeTest, ProcessBodiesRunInProcessContext) {
+  ExecContext seen = ExecContext::kHost;
+  RunProc([&](Process& p) -> Task<> {
+    co_await cpu_.Use(p, Milliseconds(1));
+    seen = CurrentExecContext();
+  });
+  EXPECT_EQ(seen, ExecContext::kProcess);
+}
+
+TEST_F(KcheckRuntimeTest, RunInterruptBodiesRunAtInterruptLevel) {
+  ExecContext seen = ExecContext::kHost;
+  bool at_level = false;
+  cpu_.RunInterrupt(Microseconds(100), [&] {
+    seen = CurrentExecContext();
+    at_level = AtInterruptLevel();
+  });
+  sim_.Run();
+  EXPECT_EQ(seen, ExecContext::kInterrupt);
+  EXPECT_TRUE(at_level);
+  EXPECT_EQ(CurrentExecContext(), ExecContext::kHost) << "guard must unwind";
+}
+
+TEST_F(KcheckRuntimeTest, CalloutBodiesRunAtSoftclockLevel) {
+  CalloutTable callouts(&sim_, /*hz=*/256);
+  ExecContext seen = ExecContext::kHost;
+  callouts.Timeout([&] { seen = CurrentExecContext(); }, 2);
+  sim_.Run();
+  EXPECT_EQ(seen, ExecContext::kSoftclock);
+  EXPECT_EQ(CurrentExecContext(), ExecContext::kHost) << "guard must unwind";
+}
+
+// --- negative direction: every illegal transition aborts loudly ---
+
+using KcheckRuntimeDeathTest = KcheckRuntimeTest;
+
+TEST_F(KcheckRuntimeDeathTest, BlockingPrimitiveAtInterruptLevelAborts) {
+  EXPECT_DEATH(
+      {
+        cpu_.RunInterrupt(Microseconds(50), [&] {
+          // The first thing CpuSystem::Sleep/Use do.  This is the dynamic
+          // mirror of kcheck's interrupt-sleep rule, reached through a
+          // std::function the static call graph cannot follow.
+          AssertCanBlock("sleep");
+        });
+        sim_.Run();
+      },
+      "blocking primitives");
+}
+
+TEST_F(KcheckRuntimeDeathTest, BlockingPrimitiveAtSoftclockLevelAborts) {
+  CalloutTable callouts(&sim_, /*hz=*/256);
+  EXPECT_DEATH(
+      {
+        callouts.Timeout([&] { AssertCanBlock("biowait"); }, 1);
+        sim_.Run();
+      },
+      "blocking primitives");
+}
+
+TEST_F(KcheckRuntimeDeathTest, ChargeInterruptFromHostAborts) {
+  EXPECT_DEATH(cpu_.ChargeInterrupt(Microseconds(10)), "interrupt CPU accounting");
+}
+
+TEST_F(KcheckRuntimeDeathTest, DoubleBrelseAborts) {
+  ram_.PokeBlock(5, std::vector<uint8_t>(kBlockSize, 0xab));
+  EXPECT_DEATH(
+      {
+        Buf* grabbed = nullptr;
+        cache_.BreadAsync(&ram_, 5, [&](Buf& b) { grabbed = &b; });
+        sim_.Run();
+        ASSERT_NE(grabbed, nullptr);
+        cache_.Brelse(grabbed);
+        cache_.Brelse(grabbed);  // B_BUSY already clear: release of an un-owned buffer
+      },
+      "non-busy buffer");
+}
+
+TEST_F(KcheckRuntimeDeathTest, BiodoneOnNonBusyBufferAborts) {
+  Buf b;
+  b.dev = &ram_;
+  b.blkno = 9;
+  // No kBufBusy: nobody owns this buffer, so completing I/O on it is the
+  // flag-discipline violation BufStateChecker::OnIoDone rejects.
+  EXPECT_DEATH(cache_.IoDone(&b), "non-busy");
+}
+
+}  // namespace
+}  // namespace ikdp

@@ -1,0 +1,734 @@
+#!/usr/bin/env python3
+"""kcheck: context-discipline and buffer-ownership static analysis.
+
+Checks the ikdp source tree against the execution-context contract declared
+with the IKDP_CTX_* annotations (src/kern/ctx.h) and the 4.2BSD buffer flag
+discipline enforced at runtime by BufStateChecker (src/buf/buf_check.h).
+
+Rule classes
+------------
+  interrupt-sleep      A blocking primitive (CpuSystem::Sleep / CpuSystem::Use
+                       or any IKDP_CTX_PROCESS-annotated function) is reachable
+                       through the call graph from a function annotated
+                       IKDP_CTX_INTERRUPT, IKDP_CTX_SOFTCLOCK, or IKDP_CTX_ANY.
+  undominated-charge   CpuSystem::ChargeInterrupt is called from a function
+                       that is neither annotated IKDP_CTX_INTERRUPT nor
+                       lexically dominated by an InInterrupt() check.
+  buf-double-release   The same buffer variable is released (Brelse /
+                       FreeTransientHeader) twice in straight-line code with
+                       no re-acquisition in between.
+  buf-release-unowned  A locally declared Buf is released or written
+                       (Brelse / Bwrite / Bawrite / BawriteAsync / Bdwrite /
+                       FreeTransientHeader) without a visible acquisition
+                       (bread / getblk / transient alloc / Set(kBufBusy)).
+  annotation-conflict  A function carries two different IKDP_CTX_* annotations
+                       across its declarations/definition.
+
+Frontends
+---------
+The default frontend is a built-in lightweight C++ parser (comment/string
+stripping, brace-scope tracking, qualified-name call graph).  It needs no
+third-party packages and is what CI runs.  `--frontend=libclang` uses the
+clang python bindings when they are installed; it is optional and gated —
+kcheck exits with a clear message if the bindings are missing.
+
+Known approximations of the builtin frontend (see docs/kcheck.md):
+  * calls through an unresolvable receiver whose bare name matches more than
+    one known function are skipped (no false positives, possible misses);
+  * ChargeInterrupt domination is lexical: any earlier InInterrupt token in
+    the same function body counts;
+  * buf ownership is intraprocedural; function parameters and members are
+    exempt (ownership transfer across calls is the runtime checker's job);
+  * double-release is only flagged in straight-line code (no intervening
+    closing brace or `else`), so branch-exclusive releases stay quiet.
+
+A finding can be waived in place with a trailing `// kcheck: allow(<rule>)`
+comment on the offending line; use sparingly and justify next to it.
+
+Usage
+-----
+  kcheck.py [--compile-commands build/compile_commands.json] [--root src]
+            [--frontend builtin|libclang] [--json] [--list-functions] [files...]
+
+Exit status: 0 clean, 1 findings, 2 usage/environment error.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+ANNOTATION_MACROS = {
+    "IKDP_CTX_PROCESS": "process",
+    "IKDP_CTX_INTERRUPT": "interrupt",
+    "IKDP_CTX_SOFTCLOCK": "softclock",
+    "IKDP_CTX_ANY": "any",
+}
+NONBLOCKING_CTX = {"interrupt", "softclock", "any"}
+
+# Blocking primitives recognized even without (in addition to) annotations.
+BLOCKING_PRIMITIVES = {"CpuSystem::Sleep", "CpuSystem::Use"}
+
+# Buffer-ownership vocabulary (rule class "busy-flag misuse").
+BUF_ACQUIRE_NAMES = {
+    "Bread", "Breada", "GetBlk", "TryGetBlk", "TryGrabFree",
+    "AllocTransientHeader", "FreelistPop",
+}
+BUF_RELEASE_NAMES = {"Brelse", "FreeTransientHeader"}
+# name -> index of the buffer argument (0-based).
+BUF_WRITE_NAMES = {"Bwrite": 1, "Bawrite": 1, "Bdwrite": 1, "BawriteAsync": 0}
+
+CPP_KEYWORDS = {
+    "alignas", "alignof", "asm", "auto", "bool", "break", "case", "catch",
+    "char", "class", "co_await", "co_return", "co_yield", "const",
+    "constexpr", "const_cast", "continue", "decltype", "default", "delete",
+    "do", "double", "dynamic_cast", "else", "enum", "explicit", "export",
+    "extern", "false", "float", "for", "friend", "goto", "if", "inline",
+    "int", "long", "mutable", "namespace", "new", "noexcept", "nullptr",
+    "operator", "private", "protected", "public", "register",
+    "reinterpret_cast", "return", "short", "signed", "sizeof", "static",
+    "static_assert", "static_cast", "struct", "switch", "template", "this",
+    "throw", "true", "try", "typedef", "typeid", "typename", "union",
+    "unsigned", "using", "virtual", "void", "volatile", "while", "assert",
+    "defined",
+}
+
+
+def strip_comments_and_strings(text):
+    """Replaces comments and string/char literal contents with spaces.
+
+    Newlines are preserved so offsets keep mapping to the original lines.
+    """
+    out = list(text)
+    i, n = 0, len(text)
+    CODE, LINE, BLOCK, STR, CHR = range(5)
+    state = CODE
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == CODE:
+            if c == "/" and nxt == "/":
+                state = LINE
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = BLOCK
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c == '"':
+                state = STR
+                out[i] = " "
+            elif c == "'":
+                state = CHR
+                out[i] = " "
+            i += 1
+        elif state == LINE:
+            if c == "\n":
+                state = CODE
+            else:
+                out[i] = " "
+            i += 1
+        elif state == BLOCK:
+            if c == "*" and nxt == "/":
+                state = CODE
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c != "\n":
+                out[i] = " "
+            i += 1
+        else:  # STR / CHR
+            quote = '"' if state == STR else "'"
+            if c == "\\":
+                out[i] = " "
+                if nxt != "\n":
+                    out[i + 1] = " "
+                i += 2
+                continue
+            if c == quote:
+                state = CODE
+            if c != "\n":
+                out[i] = " "
+            i += 1
+    return "".join(out)
+
+
+class Function:
+    def __init__(self, qname):
+        self.qname = qname          # "Class::Name" or "Name" (free function)
+        self.annotation = None      # process / interrupt / softclock / any
+        self.annotation_site = None  # (file, line) that set it
+        self.conflict = None        # (file, line, other_annotation)
+        self.body = None            # stripped body text (definition)
+        self.body_file = None
+        self.body_line = None       # 1-based line of the opening brace
+        self.calls = []             # (receiver or None, name, file, line)
+
+    @property
+    def cls(self):
+        return self.qname.rsplit("::", 1)[0] if "::" in self.qname else None
+
+    @property
+    def name(self):
+        return self.qname.rsplit("::", 1)[-1]
+
+
+class Model:
+    """Everything kcheck knows about the tree."""
+
+    def __init__(self):
+        self.functions = {}   # qname -> Function
+        self.by_name = {}     # bare name -> [Function]
+        self.members = {}     # class -> {member: type-class}
+        self.raw_lines = {}   # file -> original text lines (for waivers)
+
+    def function(self, qname):
+        fn = self.functions.get(qname)
+        if fn is None:
+            fn = Function(qname)
+            self.functions[qname] = fn
+            self.by_name.setdefault(fn.name, []).append(fn)
+        return fn
+
+    def waived(self, file, line, rule):
+        lines = self.raw_lines.get(file)
+        if not lines or not 1 <= line <= len(lines):
+            return False
+        return "kcheck: allow(%s)" % rule in lines[line - 1]
+
+
+# Head of a function declaration/definition: tolerant of return types,
+# templates in types, cv-qualifiers, trailing specifiers and ctor init lists.
+CALL_RE = re.compile(r"(?:(\w+)\s*(?:\.|->)\s*)?(~?\w+)\s*\(")
+QUAL_CALL_RE = re.compile(r"(\w+)\s*::\s*(\w+)\s*\(")
+MEMBER_RE = re.compile(
+    r"^\s*(?:const\s+)?([A-Za-z_]\w*)\s*(?:<[^;<>]*>)?\s*([*&]\s*)?([A-Za-z_]\w*_)\s*(?:=[^;]*)?;",
+    re.M)
+
+
+def parse_head(head):
+    """Extracts (qualifier, name, annotation) from a declaration head.
+
+    Returns None if the head does not look like a function.  `qualifier` is
+    the explicit `Class::` prefix of an out-of-line definition, or None.
+    """
+    annotation = None
+    for macro, ctx in ANNOTATION_MACROS.items():
+        if re.search(r"\b%s\b" % macro, head):
+            annotation = ctx
+            break
+    # Cut a constructor initializer list: "...) : member_(x)" -> keep up to ')'.
+    # Find the parameter list: the last top-level "(...)" group.
+    depth = 0
+    open_idx = close_idx = -1
+    for idx, ch in enumerate(head):
+        if ch == "(":
+            if depth == 0:
+                open_idx = idx
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth == 0:
+                close_idx = idx
+                break  # first balanced group: the parameter list
+    if open_idx < 0 or close_idx < 0:
+        return None
+    before = head[:open_idx].rstrip()
+    m = re.search(r"(?:(\w+)\s*::\s*)?(~?\w+|operator\s*[^\s]+)$", before)
+    if not m:
+        return None
+    qualifier, name = m.group(1), m.group(2)
+    if name.startswith("operator"):
+        return None
+    bare = name.lstrip("~")
+    if bare in CPP_KEYWORDS:
+        return None
+    # Heads like "return foo(" or "x = foo(" are statements, not declarations.
+    prefix = before[: m.start()].strip()
+    if prefix.endswith(("=", "return", ",", "(", "&&", "||", "!")):
+        return None
+    return qualifier, name, annotation
+
+
+def find_matching_brace(code, open_idx):
+    depth = 0
+    for i in range(open_idx, len(code)):
+        if code[i] == "{":
+            depth += 1
+        elif code[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(code) - 1
+
+
+def line_of(code, idx, _cache={}):
+    return code.count("\n", 0, idx) + 1
+
+
+class FileParser:
+    """Scope-tracking scan of one preprocessed (stripped) file."""
+
+    def __init__(self, model, path, code):
+        self.model = model
+        self.path = path
+        self.code = code
+
+    def parse(self):
+        self._scan_members()
+        self._scan_scopes()
+
+    def _scan_members(self):
+        # Member variable types per class, for receiver resolution
+        # (cpu_ -> CpuSystem).  Scans class bodies found by a simple pass.
+        for m in re.finditer(r"\b(?:class|struct)\s+([A-Za-z_]\w*)[^;{(]*\{", self.code):
+            cls = m.group(1)
+            end = find_matching_brace(self.code, m.end() - 1)
+            body = self.code[m.end():end]
+            table = self.model.members.setdefault(cls, {})
+            for mem in MEMBER_RE.finditer(body):
+                table.setdefault(mem.group(3), mem.group(1))
+
+    def _scan_scopes(self):
+        code = self.code
+        # Scope stack entries: (kind, name) where kind in
+        # {ns, class, enum, func, block}.
+        stack = []
+        head_start = 0
+        i = 0
+        n = len(code)
+        while i < n:
+            c = code[i]
+            if c == "{":
+                head = code[head_start:i]
+                kind, name = self._classify_head(head, stack)
+                if kind == "func":
+                    end = find_matching_brace(code, i)
+                    self._record_definition(name, head, i, end)
+                    i = end + 1
+                    head_start = i
+                    # Function bodies are consumed wholesale; nothing pushed.
+                    continue
+                stack.append((kind, name))
+                i += 1
+                head_start = i
+            elif c == "}":
+                if stack:
+                    stack.pop()
+                i += 1
+                head_start = i
+            elif c == ";":
+                head = code[head_start:i]
+                self._record_declaration(head, stack, head_start)
+                i += 1
+                head_start = i
+            else:
+                i += 1
+
+    def _classify_head(self, head, stack):
+        h = head.strip()
+        m = re.search(r"\bnamespace\s+([A-Za-z_]\w*)?\s*$", h)
+        if m:
+            return "ns", m.group(1) or "<anon>"
+        if re.search(r"\benum\b", h):
+            return "enum", None
+        m = re.search(r"\b(?:class|struct|union)\s+([A-Za-z_]\w*)\s*(?:final\s*)?(?::[^{]*)?$", h)
+        if m:
+            return "class", m.group(1)
+        # Inside a function or plain block, any further brace is a block.
+        kinds = [k for k, _ in stack]
+        if "func" in kinds:
+            return "block", None
+        # Initializers like `int x = {...}` or array/aggregate init.
+        if h.endswith("=") or re.search(r"=\s*$", h):
+            return "block", None
+        parsed = parse_head(h)
+        if parsed and self._in_decl_scope(stack):
+            return "func", parsed
+        return "block", None
+
+    @staticmethod
+    def _in_decl_scope(stack):
+        return all(k in ("ns", "class") for k, _ in stack)
+
+    def _enclosing_class(self, stack):
+        for kind, name in reversed(stack):
+            if kind == "class":
+                return name
+        return None
+
+    def _record_declaration(self, head, stack, head_pos):
+        if not self._in_decl_scope(stack):
+            return
+        parsed = parse_head(head.strip())
+        if not parsed:
+            return
+        qualifier, name, annotation = parsed
+        if annotation is None:
+            return  # declarations only matter for their annotations
+        cls = qualifier or self._enclosing_class(stack)
+        qname = "%s::%s" % (cls, name) if cls else name
+        line = line_of(self.code, head_pos + len(head) - len(head.lstrip()))
+        self._annotate(self.model.function(qname), annotation, line)
+
+    def _record_definition(self, parsed, head, brace_idx, end_idx):
+        qualifier, name, annotation = parsed
+        # The enclosing class comes from the scope stack captured at classify
+        # time; re-derive it from the explicit qualifier or the stack head.
+        cls = qualifier or self._pending_class
+        qname = "%s::%s" % (cls, name) if cls else name
+        fn = self.model.function(qname)
+        line = line_of(self.code, brace_idx)
+        if annotation is not None:
+            self._annotate(fn, annotation, line)
+        body = self.code[brace_idx + 1:end_idx]
+        fn.body = body
+        fn.body_file = self.path
+        fn.body_line = line
+        base = brace_idx + 1
+        for m in QUAL_CALL_RE.finditer(body):
+            fn.calls.append((("::", m.group(1)), m.group(2), self.path,
+                             line_of(self.code, base + m.start())))
+        for m in CALL_RE.finditer(body):
+            callee = m.group(2)
+            if callee.lstrip("~") in CPP_KEYWORDS:
+                continue
+            # Skip the qualified ones already captured (receiver "::").
+            pre = body[max(0, m.start() - 2):m.start()]
+            if pre.rstrip().endswith("::"):
+                continue
+            fn.calls.append((m.group(1), callee, self.path,
+                             line_of(self.code, base + m.start())))
+
+    def _annotate(self, fn, annotation, line):
+        if fn.annotation is None:
+            fn.annotation = annotation
+            fn.annotation_site = (self.path, line)
+        elif fn.annotation != annotation and fn.conflict is None:
+            fn.conflict = (self.path, line, annotation)
+
+    # Patched in during _scan_scopes via classify: the class enclosing a
+    # definition found inline in a class body.
+    _pending_class = None
+
+
+# FileParser._classify_head cannot easily pass the enclosing class through to
+# _record_definition, so wrap the two calls.
+_orig_classify = FileParser._classify_head
+
+
+def _classify_with_class(self, head, stack):
+    kind, name = _orig_classify(self, head, stack)
+    if kind == "func":
+        self._pending_class = self._enclosing_class(stack)
+    return kind, name
+
+
+FileParser._classify_head = _classify_with_class
+
+
+# ---------------------------------------------------------------------------
+# Rules
+# ---------------------------------------------------------------------------
+
+
+class Finding:
+    def __init__(self, rule, file, line, message):
+        self.rule = rule
+        self.file = file
+        self.line = line
+        self.message = message
+
+    def as_dict(self):
+        return {"rule": self.rule, "file": self.file, "line": self.line,
+                "message": self.message}
+
+    def __str__(self):
+        return "%s:%d: [%s] %s" % (self.file, self.line, self.rule, self.message)
+
+
+def resolve_call(model, caller, receiver, name):
+    """Returns the unique Function a call site can refer to, or None."""
+    if isinstance(receiver, tuple):  # explicit Class::name qualification
+        return model.functions.get("%s::%s" % (receiver[1], name))
+    if receiver:
+        # Receiver is a member variable of the caller's class with known type.
+        table = model.members.get(caller.cls or "", {})
+        rcls = table.get(receiver)
+        if rcls:
+            fn = model.functions.get("%s::%s" % (rcls, name))
+            if fn:
+                return fn
+        # fall through: receiver of unknown type
+    else:
+        # Unqualified: prefer a method of the caller's own class.
+        if caller.cls:
+            own = model.functions.get("%s::%s" % (caller.cls, name))
+            if own:
+                return own
+    cands = model.by_name.get(name, [])
+    if len(cands) == 1:
+        return cands[0]
+    return None  # unknown or ambiguous: skipped (documented approximation)
+
+
+def is_blocking(fn):
+    return fn.qname in BLOCKING_PRIMITIVES or fn.annotation == "process"
+
+
+def check_context_reachability(model, findings):
+    roots = [f for f in model.functions.values()
+             if f.annotation in NONBLOCKING_CTX and f.body is not None]
+    for root in roots:
+        # BFS with path reconstruction; each function visited once per root.
+        seen = {root.qname}
+        queue = [(root, [])]
+        while queue:
+            fn, path = queue.pop(0)
+            for receiver, name, file, line in fn.calls:
+                callee = resolve_call(model, fn, receiver, name)
+                if callee is None or callee.qname in seen:
+                    continue
+                step = path + [(fn, callee, file, line)]
+                if is_blocking(callee):
+                    if model.waived(file, line, "interrupt-sleep"):
+                        continue
+                    chain = " -> ".join([root.qname] +
+                                        [c.qname for _, c, _, _ in step])
+                    findings.append(Finding(
+                        "interrupt-sleep", file, line,
+                        "%s (%s) reaches blocking %s: %s"
+                        % (root.qname, root.annotation, callee.qname, chain)))
+                    continue
+                seen.add(callee.qname)
+                if callee.body is not None:
+                    queue.append((callee, step))
+
+
+def check_charge_domination(model, findings):
+    for fn in model.functions.values():
+        if fn.body is None or fn.name == "ChargeInterrupt":
+            continue
+        for m in re.finditer(r"\bChargeInterrupt\s*\(", fn.body):
+            if fn.annotation == "interrupt":
+                continue
+            if "InInterrupt" in fn.body[:m.start()]:
+                continue
+            line = fn.body_line + fn.body.count("\n", 0, m.start())
+            if model.waived(fn.body_file, line, "undominated-charge"):
+                continue
+            findings.append(Finding(
+                "undominated-charge", fn.body_file, line,
+                "%s calls ChargeInterrupt without IKDP_CTX_INTERRUPT and "
+                "without a dominating InInterrupt() check" % fn.qname))
+
+
+def _last_ident(expr):
+    ids = re.findall(r"[A-Za-z_]\w*", expr)
+    return ids[-1] if ids else None
+
+
+def check_buf_discipline(model, findings):
+    for fn in model.functions.values():
+        body = fn.body
+        if body is None:
+            continue
+        local_bufs = set(re.findall(r"\bBuf\s*\*?\s*(\w+)\s*(?:=|;)", body))
+        params = set(re.findall(r"[A-Za-z_]\w*", body[:0]))  # placeholder
+        events = []  # (pos, kind, var, argtext)
+        for m in re.finditer(r"\b(\w+)\s*=\s*[^;]*?\b(%s)\s*\(" %
+                             "|".join(BUF_ACQUIRE_NAMES), body):
+            events.append((m.start(), "acquire", m.group(1)))
+        for m in re.finditer(r"\b(\w+)\s*(?:\.|->)\s*Set\s*\(\s*kBufBusy", body):
+            events.append((m.start(), "acquire", m.group(1)))
+        for m in re.finditer(r"\b(\w+)\s*(?:\.|->)\s*flags\s*\|?=\s*[^;]*kBufBusy", body):
+            events.append((m.start(), "acquire", m.group(1)))
+        for m in re.finditer(r"\b(%s)\s*\(([^;]*?)\)" %
+                             "|".join(BUF_RELEASE_NAMES), body):
+            var = _last_ident(m.group(2))
+            if var:
+                events.append((m.start(), "release", var))
+        for name, argidx in BUF_WRITE_NAMES.items():
+            for m in re.finditer(r"\b%s\s*\(([^;]*?)\)" % name, body):
+                args = _split_args(m.group(1))
+                if len(args) > argidx:
+                    var = _last_ident(args[argidx])
+                    if var:
+                        events.append((m.start(), "write", var))
+        events.sort()
+        owned, released = set(), {}
+        for pos, kind, var in events:
+            line = fn.body_line + body.count("\n", 0, pos)
+            if kind == "acquire":
+                owned.add(var)
+                released.pop(var, None)
+                continue
+            if var in released:
+                prev = released[var]
+                between = body[prev:pos]
+                # Straight-line only: a closing brace or else between the two
+                # releases means branch-exclusive paths; stay quiet.
+                if "}" not in between and not re.search(r"\belse\b", between):
+                    if not model.waived(fn.body_file, line, "buf-double-release"):
+                        findings.append(Finding(
+                            "buf-double-release", fn.body_file, line,
+                            "%s releases '%s' twice without re-acquisition"
+                            % (fn.qname, var)))
+                continue
+            if var in local_bufs and var not in owned:
+                if not model.waived(fn.body_file, line, "buf-release-unowned"):
+                    findings.append(Finding(
+                        "buf-release-unowned", fn.body_file, line,
+                        "%s %ss local Buf '%s' with no visible acquisition "
+                        "(bread/getblk/transient alloc/Set(kBufBusy))"
+                        % (fn.qname, kind, var)))
+            owned.discard(var)
+            released[var] = pos
+
+
+def _split_args(argtext):
+    args, depth, cur = [], 0, []
+    for ch in argtext:
+        if ch in "(<[":
+            depth += 1
+        elif ch in ")>]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            args.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    args.append("".join(cur))
+    return args
+
+
+def check_annotation_conflicts(model, findings):
+    for fn in model.functions.values():
+        if fn.conflict:
+            file, line, other = fn.conflict
+            findings.append(Finding(
+                "annotation-conflict", file, line,
+                "%s annotated both %s (%s:%d) and %s"
+                % (fn.qname, fn.annotation, fn.annotation_site[0],
+                   fn.annotation_site[1], other)))
+
+
+# ---------------------------------------------------------------------------
+# Drivers
+# ---------------------------------------------------------------------------
+
+
+def collect_files(args):
+    files = []
+    if args.files:
+        files.extend(args.files)
+    if args.compile_commands:
+        try:
+            with open(args.compile_commands) as f:
+                db = json.load(f)
+        except OSError as e:
+            sys.exit("kcheck: cannot read %s: %s" % (args.compile_commands, e))
+        for entry in db:
+            path = os.path.normpath(
+                os.path.join(entry.get("directory", "."), entry["file"]))
+            if args.root and args.root not in os.path.abspath(path):
+                continue
+            files.append(path)
+    if args.root and not args.files:
+        for dirpath, _, names in os.walk(args.root):
+            for name in names:
+                if name.endswith((".h", ".hpp", ".cc", ".cpp")):
+                    files.append(os.path.join(dirpath, name))
+    seen, uniq = set(), []
+    for f in files:
+        a = os.path.abspath(f)
+        if a not in seen and os.path.isfile(a):
+            seen.add(a)
+            uniq.append(f)
+    if not uniq:
+        sys.exit("kcheck: no input files (use --root, --compile-commands, "
+                 "or list files)")
+    return uniq
+
+
+def run_builtin(files):
+    model = Model()
+    for path in files:
+        try:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                text = f.read()
+        except OSError as e:
+            sys.exit("kcheck: %s: %s" % (path, e))
+        rel = os.path.relpath(path)
+        model.raw_lines[rel] = text.splitlines()
+        FileParser(model, rel, strip_comments_and_strings(text)).parse()
+    return model
+
+
+def run_libclang(files):
+    try:
+        import clang.cindex  # noqa: F401
+    except ImportError:
+        sys.exit("kcheck: --frontend=libclang requires the clang python "
+                 "bindings (package `libclang`); they are not installed in "
+                 "this environment.  Use the default --frontend=builtin.")
+    # The libclang frontend shares the rule engine: it only has to fill a
+    # Model.  Left as an optional path; the builtin frontend is canonical.
+    sys.exit("kcheck: libclang frontend not implemented in this build; "
+             "use --frontend=builtin")
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("files", nargs="*", help="explicit source files to scan")
+    ap.add_argument("--compile-commands", metavar="JSON",
+                    help="compile_commands.json to derive the TU list from")
+    ap.add_argument("--root", metavar="DIR",
+                    help="scan all C++ sources under DIR (default: src/ when "
+                         "no files are given)")
+    ap.add_argument("--frontend", choices=("builtin", "libclang"),
+                    default="builtin")
+    ap.add_argument("--json", action="store_true",
+                    help="emit findings as JSON on stdout")
+    ap.add_argument("--list-functions", action="store_true",
+                    help="dump the parsed function database and exit")
+    args = ap.parse_args(argv)
+
+    if not args.files and not args.root and not args.compile_commands:
+        args.root = "src" if os.path.isdir("src") else None
+
+    files = collect_files(args)
+    if args.frontend == "libclang":
+        model = run_libclang(files)
+    else:
+        model = run_builtin(files)
+
+    if args.list_functions:
+        for qname in sorted(model.functions):
+            fn = model.functions[qname]
+            print("%-50s %-10s %s" % (qname, fn.annotation or "-",
+                                      "def" if fn.body is not None else "decl"))
+        return 0
+
+    findings = []
+    check_annotation_conflicts(model, findings)
+    check_context_reachability(model, findings)
+    check_charge_domination(model, findings)
+    check_buf_discipline(model, findings)
+
+    if args.json:
+        print(json.dumps([f.as_dict() for f in findings], indent=2))
+    else:
+        for f in findings:
+            print(f)
+        print("kcheck: %d file(s), %d function(s), %d finding(s)"
+              % (len(files), len(model.functions), len(findings)),
+              file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

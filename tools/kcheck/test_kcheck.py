@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Self-test for kcheck: each rule class must reject its seeded fixture,
+the clean fixture must pass, and the real tree must be clean.
+
+Run from the repo root (ctest does):  python3 tools/kcheck/test_kcheck.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+KCHECK = os.path.join(HERE, "kcheck.py")
+TESTDATA = os.path.join(HERE, "testdata")
+REPO = os.path.dirname(os.path.dirname(HERE))
+
+
+def run_kcheck(*args):
+    proc = subprocess.run(
+        [sys.executable, KCHECK, "--json"] + list(args),
+        capture_output=True, text=True, cwd=REPO)
+    if proc.returncode == 2:
+        raise RuntimeError("kcheck usage error: %s" % proc.stderr)
+    return proc.returncode, json.loads(proc.stdout)
+
+
+def fixture(name):
+    return os.path.join(TESTDATA, name)
+
+
+class FixtureRejection(unittest.TestCase):
+    """Each seeded-violation fixture must produce its rule's finding."""
+
+    def assert_rule(self, findings, rule, substr):
+        hits = [f for f in findings if f["rule"] == rule]
+        self.assertTrue(hits, "expected a %s finding, got: %s" % (rule, findings))
+        self.assertTrue(any(substr in f["message"] for f in hits),
+                        "no %s finding mentions %r: %s" % (rule, substr, hits))
+
+    def test_interrupt_sleep(self):
+        rc, findings = run_kcheck(fixture("bad_interrupt_sleep.cc"))
+        self.assertEqual(rc, 1)
+        self.assert_rule(findings, "interrupt-sleep", "CpuSystem::Sleep")
+        # The report must show the full call chain through the unannotated
+        # intermediary, not just the endpoint.
+        self.assert_rule(findings, "interrupt-sleep", "HandlePacket")
+
+    def test_undominated_charge(self):
+        rc, findings = run_kcheck(fixture("bad_charge.cc"))
+        self.assertEqual(rc, 1)
+        self.assert_rule(findings, "undominated-charge", "Meter::Account")
+        # The dominated and annotated call sites must NOT be flagged.
+        msgs = " ".join(f["message"] for f in findings)
+        self.assertNotIn("Tally", msgs)
+        self.assertNotIn("IrqMeter", msgs)
+
+    def test_buf_flags(self):
+        rc, findings = run_kcheck(fixture("bad_buf_flags.cc"))
+        self.assertEqual(rc, 1)
+        self.assert_rule(findings, "buf-double-release", "DoubleRelease")
+        self.assert_rule(findings, "buf-release-unowned", "stray")
+        msgs = " ".join(f["message"] for f in findings)
+        self.assertNotIn("ReleaseTwiceLegit", msgs)
+        self.assertNotIn("BranchExclusive", msgs)
+
+    def test_clean_fixture(self):
+        rc, findings = run_kcheck(fixture("good_clean.cc"))
+        self.assertEqual(rc, 0)
+        self.assertEqual(findings, [])
+
+    def test_waiver_suppresses(self):
+        # A `kcheck: allow(<rule>)` comment on the offending line silences it.
+        import tempfile
+        with open(fixture("bad_charge.cc")) as f:
+            src = f.read()
+        src = src.replace("cpu_->ChargeInterrupt(cycles);\n  }\n\n  // OK",
+                          "cpu_->ChargeInterrupt(cycles);"
+                          "  // kcheck: allow(undominated-charge)\n  }\n\n  // OK")
+        self.assertIn("kcheck: allow", src)
+        with tempfile.NamedTemporaryFile("w", suffix=".cc", delete=False) as f:
+            f.write(src)
+            path = f.name
+        try:
+            rc, findings = run_kcheck(path)
+        finally:
+            os.unlink(path)
+        self.assertEqual(rc, 0, findings)
+
+
+class TreeIsClean(unittest.TestCase):
+    """The real source tree must satisfy every rule."""
+
+    def test_src_tree(self):
+        rc, findings = run_kcheck("--root", "src")
+        self.assertEqual(rc, 0,
+                         "kcheck found violations in src/:\n%s"
+                         % "\n".join("%s:%s [%s] %s" % (f["file"], f["line"],
+                                                        f["rule"], f["message"])
+                                     for f in findings))
+
+    def test_annotations_parsed(self):
+        # Guard against the silent-parser failure mode: a clean run must be
+        # clean because the contracts hold, not because nothing was parsed.
+        proc = subprocess.run(
+            [sys.executable, KCHECK, "--root", "src", "--list-functions"],
+            capture_output=True, text=True, cwd=REPO)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        lines = proc.stdout.splitlines()
+        annotated = [l for l in lines if " process " in l or " interrupt " in l
+                     or " softclock " in l or " any " in l]
+        self.assertGreater(len(lines), 300, "function database too small")
+        self.assertGreater(len(annotated), 80,
+                           "too few annotated functions parsed — frontend "
+                           "regression?")
+        # Spot-check load-bearing contract entries.
+        joined = "\n".join(annotated)
+        for expect in ("CpuSystem::Sleep", "CpuSystem::ChargeInterrupt",
+                       "CalloutTable::RunTick", "SpliceRing::Reap",
+                       "BufferCache::Brelse"):
+            self.assertIn(expect, joined)
+
+
+if __name__ == "__main__":
+    unittest.main()

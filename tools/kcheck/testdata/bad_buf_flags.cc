@@ -1,0 +1,45 @@
+// kcheck fixture: buffer flag-discipline violations.
+// Parsed by kcheck only — never compiled.
+//
+// Expected findings:
+//   [buf-double-release]   second Brelse in DoubleRelease
+//   [buf-release-unowned]  Brelse of the never-acquired local in ReleaseStray
+
+struct Buf {};
+
+struct BufferCache {
+  Buf* TryGetBlk(int dev, long blkno) { (void)dev; (void)blkno; return nullptr; }
+  void Brelse(Buf* b) { (void)b; }
+};
+
+// BAD: straight-line double release of the same buffer.
+void DoubleRelease(BufferCache* cache) {
+  Buf* b = cache->TryGetBlk(0, 7);
+  cache->Brelse(b);
+  cache->Brelse(b);
+}
+
+// BAD: releases a local Buf that was never acquired (no bread/getblk/
+// transient alloc/Set(kBufBusy) in sight).
+void ReleaseStray(BufferCache* cache) {
+  Buf stray;
+  cache->Brelse(&stray);
+}
+
+// OK: re-acquisition between the two releases.
+void ReleaseTwiceLegit(BufferCache* cache) {
+  Buf* b = cache->TryGetBlk(0, 7);
+  cache->Brelse(b);
+  b = cache->TryGetBlk(0, 8);
+  cache->Brelse(b);
+}
+
+// OK: branch-exclusive releases are not straight-line; kcheck stays quiet.
+void BranchExclusive(BufferCache* cache, bool flush) {
+  Buf* b = cache->TryGetBlk(0, 9);
+  if (flush) {
+    cache->Brelse(b);
+  } else {
+    cache->Brelse(b);
+  }
+}

@@ -1,0 +1,41 @@
+// kcheck fixture: ChargeInterrupt with no dominating InInterrupt() check.
+// Parsed by kcheck only — never compiled.
+//
+// Expected finding: [undominated-charge] in Meter::Account.  Meter::Tally is
+// clean (dominated); IrqMeter::Bump is clean (annotated IKDP_CTX_INTERRUPT).
+
+#define IKDP_CTX_INTERRUPT
+
+struct CpuSystem {
+  bool InInterrupt() const { return false; }
+  void ChargeInterrupt(long cycles) { (void)cycles; }
+};
+
+class Meter {
+ public:
+  // BAD: charges interrupt time from arbitrary context.
+  void Account(long cycles) {
+    total_ += cycles;
+    cpu_->ChargeInterrupt(cycles);
+  }
+
+  // OK: the charge is dominated by an InInterrupt() check.
+  void Tally(long cycles) {
+    if (cpu_->InInterrupt()) {
+      cpu_->ChargeInterrupt(cycles);
+    }
+  }
+
+ private:
+  CpuSystem* cpu_;
+  long total_ = 0;
+};
+
+class IrqMeter {
+ public:
+  // OK: the enclosing function is annotated as interrupt context.
+  IKDP_CTX_INTERRUPT void Bump(long cycles) { cpu_->ChargeInterrupt(cycles); }
+
+ private:
+  CpuSystem* cpu_;
+};

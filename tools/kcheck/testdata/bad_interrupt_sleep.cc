@@ -1,0 +1,31 @@
+// kcheck fixture: a blocking primitive reachable from interrupt context.
+// Parsed by kcheck only — never compiled.  The IKDP_CTX_* tokens below are
+// recognized as macro names; no include of src/kern/ctx.h is needed.
+//
+// Expected finding: [interrupt-sleep] at the cpu_->Sleep call, reached as
+// NicDriver::RxInterrupt (interrupt) -> NicDriver::HandlePacket ->
+// CpuSystem::Sleep.
+
+#define IKDP_CTX_PROCESS
+#define IKDP_CTX_INTERRUPT
+
+struct CpuSystem {
+  IKDP_CTX_PROCESS void Sleep(const void* chan, int pri) { (void)chan; (void)pri; }
+  IKDP_CTX_PROCESS void Use(long amount) { (void)amount; }
+};
+
+class NicDriver {
+ public:
+  // Unannotated helper: the violation is indirect, through the call graph.
+  void HandlePacket(int len) {
+    if (len > 1500) {
+      cpu_->Sleep(&waitq_, 20);  // blocks at interrupt level: the bug
+    }
+  }
+
+  IKDP_CTX_INTERRUPT void RxInterrupt(int len) { HandlePacket(len); }
+
+ private:
+  CpuSystem* cpu_;
+  char waitq_;
+};

@@ -1,0 +1,45 @@
+// kcheck fixture: idiomatic, contract-respecting code.  Expected: 0 findings.
+// Parsed by kcheck only — never compiled.
+
+#define IKDP_CTX_PROCESS
+#define IKDP_CTX_INTERRUPT
+#define IKDP_CTX_ANY
+
+struct Buf {};
+
+struct CpuSystem {
+  IKDP_CTX_PROCESS void Sleep(const void* chan, int pri) { (void)chan; (void)pri; }
+  IKDP_CTX_ANY void Wakeup(const void* chan) { (void)chan; }
+  bool InInterrupt() const { return false; }
+  void ChargeInterrupt(long cycles) { (void)cycles; }
+};
+
+struct BufferCache {
+  Buf* TryGetBlk(int dev, long blkno) { (void)dev; (void)blkno; return nullptr; }
+  void Brelse(Buf* b) { (void)b; }
+};
+
+class GoodDriver {
+ public:
+  // Interrupt handler that only wakes sleepers and charges under a
+  // domination check: all within contract.
+  IKDP_CTX_INTERRUPT void TxInterrupt(long cycles) {
+    cpu_->Wakeup(&doneq_);
+    if (cpu_->InInterrupt()) {
+      cpu_->ChargeInterrupt(cycles);
+    }
+  }
+
+  // Process-context path may block and handle buffers normally.
+  IKDP_CTX_PROCESS void FlushOne(BufferCache* cache) {
+    Buf* b = cache->TryGetBlk(0, 3);
+    if (b != nullptr) {
+      cache->Brelse(b);
+    }
+    cpu_->Sleep(&doneq_, 20);
+  }
+
+ private:
+  CpuSystem* cpu_;
+  char doneq_;
+};
