@@ -4,7 +4,16 @@
 #include <cassert>
 #include <utility>
 
+#include "src/sim/krace.h"
+
 namespace ikdp {
+
+// Ring krace probes are plain WRITEs: the op lists are read-modify-write
+// (erase-by-pointer, FIFO group scans) and every legal handoff has a real
+// ordering edge — admission and harvest are schedule descendants of the
+// process's dispatch, completions run in the serialized interrupt engine,
+// and the retired_ -> Reap handoff rides the `reaper` ordering channel.
+// An unordered same-timestamp pair here would be a genuine bug.
 
 SpliceRing::SpliceRing(int id, CpuSystem* cpu, CalloutTable* callouts, SpliceEngine* engine,
                        RingConfig config)
@@ -31,6 +40,7 @@ int SpliceRing::NextGroupSize() const {
 
 SpliceSqe SpliceRing::PopPrepared() {
   assert(!prepared_.empty());
+  IKDP_KRACE_WRITE(this, "SpliceRing::prepared_");
   SpliceSqe sqe = prepared_.front();
   prepared_.pop_front();
   return sqe;
@@ -49,6 +59,7 @@ void SpliceRing::AdmitGroup(std::vector<PreparedOp> group) {
     op->submitted_at = cpu_->sim()->Now();
     ++stats_.submitted;
     Trace(TraceKind::kRingOpSubmit, static_cast<int64_t>(op->sqe.cookie));
+    IKDP_KRACE_WRITE(this, "SpliceRing::queued_");
     queued_.push_back(std::move(op));
   }
   stats_.sq_depth_max = std::max(stats_.sq_depth_max, unfinished());
@@ -62,6 +73,7 @@ void SpliceRing::FailSqe(const SpliceSqe& sqe, int error) {
   ++stats_.submitted;
   Trace(TraceKind::kRingOpSubmit, static_cast<int64_t>(sqe.cookie));
   Op* raw = op.get();
+  IKDP_KRACE_WRITE(this, "SpliceRing::queued_");
   queued_.push_back(std::move(op));
   stats_.sq_depth_max = std::max(stats_.sq_depth_max, unfinished());
   Retire(raw, 0, error);
@@ -88,11 +100,13 @@ void SpliceRing::Pump() {
     std::vector<Op*> batch;
     batch.reserve(gsize);
     for (size_t i = 0; i < gsize; ++i) {
+      IKDP_KRACE_WRITE(this, "SpliceRing::queued_");
       std::unique_ptr<Op> owned = std::move(queued_.front());
       queued_.pop_front();
       Op* op = owned.get();
       op->st = Op::St::kStarted;
       batch.push_back(op);
+      IKDP_KRACE_WRITE(this, "SpliceRing::started_");
       started_.push_back(std::move(owned));
     }
     for (Op* op : batch) {
@@ -149,6 +163,7 @@ void SpliceRing::Retire(Op* op, int64_t result, int error) {
   }
   Trace(TraceKind::kRingOpComplete, static_cast<int64_t>(op->sqe.cookie));
   std::unique_ptr<Op> owned;
+  IKDP_KRACE_WRITE(this, "SpliceRing::queued_");
   for (auto it = queued_.begin(); it != queued_.end(); ++it) {
     if (it->get() == op) {
       owned = std::move(*it);
@@ -157,6 +172,7 @@ void SpliceRing::Retire(Op* op, int64_t result, int error) {
     }
   }
   if (owned == nullptr) {
+    IKDP_KRACE_WRITE(this, "SpliceRing::started_");
     for (auto it = started_.begin(); it != started_.end(); ++it) {
       if (it->get() == op) {
         owned = std::move(*it);
@@ -166,7 +182,9 @@ void SpliceRing::Retire(Op* op, int64_t result, int error) {
     }
   }
   assert(owned != nullptr);
+  IKDP_KRACE_WRITE(this, "SpliceRing::retired_");
   retired_.push_back(std::move(owned));
+  if (KraceEnabled()) Krace().ChannelRelease(&retired_);
   ArmReaper();
 }
 
@@ -240,6 +258,8 @@ void SpliceRing::ArmReaper() {
 
 void SpliceRing::Reap() {
   ++stats_.reaps;
+  if (KraceEnabled()) Krace().ChannelAcquire(&retired_);
+  IKDP_KRACE_WRITE(this, "SpliceRing::retired_");
   std::vector<std::unique_ptr<Op>> batch;
   batch.swap(retired_);
   int posted = 0;
@@ -249,6 +269,7 @@ void SpliceRing::Reap() {
     cqe.result = op->result;
     cqe.error = op->error;
     cqe.latency = op->finished_at - op->submitted_at;
+    IKDP_KRACE_WRITE(this, "SpliceRing::cq_");
     if (static_cast<int>(cq_.size()) < config_.cq_entries) {
       cq_.push_back(cqe);
     } else {
@@ -269,6 +290,7 @@ void SpliceRing::Reap() {
 int SpliceRing::Harvest(SpliceCqe* out, int max) {
   int n = 0;
   while (n < max && !cq_.empty()) {
+    IKDP_KRACE_WRITE(this, "SpliceRing::cq_");
     out[n++] = cq_.front();
     cq_.pop_front();
     ++stats_.harvested;

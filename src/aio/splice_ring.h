@@ -45,6 +45,7 @@
 #include "src/kern/cpu.h"
 #include "src/kern/ctx.h"
 #include "src/sim/callout.h"
+#include "src/sim/krace.h"
 #include "src/splice/splice_engine.h"
 
 namespace ikdp {
@@ -101,7 +102,10 @@ class SpliceRing {
 
   // --- user-side SQ (no trap, no kernel state) ---
 
-  void Prepare(const SpliceSqe& sqe) { prepared_.push_back(sqe); }
+  void Prepare(const SpliceSqe& sqe) {
+    IKDP_KRACE_WRITE(this, "SpliceRing::prepared_");
+    prepared_.push_back(sqe);
+  }
   int PreparedCount() const { return static_cast<int>(prepared_.size()); }
 
   // --- kernel-side admission (called by Kernel::RingEnter) ---
@@ -227,15 +231,21 @@ class SpliceRing {
   SpliceEngine* engine_;
   const RingConfig config_;
 
-  std::deque<SpliceSqe> prepared_;  // user-side SQ
-  std::deque<std::unique_ptr<Op>> queued_;
-  std::vector<std::unique_ptr<Op>> started_;
-  std::vector<std::unique_ptr<Op>> retired_;
-  std::deque<SpliceCqe> cq_;
-  std::deque<SpliceCqe> overflow_;
+  // The user-side SQ exists purely in process context (Prepare/PopPrepared
+  // never leave the submitting process); the kernel-side queues are touched
+  // by admission (process), engine completions (interrupt), and the reaper
+  // (softclock).  retired_ is handed from completion to reaper through the
+  // `reaper` ordering channel; the CQ/overflow pair is filled at softclock
+  // (Reap) and drained in process context (Harvest/Cancel).
+  std::deque<SpliceSqe> prepared_ IKDP_GUARDED_BY(process);  // user-side SQ
+  std::deque<std::unique_ptr<Op>> queued_ IKDP_GUARDED_BY(any);
+  std::vector<std::unique_ptr<Op>> started_ IKDP_GUARDED_BY(any);
+  std::vector<std::unique_ptr<Op>> retired_ IKDP_ORDERED_BY(reaper);
+  std::deque<SpliceCqe> cq_ IKDP_GUARDED_BY(process, softclock);
+  std::deque<SpliceCqe> overflow_ IKDP_GUARDED_BY(process, softclock);
 
   int next_group_ = 1;
-  bool reaper_armed_ = false;
+  bool reaper_armed_ IKDP_GUARDED_BY(any) = false;
   char sq_space_chan_ = 0;  // address-only sleep channels
   char cq_chan_ = 0;
   Stats stats_;

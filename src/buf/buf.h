@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/kern/ctx.h"
+#include "src/sim/krace.h"
 #include "src/sim/time.h"
 
 namespace ikdp {
@@ -57,7 +58,10 @@ struct Buf {
   BufferCache* cache = nullptr;  // owning cache (null for transient headers)
   BlockDevice* dev = nullptr;
   int64_t blkno = -1;  // physical block number on `dev`
-  uint32_t flags = 0;
+  // Status flags cross every context: the process path sets kBufBusy, the
+  // interrupt path (biodone) sets kBufDone, the softclock write side sets
+  // kBufAsync|kBufCall.  Has/Set/Clear below carry the krace access probes.
+  uint32_t flags IKDP_GUARDED_BY(any) = 0;
   int64_t bcount = kBlockSize;  // bytes valid in this transfer
   BufData data;                 // may alias another buffer's data
 
@@ -65,9 +69,11 @@ struct Buf {
   std::function<void(Buf&)> iodone;
 
   // --- splice extensions (paper Section 5.2.3) ---
-  void* splice_owner = nullptr;
-  int64_t logical_blkno = -1;
-  Buf* splice_peer = nullptr;
+  // Written at splice setup (process or interrupt context, whichever issues
+  // the read) and consumed by the interrupt/softclock completion chain.
+  void* splice_owner IKDP_GUARDED_BY(any) = nullptr;
+  int64_t logical_blkno IKDP_GUARDED_BY(any) = -1;
+  Buf* splice_peer IKDP_GUARDED_BY(any) = nullptr;
 
   // --- cache bookkeeping (BufferCache internal) ---
   //
@@ -83,9 +89,18 @@ struct Buf {
   bool transient = false;      // header-only buffer outside the cache pool
   bool delwri_victim = false;  // in-flight victim write forced by reuse
 
-  bool Has(BufFlags f) const { return (flags & f) != 0; }
-  void Set(BufFlags f) { flags |= f; }
-  void Clear(BufFlags f) { flags &= ~static_cast<uint32_t>(f); }
+  bool Has(BufFlags f) const {
+    IKDP_KRACE_READ(this, "Buf::flags");
+    return (flags & f) != 0;
+  }
+  void Set(BufFlags f) {
+    IKDP_KRACE_WRITE(this, "Buf::flags");
+    flags |= f;
+  }
+  void Clear(BufFlags f) {
+    IKDP_KRACE_WRITE(this, "Buf::flags");
+    flags &= ~static_cast<uint32_t>(f);
+  }
 };
 
 // Marks the I/O on `b` complete, 4.2BSD biodone() semantics:

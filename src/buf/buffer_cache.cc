@@ -43,6 +43,11 @@ size_t BufferCache::BucketOf(const BlockDevice* dev, int64_t blkno) const {
 }
 
 void BufferCache::HashInsert(Buf* b) {
+  // Distinct (dev, blkno) keys land on independent chains; same-timestamp
+  // inserts/removes of different blocks commute, and the same block is
+  // protected by kBufBusy (so a same-block pair would already be a
+  // buf-discipline violation).
+  IKDP_KRACE_COMMUTE(this, "BufferCache::hash_buckets_");
   assert(!b->hashed && b->hash_prev == nullptr && b->hash_next == nullptr);
   Buf*& head = hash_buckets_[BucketOf(b->dev, b->blkno)];
   b->hash_next = head;
@@ -57,6 +62,7 @@ void BufferCache::HashRemove(Buf* b) {
   if (!b->hashed) {
     return;
   }
+  IKDP_KRACE_COMMUTE(this, "BufferCache::hash_buckets_");
   if (b->hash_prev != nullptr) {
     b->hash_prev->hash_next = b->hash_next;
   } else {
@@ -72,6 +78,9 @@ void BufferCache::HashRemove(Buf* b) {
 }
 
 void BufferCache::FreelistPush(Buf* b, bool front) {
+  // LRU order is victim-selection order: push/pop sequencing is observable
+  // through eviction, so the freelist carries plain WRITE probes.
+  IKDP_KRACE_WRITE(this, "BufferCache::freelist");
   assert(!b->on_freelist && b->free_prev == nullptr && b->free_next == nullptr);
   if (front) {
     b->free_next = free_head_;
@@ -96,6 +105,7 @@ void BufferCache::FreelistPush(Buf* b, bool front) {
 }
 
 void BufferCache::FreelistRemove(Buf* b) {
+  IKDP_KRACE_WRITE(this, "BufferCache::freelist");
   assert(b->on_freelist);
   assert((b->free_prev == nullptr) == (free_head_ == b));
   assert((b->free_next == nullptr) == (free_tail_ == b));

@@ -182,17 +182,20 @@ class BufferCache {
   const int nbufs_;
   std::vector<std::unique_ptr<Buf>> pool_;
   // Hash table: power-of-two bucket array of intrusive chains through
-  // Buf::hash_prev/hash_next.
-  std::vector<Buf*> hash_buckets_;
+  // Buf::hash_prev/hash_next.  Insert/remove touch one keyed chain each;
+  // distinct-key operations commute (COMMUTE probes in buffer_cache.cc).
+  std::vector<Buf*> hash_buckets_ IKDP_GUARDED_BY(any);
   size_t hash_mask_ = 0;
   // LRU free list, intrusive through Buf::free_prev/free_next.
   // free_head_ = next victim (LRU); releases push at the tail, worthless
-  // buffers at the head.
-  Buf* free_head_ = nullptr;
-  Buf* free_tail_ = nullptr;
-  int free_count_ = 0;
-  std::map<const BlockDevice*, int> pending_writes_;
-  std::unordered_map<Buf*, std::unique_ptr<Buf>> transients_;
+  // buffers at the head.  Push/pop ORDER decides victim choice, so these
+  // carry plain WRITE probes — an unordered same-timestamp release pair
+  // would make eviction schedule-dependent.
+  Buf* free_head_ IKDP_GUARDED_BY(any) = nullptr;
+  Buf* free_tail_ IKDP_GUARDED_BY(any) = nullptr;
+  int free_count_ IKDP_GUARDED_BY(any) = 0;
+  std::map<const BlockDevice*, int> pending_writes_ IKDP_GUARDED_BY(any);
+  std::unordered_map<Buf*, std::unique_ptr<Buf>> transients_ IKDP_GUARDED_BY(any);
   int freelist_waiters_chan_ = 0;  // sleep channel for free-list exhaustion
   SimDuration pending_sync_charge_ = 0;
   Stats stats_;

@@ -4,7 +4,17 @@
 #include <cassert>
 #include <utility>
 
+#include "src/sim/krace.h"
+
 namespace ikdp {
+
+// Elevator-queue krace probes are COMMUTE: disksort places each request by
+// block number regardless of arrival order, the single-issue handshake is
+// enforced by hw_busy_ itself, and the one order-sensitive residue — which
+// of two same-timestamp submitters lands first when their blocks tie — is
+// tie-break freedom validated by the schedule-perturbation mode
+// (docs/krace.md).  The `diskq` channel carries the submit -> issue edge
+// for the declared IKDP_ORDERED_BY(diskq) queue.
 
 DiskDriver::DiskDriver(CpuSystem* cpu, Simulator* sim, DiskParams params)
     : cpu_(cpu), disk_(sim, std::move(params)) {}
@@ -52,15 +62,20 @@ void DiskDriver::Disksort(Buf* b) {
   if (pos != queue_.end() || (!queue_.empty() && my_run == 0)) {
     ++stats_.sort_passes;
   }
+  IKDP_KRACE_COMMUTE(this, "DiskDriver::queue_");
   queue_.insert(pos, b);
+  if (KraceEnabled()) Krace().ChannelRelease(&queue_);
 }
 
 void DiskDriver::StartHw() {
+  if (KraceEnabled()) Krace().ChannelAcquire(&queue_);
+  IKDP_KRACE_COMMUTE(this, "DiskDriver::hw_busy_");
   if (queue_.empty()) {
     hw_busy_ = false;
     return;
   }
   hw_busy_ = true;
+  IKDP_KRACE_COMMUTE(this, "DiskDriver::queue_");
   Buf* b = queue_.front();
   queue_.pop_front();
   last_issued_blkno_ = b->blkno;

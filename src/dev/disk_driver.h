@@ -62,8 +62,11 @@ class DiskDriver : public BlockDevice {
 
   CpuSystem* cpu_;
   DiskModel disk_;
-  std::deque<Buf*> queue_;  // elevator order, front is next to issue
-  bool hw_busy_ = false;
+  // Elevator queue, front is next to issue.  Fed by Strategy() from process,
+  // interrupt, and softclock context; drained by StartHw() from Strategy and
+  // from the completion interrupt.  Handoff rides the `diskq` channel.
+  std::deque<Buf*> queue_ IKDP_ORDERED_BY(diskq);
+  bool hw_busy_ IKDP_GUARDED_BY(any) = false;
   int64_t last_issued_blkno_ = 0;
   std::unordered_map<int64_t, std::vector<uint8_t>> store_;
   Stats stats_;

@@ -4,7 +4,17 @@
 #include <cassert>
 #include <utility>
 
+#include "src/sim/krace.h"
+
 namespace ikdp {
+
+// Scheduler krace probes: the ledger (stats_) takes only commutative
+// additions, and run-queue / interrupt-queue operations from distinct
+// same-timestamp events are tie-break freedom — priority order dominates
+// FIFO order, and FIFO ties among simultaneous wakers are exactly what the
+// schedule-perturbation mode validates (docs/krace.md).  All of these are
+// therefore COMMUTE probes; intr_charge_ is a plain WRITE because only the
+// single interrupt body executing at a time may touch it.
 
 CpuSystem::CpuSystem(Simulator* sim, CostConfig costs) : sim_(sim), costs_(costs) {}
 
@@ -63,6 +73,7 @@ void CpuSystem::DecayTick() {
 }
 
 void CpuSystem::AccountUsage(Process* p, SimDuration work) {
+  IKDP_KRACE_COMMUTE(this, "CpuSystem::stats_");
   stats_.process_work += work;
   p->stats_.cpu_time += work;
   if (costs_.priority_decay) {
@@ -85,6 +96,7 @@ void CpuSystem::Enqueue(Process* p, bool front) {
       ++pos;
     }
   }
+  IKDP_KRACE_COMMUTE(this, "CpuSystem::run_queue_");
   run_queue_.insert(pos, p);
 }
 
@@ -101,6 +113,7 @@ void CpuSystem::DispatchNext() {
   if (current_ != nullptr || run_queue_.empty()) {
     return;
   }
+  IKDP_KRACE_COMMUTE(this, "CpuSystem::run_queue_");
   Process* p = run_queue_.front();
   run_queue_.pop_front();
   current_ = p;
@@ -111,6 +124,7 @@ void CpuSystem::DispatchNext() {
   // Every dispatch pays the switch cost; if interrupt-level work is still in
   // flight, the process also waits for the CPU to come back.
   const SimDuration residual = std::max<SimDuration>(0, intr_busy_until_ - sim_->Now());
+  IKDP_KRACE_COMMUTE(this, "CpuSystem::stats_");
   stats_.context_switch += costs_.context_switch;
   ++stats_.switches;
   slice_remaining_ = costs_.quantum;
@@ -248,6 +262,7 @@ void CpuSystem::PreemptCurrent(bool front) {
     const SimDuration residual = burst_.lead_in - burst_.switch_part;
     const SimDuration switch_used =
         std::clamp<SimDuration>(progress - residual, 0, burst_.switch_part);
+    IKDP_KRACE_COMMUTE(this, "CpuSystem::stats_");
     stats_.context_switch -= burst_.switch_part - switch_used;
     SimDuration done = progress - burst_.lead_in;
     done = std::clamp<SimDuration>(done, 0, burst_.planned);
@@ -306,6 +321,7 @@ void CpuSystem::Post(Process& p, int sig) {
 }
 
 void CpuSystem::RunInterrupt(SimDuration overhead, std::function<void()> body) {
+  IKDP_KRACE_COMMUTE(this, "CpuSystem::intr_queue_");
   intr_queue_.push_back(PendingInterrupt{overhead, std::move(body)});
   if (!in_interrupt_) {
     DrainInterrupts();
@@ -316,6 +332,7 @@ void CpuSystem::ChargeInterrupt(SimDuration t) {
   AssertInterruptLevel("CpuSystem::ChargeInterrupt");
   assert(in_interrupt_ && "ChargeInterrupt outside an interrupt body");
   assert(t >= 0);
+  IKDP_KRACE_WRITE(this, "CpuSystem::intr_charge_");
   intr_charge_ += t;
 }
 
@@ -334,9 +351,11 @@ void CpuSystem::DrainInterrupts() {
     }
     return;
   }
+  IKDP_KRACE_COMMUTE(this, "CpuSystem::intr_queue_");
   PendingInterrupt work = std::move(intr_queue_.front());
   intr_queue_.pop_front();
   in_interrupt_ = true;
+  IKDP_KRACE_WRITE(this, "CpuSystem::intr_charge_");
   intr_charge_ = work.overhead;
   {
     ContextGuard at_interrupt(ExecContext::kInterrupt);
@@ -347,6 +366,7 @@ void CpuSystem::DrainInterrupts() {
   if (trace_ != nullptr) {
     trace_->Record(now, TraceKind::kInterrupt, total);
   }
+  IKDP_KRACE_COMMUTE(this, "CpuSystem::stats_");
   stats_.interrupt_work += total;
   ++stats_.interrupts;
   intr_busy_until_ = now + total;

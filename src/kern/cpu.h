@@ -186,7 +186,10 @@ class CpuSystem {
   CostConfig costs_;
 
   std::vector<std::unique_ptr<Process>> processes_;
-  std::deque<Process*> run_queue_;
+  // Mutated by process-context sleeps AND by Wakeup() from interrupt and
+  // softclock handlers; every same-tick insertion order is observable through
+  // dispatch order, so writes carry plain (non-commute) krace probes.
+  std::deque<Process*> run_queue_ IKDP_GUARDED_BY(any);
   Process* current_ = nullptr;
   Burst burst_;
   // CPU time left in the current process's quantum.  Tracked across bursts
@@ -201,13 +204,17 @@ class CpuSystem {
   TraceLog* trace_ = nullptr;
 
   // Interrupt engine.
-  std::deque<PendingInterrupt> intr_queue_;
+  std::deque<PendingInterrupt> intr_queue_ IKDP_GUARDED_BY(any);
   SimTime intr_busy_until_ = 0;
   bool intr_drain_armed_ = false;
   bool in_interrupt_ = false;
-  SimDuration intr_charge_ = 0;
+  // Only the handler currently executing at interrupt level may add to its
+  // own charge; ChargeInterrupt() asserts this dynamically too.
+  SimDuration intr_charge_ IKDP_GUARDED_BY(interrupt) = 0;
 
-  Stats stats_;
+  // The CPU ledger.  Every context books work here; the additions commute
+  // (the experiment tables read only the totals), so probes use COMMUTE.
+  Stats stats_ IKDP_GUARDED_BY(any);
 };
 
 }  // namespace ikdp

@@ -59,6 +59,38 @@
 #define IKDP_CTX_SOFTCLOCK IKDP_CTX_ATTR("softclock")
 #define IKDP_CTX_ANY IKDP_CTX_ATTR("any")
 
+// --- data-side annotations (the krace vocabulary; see docs/krace.md) ---
+//
+// Where IKDP_CTX_* states which context may CALL a function, these state
+// which context may TOUCH a member.  Both are read by tools/kcheck straight
+// from the source; on clang they also expand to `annotate` attributes so
+// the registry strings survive into the AST.
+//
+//   IKDP_GUARDED_BY(ctx, ...)  The member may only be accessed from the
+//                              listed contexts (process / interrupt /
+//                              softclock, or `any` as shorthand for all
+//                              three).  kcheck's guard-violation rule
+//                              rejects accesses from a function whose
+//                              IKDP_CTX_* annotation resolves outside the
+//                              set.  Trails the declarator:
+//                                int pending_ IKDP_GUARDED_BY(interrupt) = 0;
+//
+//   IKDP_ORDERED_BY(channel)   The member is touched from several contexts
+//                              but serialized by a named ordering channel
+//                              (`callout`, `biodone`, `reaper`, `diskq`)
+//                              rather than a context restriction.  kcheck
+//                              verifies the channel name is a known one;
+//                              the dynamic side (src/sim/krace.h) checks the
+//                              serialization actually holds via
+//                              ChannelRelease/ChannelAcquire edges.
+#if defined(__clang__)
+#define IKDP_GUARDED_BY(...) __attribute__((annotate("ikdp_guard:" #__VA_ARGS__)))
+#define IKDP_ORDERED_BY(channel) __attribute__((annotate("ikdp_order:" #channel)))
+#else
+#define IKDP_GUARDED_BY(...)
+#define IKDP_ORDERED_BY(channel)
+#endif
+
 namespace ikdp {
 
 enum class ExecContext : uint8_t {

@@ -4,7 +4,18 @@
 #include <cassert>
 #include <utility>
 
+#include "src/sim/krace.h"
+
 namespace ikdp {
+
+// Callout-list krace probes are COMMUTE, not WRITE: arming distinct ids on a
+// tick and erasing distinct ids are order-insensitive map operations, and the
+// one thing that is order-sensitive — the intra-tick run order of entries
+// armed by different same-timestamp events — is invisible to happens-before
+// detection anyway (the whole tick runs as one RunTick event) and is covered
+// by the schedule-perturbation mode instead (docs/krace.md).  The `callout`
+// ordering channel carries the arm -> RunTick edge for the declared
+// IKDP_ORDERED_BY(callout) members.
 
 CalloutTable::CalloutTable(Simulator* sim, int hz) : sim_(sim), hz_(hz) {
   assert(hz > 0);
@@ -20,8 +31,11 @@ CalloutId CalloutTable::Timeout(std::function<void()> fn, int ticks) {
   assert(ticks >= 1);
   const SimTime when = NextTickAfter(sim_->Now()) + static_cast<SimTime>(ticks - 1) * tick_;
   const CalloutId id = ++next_id_;
+  IKDP_KRACE_COMMUTE(this, "CalloutTable::buckets_");
+  IKDP_KRACE_COMMUTE(this, "CalloutTable::pending_");
   buckets_[when].push_back(Entry{id, std::move(fn), /*head=*/false});
   pending_[id] = when;
+  if (KraceEnabled()) Krace().ChannelRelease(&buckets_);
   if (trace_ != nullptr) {
     trace_->Record(sim_->Now(), TraceKind::kCalloutArm, static_cast<int64_t>(id), ticks);
   }
@@ -39,8 +53,11 @@ CalloutId CalloutTable::ScheduleHead(std::function<void()> fn) {
   // splice engine's per-descriptor sequencing — the exact intra-tick order is
   // not observable by the modelled workloads).
   auto it = std::find_if(bucket.begin(), bucket.end(), [](const Entry& e) { return !e.head; });
+  IKDP_KRACE_COMMUTE(this, "CalloutTable::buckets_");
+  IKDP_KRACE_COMMUTE(this, "CalloutTable::pending_");
   bucket.insert(it, Entry{id, std::move(fn), /*head=*/true});
   pending_[id] = when;
+  if (KraceEnabled()) Krace().ChannelRelease(&buckets_);
   if (trace_ != nullptr) {
     trace_->Record(sim_->Now(), TraceKind::kCalloutArm, static_cast<int64_t>(id), 0);
   }
@@ -54,6 +71,8 @@ bool CalloutTable::Untimeout(CalloutId id) {
     return false;
   }
   const SimTime when = it->second;
+  IKDP_KRACE_COMMUTE(this, "CalloutTable::buckets_");
+  IKDP_KRACE_COMMUTE(this, "CalloutTable::pending_");
   pending_.erase(it);
   auto bucket_it = buckets_.find(when);
   if (bucket_it != buckets_.end()) {
@@ -81,6 +100,8 @@ void CalloutTable::ArmSoftclock(SimTime when) {
 }
 
 void CalloutTable::RunTick(SimTime when) {
+  if (KraceEnabled()) Krace().ChannelAcquire(&buckets_);
+  IKDP_KRACE_COMMUTE(this, "CalloutTable::buckets_");
   armed_.erase(when);
   auto it = buckets_.find(when);
   if (it == buckets_.end()) {

@@ -93,10 +93,12 @@ class CalloutTable {
   int hz_;
   SimDuration tick_;
   // tick time -> entries expiring on that tick, in insertion order (head
-  // entries are prepended).
-  std::map<SimTime, std::vector<Entry>> buckets_;
-  std::map<SimTime, EventId> armed_;
-  std::map<CalloutId, SimTime> pending_;
+  // entries are prepended).  Armed/filled from any context, drained by
+  // RunTick at softclock; the `callout` ordering channel carries the
+  // arm -> run happens-before edge for the dynamic checker.
+  std::map<SimTime, std::vector<Entry>> buckets_ IKDP_ORDERED_BY(callout);
+  std::map<SimTime, EventId> armed_ IKDP_ORDERED_BY(callout);
+  std::map<CalloutId, SimTime> pending_ IKDP_ORDERED_BY(callout);
   CalloutId next_id_ = 0;
   uint64_t softclock_runs_ = 0;
   std::function<void(int)> observer_;

@@ -3,11 +3,13 @@
 #include <cassert>
 #include <utility>
 
+#include "src/sim/krace.h"
+
 namespace ikdp {
 
 EventId EventQueue::Schedule(SimTime when, std::function<void()> fn) {
   const EventId id = ++next_seq_;
-  heap_.push(Entry{when, id, std::move(fn)});
+  heap_.push(Entry{when, id, Krace().TieKey(id), std::move(fn)});
   live_.insert(id);
   return id;
 }
@@ -35,7 +37,7 @@ SimTime EventQueue::NextTime() {
   return heap_.top().when;
 }
 
-std::function<void()> EventQueue::PopNext(SimTime* when) {
+std::function<void()> EventQueue::PopNext(SimTime* when, EventId* id) {
   SkipCancelled();
   assert(!heap_.empty() && "PopNext() on empty EventQueue");
   // priority_queue::top() returns a const ref; moving the closure out
@@ -44,6 +46,9 @@ std::function<void()> EventQueue::PopNext(SimTime* when) {
   Entry& top = const_cast<Entry&>(heap_.top());
   std::function<void()> fn = std::move(top.fn);
   *when = top.when;
+  if (id != nullptr) {
+    *id = top.id;
+  }
   live_.erase(top.id);
   heap_.pop();
   return fn;

@@ -5,6 +5,14 @@
 // fully deterministic.  Cancellation is lazy: a cancelled event stays in the
 // heap but is skipped when popped, which keeps both schedule and cancel at
 // O(log n) without a secondary index.
+//
+// Same-timestamp tie-breaks are the ONLY schedule freedom the modelled
+// kernel has (events at distinct times are ordered by the clock), so each
+// entry carries a tie key from KraceDetector::TieKey: insertion order by
+// default, a seeded permutation of it in perturbation mode (see
+// src/sim/krace.h).  Every key order is a legal schedule — an event
+// scheduled by a same-timestamp event still runs after its creator, because
+// the creator had already been popped when it scheduled.
 
 #ifndef SRC_SIM_EVENT_QUEUE_H_
 #define SRC_SIM_EVENT_QUEUE_H_
@@ -52,8 +60,9 @@ class EventQueue {
   SimTime NextTime();
 
   // Pops and returns the earliest live event's closure, setting `*when` to
-  // its firing time.  Must not be called on an empty queue.
-  std::function<void()> PopNext(SimTime* when);
+  // its firing time and (when non-null) `*id` to its EventId.  Must not be
+  // called on an empty queue.
+  std::function<void()> PopNext(SimTime* when, EventId* id = nullptr);
 
   // Total number of events ever scheduled (for stats / tests).
   uint64_t total_scheduled() const { return next_seq_; }
@@ -62,6 +71,7 @@ class EventQueue {
   struct Entry {
     SimTime when = 0;
     EventId id = kInvalidEventId;  // doubles as the insertion sequence number
+    uint64_t key = 0;              // same-timestamp tie-break (== id unless perturbed)
     std::function<void()> fn;
   };
 
@@ -69,6 +79,9 @@ class EventQueue {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.when != b.when) {
         return a.when > b.when;
+      }
+      if (a.key != b.key) {
+        return a.key > b.key;
       }
       return a.id > b.id;
     }

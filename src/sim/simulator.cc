@@ -3,18 +3,33 @@
 #include <cassert>
 #include <utility>
 
+#include "src/sim/krace.h"
+
 namespace ikdp {
 
 EventId Simulator::After(SimDuration delay, std::function<void()> fn) {
   if (delay < 0) {
     delay = 0;
   }
-  return queue_.Schedule(now_ + delay, std::move(fn));
+  return At(now_ + delay, std::move(fn));
 }
 
 EventId Simulator::At(SimTime when, std::function<void()> fn) {
   assert(when >= now_ && "scheduling into the past");
-  return queue_.Schedule(when, std::move(fn));
+  const EventId id = queue_.Schedule(when, std::move(fn));
+  if (KraceEnabled()) {
+    // Schedule edge: the currently executing event happens-before `id`.
+    Krace().OnSchedule(id, when);
+  }
+  return id;
+}
+
+bool Simulator::Cancel(EventId id) {
+  const bool live = queue_.Cancel(id);
+  if (live && KraceEnabled()) {
+    Krace().OnCancel(id);
+  }
+  return live;
 }
 
 SimTime Simulator::Run() {
@@ -38,11 +53,18 @@ bool Simulator::Step() {
     return false;
   }
   SimTime when = 0;
-  std::function<void()> fn = queue_.PopNext(&when);
+  EventId id = kInvalidEventId;
+  std::function<void()> fn = queue_.PopNext(&when, &id);
   assert(when >= now_ && "event queue went backwards");
   now_ = when;
   ++events_executed_;
-  fn();
+  if (KraceEnabled()) {
+    Krace().OnEventBegin(id, when);
+    fn();
+    Krace().OnEventEnd();
+  } else {
+    fn();
+  }
   return true;
 }
 

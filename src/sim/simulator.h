@@ -37,7 +37,7 @@ class Simulator {
   EventId At(SimTime when, std::function<void()> fn);
 
   // Cancels a scheduled event.  Returns true if it was still pending.
-  bool Cancel(EventId id) { return queue_.Cancel(id); }
+  bool Cancel(EventId id);
 
   // Runs events until the queue is empty.  Returns the final time.
   SimTime Run();

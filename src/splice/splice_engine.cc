@@ -4,7 +4,16 @@
 #include <cassert>
 #include <utility>
 
+#include "src/sim/krace.h"
+
 namespace ikdp {
+
+// Krace probes: every mutation of a descriptor's flow-control state is a
+// plain WRITE on the field group "SpliceDescriptor::counters" — two handler
+// invocations for the same descriptor with no happens-before edge would be a
+// genuine ordering bug (the counters are read-modify-write).  The ready_
+// queue handoff from ReadDone (interrupt) to DrainWrites (softclock) is
+// carried by the `callout` ordering channel keyed on &d->ready_.
 
 SpliceEngine::SpliceEngine(CpuSystem* cpu, CalloutTable* callouts)
     : cpu_(cpu), callouts_(callouts) {}
@@ -72,6 +81,7 @@ void SpliceEngine::Cancel(SpliceDescriptor* d) {
   if (d->finished_) {
     return;
   }
+  IKDP_KRACE_WRITE(d, "SpliceDescriptor::counters");
   d->cancelled_ = true;
   if (!d->ready_.empty()) {
     // Queued chunks still need releasing; the drain consumes them.
@@ -96,6 +106,7 @@ void SpliceEngine::IssueReads(SpliceDescriptor* d) {
     // Count the read as issued BEFORE starting it: synchronous devices (RAM
     // disk, cache hits) complete inside StartRead, and the completion
     // handler must see consistent counters.
+    IKDP_KRACE_WRITE(d, "SpliceDescriptor::counters");
     ++d->next_read_;
     ++d->reads_issued_;
     ++d->pending_reads_;
@@ -121,6 +132,7 @@ void SpliceEngine::ArmReadRetry(SpliceDescriptor* d) {
   if (d->read_retry_armed_) {
     return;
   }
+  IKDP_KRACE_WRITE(d, "SpliceDescriptor::counters");
   d->read_retry_armed_ = true;
   d->retry_callout_ = callouts_->ScheduleHead([this, d] {
     cpu_->RunInterrupt(cpu_->costs().softclock_per_callout, [this, d] {
@@ -133,6 +145,7 @@ void SpliceEngine::ArmReadRetry(SpliceDescriptor* d) {
 
 void SpliceEngine::ReadDone(SpliceDescriptor* d, SpliceChunk chunk) {
   Charge(cpu_->costs().splice_read_handler);
+  IKDP_KRACE_WRITE(d, "SpliceDescriptor::counters");
   --d->pending_reads_;
   if (chunk.error) {
     // Unrecoverable read error: stop issuing, drain what is in flight, and
@@ -159,7 +172,9 @@ void SpliceEngine::ReadDone(SpliceDescriptor* d, SpliceChunk chunk) {
   // schedules a write by placing a reference to the write handler at the
   // head of the system callout list."  (Section 5.2.2)
   if (d->opts_.callout_deferral) {
+    IKDP_KRACE_WRITE(d, "SpliceDescriptor::ready_");
     d->ready_.push_back(std::move(chunk));
+    if (KraceEnabled()) Krace().ChannelRelease(&d->ready_);
     ArmDrain(d);
   } else {
     // Ablation: run the write side directly in the read handler (lock-step
@@ -175,6 +190,7 @@ void SpliceEngine::ArmDrain(SpliceDescriptor* d) {
   if (d->drain_armed_) {
     return;
   }
+  IKDP_KRACE_WRITE(d, "SpliceDescriptor::counters");
   d->drain_armed_ = true;
   callouts_->ScheduleHead([this, d] {
     cpu_->RunInterrupt(cpu_->costs().softclock_per_callout, [this, d] {
@@ -189,7 +205,9 @@ void SpliceEngine::DrainWrites(SpliceDescriptor* d) {
   // the rest for the next tick.  This is what paces a splice between two
   // synchronous devices and keeps the CPU available to user processes.
   int budget = d->opts_.max_chunks_per_tick;
+  if (KraceEnabled()) Krace().ChannelAcquire(&d->ready_);
   while (budget > 0 && !d->ready_.empty()) {
+    IKDP_KRACE_WRITE(d, "SpliceDescriptor::ready_");
     SpliceChunk chunk = std::move(d->ready_.front());
     d->ready_.pop_front();
     if (!StartChunkWrite(d, std::move(chunk))) {
@@ -204,6 +222,7 @@ void SpliceEngine::DrainWrites(SpliceDescriptor* d) {
 
 bool SpliceEngine::StartChunkWrite(SpliceDescriptor* d, SpliceChunk chunk) {
   Charge(cpu_->costs().splice_write_handler);
+  IKDP_KRACE_WRITE(d, "SpliceDescriptor::counters");
   if (d->cancelled_) {
     d->source_->Release(chunk);
     // Count it as drained so cancellation converges.
@@ -234,6 +253,7 @@ bool SpliceEngine::StartChunkWrite(SpliceDescriptor* d, SpliceChunk chunk) {
     // the splice at the sink's drain rate.
     --d->pending_writes_;
     ++d->stats_.write_retries;
+    IKDP_KRACE_WRITE(d, "SpliceDescriptor::ready_");
     d->ready_.push_front(std::move(*heap_chunk));
     delete heap_chunk;
     return false;
@@ -243,6 +263,7 @@ bool SpliceEngine::StartChunkWrite(SpliceDescriptor* d, SpliceChunk chunk) {
 
 void SpliceEngine::WriteDone(SpliceDescriptor* d, SpliceChunk chunk, bool ok) {
   Charge(cpu_->costs().splice_wdone_handler);
+  IKDP_KRACE_WRITE(d, "SpliceDescriptor::counters");
   --d->pending_writes_;
   ++d->chunks_done_;
   if (cpu_->trace() != nullptr) {
@@ -287,6 +308,7 @@ void SpliceEngine::MaybeFinish(SpliceDescriptor* d) {
   if (!no_more_input || !drained) {
     return;
   }
+  IKDP_KRACE_WRITE(d, "SpliceDescriptor::counters");
   d->finished_ = true;
   if (d->retry_callout_ != kInvalidCalloutId) {
     callouts_->Untimeout(d->retry_callout_);

@@ -117,23 +117,30 @@ class SpliceDescriptor {
   std::unique_ptr<SpliceSink> sink_;
   SpliceOptions opts_;
 
-  int64_t chunks_total_ = -1;  // -1 until EOF bounds a stream
-  int64_t next_read_ = 0;      // next chunk index to issue
-  int64_t reads_issued_ = 0;   // StartRead successes
-  int64_t chunks_done_ = 0;    // write completions
-  int pending_reads_ = 0;      // issued, not yet completed reads
-  int pending_writes_ = 0;     // issued, not yet completed writes
-  int64_t bytes_moved_ = 0;
-  bool eof_ = false;
-  bool cancelled_ = false;
-  bool io_error_ = false;  // an unrecoverable read or write error occurred
-  bool finished_ = false;
-  bool read_retry_armed_ = false;
-  bool drain_armed_ = false;
+  // Flow-control state (paper Section 5.2.4).  Touched by the process that
+  // starts the splice, the interrupt-level read handler, and the softclock
+  // write handler — the whole point of the descriptor is that no single
+  // context owns the transfer, hence GUARDED_BY(any) plus krace WRITE probes
+  // at every mutation site in splice_engine.cc.
+  int64_t chunks_total_ IKDP_GUARDED_BY(any) = -1;  // -1 until EOF bounds a stream
+  int64_t next_read_ IKDP_GUARDED_BY(any) = 0;      // next chunk index to issue
+  int64_t reads_issued_ IKDP_GUARDED_BY(any) = 0;   // StartRead successes
+  int64_t chunks_done_ IKDP_GUARDED_BY(any) = 0;    // write completions
+  int pending_reads_ IKDP_GUARDED_BY(any) = 0;      // issued, not yet completed reads
+  int pending_writes_ IKDP_GUARDED_BY(any) = 0;     // issued, not yet completed writes
+  int64_t bytes_moved_ IKDP_GUARDED_BY(any) = 0;
+  bool eof_ IKDP_GUARDED_BY(any) = false;
+  bool cancelled_ IKDP_GUARDED_BY(any) = false;
+  bool io_error_ IKDP_GUARDED_BY(any) = false;  // unrecoverable read/write error
+  bool finished_ IKDP_GUARDED_BY(any) = false;
+  bool read_retry_armed_ IKDP_GUARDED_BY(any) = false;
+  bool drain_armed_ IKDP_GUARDED_BY(any) = false;
   SimTime started_at_ = 0;
   CalloutId retry_callout_ = kInvalidCalloutId;
   // Chunks whose reads completed, awaiting the softclock write handler.
-  std::deque<SpliceChunk> ready_;
+  // Produced by ReadDone (interrupt), consumed by DrainWrites (softclock);
+  // the handoff is serialized by the callout list, not by a context rule.
+  std::deque<SpliceChunk> ready_ IKDP_ORDERED_BY(callout);
   std::function<void(const SpliceCompletion&)> on_complete_;
   Stats stats_;
 

@@ -3,11 +3,14 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "src/hw/costs.h"
 #include "src/kern/cpu.h"
 #include "src/kern/process.h"
+#include "src/sim/callout.h"
+#include "src/sim/krace.h"
 #include "src/sim/simulator.h"
 
 namespace ikdp {
@@ -455,6 +458,78 @@ TEST_F(CpuTest, KernelSleepPriorityUnaffectedByDecay) {
   sim_.After(Seconds(4), [&] { cpu.Wakeup(&chan); });
   sim_.Run();
   EXPECT_TRUE(proc->dead());
+}
+
+// --- same-timestamp callout vs. interrupt ordering under krace ---
+//
+// The callout table's softclock tick and a device interrupt can land on the
+// same simulated instant; whether their accesses to one field are a race
+// depends entirely on whether a causality edge connects them.  These tests
+// pin both directions at the kern layer (the detector's own unit tests live
+// in tests/krace_test.cc).
+
+class CpuKraceTest : public CpuTest {
+ protected:
+  void SetUp() override {
+    saved_mode_ = Krace().mode();
+    Krace().SetMode(KraceDetector::Mode::kCollect);
+  }
+  void TearDown() override { Krace().SetMode(saved_mode_); }
+  KraceDetector::Mode saved_mode_ = KraceDetector::Mode::kOff;
+};
+
+TEST_F(CpuKraceTest, UnrelatedSameTimestampCalloutAndInterruptRace) {
+  // Find the instant the first callout tick fires (hz-dependent).
+  SimTime fire = -1;
+  {
+    Simulator probe_sim;
+    CalloutTable probe(&probe_sim, /*hz=*/256);
+    probe.Timeout([&] { fire = probe_sim.Now(); }, 1);
+    probe_sim.Run();
+  }
+  ASSERT_GT(fire, 0);
+
+  // A softclock write and an interrupt-level write at that same instant
+  // with NO edge between them: a legal tie-break permutation swaps them.
+  CpuSystem cpu(&sim_, ZeroCosts());
+  CalloutTable callouts(&sim_, /*hz=*/256);
+  int field = 0;
+  callouts.Timeout([&] { IKDP_KRACE_WRITE(&field, "CpuKrace::field"); }, 1);
+  sim_.At(fire, [&] {
+    cpu.RunInterrupt(Microseconds(10),
+                     [&] { IKDP_KRACE_WRITE(&field, "CpuKrace::field"); });
+  });
+  sim_.Run();
+  EXPECT_EQ(Krace().races().size(), 1u);
+  if (!Krace().races().empty()) {
+    // The report names both contexts, not just both events.
+    const std::string desc = Krace().races()[0].Describe();
+    EXPECT_NE(desc.find("softclock"), std::string::npos) << desc;
+    EXPECT_NE(desc.find("interrupt"), std::string::npos) << desc;
+  }
+}
+
+TEST_F(CpuKraceTest, InterruptRaisedByCalloutBodyIsOrdered) {
+  // The biodone shape: softclock work raises the interrupt itself, so the
+  // interrupt body is a causal descendant of the tick — same field, same
+  // instant, no race.
+  CpuSystem cpu(&sim_, ZeroCosts());
+  CalloutTable callouts(&sim_, /*hz=*/256);
+  int field = 0;
+  bool interrupt_ran = false;
+  callouts.Timeout(
+      [&] {
+        IKDP_KRACE_WRITE(&field, "CpuKrace::field");
+        cpu.RunInterrupt(Microseconds(10), [&] {
+          IKDP_KRACE_WRITE(&field, "CpuKrace::field");
+          interrupt_ran = true;
+        });
+      },
+      1);
+  sim_.Run();
+  EXPECT_TRUE(interrupt_ran);
+  EXPECT_TRUE(Krace().races().empty())
+      << Krace().races()[0].Describe();
 }
 
 }  // namespace

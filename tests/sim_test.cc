@@ -3,11 +3,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "src/sim/callout.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/krace.h"
 #include "src/sim/random.h"
 #include "src/sim/simulator.h"
 #include "src/sim/time.h"
@@ -274,6 +277,138 @@ TEST_F(CalloutTest, IndependentTablesDoNotInterfere) {
   other.Timeout([&] { order.push_back(100); }, 1);       // fires at 1/100 s
   sim_.Run();
   EXPECT_EQ(order, (std::vector<int>{256, 100}));
+}
+
+// --- same-timestamp tie-break perturbation (src/sim/krace.h) ---
+//
+// The event queue's only schedule freedom is the order of same-timestamp
+// events; SetPerturbSeed re-keys that tie-break by a seeded hash.  These
+// tests pin the legality envelope: every seed yields a permutation of the
+// same event set, seed 0 is the historical insertion order, equal seeds
+// reproduce exactly, and causality (a child scheduled by a same-time event
+// runs after its creator) survives every seed.
+
+std::vector<int> SameTimeFireOrder(uint64_t seed) {
+  Krace().SetPerturbSeed(seed);
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    sim.At(Milliseconds(1), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  Krace().SetPerturbSeed(0);
+  return order;
+}
+
+TEST(PerturbTest, SeedZeroIsInsertionOrder) {
+  EXPECT_EQ(SameTimeFireOrder(0), (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(PerturbTest, EverySeedYieldsAPermutation) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    std::vector<int> order = SameTimeFireOrder(seed);
+    std::vector<int> sorted = order;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}))
+        << "seed " << seed << " dropped or duplicated events";
+  }
+}
+
+TEST(PerturbTest, SameSeedReproducesExactly) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    EXPECT_EQ(SameTimeFireOrder(seed), SameTimeFireOrder(seed))
+        << "seed " << seed;
+  }
+}
+
+TEST(PerturbTest, SomeSeedActuallyPermutes) {
+  // The perturbation would be vacuous if every seed reproduced insertion
+  // order; with 8 events and 8 seeds, at least one must differ.
+  const std::vector<int> base = SameTimeFireOrder(0);
+  bool permuted = false;
+  for (uint64_t seed = 1; seed <= 8 && !permuted; ++seed) {
+    permuted = (SameTimeFireOrder(seed) != base);
+  }
+  EXPECT_TRUE(permuted);
+}
+
+TEST(PerturbTest, DistinctTimestampsStayClockOrdered) {
+  for (uint64_t seed = 0; seed <= 4; ++seed) {
+    Krace().SetPerturbSeed(seed);
+    Simulator sim;
+    std::vector<int> order;
+    // Scheduled in reverse time order on purpose.
+    for (int i = 7; i >= 0; --i) {
+      sim.At(Milliseconds(i + 1), [&order, i] { order.push_back(i); });
+    }
+    sim.Run();
+    Krace().SetPerturbSeed(0);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}))
+        << "seed " << seed;
+  }
+}
+
+TEST(PerturbTest, ChildAlwaysRunsAfterItsCreator) {
+  // Every tie-break permutation is a LEGAL schedule: an event scheduled by
+  // a same-timestamp event pops after its creator under any key order,
+  // because the creator had already been popped when it scheduled.
+  for (uint64_t seed = 0; seed <= 8; ++seed) {
+    Krace().SetPerturbSeed(seed);
+    Simulator sim;
+    std::vector<int> order;  // parent p recorded as p, child as p + 100
+    for (int p = 0; p < 4; ++p) {
+      sim.At(Milliseconds(1), [&sim, &order, p] {
+        order.push_back(p);
+        sim.After(0, [&order, p] { order.push_back(p + 100); });
+      });
+    }
+    sim.Run();
+    Krace().SetPerturbSeed(0);
+    ASSERT_EQ(order.size(), 8u) << "seed " << seed;
+    for (int p = 0; p < 4; ++p) {
+      const auto parent = std::find(order.begin(), order.end(), p);
+      const auto child = std::find(order.begin(), order.end(), p + 100);
+      ASSERT_NE(parent, order.end());
+      ASSERT_NE(child, order.end());
+      EXPECT_LT(parent - order.begin(), child - order.begin())
+          << "seed " << seed << ": child of " << p << " ran before it";
+    }
+  }
+}
+
+TEST(PerturbTest, CancellationWorksUnderPerturbation) {
+  for (uint64_t seed = 0; seed <= 4; ++seed) {
+    Krace().SetPerturbSeed(seed);
+    Simulator sim;
+    int fired = 0;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 6; ++i) {
+      ids.push_back(sim.At(Milliseconds(1), [&fired] { ++fired; }));
+    }
+    EXPECT_TRUE(sim.Cancel(ids[1]));
+    EXPECT_TRUE(sim.Cancel(ids[4]));
+    sim.Run();
+    Krace().SetPerturbSeed(0);
+    EXPECT_EQ(fired, 4) << "seed " << seed;
+  }
+}
+
+TEST(PerturbTest, SameTickCalloutsKeepArmingOrderUnderAnySeed) {
+  // Same-tick callouts run inside ONE softclock event in arming order; the
+  // tie-break permutes events, never the intra-event list walk, so callout
+  // FIFO order is schedule-independent by construction.
+  for (uint64_t seed = 0; seed <= 4; ++seed) {
+    Krace().SetPerturbSeed(seed);
+    Simulator sim;
+    CalloutTable callouts(&sim, /*hz=*/256);
+    std::vector<int> order;
+    for (int i = 0; i < 4; ++i) {
+      callouts.Timeout([&order, i] { order.push_back(i); }, 2);
+    }
+    sim.Run();
+    Krace().SetPerturbSeed(0);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3})) << "seed " << seed;
+  }
 }
 
 TEST(RngTest, Deterministic) {

@@ -23,6 +23,25 @@ Rule classes
                        (bread / getblk / transient alloc / Set(kBufBusy)).
   annotation-conflict  A function carries two different IKDP_CTX_* annotations
                        across its declarations/definition.
+  annotation-mismatch  A function's out-of-line definition carries an
+                       IKDP_CTX_* annotation but its declaration does not:
+                       the contract is invisible to callers reading the
+                       header.  (Both-annotated-differently is reported as
+                       annotation-conflict.)
+  guard-violation      A member annotated IKDP_GUARDED_BY(ctx, ...) is
+                       accessed from a function whose IKDP_CTX_* annotation
+                       resolves outside the member's guard set (`any` on a
+                       function means it must be safe in every context, so
+                       it may only touch members guarded by all three).
+                       Members annotated IKDP_ORDERED_BY are exempt here:
+                       their cross-context serialization is checked
+                       dynamically by src/sim/krace.h channel edges.
+  unknown-order-channel  An IKDP_ORDERED_BY names a channel outside the
+                       known set (callout, biodone, reaper, diskq), or an
+                       IKDP_GUARDED_BY lists an unknown context.
+  stale-waiver         A `kcheck: allow(<rule>)` comment no longer matches
+                       any finding (or names an unknown rule); delete it so
+                       dead waivers cannot hide future regressions.
 
 Frontends
 ---------
@@ -66,6 +85,19 @@ ANNOTATION_MACROS = {
     "IKDP_CTX_ANY": "any",
 }
 NONBLOCKING_CTX = {"interrupt", "softclock", "any"}
+ALL_CONTEXTS = frozenset({"process", "interrupt", "softclock"})
+
+# Ordering channels the dynamic checker (src/sim/krace.h) knows how to
+# carry; IKDP_ORDERED_BY must name one of these.
+KNOWN_ORDER_CHANNELS = {"callout", "biodone", "reaper", "diskq"}
+
+# Every rule kcheck can emit; waiver comments naming anything else are stale
+# by construction.
+KNOWN_RULES = {
+    "interrupt-sleep", "undominated-charge", "buf-double-release",
+    "buf-release-unowned", "annotation-conflict", "annotation-mismatch",
+    "guard-violation", "unknown-order-channel", "stale-waiver",
+}
 
 # Blocking primitives recognized even without (in addition to) annotations.
 BLOCKING_PRIMITIVES = {"CpuSystem::Sleep", "CpuSystem::Use"}
@@ -166,6 +198,11 @@ class Function:
         self.body_file = None
         self.body_line = None       # 1-based line of the opening brace
         self.calls = []             # (receiver or None, name, file, line)
+        # Per-site annotation tracking for the annotation-mismatch rule.
+        self.decl_annotation = None  # annotation seen on a declaration
+        self.declared_at = None      # (file, line) of first declaration seen
+        self.def_annotation = None   # annotation seen on the definition head
+        self.def_out_of_line = False  # definition had an explicit Class:: head
 
     @property
     def cls(self):
@@ -184,6 +221,13 @@ class Model:
         self.by_name = {}     # bare name -> [Function]
         self.members = {}     # class -> {member: type-class}
         self.raw_lines = {}   # file -> original text lines (for waivers)
+        # Data-side annotations (IKDP_GUARDED_BY / IKDP_ORDERED_BY):
+        # class -> {member: ("guard", frozenset(ctx), file, line) |
+        #                   ("order", channel, file, line)}
+        self.guards = {}
+        # Waivers that actually suppressed a finding this run, so the
+        # stale-waiver lint can flag the rest.
+        self.used_waivers = set()
 
     def function(self, qname):
         fn = self.functions.get(qname)
@@ -197,7 +241,10 @@ class Model:
         lines = self.raw_lines.get(file)
         if not lines or not 1 <= line <= len(lines):
             return False
-        return "kcheck: allow(%s)" % rule in lines[line - 1]
+        if "kcheck: allow(%s)" % rule in lines[line - 1]:
+            self.used_waivers.add((file, line, rule))
+            return True
+        return False
 
 
 # Head of a function declaration/definition: tolerant of return types,
@@ -205,8 +252,15 @@ class Model:
 CALL_RE = re.compile(r"(?:(\w+)\s*(?:\.|->)\s*)?(~?\w+)\s*\(")
 QUAL_CALL_RE = re.compile(r"(\w+)\s*::\s*(\w+)\s*\(")
 MEMBER_RE = re.compile(
-    r"^\s*(?:const\s+)?([A-Za-z_]\w*)\s*(?:<[^;<>]*>)?\s*([*&]\s*)?([A-Za-z_]\w*_)\s*(?:=[^;]*)?;",
+    r"^\s*(?:const\s+)?([A-Za-z_]\w*)\s*(?:<[^;<>]*>)?\s*([*&]\s*)?([A-Za-z_]\w*_)\s*"
+    r"(?:IKDP_\w+\s*\([^)]*\)\s*)?(?:=[^;]*)?;",
     re.M)
+# A member declarator trailed by a data-side annotation.  The member name is
+# whatever identifier immediately precedes the macro (guards trail the
+# declarator, per src/kern/ctx.h).
+GUARD_RE = re.compile(r"\b([A-Za-z_]\w*)\s+IKDP_GUARDED_BY\s*\(([^)]*)\)")
+ORDER_RE = re.compile(r"\b([A-Za-z_]\w*)\s+IKDP_ORDERED_BY\s*\(\s*([A-Za-z_]\w*)\s*\)")
+WAIVER_RE = re.compile(r"kcheck:\s*allow\(([A-Za-z][\w-]*)\)")
 
 
 def parse_head(head):
@@ -291,6 +345,17 @@ class FileParser:
             table = self.model.members.setdefault(cls, {})
             for mem in MEMBER_RE.finditer(body):
                 table.setdefault(mem.group(3), mem.group(1))
+            guards = self.model.guards.setdefault(cls, {})
+            for mem in GUARD_RE.finditer(body):
+                ctxs = frozenset(c.strip() for c in mem.group(2).split(",")
+                                 if c.strip())
+                line = line_of(self.code, m.end() + mem.start())
+                guards.setdefault(mem.group(1),
+                                  ("guard", ctxs, self.path, line))
+            for mem in ORDER_RE.finditer(body):
+                line = line_of(self.code, m.end() + mem.start())
+                guards.setdefault(mem.group(1),
+                                  ("order", mem.group(2), self.path, line))
 
     def _scan_scopes(self):
         code = self.code
@@ -367,12 +432,23 @@ class FileParser:
         if not parsed:
             return
         qualifier, name, annotation = parsed
-        if annotation is None:
-            return  # declarations only matter for their annotations
+        if name.startswith("IKDP_"):
+            return  # a data-member annotation macro, not a function
+        line = line_of(self.code, head_pos + len(head) - len(head.lstrip()))
         cls = qualifier or self._enclosing_class(stack)
         qname = "%s::%s" % (cls, name) if cls else name
-        line = line_of(self.code, head_pos + len(head) - len(head.lstrip()))
-        self._annotate(self.model.function(qname), annotation, line)
+        fn = self.model.function(qname)
+        if annotation is None:
+            # Track that a declaration exists: annotation-mismatch needs to
+            # distinguish "unannotated declaration" from "no declaration".
+            if fn.declared_at is None:
+                fn.declared_at = (self.path, line)
+            return
+        if fn.declared_at is None:
+            fn.declared_at = (self.path, line)
+        if fn.decl_annotation is None:
+            fn.decl_annotation = annotation
+        self._annotate(fn, annotation, line)
 
     def _record_definition(self, parsed, head, brace_idx, end_idx):
         qualifier, name, annotation = parsed
@@ -383,6 +459,8 @@ class FileParser:
         fn = self.model.function(qname)
         line = line_of(self.code, brace_idx)
         if annotation is not None:
+            fn.def_annotation = annotation
+            fn.def_out_of_line = qualifier is not None
             self._annotate(fn, annotation, line)
         body = self.code[brace_idx + 1:end_idx]
         fn.body = body
@@ -616,6 +694,146 @@ def check_annotation_conflicts(model, findings):
                    fn.annotation_site[1], other)))
 
 
+def check_annotation_mismatch(model, findings):
+    """Out-of-line definition annotated, declaration silent.
+
+    The declaration is what callers (and kcheck's own call-graph rules, which
+    see the header first) read; an annotation living only on the definition
+    is a contract nobody can rely on.  Both-sites-annotated-differently is
+    annotation-conflict, not this rule.
+    """
+    for fn in model.functions.values():
+        if (fn.def_annotation is None or not fn.def_out_of_line
+                or fn.declared_at is None):
+            continue
+        if fn.decl_annotation is not None:
+            continue
+        file, line = fn.body_file, fn.body_line
+        if model.waived(file, line, "annotation-mismatch"):
+            continue
+        findings.append(Finding(
+            "annotation-mismatch", file, line,
+            "%s: out-of-line definition is annotated IKDP_CTX_%s but the "
+            "declaration at %s:%d carries no annotation; annotate the "
+            "declaration"
+            % (fn.qname, fn.def_annotation.upper(),
+               fn.declared_at[0], fn.declared_at[1])))
+
+
+def check_data_annotations(model, findings):
+    """Vocabulary validation for IKDP_GUARDED_BY / IKDP_ORDERED_BY."""
+    for cls, members in sorted(model.guards.items()):
+        for member, (kind, payload, file, line) in sorted(members.items()):
+            if kind == "order":
+                if payload in KNOWN_ORDER_CHANNELS:
+                    continue
+                if model.waived(file, line, "unknown-order-channel"):
+                    continue
+                findings.append(Finding(
+                    "unknown-order-channel", file, line,
+                    "%s::%s is IKDP_ORDERED_BY(%s); known channels: %s"
+                    % (cls, member, payload,
+                       ", ".join(sorted(KNOWN_ORDER_CHANNELS)))))
+            else:
+                bad = payload - ALL_CONTEXTS - {"any"}
+                if not bad:
+                    continue
+                if model.waived(file, line, "unknown-order-channel"):
+                    continue
+                findings.append(Finding(
+                    "unknown-order-channel", file, line,
+                    "%s::%s: IKDP_GUARDED_BY lists unknown context(s): %s"
+                    % (cls, member, ", ".join(sorted(bad)))))
+
+
+def _guard_set(payload):
+    return ALL_CONTEXTS if "any" in payload else payload & ALL_CONTEXTS
+
+
+def check_guard_violations(model, findings):
+    """IKDP_GUARDED_BY member accessed outside its guard set.
+
+    A function annotated IKDP_CTX_ANY must be safe in every context, so it
+    may only touch members whose guard covers all three contexts.  Member
+    occurrences resolve like calls do: bare names bind to the enclosing
+    class, receiver-qualified accesses through the member-type table, and a
+    tree-unique member name binds to its only owner.  Ambiguous receivers
+    are skipped (no false positives, documented approximation).  ORDERED_BY
+    members are exempt: the dynamic checker owns their serialization.
+    """
+    index = {}  # member name -> [(class, info)]
+    for cls, members in model.guards.items():
+        for member, info in members.items():
+            index.setdefault(member, []).append((cls, info))
+    seen = set()
+    for fn in model.functions.values():
+        if fn.body is None or fn.annotation is None:
+            continue
+        required = ALL_CONTEXTS if fn.annotation == "any" else {fn.annotation}
+        for member, owners in index.items():
+            if member not in fn.body:  # cheap pre-filter
+                continue
+            for m in re.finditer(
+                    r"(?:\b(\w+)\s*(?:\.|->)\s*)?\b%s\b" % re.escape(member),
+                    fn.body):
+                recv = m.group(1)
+                if recv is None or recv == "this":
+                    cls = fn.cls
+                    if cls is None or member not in model.guards.get(cls, {}):
+                        continue
+                else:
+                    cls = model.members.get(fn.cls or "", {}).get(recv)
+                    if cls is not None:
+                        if member not in model.guards.get(cls, {}):
+                            continue
+                    elif len(owners) == 1:
+                        cls = owners[0][0]
+                    else:
+                        continue  # ambiguous receiver: skipped
+                kind, payload, gfile, gline = model.guards[cls][member]
+                if kind != "guard":
+                    continue
+                allowed = _guard_set(payload)
+                if required <= allowed:
+                    continue
+                line = fn.body_line + fn.body.count("\n", 0, m.start())
+                key = (fn.body_file, line, cls, member)
+                if key in seen:
+                    continue
+                seen.add(key)
+                if model.waived(fn.body_file, line, "guard-violation"):
+                    continue
+                findings.append(Finding(
+                    "guard-violation", fn.body_file, line,
+                    "%s (IKDP_CTX_%s) accesses %s::%s, guarded by {%s} "
+                    "(declared at %s:%d)"
+                    % (fn.qname, fn.annotation.upper(), cls, member,
+                       ", ".join(sorted(allowed)), gfile, gline)))
+
+
+def check_stale_waivers(model, findings):
+    """Waiver comments that suppressed nothing this run.
+
+    Must run AFTER every other rule so used_waivers is complete.  A stale
+    waiver is a latent hole: the finding it once hid is gone, but the
+    comment would silently swallow the next regression on that line.
+    """
+    for file in sorted(model.raw_lines):
+        for i, text in enumerate(model.raw_lines[file], 1):
+            for m in WAIVER_RE.finditer(text):
+                rule = m.group(1)
+                if rule == "stale-waiver":
+                    continue  # waiving the lint itself is meaningless
+                if (file, i, rule) in model.used_waivers:
+                    continue
+                if rule not in KNOWN_RULES:
+                    msg = "waiver names unknown rule '%s'" % rule
+                else:
+                    msg = ("waiver for '%s' no longer matches any finding; "
+                           "delete it" % rule)
+                findings.append(Finding("stale-waiver", file, i, msg))
+
+
 # ---------------------------------------------------------------------------
 # Drivers
 # ---------------------------------------------------------------------------
@@ -715,9 +933,13 @@ def main(argv=None):
 
     findings = []
     check_annotation_conflicts(model, findings)
+    check_annotation_mismatch(model, findings)
+    check_data_annotations(model, findings)
+    check_guard_violations(model, findings)
     check_context_reachability(model, findings)
     check_charge_domination(model, findings)
     check_buf_discipline(model, findings)
+    check_stale_waivers(model, findings)  # last: consumes used_waivers
 
     if args.json:
         print(json.dumps([f.as_dict() for f in findings], indent=2))

@@ -65,6 +65,42 @@ class FixtureRejection(unittest.TestCase):
         self.assertNotIn("ReleaseTwiceLegit", msgs)
         self.assertNotIn("BranchExclusive", msgs)
 
+    def test_guard_violation(self):
+        rc, findings = run_kcheck(fixture("bad_guard.cc"))
+        self.assertEqual(rc, 1)
+        # Bare access from the wrong context.
+        self.assert_rule(findings, "guard-violation", "user_bytes_")
+        # ANY accessor vs a narrower guard set.
+        self.assert_rule(findings, "guard-violation", "Anywhere")
+        # Receiver-qualified access resolved through the member-type table.
+        self.assert_rule(findings, "guard-violation", "Watcher::Poll")
+        msgs = " ".join(f["message"] for f in findings)
+        for quiet in ("Syscall", "Tick", "Helper", "shared_"):
+            self.assertNotIn(quiet, msgs)
+
+    def test_annotation_mismatch(self):
+        rc, findings = run_kcheck(fixture("bad_annotation_mismatch.cc"))
+        self.assertEqual(rc, 1)
+        self.assert_rule(findings, "annotation-mismatch", "Pump::Drain")
+        msgs = " ".join(f["message"] for f in findings)
+        self.assertNotIn("Fill", msgs)
+        self.assertNotIn("Stop", msgs)
+
+    def test_unknown_order_channel(self):
+        rc, findings = run_kcheck(fixture("bad_data_annotations.cc"))
+        self.assertEqual(rc, 1)
+        self.assert_rule(findings, "unknown-order-channel", "mailbox")
+        self.assert_rule(findings, "unknown-order-channel", "hypervisor")
+        msgs = " ".join(f["message"] for f in findings)
+        self.assertNotIn("posted_", msgs)
+        self.assertNotIn("count_", msgs)
+
+    def test_stale_waiver(self):
+        rc, findings = run_kcheck(fixture("bad_stale_waiver.cc"))
+        self.assertEqual(rc, 1)
+        self.assert_rule(findings, "stale-waiver", "undominated-charge")
+        self.assert_rule(findings, "stale-waiver", "unknown rule")
+
     def test_clean_fixture(self):
         rc, findings = run_kcheck(fixture("good_clean.cc"))
         self.assertEqual(rc, 0)

@@ -1,0 +1,28 @@
+// kcheck fixture: definition-only context annotation.
+// Parsed by kcheck only — never compiled.
+//
+// Expected finding: [annotation-mismatch] at Pump::Drain's out-of-line
+// definition — the declaration in the class body makes no context claim, so
+// the IKDP_CTX_INTERRUPT on the definition is invisible to callers reading
+// the header.
+
+#define IKDP_CTX_PROCESS
+#define IKDP_CTX_INTERRUPT
+
+class Pump {
+ public:
+  void Drain();                  // unannotated declaration: the bug
+  IKDP_CTX_PROCESS void Fill();  // OK: annotated where callers look
+  void Stop();                   // OK: never annotated anywhere
+
+ private:
+  int level_ = 0;
+};
+
+// BAD: the contract lives only here.
+IKDP_CTX_INTERRUPT void Pump::Drain() { level_ = 0; }
+
+// OK: a definition matching an annotated declaration need not restate it.
+void Pump::Fill() { ++level_; }
+
+void Pump::Stop() { level_ = -1; }

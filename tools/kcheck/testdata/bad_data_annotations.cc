@@ -1,0 +1,15 @@
+// kcheck fixture: data-annotation vocabulary errors.
+// Parsed by kcheck only — never compiled.
+//
+// Expected findings:
+//   [unknown-order-channel]  retired_ names channel `mailbox`, which the
+//                            dynamic checker carries no edges for
+//   [unknown-order-channel]  depth_ lists unknown context `hypervisor`
+
+class RingFixture {
+ private:
+  int retired_ IKDP_ORDERED_BY(mailbox) = 0;           // BAD
+  int depth_ IKDP_GUARDED_BY(hypervisor) = 0;          // BAD
+  int posted_ IKDP_ORDERED_BY(reaper) = 0;             // OK
+  int count_ IKDP_GUARDED_BY(process, interrupt) = 0;  // OK
+};

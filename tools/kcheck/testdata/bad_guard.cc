@@ -1,0 +1,66 @@
+// kcheck fixture: guard-set violations on IKDP_GUARDED_BY members.
+// Parsed by kcheck only — never compiled.
+//
+// Expected findings:
+//   [guard-violation]  NicState::Isr writes user_bytes_ (guarded by
+//                      process) from IKDP_CTX_INTERRUPT
+//   [guard-violation]  NicState::Anywhere touches tick_ (guarded by
+//                      process, softclock) from IKDP_CTX_ANY — an ANY
+//                      function must be safe in every context
+//   [guard-violation]  Watcher::Poll reaches irq_count_ (guarded by
+//                      interrupt) through a typed receiver from
+//                      IKDP_CTX_PROCESS
+
+#define IKDP_CTX_PROCESS
+#define IKDP_CTX_INTERRUPT
+#define IKDP_CTX_SOFTCLOCK
+#define IKDP_CTX_ANY
+
+class NicState {
+ public:
+  // BAD: an interrupt-context function touching process-only state.
+  IKDP_CTX_INTERRUPT void Isr() {
+    ++irq_count_;     // OK: interrupt is in the guard set
+    user_bytes_ = 0;  // BAD: guarded by process
+  }
+
+  // BAD: ANY must be callable from every context, but tick_'s guard set
+  // excludes interrupt.
+  IKDP_CTX_ANY void Anywhere() { ++tick_; }
+
+  // OK: process-context access to process state; `any`-guarded members are
+  // open to every annotated accessor.
+  IKDP_CTX_PROCESS void Syscall() {
+    user_bytes_ += 4;
+    ++shared_;
+  }
+
+  // OK: softclock is in tick_'s guard set.
+  IKDP_CTX_SOFTCLOCK void Tick() { ++tick_; }
+
+  // OK: unannotated functions make no context claim; the call-graph rules
+  // own them.
+  void Helper() { user_bytes_ = 1; }
+
+ private:
+  int irq_count_ IKDP_GUARDED_BY(interrupt) = 0;
+  long user_bytes_ IKDP_GUARDED_BY(process) = 0;
+  long tick_ IKDP_GUARDED_BY(process, softclock) = 0;
+  int shared_ IKDP_GUARDED_BY(any) = 0;
+};
+
+class Watcher {
+ public:
+  // BAD: receiver-qualified access, resolved through the member-type table
+  // (nic_ -> NicState).
+  IKDP_CTX_PROCESS void Poll() {
+    if (nic_->irq_count_ != 0) {
+      Report();
+    }
+  }
+
+  void Report() {}
+
+ private:
+  NicState* nic_;
+};

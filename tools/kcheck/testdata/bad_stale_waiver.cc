@@ -1,0 +1,12 @@
+// kcheck fixture: waiver comments that no longer suppress anything.
+// Parsed by kcheck only — never compiled.
+//
+// Expected findings:
+//   [stale-waiver]  the undominated-charge waiver below matches no finding
+//   [stale-waiver]  `interupt-sleep` names an unknown rule (typo)
+
+struct Meter {
+  void Account(long cycles) { total_ += cycles; }  // kcheck: allow(undominated-charge)
+  long Total() { return total_; }  // kcheck: allow(interupt-sleep)
+  long total_ = 0;
+};
