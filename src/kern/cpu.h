@@ -187,8 +187,11 @@ class CpuSystem {
 
   std::vector<std::unique_ptr<Process>> processes_;
   // Mutated by process-context sleeps AND by Wakeup() from interrupt and
-  // softclock handlers; every same-tick insertion order is observable through
-  // dispatch order, so writes carry plain (non-commute) krace probes.
+  // softclock handlers.  Priority order dominates dispatch; the only
+  // same-timestamp sensitivity is FIFO order among simultaneous
+  // equal-priority wakers, which is exactly the tie-break freedom the
+  // schedule-perturbation mode validates, so the probes in cpu.cc are
+  // COMMUTE (see the rationale block there), not plain writes.
   std::deque<Process*> run_queue_ IKDP_GUARDED_BY(any);
   Process* current_ = nullptr;
   Burst burst_;

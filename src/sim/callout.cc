@@ -84,6 +84,7 @@ bool CalloutTable::Untimeout(CalloutId id) {
       buckets_.erase(bucket_it);
       auto armed_it = armed_.find(when);
       if (armed_it != armed_.end()) {
+        IKDP_KRACE_COMMUTE(this, "CalloutTable::armed_");
         sim_->Cancel(armed_it->second);
         armed_.erase(armed_it);
       }
@@ -96,12 +97,17 @@ void CalloutTable::ArmSoftclock(SimTime when) {
   if (armed_.count(when) > 0) {
     return;
   }
+  // Keyed insert under a unique tick time: simultaneous armers of one tick
+  // reach the same final state in either order (the second sees the first's
+  // entry and returns above).
+  IKDP_KRACE_COMMUTE(this, "CalloutTable::armed_");
   armed_[when] = sim_->At(when, [this, when] { RunTick(when); });
 }
 
 void CalloutTable::RunTick(SimTime when) {
   if (KraceEnabled()) Krace().ChannelAcquire(&buckets_);
   IKDP_KRACE_COMMUTE(this, "CalloutTable::buckets_");
+  IKDP_KRACE_COMMUTE(this, "CalloutTable::armed_");
   armed_.erase(when);
   auto it = buckets_.find(when);
   if (it == buckets_.end()) {

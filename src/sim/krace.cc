@@ -116,6 +116,14 @@ void KraceDetector::OnSchedule(EventId child, SimTime when) {
 
 void KraceDetector::OnEventBegin(EventId id, SimTime when) {
   if (when != now_) {
+    if (when < now_) {
+      // The clock went backwards: a new simulation started in this process
+      // without the Simulator-constructor Reset (e.g. a hand-driven
+      // EventQueue).  Everything recorded belongs to the previous run, whose
+      // event ids this run will reuse; drop it all rather than alias it.
+      table_.clear();
+      channels_.clear();
+    }
     // Time advanced: everything recorded for the previous timestamp is
     // ordered before this event by the clock.  Same-timestamp children
     // always execute (or are cancelled) before time advances, so the
@@ -150,7 +158,13 @@ void KraceDetector::ChannelRelease(const void* chan) {
     st.time = now_;
     st.releasers.clear();
   }
+  // The acquirer is ordered after everything that happens-before the
+  // release, not just the releasing event itself: record cur_'s
+  // same-timestamp ancestors too, so X -schedule-> A -channel-> B composes
+  // into X happens-before B.  Duplicates are harmless (ChannelAcquire
+  // inserts into a set).
   st.releasers.push_back(cur_);
+  st.releasers.insert(st.releasers.end(), cur_anc_.begin(), cur_anc_.end());
 }
 
 void KraceDetector::ChannelAcquire(const void* chan) {

@@ -50,8 +50,10 @@
 // a producer/consumer pair serialized by something coarser than a schedule
 // edge — the callout list, the ring reaper — declares it by calling
 // ChannelRelease(chan) after publishing and ChannelAcquire(chan) before
-// consuming.  The edge is event-granular: the whole releasing event is
-// ordered before the acquiring event.
+// consuming.  The edge is event-granular — the whole releasing event is
+// ordered before the acquiring event — and composes transitively with
+// schedule edges: the releaser's own same-timestamp ancestors are carried
+// across, so X -schedule-> A -channel-> B makes X happen-before B.
 //
 // The detector is host-side only: it never advances simulated time, charges
 // no simulated CPU, and with the mode off every probe is a single inlined
@@ -140,8 +142,14 @@ class KraceDetector {
 
   // 0 disables perturbation (tie-break = insertion order, the historical
   // behaviour).  Takes effect for events scheduled after the call; set it
-  // before constructing the Simulator under test.
-  void SetPerturbSeed(uint64_t seed) { seed_ = seed; }
+  // before constructing the Simulator under test.  Each seed is a fresh
+  // run, so this also clears per-run state (races, causality) — a seed
+  // sweep must not compare the new schedule's events against the previous
+  // seed's records.
+  void SetPerturbSeed(uint64_t seed) {
+    seed_ = seed;
+    Reset();
+  }
   uint64_t perturb_seed() const { return seed_; }
 
   // The same-timestamp tie-break key for event `id` under the current seed.

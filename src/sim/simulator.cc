@@ -7,6 +7,16 @@
 
 namespace ikdp {
 
+Simulator::Simulator() {
+  // A new simulator is a new run: EventIds restart at 1 in this queue, and
+  // the allocator may hand freshly-constructed kernel objects the same
+  // addresses a previous run used.  Stale records in the process-wide
+  // detector would alias them — a coincidentally equal (id, timestamp,
+  // address) triple reads as "same event" (silently skipping real races)
+  // and an unequal one fabricates a cross-run race.
+  Krace().Reset();
+}
+
 EventId Simulator::After(SimDuration delay, std::function<void()> fn) {
   if (delay < 0) {
     delay = 0;

@@ -20,7 +20,10 @@ namespace ikdp {
 
 class Simulator {
  public:
-  Simulator() = default;
+  // Starting a Simulator starts a new run of the process-wide krace
+  // detector: EventIds restart per event queue, so causality state from a
+  // previous simulation must not alias this one's events (src/sim/krace.h).
+  Simulator();
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;

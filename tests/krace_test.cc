@@ -138,6 +138,26 @@ TEST_F(KraceTest, ChannelReleaseAcquireOrders) {
   EXPECT_TRUE(Krace().races().empty()) << FirstRace();
 }
 
+TEST_F(KraceTest, ChannelEdgeComposesWithScheduleEdges) {
+  // X -schedule-> A -channel-> B must make X happen-before B: the release
+  // carries the releaser's own same-timestamp ancestors, not just the
+  // releasing event.  Queue order at t=10 is X, H, A(child of X),
+  // B(child of H), so B really does acquire after A releases.
+  int chan = 0;
+  sim_.At(10, [&] {
+    IKDP_KRACE_WRITE(&field_, "Fixture::field");
+    sim_.After(0, [&] { Krace().ChannelRelease(&chan); });
+  });
+  sim_.At(10, [&] {
+    sim_.After(0, [&] {
+      Krace().ChannelAcquire(&chan);
+      IKDP_KRACE_WRITE(&field_, "Fixture::field");
+    });
+  });
+  sim_.Run();
+  EXPECT_TRUE(Krace().races().empty()) << FirstRace();
+}
+
 TEST_F(KraceTest, ChannelEdgeNeedsTheAcquire) {
   // Releasing alone proves nothing: a consumer that skips the acquire is
   // exactly the bug the channel annotation exists to catch.
@@ -215,6 +235,56 @@ TEST_F(KraceTest, CancelledChildLeavesNoPendingState) {
   });
   sim_.Run();
   EXPECT_TRUE(Krace().races().empty()) << FirstRace();
+}
+
+TEST_F(KraceTest, PriorRunStateIsDiscardedOnNewSimulator) {
+  // EventIds restart per Simulator, and the detector is process-wide:
+  // without a per-run reset, run 2's events alias run 1's records at the
+  // same (address, field, timestamp).  Here run 2's writer has a different
+  // id than run 1's, so stale state would fabricate a cross-run race.
+  {
+    Simulator first;
+    first.At(10, [&] { IKDP_KRACE_WRITE(&field_, "Fixture::field"); });
+    first.Run();
+  }
+  Simulator second;
+  second.At(10, [] {});  // occupies the event id run 1's writer had
+  second.At(10, [&] { IKDP_KRACE_WRITE(&field_, "Fixture::field"); });
+  second.Run();
+  EXPECT_TRUE(Krace().races().empty()) << FirstRace();
+}
+
+TEST_F(KraceTest, EventIdReuseAcrossRunsDoesNotMaskRaces) {
+  // The false-negative twin: run 1 records ordered writes under ids 1 and
+  // 2; run 2 reuses those ids for a GENUINE racing pair.  Stale records
+  // would make run 2's accesses look like duplicates of run 1's ("same
+  // event, same kind") and silently swallow the race.
+  {
+    Simulator first;
+    first.At(10, [&] {
+      IKDP_KRACE_WRITE(&field_, "Fixture::field");
+      first.After(0, [&] { IKDP_KRACE_WRITE(&field_, "Fixture::field"); });
+    });
+    first.Run();
+    ASSERT_TRUE(Krace().races().empty()) << FirstRace();
+  }
+  Simulator second;
+  second.At(10, [&] { IKDP_KRACE_WRITE(&field_, "Fixture::field"); });
+  second.At(10, [&] { IKDP_KRACE_WRITE(&field_, "Fixture::field"); });
+  second.Run();
+  EXPECT_EQ(Krace().races().size(), 1u);
+}
+
+TEST_F(KraceTest, SetPerturbSeedStartsACleanRun) {
+  // A seed sweep reruns the same workload; each seed is a fresh run whose
+  // events must not be compared against the previous seed's records.
+  sim_.At(10, [&] { IKDP_KRACE_WRITE(&field_, "Fixture::field"); });
+  sim_.At(10, [&] { IKDP_KRACE_WRITE(&field_, "Fixture::field"); });
+  sim_.Run();
+  ASSERT_EQ(Krace().races().size(), 1u);
+  Krace().SetPerturbSeed(1);
+  EXPECT_TRUE(Krace().races().empty());
+  EXPECT_EQ(Krace().perturb_seed(), 1u);
 }
 
 TEST_F(KraceTest, ResetClearsRecordedRaces) {
