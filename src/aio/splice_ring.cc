@@ -138,7 +138,10 @@ void SpliceRing::OnEngineComplete(Op* op, const SpliceCompletion& c) {
     // those bytes are on the device.
     op->on_moved(c.bytes_moved);
   }
-  const int error = c.io_error ? kAioEIo : (c.cancelled ? kAioECanceled : 0);
+  // Preserve the device's errno (kErrNoSpc stays distinguishable from a
+  // media error); kAioEIo only backstops a report with no errno attached.
+  const int error =
+      c.io_error ? (c.error != 0 ? c.error : kAioEIo) : (c.cancelled ? kAioECanceled : 0);
   const int group = op->group;
   op->finished_at = c.finished_at;
   Retire(op, c.bytes_moved, error);

@@ -57,6 +57,7 @@ inline constexpr int kAioEBadf = 9;      // bad ring id / file descriptor
 inline constexpr int kAioEAgain = 11;    // submission queue full
 inline constexpr int kAioEBusy = 16;     // op already started; cannot cancel
 inline constexpr int kAioEInval = 22;    // malformed SQE / endpoint refusal
+inline constexpr int kAioENoSpc = 28;    // destination device out of space
 inline constexpr int kAioECanceled = 125;
 
 // SQE flag: this entry and its successor form one pipeline group (see the
@@ -78,7 +79,11 @@ struct SpliceSqe {
 struct SpliceCqe {
   uint64_t cookie = 0;
   int64_t result = 0;       // bytes moved (partial counts on cancel)
-  int error = 0;            // 0, or kAioEIo / kAioECanceled / kAioEInval / kAioEBadf
+  // 0 on success; otherwise the errno of the failure.  Device errors keep
+  // their identity (kAioEIo vs kAioENoSpc per the engine's completion
+  // report); kAioECanceled / kAioEInval / kAioEBadf come from the ring and
+  // syscall layers.
+  int error = 0;
   SimDuration latency = 0;  // admission -> completion
 };
 

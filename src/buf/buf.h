@@ -62,6 +62,13 @@ struct Buf {
   // interrupt path (biodone) sets kBufDone, the softclock write side sets
   // kBufAsync|kBufCall.  Has/Set/Clear below carry the krace access probes.
   uint32_t flags IKDP_GUARDED_BY(any) = 0;
+  // Errno of the failed I/O when kBufError is set (b_error in 4.2BSD);
+  // written by the driver's completion interrupt just before Biodone, read
+  // by whoever inspects kBufError.  0 when no error is pending.
+  int error IKDP_GUARDED_BY(any) = 0;
+  // Times a delwri victim write for this block has failed on media; bounds
+  // the redirty-and-retry loop in Brelse (see BufferCache::Stats).
+  int delwri_retries = 0;
   int64_t bcount = kBlockSize;  // bytes valid in this transfer
   BufData data;                 // may alias another buffer's data
 
@@ -87,7 +94,7 @@ struct Buf {
   bool hashed = false;
   bool on_freelist = false;
   bool transient = false;      // header-only buffer outside the cache pool
-  bool delwri_victim = false;  // in-flight victim write forced by reuse
+  bool delwri_victim = false;  // in-flight delwri push (victim reuse/FlushDev)
 
   bool Has(BufFlags f) const {
     IKDP_KRACE_READ(this, "Buf::flags");

@@ -221,6 +221,8 @@ Buf* BufferCache::TryGetBlk(BlockDevice* dev, int64_t blkno, bool* was_hit) {
   v->dev = dev;
   v->blkno = blkno;
   v->flags = kBufBusy;
+  v->error = 0;
+  v->delwri_retries = 0;
   v->delwri_victim = false;
   v->bcount = kBlockSize;
   v->splice_owner = nullptr;
@@ -289,13 +291,26 @@ void BufferCache::IoDone(Buf* b) {
 void BufferCache::Brelse(Buf* b) {
   BufStateChecker::OnRelease(*b);
   if (b->delwri_victim) {
-    // A dirty victim flushed by TryGrabFree just completed.  If the write
-    // failed, the data is gone for good (the worthless path below discards
-    // it); account the loss rather than dropping it silently.
+    // A delwri push (victim flush or FlushDev) just completed.  On failure
+    // the dirty data is still good in memory: re-dirty the buffer so a later
+    // victim grab or FlushDev retries the write, instead of the worthless
+    // path below silently discarding modified data.  The retry budget bounds
+    // livelock against a permanently bad block; past it the loss is
+    // accounted explicitly and the mapping invalidated.
+    b->delwri_victim = false;
     if (b->Has(kBufError)) {
       ++stats_.delwri_write_errors;
+      if (++b->delwri_retries < kDelwriRetryLimit && b->hashed) {
+        b->Clear(kBufError);
+        b->error = 0;
+        b->Set(kBufDelwri);
+        b->Set(kBufDone);
+      } else {
+        ++stats_.delwri_data_lost;
+      }
+    } else {
+      b->delwri_retries = 0;
     }
-    b->delwri_victim = false;
   }
   if (b->Has(kBufWanted)) {
     b->Clear(kBufWanted);
@@ -309,6 +324,9 @@ void BufferCache::Brelse(Buf* b) {
     HashRemove(b);
     b->Clear(kBufDone);
     b->Clear(kBufDelwri);
+    b->Clear(kBufError);
+    b->error = 0;
+    b->delwri_retries = 0;
   }
   FreelistPush(b, /*front=*/worthless);
 }
@@ -451,6 +469,7 @@ Task<> BufferCache::FlushDev(Process& p, BlockDevice* dev) {
     b->Clear(kBufDone);
     b->Clear(kBufRead);
     b->Set(kBufAsync);
+    b->delwri_victim = true;  // route failures through the redirty path
     ++pending_writes_[dev];
     SubmitIo(b);
     const SimDuration charge = std::exchange(pending_sync_charge_, 0);

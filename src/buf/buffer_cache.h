@@ -135,11 +135,17 @@ class BufferCache {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t delwri_flushes = 0;   // victim writes forced by reuse
-    uint64_t delwri_write_errors = 0;  // victim writes that failed on media
+    uint64_t delwri_write_errors = 0;  // delwri pushes that failed on media
+    uint64_t delwri_data_lost = 0;     // dirty blocks dropped after the retry
+                                       // budget (kDelwriRetryLimit) ran out
     uint64_t transient_allocs = 0;
     uint64_t async_read_fails = 0; // BreadAsync could not get a buffer
   };
   const Stats& stats() const { return stats_; }
+
+  // Times a delayed write is retried after a media error before the cache
+  // gives up, invalidates the block, and counts delwri_data_lost.
+  static constexpr int kDelwriRetryLimit = 3;
 
  private:
   // Looks up (dev, blkno); returns nullptr if not cached.

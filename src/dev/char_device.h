@@ -56,6 +56,11 @@ class CharDevice {
     return false;
   }
 
+  // Drops the outstanding ReadAsync, if any; its `done` will never fire.
+  // Returns true when a pending read was dropped.  Used by splice teardown
+  // so a reader blocked on a quiet producer does not pin the stream.
+  IKDP_CTX_ANY virtual bool CancelRead() { return false; }
+
   // Bytes of internal buffer space currently free for writes (0 for pure
   // sources).  Lets writers size their chunks.
   virtual int64_t WriteSpace() const { return 0; }

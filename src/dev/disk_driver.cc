@@ -83,16 +83,17 @@ void DiskDriver::StartHw() {
   req.offset = b->blkno * kBlockSize;
   req.nbytes = b->bcount;
   req.is_read = b->Has(kBufRead);
-  req.done = [this, b](bool ok) { Complete(b, ok); };
+  req.done = [this, b](bool ok) { Complete(b, ok, ok ? 0 : disk_.last_error()); };
   disk_.Submit(std::move(req));
 }
 
-void DiskDriver::Complete(Buf* b, bool ok) {
+void DiskDriver::Complete(Buf* b, bool ok, int error) {
   ++stats_.interrupts;
-  cpu_->RunInterrupt(cpu_->costs().interrupt_overhead, [this, b, ok] {
+  cpu_->RunInterrupt(cpu_->costs().interrupt_overhead, [this, b, ok, error] {
     if (!ok) {
-      // Unrecoverable media error: no content moves; the error flag rides
-      // the buffer up through biodone to whoever waits on it.
+      // Unrecoverable media error: no content moves; the error flag and
+      // errno ride the buffer up through biodone to whoever waits on it.
+      b->error = error != 0 ? error : kErrIo;
       b->Set(kBufError);
       Biodone(*b);
       StartHw();

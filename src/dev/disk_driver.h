@@ -58,7 +58,7 @@ class DiskDriver : public BlockDevice {
   IKDP_CTX_ANY void StartHw();
   // Hardware completion: raises the device interrupt itself (RunInterrupt),
   // so it is callable from any context but its body runs at interrupt level.
-  IKDP_CTX_ANY void Complete(Buf* b, bool ok);
+  IKDP_CTX_ANY void Complete(Buf* b, bool ok, int error);
 
   CpuSystem* cpu_;
   DiskModel disk_;

@@ -141,15 +141,24 @@ bool FileSystem::Remove(const std::string& fname) {
 Task<int64_t> FileSystem::ReadPtr(Process& p, int64_t pbn, int64_t index) {
   ++stats_.indirect_reads;
   Buf* b = co_await cache_->Bread(p, dev_, pbn);
+  if (b->Has(kBufError)) {
+    cache_->Brelse(b);
+    co_return -1;  // unreadable indirect block, not a hole
+  }
   const int64_t value = LoadPtr(*b->data, index);
   cache_->Brelse(b);
   co_return value;
 }
 
-Task<> FileSystem::WritePtr(Process& p, int64_t pbn, int64_t index, int64_t value) {
+Task<bool> FileSystem::WritePtr(Process& p, int64_t pbn, int64_t index, int64_t value) {
   Buf* b = co_await cache_->Bread(p, dev_, pbn);
+  if (b->Has(kBufError)) {
+    cache_->Brelse(b);
+    co_return false;
+  }
   StorePtr(b->data.get(), index, value);
   cache_->Bdwrite(p, b);
+  co_return true;
 }
 
 Task<> FileSystem::ZeroFill(Process& p, int64_t pbn) {
@@ -195,10 +204,16 @@ Task<int64_t> FileSystem::Bmap(Process& p, Inode* ip, int64_t lbn, bool alloc, b
       cache_->Bdwrite(p, b);
     }
     int64_t pbn = co_await ReadPtr(p, ip->indirect, rest);
+    if (pbn < 0) {
+      co_return -1;
+    }
     if (pbn == 0 && alloc) {
       pbn = AllocBlock();
       if (pbn != 0) {
-        co_await WritePtr(p, ip->indirect, rest, pbn);
+        if (!co_await WritePtr(p, ip->indirect, rest, pbn)) {
+          FreeBlock(pbn);
+          co_return -1;
+        }
         if (!for_splice) {
           co_await ZeroFill(p, pbn);
         }
@@ -226,6 +241,9 @@ Task<int64_t> FileSystem::Bmap(Process& p, Inode* ip, int64_t lbn, bool alloc, b
     cache_->Bdwrite(p, b);
   }
   int64_t mid = co_await ReadPtr(p, ip->dindirect, outer);
+  if (mid < 0) {
+    co_return -1;
+  }
   if (mid == 0) {
     if (!alloc) {
       co_return 0;
@@ -237,13 +255,22 @@ Task<int64_t> FileSystem::Bmap(Process& p, Inode* ip, int64_t lbn, bool alloc, b
     Buf* b = co_await cache_->GetBlk(p, dev_, mid);
     std::fill(b->data->begin(), b->data->end(), 0);
     cache_->Bdwrite(p, b);
-    co_await WritePtr(p, ip->dindirect, outer, mid);
+    if (!co_await WritePtr(p, ip->dindirect, outer, mid)) {
+      FreeBlock(mid);
+      co_return -1;
+    }
   }
   int64_t pbn = co_await ReadPtr(p, mid, inner);
+  if (pbn < 0) {
+    co_return -1;
+  }
   if (pbn == 0 && alloc) {
     pbn = AllocBlock();
     if (pbn != 0) {
-      co_await WritePtr(p, mid, inner, pbn);
+      if (!co_await WritePtr(p, mid, inner, pbn)) {
+        FreeBlock(pbn);
+        co_return -1;
+      }
       if (!for_splice) {
         co_await ZeroFill(p, pbn);
       }
@@ -279,6 +306,9 @@ Task<int64_t> FileSystem::Read(Process& p, Inode* ip, int64_t off, int64_t n,
     const int64_t boff = pos % kBlockSize;
     const int64_t chunk = std::min(n - done, kBlockSize - boff);
     const int64_t pbn = co_await Bmap(p, ip, lbn, /*alloc=*/false);
+    if (pbn < 0) {
+      co_return done > 0 ? done : -1;  // unreadable block map
+    }
     if (pbn == 0) {
       out->insert(out->end(), static_cast<size_t>(chunk), 0);  // hole
     } else {
@@ -290,7 +320,7 @@ Task<int64_t> FileSystem::Read(Process& p, Inode* ip, int64_t off, int64_t n,
           break;
         }
         const int64_t rapbn = co_await Bmap(p, ip, lbn + ra, /*alloc=*/false);
-        if (rapbn == 0) {
+        if (rapbn <= 0) {
           break;
         }
         cache_->IssueReadAhead(dev_, rapbn);
@@ -325,6 +355,9 @@ Task<int64_t> FileSystem::Write(Process& p, Inode* ip, int64_t off, const uint8_
     // The write path zero-fills partial fresh blocks in memory itself, so it
     // always uses the no-zero-fill allocation.
     const int64_t pbn = co_await Bmap(p, ip, lbn, /*alloc=*/true, /*for_splice=*/true);
+    if (pbn < 0) {
+      co_return done > 0 ? done : -1;  // unreadable block map
+    }
     if (pbn == 0) {
       break;  // device full
     }

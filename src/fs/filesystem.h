@@ -86,7 +86,10 @@ class FileSystem {
   // --- block mapping ---
 
   // Maps logical block `lbn` of `ip` to a physical block number, reading
-  // indirect blocks through the cache.  Returns 0 if unmapped and !alloc.
+  // indirect blocks through the cache.  Returns 0 if unmapped and !alloc,
+  // and -1 if an indirect block could not be read (or written back) off the
+  // device — an unreadable map must never be mistaken for a hole, and with
+  // alloc it must not be overwritten with freshly scribbled pointers.
   // With alloc, allocates data (and indirect) blocks; stock allocation
   // zero-fills fresh data blocks via delayed writes unless `for_splice`.
   IKDP_CTX_PROCESS Task<int64_t> Bmap(Process& p, Inode* ip, int64_t lbn, bool alloc,
@@ -149,9 +152,11 @@ class FileSystem {
   void FreeInodeBlocks(Inode* ip);
 
   // Reads/writes a 32-bit entry in an on-device indirect block, through the
-  // cache.
+  // cache.  ReadPtr returns -1 if the block read errored; WritePtr returns
+  // false (storing nothing) if it did — updating one pointer in a block
+  // whose other pointers never arrived would corrupt the map.
   IKDP_CTX_PROCESS Task<int64_t> ReadPtr(Process& p, int64_t pbn, int64_t index);
-  IKDP_CTX_PROCESS Task<> WritePtr(Process& p, int64_t pbn, int64_t index, int64_t value);
+  IKDP_CTX_PROCESS Task<bool> WritePtr(Process& p, int64_t pbn, int64_t index, int64_t value);
 
   // Zero-fills a freshly allocated data block as a delayed write (the stock
   // bmap behaviour splice's special bmap avoids).

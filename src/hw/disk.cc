@@ -66,6 +66,34 @@ DiskParams InstantDiskParams() {
 
 DiskModel::DiskModel(Simulator* sim, DiskParams params) : sim_(sim), params_(std::move(params)) {}
 
+void DiskModel::SetFaultPlan(const DiskFaultPlan& plan) {
+  fault_state_ = plan.Enabled() ? std::make_unique<FaultState>(plan) : nullptr;
+}
+
+int DiskModel::EvaluatePlanFault(const DiskRequest& r) {
+  if (fault_state_ == nullptr) {
+    return 0;
+  }
+  FaultState& fs = *fault_state_;
+  if (fs.plan.permanent && fs.bad_offsets.count(r.offset) > 0) {
+    return kErrIo;  // grown defect: the sector stays bad
+  }
+  const double rate = r.is_read ? fs.plan.read_error_rate : fs.plan.write_error_rate;
+  if (rate > 0.0 && fs.rng.NextDouble() < rate) {
+    if (fs.plan.permanent) {
+      fs.bad_offsets.insert(r.offset);
+    }
+    return kErrIo;
+  }
+  if (!r.is_read && fs.plan.write_byte_budget >= 0) {
+    if (fs.bytes_written + r.nbytes > fs.plan.write_byte_budget) {
+      return kErrNoSpc;  // budget exhausted: device full
+    }
+    fs.bytes_written += r.nbytes;
+  }
+  return 0;
+}
+
 void DiskModel::Submit(DiskRequest req) {
   assert(req.nbytes > 0);
   assert(req.offset >= 0 && req.offset + req.nbytes <= params_.capacity_bytes);
@@ -167,7 +195,7 @@ void DiskModel::StartNext() {
   const bool is_read = batch.front().is_read;
   struct Done {
     std::function<void(bool)> cb;
-    bool ok;
+    int error;
   };
   std::vector<Done> dones;
   dones.reserve(batch.size());
@@ -180,16 +208,30 @@ void DiskModel::StartNext() {
       ++stats_.writes;
       stats_.bytes_written += r.nbytes;
     }
-    bool ok = true;
+    int error = 0;
     if (fault_hook_ && fault_hook_(r.offset, r.is_read)) {
-      ok = false;
-      ++stats_.errors;
+      error = kErrIo;
+    } else {
+      error = EvaluatePlanFault(r);
     }
-    dones.push_back({std::move(r.done), ok});
+    if (error != 0) {
+      ++stats_.errors;
+      if (error == kErrNoSpc) {
+        ++stats_.enospc_errors;
+      }
+    }
+    dones.push_back({std::move(r.done), error});
   }
   sweep_pos_ = batch.front().offset + total;
 
-  const SimDuration service = ServiceTime(batch.front().offset, total, is_read);
+  SimDuration service = ServiceTime(batch.front().offset, total, is_read);
+  if (fault_state_ != nullptr && fault_state_->plan.spike_rate > 0.0 &&
+      fault_state_->rng.NextDouble() < fault_state_->plan.spike_rate) {
+    // One draw per physical transfer: the whole batch stalls together, as a
+    // firmware-level retry or recalibration would stall it.
+    service += fault_state_->plan.spike_delay;
+    ++stats_.latency_spikes;
+  }
   stats_.busy_time += service;
   const int64_t serial = transfer_serial_;
   if (trace_ != nullptr) {
@@ -200,8 +242,9 @@ void DiskModel::StartNext() {
       trace_->Record(sim_->Now(), TraceKind::kDiskComplete, serial, total, params_.name.c_str());
     }
     for (Done& d : dones) {
+      last_error_ = d.error;
       if (d.cb) {
-        d.cb(d.ok);
+        d.cb(d.error == 0);
       }
     }
     StartNext();

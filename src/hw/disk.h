@@ -51,9 +51,13 @@
 #include <deque>
 #include <functional>
 #include <list>
+#include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
+#include "src/hw/fault.h"
+#include "src/sim/random.h"
 #include "src/sim/simulator.h"
 #include "src/sim/time.h"
 #include "src/sim/trace.h"
@@ -148,6 +152,18 @@ class DiskModel {
   using FaultHook = std::function<bool(int64_t offset, bool is_read)>;
   void SetFaultHook(FaultHook hook) { fault_hook_ = std::move(hook); }
 
+  // Probabilistic fault plan (src/hw/fault.h), composed with the hook (the
+  // hook is consulted first).  A plan with every knob off clears the state:
+  // no RNG is ever drawn and behaviour is bit-identical to the fault-free
+  // model.
+  void SetFaultPlan(const DiskFaultPlan& plan);
+
+  // Errno of the most recently completed request: 0 on success, kErrIo or
+  // kErrNoSpc on failure.  Valid during (and after) that request's `done`
+  // callback — completion callbacks read it to tag the error they are
+  // delivering.
+  int last_error() const { return last_error_; }
+
   // Attaches a trace log recording scheduler events: kDiskDispatch /
   // kDiskComplete (paired by transfer serial), kDiskCoalesce, and
   // kDiskSweepWrap.  nullptr detaches; default off.  DiskDriver refreshes
@@ -161,7 +177,9 @@ class DiskModel {
     uint64_t writes = 0;
     uint64_t read_cache_hits = 0;   // transfers fully/partially from cache
     uint64_t seeks = 0;             // non-zero-distance seeks performed
-    uint64_t errors = 0;            // injected media errors
+    uint64_t errors = 0;            // injected media errors (hook + plan)
+    uint64_t enospc_errors = 0;     // writes failed by the plan's byte budget
+    uint64_t latency_spikes = 0;    // transfers stretched by the fault plan
     uint64_t coalesced = 0;         // requests merged into another transfer
     uint64_t queue_sort_passes = 0; // scheduling scans of a multi-entry queue
     size_t max_queue_depth = 0;     // high-water mark incl. in-flight request
@@ -184,6 +202,11 @@ class DiskModel {
   };
 
   void StartNext();
+
+  // Evaluates the fault plan for one request about to be serviced; returns
+  // the errno it should complete with (0 = success).  Draws from the plan's
+  // RNG, so it must be called exactly once per request, in issue order.
+  int EvaluatePlanFault(const DiskRequest& r);
 
   // Picks the next request per the scheduling policy and removes it from
   // the queue.
@@ -217,6 +240,19 @@ class DiskModel {
   int64_t sweep_pos_ = 0;         // C-LOOK sweep position (end of last issue)
   std::list<Segment> segments_;   // most recently used first
   FaultHook fault_hook_;
+
+  // Present only while a non-trivial plan is installed, so the disabled
+  // case provably draws no randomness.
+  struct FaultState {
+    explicit FaultState(const DiskFaultPlan& p) : plan(p), rng(p.seed) {}
+    DiskFaultPlan plan;
+    Rng rng;
+    std::unordered_set<int64_t> bad_offsets;  // permanent-mode grown defects
+    int64_t bytes_written = 0;                // against write_byte_budget
+  };
+  std::unique_ptr<FaultState> fault_state_;
+  int last_error_ = 0;
+
   TraceLog* trace_ = nullptr;
   int64_t transfer_serial_ = 0;   // stamps kDiskDispatch/kDiskComplete pairs
   Stats stats_;

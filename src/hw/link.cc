@@ -62,20 +62,39 @@ void NetworkLink::StartNext() {
   stats_.busy_time += tx;
   ++stats_.frames_sent;
   stats_.payload_bytes += frame.payload_bytes;
+  // Fault plan: the sender's interface always does its job (on_sent fires,
+  // the wire stays busy for `tx`), but the delivery may be lost outright or
+  // stretched by jitter — UDP loss semantics, invisible to the transmitter.
+  bool lost = false;
+  SimDuration jitter = 0;
+  if (fault_state_ != nullptr) {
+    FaultState& fs = *fault_state_;
+    if (fs.plan.loss_rate > 0.0 && fs.rng.NextDouble() < fs.plan.loss_rate) {
+      lost = true;
+      ++stats_.frames_lost;
+    } else if (fs.plan.jitter_rate > 0.0 && fs.plan.jitter_max > 0 &&
+               fs.rng.NextDouble() < fs.plan.jitter_rate) {
+      jitter = static_cast<SimDuration>(fs.rng.Below(
+          static_cast<uint64_t>(fs.plan.jitter_max) + 1));
+      ++stats_.frames_jittered;
+    }
+  }
   // The transmitter frees after `tx`; the receiver sees the datagram after
-  // `tx + propagation`.
+  // `tx + propagation` (+ any injected jitter), or never.
   sim_->After(tx, [this, on_sent = std::move(frame.on_sent)] {
     if (on_sent) {
       on_sent();
     }
     StartNext();
   });
-  sim_->After(tx + params_.propagation_delay,
-              [deliver = std::move(frame.deliver), bytes = frame.payload_bytes] {
-                if (deliver) {
-                  deliver(bytes);
-                }
-              });
+  if (!lost) {
+    sim_->After(tx + params_.propagation_delay + jitter,
+                [deliver = std::move(frame.deliver), bytes = frame.payload_bytes] {
+                  if (deliver) {
+                    deliver(bytes);
+                  }
+                });
+  }
 }
 
 }  // namespace ikdp

@@ -11,9 +11,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
+#include "src/hw/fault.h"
 #include "src/kern/ctx.h"
+#include "src/sim/random.h"
 #include "src/sim/simulator.h"
 #include "src/sim/time.h"
 
@@ -54,9 +57,23 @@ class NetworkLink {
   const LinkParams& params() const { return params_; }
   bool Idle() const { return !busy_ && queued_ == 0; }
 
+  // True when the transmit queue can take one more frame; a Send issued now
+  // will be accepted.  Senders check this BEFORE paying protocol-processing
+  // costs so a full interface backpressures instead of burning CPU.
+  bool HasTxRoom() const { return queued_ < params_.tx_queue_frames; }
+
+  // Probabilistic loss and delivery jitter (src/hw/fault.h).  A plan with
+  // every knob off clears the state: no RNG is drawn, behaviour identical
+  // to the fault-free link.
+  void SetFaultPlan(const LinkFaultPlan& plan) {
+    fault_state_ = plan.Enabled() ? std::make_unique<FaultState>(plan) : nullptr;
+  }
+
   struct Stats {
     uint64_t frames_sent = 0;
-    uint64_t frames_dropped = 0;
+    uint64_t frames_dropped = 0;  // transmit-queue overflow (sender-visible)
+    uint64_t frames_lost = 0;     // lost on the wire by the fault plan
+    uint64_t frames_jittered = 0; // deliveries delayed by the fault plan
     int64_t payload_bytes = 0;
     SimDuration busy_time = 0;
   };
@@ -69,6 +86,12 @@ class NetworkLink {
     std::function<void()> on_sent;
   };
 
+  struct FaultState {
+    explicit FaultState(const LinkFaultPlan& p) : plan(p), rng(p.seed) {}
+    LinkFaultPlan plan;
+    Rng rng;
+  };
+
   void StartNext();
 
   Simulator* sim_;
@@ -76,6 +99,7 @@ class NetworkLink {
   std::deque<Frame> queue_;
   int queued_ = 0;
   bool busy_ = false;
+  std::unique_ptr<FaultState> fault_state_;
   Stats stats_;
 };
 

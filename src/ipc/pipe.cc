@@ -51,6 +51,18 @@ bool Pipe::ReadAsync(int64_t max_bytes, std::function<void(BufData, int64_t)> do
   return true;
 }
 
+bool Pipe::CancelRead() {
+  if (!read_pending_) {
+    return false;
+  }
+  // The parked reader's callback is dropped, never invoked; buffered bytes
+  // stay in the ring for any future reader.
+  read_pending_ = false;
+  read_done_ = nullptr;
+  read_max_ = 0;
+  return true;
+}
+
 void Pipe::TryCompleteRead() {
   if (!read_pending_) {
     return;

@@ -44,6 +44,7 @@ class Pipe : public CharDevice {
   // CharDevice:
   IKDP_CTX_ANY bool WriteAsync(BufData data, int64_t nbytes, std::function<void()> done) override;
   IKDP_CTX_ANY bool ReadAsync(int64_t max_bytes, std::function<void(BufData, int64_t)> done) override;
+  IKDP_CTX_ANY bool CancelRead() override;
   int64_t WriteSpace() const override;
 
   // End-of-life transitions (driven by descriptor close).

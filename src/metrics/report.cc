@@ -44,7 +44,7 @@ void PrintMachineReport(std::ostream& os, Kernel& kernel) {
   const uint64_t lookups = cache.hits + cache.misses;
   std::snprintf(line, sizeof(line),
                 "cache:  %d bufs, %llu hits / %llu misses (%.1f%% hit), %llu victim flushes "
-                "(%llu write errors), %llu transient headers\n",
+                "(%llu write errors, %llu lost), %llu transient headers\n",
                 kernel.cache().nbufs(), static_cast<unsigned long long>(cache.hits),
                 static_cast<unsigned long long>(cache.misses),
                 lookups > 0 ? 100.0 * static_cast<double>(cache.hits) /
@@ -52,6 +52,7 @@ void PrintMachineReport(std::ostream& os, Kernel& kernel) {
                             : 0.0,
                 static_cast<unsigned long long>(cache.delwri_flushes),
                 static_cast<unsigned long long>(cache.delwri_write_errors),
+                static_cast<unsigned long long>(cache.delwri_data_lost),
                 static_cast<unsigned long long>(cache.transient_allocs));
   os << line;
   std::snprintf(line, sizeof(line), "splice: %llu started, %llu completed, %lld bytes moved\n",

@@ -97,6 +97,7 @@ void CaptureKernelCounters(MetricsRegistry* registry, Kernel& kernel) {
   registry->SetCounter("cache.delwri_flushes", static_cast<int64_t>(cache.delwri_flushes));
   registry->SetCounter("cache.delwri_write_errors",
                        static_cast<int64_t>(cache.delwri_write_errors));
+  registry->SetCounter("cache.delwri_data_lost", static_cast<int64_t>(cache.delwri_data_lost));
   registry->SetCounter("cache.transient_allocs", static_cast<int64_t>(cache.transient_allocs));
   registry->SetCounter("cache.async_read_fails", static_cast<int64_t>(cache.async_read_fails));
 

@@ -22,6 +22,14 @@ bool UdpSocket::SendAsync(BufData data, int64_t nbytes, std::function<void()> do
   if (snd_inflight_ + nbytes > sndbuf_bytes_) {
     return false;
   }
+  // Refuse a full interface BEFORE paying protocol processing or copying
+  // the payload: a splice sink retrying off the softclock would otherwise
+  // burn a full output-path charge per refusal — a busy-wait dressed up as
+  // flow control — instead of backpressuring at (almost) no CPU cost.
+  if (!link_->HasTxRoom()) {
+    ++stats_.dgrams_dropped_wire;
+    return false;
+  }
   // Output protocol processing runs in the sender's context; charge it when
   // that context is an interrupt (splice handlers).  Process-context sends
   // are charged by the syscall layer.
@@ -73,6 +81,18 @@ void UdpSocket::Deliver(BufData data, int64_t nbytes) {
         TryCompleteRecv();
         cpu_->Wakeup(RecvChannel());
       });
+}
+
+bool UdpSocket::CancelRecv() {
+  if (!recv_pending_) {
+    return false;
+  }
+  // Drop the parked receive; its callback never fires.  Queued datagrams
+  // stay in the receive buffer for any future reader.
+  recv_pending_ = false;
+  recv_done_ = nullptr;
+  recv_max_ = 0;
+  return true;
 }
 
 bool UdpSocket::RecvAsync(int64_t max_bytes, std::function<void(BufData, int64_t)> done) {

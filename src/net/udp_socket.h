@@ -54,6 +54,12 @@ class UdpSocket {
   // `done` as soon as one is available.  One outstanding request at a time.
   IKDP_CTX_ANY bool RecvAsync(int64_t max_bytes, std::function<void(BufData, int64_t)> done);
 
+  // Drops the outstanding RecvAsync, if any; its `done` will never fire.
+  // Returns true when a pending receive was dropped.  Splice teardown uses
+  // this so a receiver parked on a quiet wire cannot pin an errored or
+  // cancelled stream.
+  IKDP_CTX_ANY bool CancelRecv();
+
   // Send-buffer space currently free.
   int64_t SendSpace() const { return sndbuf_bytes_ - snd_inflight_; }
 

@@ -175,6 +175,17 @@ Task<int64_t> Kernel::Tell(Process& p, int fd) {
   co_return result;
 }
 
+Task<int> Kernel::SpliceError(Process& p, int fd) {
+  co_await SyscallEnter(p, "splice_error");
+  std::shared_ptr<File> f = GetFile(p, fd);
+  int result = -1;
+  if (f != nullptr) {
+    result = f->splice_error;
+  }
+  SyscallExit(p, "splice_error");
+  co_return result;
+}
+
 Task<int> Kernel::Dup(Process& p, int fd) {
   co_await SyscallEnter(p, "dup");
   std::shared_ptr<File> f = GetFile(p, fd);
@@ -215,8 +226,9 @@ Task<int> Kernel::FsyncFd(Process& p, int fd) {
 Task<std::unique_ptr<SpliceSource>> Kernel::MakeSource(Process& p,
                                                        const std::shared_ptr<File>& f,
                                                        int64_t nbytes, bool sink_is_file,
-                                                       int64_t* resolved_bytes) {
+                                                       int64_t* resolved_bytes, int* err) {
   *resolved_bytes = -1;
+  *err = kErrInval;
   switch (f->kind()) {
     case File::Kind::kRegular: {
       auto* rf = static_cast<RegularFile*>(f.get());
@@ -237,6 +249,10 @@ Task<std::unique_ptr<SpliceSource>> Kernel::MakeSource(Process& p,
       map.reserve(static_cast<size_t>(nblocks));
       for (int64_t i = 0; i < nblocks; ++i) {
         const int64_t pbn = co_await rf->fs()->Bmap(p, ip, first + i, /*alloc=*/false);
+        if (pbn < 0) {
+          *err = kErrIo;  // the block map itself is unreadable
+          co_return nullptr;
+        }
         if (pbn == 0) {
           co_return nullptr;  // holes are not spliceable
         }
@@ -279,8 +295,10 @@ Task<std::unique_ptr<SpliceSource>> Kernel::MakeSource(Process& p,
 
 Task<std::unique_ptr<SpliceSink>> Kernel::MakeSink(Process& p, const std::shared_ptr<File>& f,
                                                    int64_t nbytes,
-                                                   std::function<void(int64_t)>* on_moved) {
+                                                   std::function<void(int64_t)>* on_moved,
+                                                   int* err) {
   *on_moved = nullptr;
+  *err = kErrInval;
   switch (f->kind()) {
     case File::Kind::kRegular: {
       auto* rf = static_cast<RegularFile*>(f.get());
@@ -298,8 +316,13 @@ Task<std::unique_ptr<SpliceSink>> Kernel::MakeSink(Process& p, const std::shared
         const int64_t pbn =
             co_await rf->fs()->Bmap(p, ip, first + i, /*alloc=*/true,
                                     /*for_splice=*/!splice_options_.stock_destination_bmap);
+        if (pbn < 0) {
+          *err = kErrIo;  // the block map itself is unreadable
+          co_return nullptr;
+        }
         if (pbn == 0) {
-          co_return nullptr;  // device full
+          *err = kErrNoSpc;  // device full
+          co_return nullptr;
         }
         map.push_back(pbn);
       }
@@ -350,17 +373,26 @@ Task<int64_t> Kernel::Splice(Process& p, int src_fd, int dst_fd, int64_t nbytes)
     SyscallExit(p, "splice");
     co_return -1;
   }
+  // Stale status from a previous splice is cleared up front so a setup
+  // failure below records its errno against a clean slate.
+  src->splice_error = 0;
+  dst->splice_error = 0;
+  int setup_err = kErrInval;
   int64_t resolved = -1;
   const bool sink_is_file = dst->kind() == File::Kind::kRegular;
   std::unique_ptr<SpliceSource> source =
-      co_await MakeSource(p, src, nbytes, sink_is_file, &resolved);
+      co_await MakeSource(p, src, nbytes, sink_is_file, &resolved, &setup_err);
   if (source == nullptr) {
+    src->splice_error = setup_err;
+    dst->splice_error = setup_err;
     SyscallExit(p, "splice");
     co_return -1;
   }
   std::function<void(int64_t)> on_moved;
-  std::unique_ptr<SpliceSink> sink = co_await MakeSink(p, dst, resolved, &on_moved);
+  std::unique_ptr<SpliceSink> sink = co_await MakeSink(p, dst, resolved, &on_moved, &setup_err);
   if (sink == nullptr) {
+    src->splice_error = setup_err;
+    dst->splice_error = setup_err;
     SyscallExit(p, "splice");
     co_return -1;
   }
@@ -377,18 +409,23 @@ Task<int64_t> Kernel::Splice(Process& p, int src_fd, int dst_fd, int64_t nbytes)
       co_await cpu_.Use(p, charge);
     }
   };
+  // Both endpoints learn the splice's fate: 0 on success, the errno of the
+  // first failure otherwise (readable with SpliceError after SIGIO, or
+  // alongside the sync path's -1).
   if (async) {
     ++stats_.splices_async;
     Process* proc = &p;
-    splice_.Start(std::move(source), std::move(sink), splice_options_,
-                  [this, proc, on_moved, src, dst](int64_t moved) {
-                    if (on_moved && moved >= 0) {
-                      on_moved(moved);
-                    }
-                    // "A calling program can opt to catch SIGIO to detect
-                    // the completion of an asynchronous splice."
-                    cpu_.Post(*proc, kSigIo);
-                  });
+    splice_.StartEx(std::move(source), std::move(sink), splice_options_,
+                    [this, proc, on_moved, src, dst](const SpliceCompletion& c) {
+                      src->splice_error = c.error;
+                      dst->splice_error = c.error;
+                      if (on_moved && !c.io_error) {
+                        on_moved(c.bytes_moved);
+                      }
+                      // "A calling program can opt to catch SIGIO to detect
+                      // the completion of an asynchronous splice."
+                      cpu_.Post(*proc, kSigIo);
+                    });
     co_await charge_setup();
     SyscallExit(p, "splice");
     co_return 0;
@@ -399,16 +436,18 @@ Task<int64_t> Kernel::Splice(Process& p, int src_fd, int dst_fd, int64_t nbytes)
     bool done = false;
     int64_t moved = 0;
   } w;
-  SpliceDescriptor* d =
-      splice_.Start(std::move(source), std::move(sink), splice_options_,
-                    [this, &w, on_moved](int64_t moved) {
-                      if (on_moved && moved >= 0) {
-                        on_moved(moved);
-                      }
-                      w.done = true;
-                      w.moved = moved;
-                      cpu_.Wakeup(&w);
-                    });
+  SpliceDescriptor* d = splice_.StartEx(
+      std::move(source), std::move(sink), splice_options_,
+      [this, &w, on_moved, src, dst](const SpliceCompletion& c) {
+        src->splice_error = c.error;
+        dst->splice_error = c.error;
+        if (on_moved && !c.io_error) {
+          on_moved(c.bytes_moved);
+        }
+        w.done = true;
+        w.moved = c.io_error ? -1 : c.bytes_moved;
+        cpu_.Wakeup(&w);
+      });
   co_await charge_setup();
   // "... until an end of file condition is reached or the operation is
   // interrupted by the caller" (Section 3): a signal cancels the transfer;
@@ -492,17 +531,18 @@ Task<int> Kernel::ResolveSqe(Process& p, const SpliceSqe& sqe, SpliceRing::Prepa
           static_cast<RegularFile*>(dst.get())->inode()) {
     co_return -kAioEInval;
   }
+  int setup_err = kErrInval;
   int64_t resolved = -1;
   const bool sink_is_file = dst->kind() == File::Kind::kRegular;
   std::unique_ptr<SpliceSource> source =
-      co_await MakeSource(p, src, sqe.nbytes, sink_is_file, &resolved);
+      co_await MakeSource(p, src, sqe.nbytes, sink_is_file, &resolved, &setup_err);
   if (source == nullptr) {
-    co_return -kAioEInval;
+    co_return -setup_err;  // kErrInval aliases kAioEInval, kErrIo kAioEIo
   }
   std::function<void(int64_t)> on_moved;
-  std::unique_ptr<SpliceSink> sink = co_await MakeSink(p, dst, resolved, &on_moved);
+  std::unique_ptr<SpliceSink> sink = co_await MakeSink(p, dst, resolved, &on_moved, &setup_err);
   if (sink == nullptr) {
-    co_return -kAioEInval;
+    co_return -setup_err;
   }
   out->sqe = sqe;
   out->source = std::move(source);

@@ -116,6 +116,12 @@ class Kernel {
   // costs a full trap (the scalability gap the splice ring closes).
   IKDP_CTX_PROCESS Task<int64_t> Tell(Process& p, int fd);
 
+  // Errno of the most recent splice involving `fd` (0 = success), recorded
+  // at completion on both endpoints.  This is how a FASYNC program tells an
+  // aborted stream from a finished one: SIGIO fires either way and Tell()
+  // stops advancing in both cases.  Returns -1 for a bad descriptor.
+  IKDP_CTX_PROCESS Task<int> SpliceError(Process& p, int fd);
+
   // --- asynchronous splice ring (see docs/splice_ring.2.md) ---
 
   // Creates a per-process ring; returns its id (> 0) or -errno.
@@ -203,18 +209,21 @@ class Kernel {
   int Install(Process& p, std::shared_ptr<File> f);
 
   // Builds splice endpoints from an open file.  Returns nullptr on
-  // unsupported/invalid combinations.  For regular files, consumes and
-  // advances the file offset and premaps blocks (in process context).
-  // `sink_is_file` makes stream sources coalesce short deliveries into full
-  // blocks, which the file sink's block map requires.
+  // unsupported/invalid combinations, with `err` set to why: kErrInval for
+  // refusals (alignment, holes, wrong pipe end), kErrIo for an unreadable
+  // block map, kErrNoSpc when the destination premap runs the device full.
+  // For regular files, consumes and advances the file offset and premaps
+  // blocks (in process context).  `sink_is_file` makes stream sources
+  // coalesce short deliveries into full blocks, which the file sink's block
+  // map requires.
   IKDP_CTX_PROCESS Task<std::unique_ptr<SpliceSource>> MakeSource(
       Process& p, const std::shared_ptr<File>& f, int64_t nbytes, bool sink_is_file,
-      int64_t* resolved_bytes);
+      int64_t* resolved_bytes, int* err);
   // `on_moved` receives a completion hook that updates sink-side file state
   // (inode size, seek offset) once the byte count is known.
   IKDP_CTX_PROCESS Task<std::unique_ptr<SpliceSink>> MakeSink(
       Process& p, const std::shared_ptr<File>& f, int64_t nbytes,
-      std::function<void(int64_t)>* on_moved);
+      std::function<void(int64_t)>* on_moved, int* err);
 
   // Resolves one SQE into engine endpoints (same validation as Splice).
   // Returns 0 and fills `out`, or -errno.

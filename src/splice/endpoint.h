@@ -28,7 +28,12 @@ struct SpliceChunk {
   int64_t nbytes = 0;  // valid payload bytes (0 = end-of-file marker)
   BufData data;        // shared data area
   Buf* src_buf = nullptr;  // cache buffer to release (file sources)
-  bool error = false;      // the read failed (kBufError); aborts the splice
+  // Errno of a failed transfer, 0 on success.  Read side: set by the source
+  // before delivering the chunk (kBufError's b_error); aborts the splice.
+  // Write side: the sink records the errno here before calling done(false) —
+  // the chunk outlives the StartWrite call, so writing through the chunk
+  // pointer is safe until `done` fires.
+  int error = 0;
 };
 
 class SpliceSource {
@@ -50,6 +55,14 @@ class SpliceSource {
 
   // Releases source-side resources of a chunk whose write completed.
   IKDP_CTX_ANY virtual void Release(SpliceChunk& chunk) = 0;
+
+  // Aborts an outstanding StartRead whose `done` will otherwise never fire
+  // because no more data is coming (stream sources blocked on a peer, e.g.
+  // a pipe or socket recv).  Returns true if a pending read was dropped —
+  // its `done` callback will NOT be invoked and the engine adjusts its
+  // counters.  Sources whose reads always complete (disk: biodone is
+  // guaranteed) keep the default and return false.
+  IKDP_CTX_ANY virtual bool CancelRead() { return false; }
 };
 
 class SpliceSink {
@@ -58,9 +71,10 @@ class SpliceSink {
 
   // Starts writing `chunk`; `done(ok)` fires in kernel context when the sink
   // has consumed it (ok == false: unrecoverable write error, which aborts
-  // the splice).  Returns false if the sink cannot accept right now (device
-  // FIFO or socket buffer full) — the engine retries on the next softclock
-  // tick, and must not have retained `done`.
+  // the splice; the sink stores the errno in chunk.error first).  Returns
+  // false if the sink cannot accept right now (device FIFO or socket buffer
+  // full) — the engine retries on the next softclock tick, and must not
+  // have retained `done`.
   IKDP_CTX_ANY virtual bool StartWrite(SpliceChunk& chunk, std::function<void(bool ok)> done) = 0;
 };
 

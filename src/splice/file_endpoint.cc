@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/hw/fault.h"
+
 namespace ikdp {
 
 bool FileSpliceSource::StartRead(int64_t index, std::function<void(SpliceChunk)> done) {
@@ -15,7 +17,7 @@ bool FileSpliceSource::StartRead(int64_t index, std::function<void(SpliceChunk)>
     chunk.nbytes = nbytes;
     chunk.data = b.data;
     chunk.src_buf = &b;
-    chunk.error = b.Has(kBufError);
+    chunk.error = b.Has(kBufError) ? (b.error != 0 ? b.error : kErrIo) : 0;
     b.logical_blkno = index;
     done(std::move(chunk));
   });
@@ -42,8 +44,12 @@ bool FileSpliceSink::StartWrite(SpliceChunk& chunk, std::function<void(bool)> do
   w->logical_blkno = chunk.index;
   w->splice_peer = chunk.src_buf;
   BufferCache* cache = cache_;
-  cache_->BawriteAsync(w, [cache, done = std::move(done)](Buf& wb) {
+  SpliceChunk* cp = &chunk;  // outlives StartWrite; valid until done() fires
+  cache_->BawriteAsync(w, [cache, cp, done = std::move(done)](Buf& wb) {
     const bool ok = !wb.Has(kBufError);
+    if (!ok) {
+      cp->error = wb.error != 0 ? wb.error : kErrIo;
+    }
     cache->FreeTransientHeader(&wb);
     done(ok);
   });

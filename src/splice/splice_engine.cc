@@ -4,6 +4,7 @@
 #include <cassert>
 #include <utility>
 
+#include "src/hw/fault.h"
 #include "src/sim/krace.h"
 
 namespace ikdp {
@@ -83,11 +84,24 @@ void SpliceEngine::Cancel(SpliceDescriptor* d) {
   }
   IKDP_KRACE_WRITE(d, "SpliceDescriptor::counters");
   d->cancelled_ = true;
+  // A stream source blocked on its peer (pipe writer gone quiet, socket
+  // with no sender) would hold pending_reads_ up forever; drop that read so
+  // cancellation converges.
+  AbortPendingRead(d);
   if (!d->ready_.empty()) {
     // Queued chunks still need releasing; the drain consumes them.
     ArmDrain(d);
   }
   MaybeFinish(d);
+}
+
+void SpliceEngine::AbortPendingRead(SpliceDescriptor* d) {
+  if (d->pending_reads_ > 0 && d->source_->CancelRead()) {
+    // The dropped read's completion will never run: retract its issue.
+    IKDP_KRACE_WRITE(d, "SpliceDescriptor::counters");
+    --d->pending_reads_;
+    --d->reads_issued_;
+  }
 }
 
 void SpliceEngine::IssueReads(SpliceDescriptor* d) {
@@ -147,11 +161,14 @@ void SpliceEngine::ReadDone(SpliceDescriptor* d, SpliceChunk chunk) {
   Charge(cpu_->costs().splice_read_handler);
   IKDP_KRACE_WRITE(d, "SpliceDescriptor::counters");
   --d->pending_reads_;
-  if (chunk.error) {
+  if (chunk.error != 0) {
     // Unrecoverable read error: stop issuing, drain what is in flight, and
-    // report the failure.
+    // report the failure with the errno the device delivered.
     d->io_error_ = true;
     d->cancelled_ = true;
+    if (d->error_ == 0) {
+      d->error_ = chunk.error;
+    }
     ++d->chunks_done_;
     d->source_->Release(chunk);
     MaybeFinish(d);
@@ -275,11 +292,20 @@ void SpliceEngine::WriteDone(SpliceDescriptor* d, SpliceChunk chunk, bool ok) {
   } else {
     d->io_error_ = true;
     d->cancelled_ = true;  // stop issuing further reads
+    if (d->error_ == 0) {
+      d->error_ = chunk.error != 0 ? chunk.error : kErrIo;
+    }
+    // A stream read still outstanding against a quiet peer would pin
+    // pending_reads_ and the errored splice would never finish.
+    AbortPendingRead(d);
   }
   d->source_->Release(chunk);
   // Rate-based flow control (Section 5.2.4): write completions pull more
-  // reads when both pending counts are below their watermarks.
-  if (d->pending_reads_ < d->opts_.read_low_watermark &&
+  // reads when both pending counts are below their watermarks.  A torn-down
+  // splice (error or cancel) must NOT keep burning refill work — IssueReads
+  // would refuse anyway, but the accounting and trace churn here are real
+  // CPU charges.
+  if (!d->cancelled_ && d->pending_reads_ < d->opts_.read_low_watermark &&
       d->pending_writes_ < d->opts_.write_high_watermark) {
     ++d->stats_.refills;
     if (cpu_->trace() != nullptr) {
@@ -326,6 +352,7 @@ void SpliceEngine::MaybeFinish(SpliceDescriptor* d) {
     c.serial = d->serial_;
     c.bytes_moved = d->bytes_moved_;
     c.io_error = d->io_error_;
+    c.error = d->io_error_ ? (d->error_ != 0 ? d->error_ : kErrIo) : 0;
     // cancelled_ is also set on the error path (to stop issuing reads);
     // report "cancelled" only for genuine user cancels.
     c.cancelled = d->cancelled_ && !d->io_error_;

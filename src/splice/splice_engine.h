@@ -89,6 +89,10 @@ struct SpliceCompletion {
   int64_t bytes_moved = 0;
   bool io_error = false;
   bool cancelled = false;
+  // Errno of the first failure when io_error is set (kErrIo, kErrNoSpc, ...);
+  // 0 otherwise.  Rides into the ring's CQE res field and onto the
+  // descriptor for sync/FASYNC callers.
+  int error = 0;
   SimTime started_at = 0;
   SimTime finished_at = 0;
 };
@@ -99,6 +103,8 @@ class SpliceDescriptor {
   int64_t bytes_moved() const { return bytes_moved_; }
   int64_t chunks_done() const { return chunks_done_; }
   bool finished() const { return finished_; }
+  // Errno of the first I/O failure on this splice (0 while healthy).
+  int error() const { return error_; }
 
   struct Stats {
     uint64_t read_retries = 0;   // StartRead refusals
@@ -132,6 +138,7 @@ class SpliceDescriptor {
   bool eof_ IKDP_GUARDED_BY(any) = false;
   bool cancelled_ IKDP_GUARDED_BY(any) = false;
   bool io_error_ IKDP_GUARDED_BY(any) = false;  // unrecoverable read/write error
+  int error_ IKDP_GUARDED_BY(any) = 0;  // errno of the FIRST failure (sticky)
   bool finished_ IKDP_GUARDED_BY(any) = false;
   bool read_retry_armed_ IKDP_GUARDED_BY(any) = false;
   bool drain_armed_ IKDP_GUARDED_BY(any) = false;
@@ -210,6 +217,12 @@ class SpliceEngine {
 
   // Write-completion handler.
   IKDP_CTX_ANY void WriteDone(SpliceDescriptor* d, SpliceChunk chunk, bool ok);
+
+  // Drops an outstanding stream read whose completion will never arrive
+  // (source blocked on a peer) once the splice is being torn down, so a
+  // cancelled or errored splice converges instead of hanging on
+  // pending_reads_.  No-op for sources whose reads always complete.
+  IKDP_CTX_ANY void AbortPendingRead(SpliceDescriptor* d);
 
   // Arms a next-tick retry for refused reads.
   IKDP_CTX_ANY void ArmReadRetry(SpliceDescriptor* d);

@@ -35,6 +35,7 @@ class SocketSpliceSource : public SpliceSource {
 
   IKDP_CTX_ANY bool StartRead(int64_t index, std::function<void(SpliceChunk)> done) override;
   void Release(SpliceChunk& chunk) override { (void)chunk; }
+  IKDP_CTX_ANY bool CancelRead() override { return sock_->CancelRecv(); }
 
  private:
   UdpSocket* sock_;
@@ -88,6 +89,10 @@ class DeviceSpliceSource : public SpliceSource {
 
   IKDP_CTX_ANY bool StartRead(int64_t index, std::function<void(SpliceChunk)> done) override;
   void Release(SpliceChunk& chunk) override { (void)chunk; }
+  IKDP_CTX_ANY bool CancelRead() override {
+    acc_ = nullptr;  // drop the partially-accumulated chunk
+    return dev_->CancelRead();
+  }
 
  private:
   // Issues the next device read of an accumulating chunk.

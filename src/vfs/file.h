@@ -55,6 +55,12 @@ class File {
   // FASYNC, set with fcntl(): splices involving this file run asynchronously
   // and completion is signalled with SIGIO (paper Section 3).
   bool fasync = false;
+
+  // Errno of the most recent splice involving this file (0 = success),
+  // recorded at splice completion on both endpoints.  SIGIO carries no
+  // status, so FASYNC callers discover an aborted stream here (the
+  // SpliceError syscall); sync callers get the same value alongside -1.
+  int splice_error = 0;
 };
 
 // A regular file on a FileSystem.

@@ -97,6 +97,11 @@ Task<> MultiStreamCopyProgram(Kernel& k, Process& p, SubmitMode mode,
         const int64_t moved = co_await k.Splice(p, sfd[i], dfd[i], streams[i].nbytes);
         if (moved != streams[i].nbytes) {
           moved_ok = false;
+          ++out->streams_errored;
+          const int err = co_await k.SpliceError(p, dfd[i]);
+          if (out->first_errno == 0 && err != 0) {
+            out->first_errno = err;
+          }
           continue;
         }
         out->bytes += moved;
@@ -111,14 +116,24 @@ Task<> MultiStreamCopyProgram(Kernel& k, Process& p, SubmitMode mode,
       // tell(2) — a full trap per probe.
       uint64_t sigio_seen = 0;
       k.Sigaction(p, kSigIo, [&sigio_seen] { ++sigio_seen; });
+      std::vector<bool> done(n, false);
+      int remaining = n;
       for (int i = 0; i < n; ++i) {
         if (co_await k.Fcntl(p, dfd[i], /*fasync=*/true) != 0 ||
             co_await k.Splice(p, sfd[i], dfd[i], streams[i].nbytes) != 0) {
+          // Setup refused this stream (e.g. its destination premap hit an
+          // unreadable indirect block).  It is already over — count it
+          // errored and keep waiting for the streams that did launch.
           moved_ok = false;
+          done[i] = true;
+          --remaining;
+          ++out->streams_errored;
+          const int err = co_await k.SpliceError(p, dfd[i]);
+          if (out->first_errno == 0 && err != 0) {
+            out->first_errno = err;
+          }
         }
       }
-      std::vector<bool> done(n, false);
-      int remaining = moved_ok ? n : 0;
       while (remaining > 0) {
         const uint64_t sweep_start = sigio_seen;
         for (int i = 0; i < n; ++i) {
@@ -131,6 +146,21 @@ Task<> MultiStreamCopyProgram(Kernel& k, Process& p, SubmitMode mode,
             --remaining;
             out->bytes += streams[i].nbytes;
             ++out->streams_completed;
+            continue;
+          }
+          // The offset stalls short of the target both while the stream is
+          // still moving and after a mid-stream error, so an unfinished
+          // stream costs a second probe trap to rule the error out.  Without
+          // it an aborted stream would leave this loop pausing forever.
+          const int err = co_await k.SpliceError(p, dfd[i]);
+          if (err != 0) {
+            done[i] = true;
+            --remaining;
+            ++out->streams_errored;
+            if (out->first_errno == 0) {
+              out->first_errno = err;
+            }
+            moved_ok = false;
           }
         }
         if (remaining == 0) {
@@ -168,10 +198,22 @@ Task<> MultiStreamCopyProgram(Kernel& k, Process& p, SubmitMode mode,
       }
       std::vector<SpliceCqe> cqes(static_cast<size_t>(n) + 1);
       const int got = k.RingHarvest(p, ring, cqes.data(), n);
+      out->ring_cqes = got;
       for (int i = 0; i < got; ++i) {
         const int idx = static_cast<int>(cqes[i].cookie);
-        if (cqes[i].error != 0 || idx < 0 || idx >= n ||
-            cqes[i].result != streams[idx].nbytes) {
+        if (idx < 0 || idx >= n) {
+          moved_ok = false;
+          continue;
+        }
+        if (cqes[i].error != 0) {
+          moved_ok = false;
+          ++out->streams_errored;
+          if (out->first_errno == 0) {
+            out->first_errno = cqes[i].error;
+          }
+          continue;
+        }
+        if (cqes[i].result != streams[idx].nbytes) {
           moved_ok = false;
           continue;
         }

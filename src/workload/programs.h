@@ -74,6 +74,15 @@ struct MultiStreamResult {
   SimTime end = 0;
   bool ok = false;
   int streams_completed = 0;
+  // Streams that finished with an errno instead of their full byte count
+  // (fault plans make these routine).  completed + errored always equals the
+  // stream count unless submission itself failed; `ok` stays strict: every
+  // stream moved every byte.
+  int streams_errored = 0;
+  int first_errno = 0;
+  // kRing only: CQEs harvested.  One CQE per SQE even when streams error or
+  // a LINKED group cancels, so this must equal the stream count.
+  int ring_cqes = 0;
   // Mode-switch ledger over the run (delta of Process::Stats).
   SimDuration trap_time = 0;
   uint64_t syscall_traps = 0;

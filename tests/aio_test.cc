@@ -336,6 +336,68 @@ TEST_F(AioTest, LinkedGroupAdmissionFailureCancelsSiblings) {
   EXPECT_EQ(engine_started, 0u);
 }
 
+TEST_F(AioTest, MidStreamErrorTearsDownLinkedGroupWithOneCqeEach) {
+  // Regression: a mid-stream device error in stage 1 of a LINKED pipeline
+  // used to strand stage 2 blocked on the drained pipe — its read was never
+  // retracted, MaybeFinish never fired, and the CQE was lost (RingEnter
+  // would deadlock below).  Teardown must produce exactly one CQE per SQE:
+  // the errored op with the device errno, the sibling with ECANCELED.
+  constexpr int64_t kBytes = 32 * kBlockSize;
+  fs_scsia_->CreateFileInstant("src", kBytes, Fill);
+  scsia_.disk().SetFaultHook([](int64_t offset, bool is_read) {
+    return is_read && offset == (16 + 9) * kBlockSize;  // 10th data block
+  });
+  std::vector<SpliceCqe> cqes(4);
+  int harvested = -1;
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  Run([&](Process& p) -> Task<> {
+    const int ring = co_await kernel_.RingSetup(p, RingConfig{});
+    const int src = co_await kernel_.Open(p, "scsia:src", kOpenRead);
+    const int dst = co_await kernel_.Open(p, "ramb:dst", kOpenWrite | kOpenCreate);
+    int pr = -1;
+    int pw = -1;
+    EXPECT_EQ(co_await kernel_.CreatePipe(p, &pr, &pw), 0);
+    SpliceSqe s1;
+    s1.src_fd = src;
+    s1.dst_fd = pw;
+    s1.nbytes = kBytes;
+    s1.flags = kSqeLinked;
+    s1.cookie = 1;
+    SpliceSqe s2;
+    s2.src_fd = pr;
+    s2.dst_fd = dst;
+    s2.nbytes = kBytes;
+    s2.cookie = 2;
+    kernel_.RingPrepare(p, ring, s1);
+    kernel_.RingPrepare(p, ring, s2);
+    // min_complete=2: if the sibling's completion were lost, this would
+    // deadlock and Run() would report the process as stuck.
+    EXPECT_EQ(co_await kernel_.RingEnter(p, ring, 2, 2), 2);
+    harvested = kernel_.RingHarvest(p, ring, cqes.data(), 4);
+    const SpliceRing* r = kernel_.GetRing(p, ring);
+    submitted = r->stats().submitted;
+    completed = r->stats().completed;
+  });
+  ASSERT_EQ(harvested, 2);  // one CQE per SQE: none lost, none duplicated
+  EXPECT_EQ(submitted, 2u);
+  EXPECT_EQ(completed, 2u);
+  const SpliceCqe* c1 = nullptr;
+  const SpliceCqe* c2 = nullptr;
+  for (int i = 0; i < harvested; ++i) {
+    if (cqes[static_cast<size_t>(i)].cookie == 1) c1 = &cqes[static_cast<size_t>(i)];
+    if (cqes[static_cast<size_t>(i)].cookie == 2) c2 = &cqes[static_cast<size_t>(i)];
+  }
+  ASSERT_NE(c1, nullptr);
+  ASSERT_NE(c2, nullptr);
+  EXPECT_EQ(c1->error, kAioEIo);  // the device's errno, preserved
+  EXPECT_GT(c1->result, 0);       // partial bytes before the bad block
+  EXPECT_LT(c1->result, kBytes);
+  EXPECT_EQ(c2->error, kAioECanceled);
+  EXPECT_LT(c2->result, kBytes);
+  EXPECT_EQ(kernel_.splice_engine().active(), 0);
+}
+
 TEST_F(AioTest, CqOverflowStagesAndRecoversOnHarvest) {
   constexpr int64_t kBytes = 4 * kBlockSize;
   for (int i = 0; i < 4; ++i) {

@@ -238,6 +238,7 @@ TEST_F(BufTest, DelwriVictimIsWrittenBeforeFrameReuse) {
 TEST_F(BufTest, DelwriVictimWriteErrorIsCounted) {
   // Every write to the SCSI disk fails at the media; a victim flush forced
   // by reuse must surface in delwri_write_errors instead of vanishing.
+  // (The redirty path may retry and fail again, so >= 1.)
   scsi_.disk().SetFaultHook([](int64_t, bool is_read) { return !is_read; });
   RunProc([&](Process& p) -> Task<> {
     Buf* b = co_await cache_.GetBlk(p, &scsi_, 3);
@@ -249,7 +250,74 @@ TEST_F(BufTest, DelwriVictimWriteErrorIsCounted) {
     }
   });
   EXPECT_GT(cache_.stats().delwri_flushes, 0u);
+  EXPECT_GE(cache_.stats().delwri_write_errors, 1u);
+}
+
+TEST_F(BufTest, DelwriVictimWriteFailureRedirtiesAndRetries) {
+  // Regression: a victim write that fails transiently used to re-enter the
+  // freelist CLEAN — the dirty data silently vanished on frame reuse.  The
+  // buffer must be redirtied and written successfully on a later pass.
+  int fail_budget = 1;
+  scsi_.disk().SetFaultHook(
+      [&](int64_t, bool is_read) { return !is_read && fail_budget-- > 0; });
+  RunProc([&](Process& p) -> Task<> {
+    Buf* b = co_await cache_.GetBlk(p, &scsi_, 3);
+    *b->data = Pattern(3);
+    cache_.Bdwrite(p, b);
+    // Cycle the LRU with paced reads (the SCSI write takes ~20 ms of
+    // simulated time) until the redirtied buffer is re-victimized and the
+    // retried write lands.  Deterministic; the bound is just a backstop.
+    for (int64_t i = 100; i < 400 && scsi_.PeekBlock(3) != Pattern(3); ++i) {
+      Buf* f = co_await cache_.Bread(p, &ram_, i);
+      cache_.Brelse(f);
+      co_await cpu_.Use(p, Milliseconds(2));
+    }
+  });
   EXPECT_EQ(cache_.stats().delwri_write_errors, 1u);
+  EXPECT_EQ(cache_.stats().delwri_data_lost, 0u);
+  EXPECT_EQ(scsi_.PeekBlock(3), Pattern(3));  // the data survived the fault
+}
+
+TEST_F(BufTest, DelwriRepeatedWriteFailureBoundsRetriesAndCountsLoss) {
+  // A write that can never succeed must not livelock the allocator: after
+  // kDelwriRetryLimit failed victim flushes the cache gives up, counts the
+  // loss, and reclaims the frame.
+  scsi_.disk().SetFaultHook([](int64_t, bool is_read) { return !is_read; });
+  RunProc([&](Process& p) -> Task<> {
+    Buf* b = co_await cache_.GetBlk(p, &scsi_, 3);
+    *b->data = Pattern(3);
+    cache_.Bdwrite(p, b);
+    // Paced LRU churn re-victimizes the redirtied buffer until the retry
+    // budget is exhausted and the loss is recorded (bound is a backstop).
+    for (int64_t i = 100; i < 500 && cache_.stats().delwri_data_lost == 0; ++i) {
+      Buf* f = co_await cache_.Bread(p, &ram_, i);
+      cache_.Brelse(f);
+      co_await cpu_.Use(p, Milliseconds(2));
+    }
+  });
+  EXPECT_EQ(cache_.stats().delwri_write_errors,
+            static_cast<uint64_t>(BufferCache::kDelwriRetryLimit));
+  EXPECT_EQ(cache_.stats().delwri_data_lost, 1u);
+}
+
+TEST_F(BufTest, FsyncWriteErrorKeepsDataForRetry) {
+  // FlushDev with a failing device returns with the block still dirty
+  // (fsync-reports-EIO semantics); once the fault clears, a second flush
+  // lands the data.
+  bool fail_writes = true;
+  scsi_.disk().SetFaultHook(
+      [&](int64_t, bool is_read) { return !is_read && fail_writes; });
+  RunProc([&](Process& p) -> Task<> {
+    Buf* b = co_await cache_.GetBlk(p, &scsi_, 5);
+    *b->data = Pattern(5);
+    cache_.Bdwrite(p, b);
+    co_await cache_.FlushDev(p, &scsi_);  // fails at the media
+    EXPECT_GT(cache_.stats().delwri_write_errors, 0u);
+    fail_writes = false;
+    co_await cache_.FlushDev(p, &scsi_);
+  });
+  EXPECT_EQ(scsi_.PeekBlock(5), Pattern(5));
+  EXPECT_EQ(cache_.stats().delwri_data_lost, 0u);
 }
 
 TEST_F(BufTest, InvalidateDevPutsBuffersAtFreelistFront) {

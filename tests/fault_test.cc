@@ -178,6 +178,167 @@ TEST_F(FaultTest, CpSurvivesDestinationWriteErrors) {
   EXPECT_EQ(kernel_.cache().PendingWrites(&dst_), 0);
 }
 
+TEST_F(FaultTest, SyncSpliceReportsErrnoOnBothDescriptors) {
+  // Regression: a mid-stream read error used to surface only as -1; the
+  // errno now lands on both endpoints for SpliceError to report.
+  constexpr int64_t kBytes = 32 * kBlockSize;
+  src_fs_->CreateFileInstant("f", kBytes, Fill);
+  FailBlockAt(&src_, (16 + 9) * kBlockSize);
+  Run([&](Process& p) -> Task<> {
+    const int s = co_await kernel_.Open(p, "src:f", kOpenRead);
+    const int d = co_await kernel_.Open(p, "dst:g", kOpenWrite | kOpenCreate);
+    EXPECT_EQ(co_await kernel_.Splice(p, s, d, kSpliceEof), -1);
+    EXPECT_EQ(co_await kernel_.SpliceError(p, s), kErrIo);
+    EXPECT_EQ(co_await kernel_.SpliceError(p, d), kErrIo);
+    // A later successful splice clears the sticky errno.
+    src_.disk().SetFaultHook(nullptr);
+    co_await kernel_.Lseek(p, s, 0);
+    EXPECT_GT(co_await kernel_.Splice(p, s, d, kSpliceEof), 0);
+    EXPECT_EQ(co_await kernel_.SpliceError(p, s), 0);
+    EXPECT_EQ(co_await kernel_.SpliceError(p, d), 0);
+  });
+}
+
+TEST_F(FaultTest, SetupPremapReportsEioOnUnreadableIndirectBlock) {
+  // The splice premap bmaps the whole source up front.  An unreadable
+  // indirect block is an I/O error, not a hole: the splice must refuse with
+  // EIO recorded (a hole would be EINVAL) rather than claim the range is
+  // sparse.
+  constexpr int64_t kBytes = 16 * kBlockSize;  // crosses the 12-direct boundary
+  Inode* ip = src_fs_->CreateFileInstant("f", kBytes, Fill);
+  ASSERT_NE(ip->indirect, 0);
+  FailBlockAt(&src_, ip->indirect * kBlockSize);
+  Run([&](Process& p) -> Task<> {
+    const int s = co_await kernel_.Open(p, "src:f", kOpenRead);
+    const int d = co_await kernel_.Open(p, "dst:g", kOpenWrite | kOpenCreate);
+    EXPECT_EQ(co_await kernel_.Splice(p, s, d, kSpliceEof), -1);
+    EXPECT_EQ(co_await kernel_.SpliceError(p, s), kErrIo);
+    EXPECT_EQ(co_await kernel_.SpliceError(p, d), kErrIo);
+  });
+  EXPECT_EQ(kernel_.splice_engine().active(), 0);
+}
+
+TEST_F(FaultTest, WriteFailsCleanlyWhenBlockMapUnreadable) {
+  // Regression: bmap with alloc used to treat an unreadable indirect block
+  // as all-holes and allocate fresh blocks over it, scribbling pointers
+  // into stale contents.  The write must fail with -1 and leave the
+  // existing map untouched.
+  constexpr int64_t kBytes = 16 * kBlockSize;
+  Inode* ip = src_fs_->CreateFileInstant("f", kBytes, Fill);
+  ASSERT_NE(ip->indirect, 0);
+  FailBlockAt(&src_, ip->indirect * kBlockSize);
+  Run([&](Process& p) -> Task<> {
+    const int fd = co_await kernel_.Open(p, "src:f", kOpenWrite);
+    co_await kernel_.Lseek(p, fd, 14 * kBlockSize);
+    std::vector<uint8_t> data(kBlockSize, 0xEE);
+    EXPECT_EQ(co_await kernel_.Write(p, fd, data.data(), kBlockSize), -1);
+  });
+  // Nothing was overwritten: with the fault cleared the file reads back
+  // exactly as created.
+  src_.disk().SetFaultHook(nullptr);
+  kernel_.cache().FlushAllInstant();
+  const std::vector<uint8_t> back = src_fs_->ReadFileInstant(ip);
+  ASSERT_EQ(back.size(), static_cast<size_t>(kBytes));
+  int bad = 0;
+  for (int64_t i = 0; i < kBytes; ++i) {
+    bad += back[static_cast<size_t>(i)] != Fill(i);
+  }
+  EXPECT_EQ(bad, 0);
+}
+
+TEST_F(FaultTest, WriteBudgetErrnoKeepsIdentityThroughSplice) {
+  // ENOSPC from the device's byte budget must stay distinguishable from a
+  // media error all the way up to the syscall layer.
+  constexpr int64_t kBytes = 16 * kBlockSize;
+  src_fs_->CreateFileInstant("f", kBytes, Fill);
+  DiskFaultPlan plan;
+  plan.write_byte_budget = 4 * kBlockSize;
+  dst_.disk().SetFaultPlan(plan);
+  Run([&](Process& p) -> Task<> {
+    const int s = co_await kernel_.Open(p, "src:f", kOpenRead);
+    const int d = co_await kernel_.Open(p, "dst:g", kOpenWrite | kOpenCreate);
+    EXPECT_EQ(co_await kernel_.Splice(p, s, d, kSpliceEof), -1);
+    EXPECT_EQ(co_await kernel_.SpliceError(p, d), kErrNoSpc);
+  });
+  EXPECT_GT(dst_.disk().stats().enospc_errors, 0u);
+  EXPECT_EQ(kernel_.splice_engine().active(), 0);
+}
+
+TEST_F(FaultTest, FasyncSpliceErrorDiscoveredViaSpliceError) {
+  // SIGIO carries no status: after the signal, SpliceError is how a FASYNC
+  // program tells an aborted stream from a finished one.
+  constexpr int64_t kBytes = 16 * kBlockSize;
+  src_fs_->CreateFileInstant("f", kBytes, Fill);
+  FailBlockAt(&src_, (16 + 3) * kBlockSize);
+  int err_s = -2;
+  int err_d = -2;
+  Run([&](Process& p) -> Task<> {
+    bool signalled = false;
+    kernel_.Sigaction(p, kSigIo, [&] { signalled = true; });
+    const int s = co_await kernel_.Open(p, "src:f", kOpenRead);
+    const int d = co_await kernel_.Open(p, "dst:g", kOpenWrite | kOpenCreate);
+    co_await kernel_.Fcntl(p, s, true);
+    EXPECT_EQ(co_await kernel_.Splice(p, s, d, kSpliceEof), 0);
+    co_await kernel_.Pause(p);
+    EXPECT_TRUE(signalled);
+    err_s = co_await kernel_.SpliceError(p, s);
+    err_d = co_await kernel_.SpliceError(p, d);
+  });
+  EXPECT_EQ(err_s, kErrIo);
+  EXPECT_EQ(err_d, kErrIo);
+  EXPECT_EQ(kernel_.splice_engine().active(), 0);
+}
+
+TEST_F(FaultTest, MidStreamErrorStopsReadahead) {
+  // An errored stream must tear down, not keep prefetching the rest of the
+  // file (and charging interrupt CPU for reads nobody will consume).
+  constexpr int64_t kBytes = 64 * kBlockSize;
+  src_fs_->CreateFileInstant("f", kBytes, Fill);
+  FailBlockAt(&src_, (16 + 7) * kBlockSize);  // 8th data block
+  int64_t rval = 0;
+  Run([&](Process& p) -> Task<> {
+    const int s = co_await kernel_.Open(p, "src:f", kOpenRead);
+    const int d = co_await kernel_.Open(p, "dst:g", kOpenWrite | kOpenCreate);
+    rval = co_await kernel_.Splice(p, s, d, kSpliceEof);
+  });
+  EXPECT_EQ(rval, -1);
+  // Run() drains the simulation: quiescence means no readahead engine is
+  // still charging CPU.  The read count proves teardown was prompt — far
+  // below the 64 data blocks a healthy stream would fetch.
+  EXPECT_LT(src_.disk().stats().reads, 30u);
+  EXPECT_EQ(kernel_.splice_engine().active(), 0);
+}
+
+TEST_F(FaultTest, RingCqeCarriesDeviceErrno) {
+  // The ring path: a mid-stream device error must surface in the op's CQE
+  // with the device's errno and the partial byte count — exactly one CQE.
+  constexpr int64_t kBytes = 16 * kBlockSize;
+  src_fs_->CreateFileInstant("f", kBytes, Fill);
+  FailBlockAt(&src_, (16 + 3) * kBlockSize);
+  SpliceCqe cqe;
+  int ncqe = 0;
+  Run([&](Process& p) -> Task<> {
+    const int ring = co_await kernel_.RingSetup(p, RingConfig{});
+    EXPECT_GT(ring, 0);
+    const int s = co_await kernel_.Open(p, "src:f", kOpenRead);
+    const int d = co_await kernel_.Open(p, "dst:g", kOpenWrite | kOpenCreate);
+    SpliceSqe sqe;
+    sqe.src_fd = s;
+    sqe.dst_fd = d;
+    sqe.nbytes = kSpliceEof;
+    sqe.cookie = 42;
+    EXPECT_EQ(kernel_.RingPrepare(p, ring, sqe), 0);
+    EXPECT_EQ(co_await kernel_.RingEnter(p, ring, 1, 1), 1);
+    ncqe = kernel_.RingHarvest(p, ring, &cqe, 1);
+  });
+  EXPECT_EQ(ncqe, 1);
+  EXPECT_EQ(cqe.cookie, 42u);
+  EXPECT_EQ(cqe.error, kErrIo);
+  EXPECT_GT(cqe.result, 0);  // bytes moved before the bad block
+  EXPECT_LT(cqe.result, kBytes);
+  EXPECT_EQ(kernel_.splice_engine().active(), 0);
+}
+
 TEST_F(FaultTest, TransientErrorDoesNotPoisonLaterReads) {
   constexpr int64_t kBytes = 4 * kBlockSize;
   Inode* ip = src_fs_->CreateFileInstant("f", kBytes, Fill);

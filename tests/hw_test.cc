@@ -340,6 +340,207 @@ TEST(LinkTest, QueueOverflowDropsFrames) {
   EXPECT_EQ(link.stats().frames_dropped, 7u);
 }
 
+// --- fault plans (src/hw/fault.h) ---
+
+TEST_F(DiskTest, FaultPlanInjectsReadErrorsDeterministically) {
+  DiskFaultPlan plan;
+  plan.read_error_rate = 0.3;
+  plan.seed = 7;
+  auto run = [&](std::vector<bool>* outcomes) {
+    Simulator sim;
+    DiskModel disk(&sim, Rz56Params());
+    disk.SetFaultPlan(plan);
+    for (int i = 0; i < 50; ++i) {
+      disk.Submit(DiskRequest{i * kBlock, kBlock, true,
+                              [&, i](bool ok) { outcomes->push_back(ok); }});
+    }
+    sim.Run();
+    return disk.stats().errors;
+  };
+  std::vector<bool> a;
+  std::vector<bool> b;
+  const uint64_t errs_a = run(&a);
+  const uint64_t errs_b = run(&b);
+  ASSERT_EQ(a.size(), 50u);
+  EXPECT_EQ(a, b);  // same seed, same request sequence => same outcomes
+  EXPECT_EQ(errs_a, errs_b);
+  EXPECT_GT(errs_a, 0u);
+  EXPECT_LT(errs_a, 50u);
+}
+
+TEST_F(DiskTest, FaultPlanFailureReportsErrnoAfterFullServiceTime) {
+  DiskFaultPlan plan;
+  plan.read_error_rate = 1.0;  // every read fails
+  DiskModel disk(&sim_, Rz56Params());
+  disk.SetFaultPlan(plan);
+  bool ok = true;
+  SimTime done_at = -1;
+  const SimTime start = sim_.Now();
+  disk.Submit(DiskRequest{100 * kBlock, kBlock, true, [&](bool k) {
+    ok = k;
+    done_at = sim_.Now();
+  }});
+  sim_.Run();
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(disk.last_error(), kErrIo);
+  // The error is detected at the media, not at submission: the request still
+  // pays seek + rotation + transfer.
+  EXPECT_GT(done_at - start, disk.params().controller_overhead);
+  EXPECT_EQ(disk.stats().errors, 1u);
+}
+
+TEST_F(DiskTest, TransientErrorsClearPermanentOnesStick) {
+  DiskFaultPlan plan;
+  plan.read_error_rate = 1.0;
+  plan.permanent = true;
+  DiskModel disk(&sim_, Rz56Params());
+  disk.SetFaultPlan(plan);
+  int fails = 0;
+  for (int i = 0; i < 3; ++i) {
+    disk.Submit(DiskRequest{0, kBlock, true, [&](bool ok) { fails += ok ? 0 : 1; }});
+    sim_.Run();
+  }
+  EXPECT_EQ(fails, 3);  // grown defect: the offset stays bad
+
+  // Transient plan on a fresh disk: rate drives each draw independently, so
+  // a rate-0 plan after one forced failure must succeed.
+  DiskFaultPlan transient;
+  transient.read_error_rate = 1.0;
+  DiskModel disk2(&sim_, Rz56Params());
+  disk2.SetFaultPlan(transient);
+  bool first = true;
+  disk2.Submit(DiskRequest{0, kBlock, true, [&](bool ok) { first = ok; }});
+  sim_.Run();
+  EXPECT_FALSE(first);
+  transient.read_error_rate = 0.0;
+  transient.write_byte_budget = 1 << 30;  // keep the plan Enabled()
+  disk2.SetFaultPlan(transient);
+  bool second = false;
+  disk2.Submit(DiskRequest{0, kBlock, true, [&](bool ok) { second = ok; }});
+  sim_.Run();
+  EXPECT_TRUE(second);  // transient: the same offset reads fine now
+}
+
+TEST_F(DiskTest, WriteByteBudgetFailsWithEnospc) {
+  DiskFaultPlan plan;
+  plan.write_byte_budget = 2 * kBlock;
+  DiskModel disk(&sim_, Rz56Params());
+  disk.SetFaultPlan(plan);
+  std::vector<bool> outcomes;
+  std::vector<int> errnos;
+  for (int i = 0; i < 4; ++i) {
+    disk.Submit(DiskRequest{i * kBlock, kBlock, false, [&](bool ok) {
+      outcomes.push_back(ok);
+      errnos.push_back(disk.last_error());
+    }});
+    sim_.Run();
+  }
+  EXPECT_EQ(outcomes, (std::vector<bool>{true, true, false, false}));
+  EXPECT_EQ(errnos[2], kErrNoSpc);
+  EXPECT_EQ(errnos[3], kErrNoSpc);
+  EXPECT_EQ(disk.stats().enospc_errors, 2u);
+  // Reads are not bounded by the budget.
+  bool read_ok = false;
+  disk.Submit(DiskRequest{0, kBlock, true, [&](bool ok) { read_ok = ok; }});
+  sim_.Run();
+  EXPECT_TRUE(read_ok);
+}
+
+TEST_F(DiskTest, LatencySpikesStretchServiceTime) {
+  DiskParams p = Rz56Params();
+  p.cache_bytes = 0;
+  DiskFaultPlan plan;
+  plan.spike_rate = 1.0;
+  plan.spike_delay = Milliseconds(40);
+  DiskModel slow(&sim_, p);
+  slow.SetFaultPlan(plan);
+  const SimDuration spiked = TimeOneRequest(slow, 100 * kBlock, kBlock, true);
+
+  Simulator sim2;
+  DiskModel fast(&sim2, p);
+  SimTime end = -1;
+  fast.Submit(DiskRequest{100 * kBlock, kBlock, true, [&](bool) { end = sim2.Now(); }});
+  sim2.Run();
+  EXPECT_EQ(spiked, end + Milliseconds(40));
+  EXPECT_EQ(slow.stats().latency_spikes, 1u);
+  EXPECT_EQ(slow.stats().errors, 0u);  // a spike is slow, not wrong
+}
+
+TEST(LinkTest, FaultPlanLossDropsDeliveryButNotSendCompletion) {
+  Simulator sim;
+  NetworkLink link(&sim, EthernetParams());
+  LinkFaultPlan plan;
+  plan.loss_rate = 1.0;
+  link.SetFaultPlan(plan);
+  int sent = 0;
+  int delivered = 0;
+  for (int i = 0; i < 5; ++i) {
+    link.Send(1000, [&](int64_t) { ++delivered; }, [&] { ++sent; });
+  }
+  sim.Run();
+  // The interface can't tell a lost frame from a delivered one: on_sent
+  // fires for every frame, but none reach the receiver.
+  EXPECT_EQ(sent, 5);
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(link.stats().frames_lost, 5u);
+}
+
+TEST(LinkTest, FaultPlanJitterDelaysDeliveryDeterministically) {
+  LinkFaultPlan plan;
+  plan.jitter_rate = 1.0;
+  plan.jitter_max = Milliseconds(5);
+  plan.seed = 11;
+  auto run = [&]() {
+    Simulator sim;
+    NetworkLink link(&sim, EthernetParams());
+    link.SetFaultPlan(plan);
+    std::vector<SimTime> arrivals;
+    for (int i = 0; i < 10; ++i) {
+      link.Send(1000, [&](int64_t) { arrivals.push_back(sim.Now()); });
+    }
+    sim.Run();
+    return arrivals;
+  };
+  const std::vector<SimTime> a = run();
+  const std::vector<SimTime> b = run();
+  ASSERT_EQ(a.size(), 10u);
+  EXPECT_EQ(a, b);  // same seed => same jitter sequence
+
+  // Every arrival is later than the no-fault schedule and within jitter_max.
+  Simulator sim;
+  NetworkLink clean(&sim, EthernetParams());
+  std::vector<SimTime> base;
+  for (int i = 0; i < 10; ++i) {
+    clean.Send(1000, [&](int64_t) { base.push_back(sim.Now()); });
+  }
+  sim.Run();
+  ASSERT_EQ(base.size(), 10u);
+  uint64_t jittered = 0;
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_GE(a[i], base[i]);
+    EXPECT_LE(a[i], base[i] + Milliseconds(5));
+    if (a[i] > base[i]) ++jittered;
+  }
+  EXPECT_GT(jittered, 0u);
+}
+
+TEST(LinkTest, NoFaultPlanMeansNoRandomDraws) {
+  // Determinism contract: an absent (or all-off) plan leaves timing exactly
+  // on the pre-fault path.
+  Simulator sim;
+  NetworkLink link(&sim, EthernetParams());
+  LinkFaultPlan off;  // every knob zero
+  link.SetFaultPlan(off);
+  SimTime delivered = -1;
+  link.Send(1466, [&](int64_t) { delivered = sim.Now(); });
+  sim.Run();
+  const LinkParams& p = link.params();
+  EXPECT_EQ(delivered, TransferTime(1466 + p.per_frame_overhead_bytes, p.bandwidth_bps) +
+                           p.propagation_delay);
+  EXPECT_EQ(link.stats().frames_lost, 0u);
+  EXPECT_EQ(link.stats().frames_jittered, 0u);
+}
+
 TEST(LinkTest, TenMbitEthernetThroughput) {
   Simulator sim;
   NetworkLink link(&sim, EthernetParams());

@@ -222,6 +222,65 @@ TEST_F(NetTest, SendSpaceRestoredAfterTransmit) {
   EXPECT_EQ(a_.SendSpace(), before);
 }
 
+TEST_F(NetTest, CancelRecvDropsParkedReadButKeepsQueuedData) {
+  EXPECT_FALSE(b_.CancelRecv());  // nothing parked
+  bool fired = false;
+  ASSERT_TRUE(b_.RecvAsync(100, [&](BufData, int64_t) { fired = true; }));
+  EXPECT_TRUE(b_.CancelRecv());
+  a_.SendAsync(Payload("kept"), 4, nullptr);
+  sim_.Run();
+  EXPECT_FALSE(fired);  // the cancelled read never fires
+  EXPECT_EQ(b_.RecvQueuedBytes(), 4);  // the datagram stays for a future reader
+  std::string got;
+  b_.RecvAsync(100, [&](BufData d, int64_t n) { got = AsString(d, n); });
+  EXPECT_EQ(got, "kept");
+}
+
+TEST(NetBackpressureTest, FullInterfaceRefusalChargesNoCpuAtAnySpeed) {
+  // Property (regression for the splice low-water refill): when the
+  // interface queue is full, SendAsync must refuse BEFORE paying the UDP
+  // output-path charge — a sink retrying off the softclock backpressures at
+  // zero CPU cost instead of busy-waiting in disguise.  Holds at every link
+  // speed: acceptance is bounded by queue slots, not bandwidth.
+  for (const double bps : {1e6 / 8, 10e6 / 8, 100e6 / 8}) {
+    Simulator sim;
+    CpuSystem cpu(&sim, DecStation5000Costs());
+    LinkParams lp = EthernetParams();
+    lp.bandwidth_bps = bps;
+    lp.tx_queue_frames = 2;
+    NetworkLink wire(&sim, lp);
+    UdpSocket src(&cpu);
+    UdpSocket dst(&cpu);
+    src.ConnectTo(&dst, &wire);
+    constexpr int kAttempts = 20;
+    constexpr int64_t kDgram = 1000;
+    int accepted = 0;
+    const SimDuration before = cpu.stats().interrupt_work;
+    cpu.RunInterrupt(0, [&] {
+      for (int i = 0; i < kAttempts; ++i) {
+        if (src.SendAsync(Payload(std::string(kDgram, 'x')), kDgram, nullptr)) {
+          ++accepted;
+        }
+      }
+    });
+    const SimDuration charged = cpu.stats().interrupt_work - before;
+    // One frame in flight + two queued, independent of bandwidth (no sim
+    // time passes inside the burst).
+    EXPECT_EQ(accepted, 3) << "bps=" << bps;
+    EXPECT_EQ(src.stats().dgrams_dropped_wire,
+              static_cast<uint64_t>(kAttempts - accepted))
+        << "bps=" << bps;
+    // Every accepted send paid the protocol charge; every refusal paid zero.
+    EXPECT_EQ(charged, accepted * cpu.costs().UdpPacketTime(kDgram)) << "bps=" << bps;
+    // Backpressure is transient: once the wire drains, sends flow again.
+    sim.Run();
+    EXPECT_TRUE(wire.HasTxRoom());
+    EXPECT_TRUE(src.SendAsync(Payload(std::string(kDgram, 'y')), kDgram, nullptr));
+    sim.Run();
+    EXPECT_EQ(dst.stats().dgrams_received, 4u) << "bps=" << bps;
+  }
+}
+
 TEST_F(NetTest, ChecksumCostScalesWithSize) {
   const CostConfig c = DecStation5000Costs();
   EXPECT_GT(c.UdpPacketTime(8192), c.UdpPacketTime(100));
