@@ -37,6 +37,7 @@
 #include "src/net/udp_socket.h"
 #include "src/metrics/trace_export.h"
 #include "src/os/kernel.h"
+#include "src/sim/kspan.h"
 #include "src/sim/simulator.h"
 #include "src/workload/programs.h"
 
@@ -75,6 +76,13 @@ struct FaultCell {
   uint64_t frames_lost = 0;
   uint64_t frames_jittered = 0;
   uint64_t delwri_data_lost = 0;
+  // Observability invariants, checked per cell: the CPU attribution mirror
+  // sums exactly to the ledger, and every minted kspan closed exactly once
+  // even on the error paths this grid exists to provoke.
+  bool closure_ok = false;
+  bool spans_balanced = false;
+  uint64_t spans_begun = 0;
+  std::string span_err;
 };
 
 // One fresh machine per cell.  `seed` varies per cell so no two cells share
@@ -142,6 +150,11 @@ FaultCell RunCell(ikdp::SubmitMode mode, int n, double dev_rate, double loss,
     return cell;
   }
 
+  // Record span trees for the whole cell: every splice stream and ring op
+  // minted under fault injection must close exactly once (checked below).
+  ikdp::KspanCollector spans;
+  ikdp::AttachKspan(&spans);
+
   ikdp::RingConfig ring_config;
   ring_config.sq_entries = 2 * n;
   ring_config.max_inflight = n;
@@ -192,6 +205,15 @@ FaultCell RunCell(ikdp::SubmitMode mode, int n, double dev_rate, double loss,
   });
   sim.Run();
   cell.leaks_ok = reacquired == kernel.cache().nbufs() && kernel.cpu().alive() == 0;
+
+  ikdp::AttachKspan(nullptr);
+  cell.spans_begun = spans.begun();
+  cell.spans_balanced = spans.CheckBalanced(&cell.span_err);
+  std::string closure_err;
+  cell.closure_ok = kernel.cpu().CheckAttributionClosure(&closure_err);
+  if (!cell.closure_ok) {
+    cell.span_err += (cell.span_err.empty() ? "" : "; ") + closure_err;
+  }
 
   if (dev_rate == 0) {
     kernel.cache().FlushAllInstant();
@@ -276,6 +298,7 @@ int main(int argc, char** argv) {
           "\"disk_errors\":%llu,\"disk_spikes\":%llu,\"frames_lost\":%llu,"
           "\"frames_jittered\":%llu,\"delwri_data_lost\":%llu,"
           "\"net_moved\":%lld,\"net_errno\":%d,"
+          "\"spans\":%llu,\"spans_balanced\":%s,\"closure_ok\":%s,"
           "\"quiescent\":%s,\"engine_quiet\":%s,\"leaks_ok\":%s,\"verified\":%s}",
           ModeName(c.mode), c.n, c.dev_rate, c.loss, c.ms.streams_completed,
           c.ms.streams_errored, c.ms.first_errno, c.ms.ring_cqes,
@@ -286,7 +309,9 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(c.frames_lost),
           static_cast<unsigned long long>(c.frames_jittered),
           static_cast<unsigned long long>(c.delwri_data_lost),
-          static_cast<long long>(c.net_moved), c.net_errno, c.quiescent ? "true" : "false",
+          static_cast<long long>(c.net_moved), c.net_errno,
+          static_cast<unsigned long long>(c.spans_begun), c.spans_balanced ? "true" : "false",
+          c.closure_ok ? "true" : "false", c.quiescent ? "true" : "false",
           c.engine_quiet ? "true" : "false", c.leaks_ok ? "true" : "false",
           c.verified ? "true" : "false");
       out << row;
@@ -312,6 +337,14 @@ int main(int argc, char** argv) {
     g_checks.Check(c.leaks_ok, what);
     std::snprintf(what, sizeof(what), "%s: no lost completions (done+err == N)", label);
     g_checks.Check(c.ms.streams_completed + c.ms.streams_errored == c.n, what);
+    std::snprintf(what, sizeof(what), "%s: every kspan closed exactly once (%llu spans)",
+                  label, static_cast<unsigned long long>(c.spans_begun));
+    g_checks.Check(c.spans_balanced && c.spans_begun > 0, what);
+    std::snprintf(what, sizeof(what), "%s: CPU attribution closes on the ledger", label);
+    g_checks.Check(c.closure_ok, what);
+    if (!c.span_err.empty()) {
+      std::fprintf(stderr, "  [%s] %s\n", label, c.span_err.c_str());
+    }
     if (c.mode == ikdp::SubmitMode::kRing) {
       std::snprintf(what, sizeof(what), "%s: one CQE per SQE", label);
       g_checks.Check(c.ms.ring_cqes == c.n, what);

@@ -1,13 +1,18 @@
 // Traced Table 2 run (RZ56, splice): the observability layer end to end.
 //
-// Repeats the Table 2 RZ56/scp experiment twice — once bare, once with a
-// TraceLog and the online telemetry collector attached — and then:
+// Repeats the Table 2 RZ56/scp experiment three times — once bare, once with
+// a TraceLog and the online telemetry collector attached, once more with the
+// kspan collector minting request-scoped spans on top — and then:
 //
-//  1. proves zero tracing overhead in simulated time (both runs must agree
-//     to the nanosecond on bytes, elapsed time, and throughput);
+//  1. proves zero tracing overhead in simulated time (all runs must agree
+//     to the nanosecond on bytes, elapsed time, and throughput, and the
+//     telemetry documents of the traced and spanned runs must be
+//     byte-identical);
 //  2. exports the trace as Chrome trace-event JSON (table2_rz56.trace.json,
 //     loadable in Perfetto) and the metric registry as
-//     BENCH_telemetry.json (schema ikdp.telemetry.v1);
+//     BENCH_telemetry.json — the extended ikdp.telemetry.v1 document with
+//     the optional "spans"/"attribution" sections rendered from the third
+//     run;
 //  3. re-parses both files with the bundled JSON reader and cross-checks
 //     the telemetry against the experiment's reported numbers: chunk count,
 //     bytes moved, per-disk transfer counts, histogram sums vs the disks'
@@ -19,14 +24,17 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 
 #include "bench/bench_common.h"
 #include "src/metrics/experiment.h"
 #include "src/metrics/report.h"
+#include "src/metrics/span_trace.h"
 #include "src/metrics/telemetry.h"
 #include "src/metrics/trace_export.h"
+#include "src/sim/kspan.h"
 
 using ikdp::bench::Slurp;
 
@@ -66,8 +74,29 @@ int main(int argc, char** argv) {
   };
   const ikdp::ExperimentResult traced = ikdp::RunCopyExperiment(cfg);
 
+  // Run 3: spans on top — the kspan collector records every request-scoped
+  // span the kernel mints while a fresh trace/registry pair watches the same
+  // run.  Span recording is pure host-side bookkeeping, so this run must
+  // reproduce runs 1 and 2 to the nanosecond AND its telemetry document
+  // (before the span sections) must be byte-identical to run 2's.
+  ikdp::TraceLog span_trace_log(1 << 18);
+  ikdp::MetricsRegistry span_registry;
+  ikdp::TelemetryCollector span_collector(&span_registry);
+  span_collector.Attach(&span_trace_log);
+  std::map<ikdp::CpuSystem::ChargeKey, ikdp::SimDuration> attribution;
+  cfg.trace = &span_trace_log;
+  cfg.inspect = [&span_registry, &attribution](ikdp::Kernel& kernel) {
+    ikdp::CaptureKernelCounters(&span_registry, kernel);
+    attribution = kernel.cpu().attribution();
+  };
+  ikdp::KspanCollector spans;
+  ikdp::AttachKspan(&spans);
+  const ikdp::ExperimentResult spanned = ikdp::RunCopyExperiment(cfg);
+  ikdp::AttachKspan(nullptr);
+
   std::printf("reference: %s\n", ikdp::Summary(bare).c_str());
-  std::printf("traced:    %s\n\n", ikdp::Summary(traced).c_str());
+  std::printf("traced:    %s\n", ikdp::Summary(traced).c_str());
+  std::printf("spanned:   %s\n\n", ikdp::Summary(spanned).c_str());
 
   std::printf("zero-overhead (simulated results identical with trace attached):\n");
   Check(bare.ok && traced.ok, "both runs verified");
@@ -77,6 +106,25 @@ int main(int argc, char** argv) {
   Check(trace.total() > 0, "trace actually recorded events");
   Check(trace.total() <= (1 << 18), "ring did not wrap (full run retained)");
 
+  std::printf("\nzero-overhead (span recording changes nothing):\n");
+  Check(spanned.ok, "spanned run verified");
+  Check(bare.bytes == spanned.bytes && bare.elapsed_s == spanned.elapsed_s &&
+            bare.throughput_kbs == spanned.throughput_kbs,
+        "spanned run identical to reference to the nanosecond");
+  std::string span_err;
+  Check(spans.begun() > 0, "spans actually recorded");
+  Check(spans.CheckBalanced(&span_err), "every span closed exactly once");
+  if (!span_err.empty()) {
+    std::fprintf(stderr, "span imbalance: %s\n", span_err.c_str());
+  }
+  {
+    std::ostringstream a;
+    std::ostringstream b;
+    ikdp::ExportRegistryJson(registry, a);
+    ikdp::ExportRegistryJson(span_registry, b);
+    Check(a.str() == b.str(), "telemetry byte-identical with spans on");
+  }
+
   // --- exports ---
   const char* trace_path = "table2_rz56.trace.json";
   const char* telemetry_path = "BENCH_telemetry.json";
@@ -85,8 +133,12 @@ int main(int argc, char** argv) {
     ikdp::ExportChromeTrace(trace, out);
   }
   {
+    // The published document is the extended form: the base registry plus
+    // the optional "spans"/"attribution" sections rendered from the third
+    // run's span collector and CPU ledger (tools/telemetry_check validates
+    // both layers in CI).
     std::ofstream out(telemetry_path);
-    ikdp::ExportRegistryJson(registry, out);
+    ikdp::ExportRegistryJson(span_registry, out, ikdp::RenderSpanSections(spans, attribution));
   }
   std::printf("\nwrote %s and %s\n\n", trace_path, telemetry_path);
 
@@ -101,6 +153,13 @@ int main(int argc, char** argv) {
   const ikdp::JsonValue* schema = telem_json.Get("schema");
   Check(schema != nullptr && schema->IsString() && schema->str == ikdp::kTelemetrySchema,
         "telemetry schema is ikdp.telemetry.v1");
+  const ikdp::JsonValue* spans_section = telem_json.Get("spans");
+  Check(spans_section != nullptr && spans_section->Get("begun") != nullptr &&
+            spans_section->Get("begun")->number == static_cast<double>(spans.begun()),
+        "extended telemetry carries the span census");
+  const ikdp::JsonValue* attr_section = telem_json.Get("attribution");
+  Check(attr_section != nullptr && attr_section->IsArray() && !attr_section->items.empty(),
+        "extended telemetry carries the attribution mirror");
 
   std::printf("\nconsistency (telemetry vs reported results):\n");
   const ikdp::LatencyHistogram* chunk_hist = registry.Histogram("splice.chunk_latency");

@@ -57,7 +57,10 @@ void SpliceRing::AdmitGroup(std::vector<PreparedOp> group) {
     op->on_moved = std::move(prep.on_moved);
     op->opts = prep.opts;
     op->submitted_at = cpu_->sim()->Now();
+    op->span_owned = KspanOwned();
+    op->span = KspanBegin(op->submitted_at, "aio.op", static_cast<int64_t>(op->sqe.cookie));
     ++stats_.submitted;
+    KspanScope scope("aio", op->span);
     Trace(TraceKind::kRingOpSubmit, static_cast<int64_t>(op->sqe.cookie));
     IKDP_KRACE_WRITE(this, "SpliceRing::queued_");
     queued_.push_back(std::move(op));
@@ -70,7 +73,10 @@ void SpliceRing::FailSqe(const SpliceSqe& sqe, int error) {
   auto op = std::make_unique<Op>();
   op->sqe = sqe;
   op->submitted_at = cpu_->sim()->Now();
+  op->span_owned = KspanOwned();
+  op->span = KspanBegin(op->submitted_at, "aio.op", static_cast<int64_t>(sqe.cookie));
   ++stats_.submitted;
+  KspanScope scope("aio", op->span);
   Trace(TraceKind::kRingOpSubmit, static_cast<int64_t>(sqe.cookie));
   Op* raw = op.get();
   IKDP_KRACE_WRITE(this, "SpliceRing::queued_");
@@ -122,6 +128,9 @@ void SpliceRing::Pump() {
 void SpliceRing::StartOp(Op* op) {
   op->engine_called = true;
   Op* raw = op;
+  // The engine mints its "splice.stream" span as a child of the cursor's —
+  // push the op span so the stream nests under this op.
+  KspanScope scope("aio", op->span);
   SpliceDescriptor* d =
       engine_->StartEx(std::move(op->source), std::move(op->sink), op->opts,
                        [this, raw](const SpliceCompletion& c) { OnEngineComplete(raw, c); });
@@ -133,6 +142,7 @@ void SpliceRing::StartOp(Op* op) {
 }
 
 void SpliceRing::OnEngineComplete(Op* op, const SpliceCompletion& c) {
+  KspanScope scope("aio", op->span);
   if (op->on_moved && !c.io_error) {
     // Partial byte counts from a cancel still update sink-side file state:
     // those bytes are on the device.
@@ -164,7 +174,16 @@ void SpliceRing::Retire(Op* op, int64_t result, int error) {
   if (error == kAioECanceled) {
     ++stats_.cancelled;
   }
-  Trace(TraceKind::kRingOpComplete, static_cast<int64_t>(op->sqe.cookie));
+  {
+    KspanScope scope("aio", op->span);
+    Trace(TraceKind::kRingOpComplete, static_cast<int64_t>(op->sqe.cookie));
+  }
+  // Retire runs exactly once per op (the list scan below asserts the op is
+  // still owned), so the span closes exactly once — cancelled LINKED
+  // siblings included.
+  if (op->span_owned) {
+    KspanEnd(op->finished_at, op->span, result, error != 0);
+  }
   std::unique_ptr<Op> owned;
   IKDP_KRACE_WRITE(this, "SpliceRing::queued_");
   for (auto it = queued_.begin(); it != queued_.end(); ++it) {

@@ -198,6 +198,11 @@ class SpliceRing {
     SimTime submitted_at = 0;
     bool engine_called = false;        // handed to the splice engine
     SpliceDescriptor* desc = nullptr;  // valid while kStarted
+    // The op's kspan ("aio.op"), minted at admission as a child of the
+    // submitting process's span; ended exactly once at Retire — including
+    // cancelled LINKED siblings, which retire like any other op.
+    SpanId span = kNoSpan;
+    bool span_owned = false;  // minted (must End) vs inherited
     // Completion payload (filled at retire time).
     int64_t result = 0;
     int error = 0;

@@ -22,6 +22,7 @@
 
 #include "src/kern/ctx.h"
 #include "src/sim/krace.h"
+#include "src/sim/kspan.h"
 #include "src/sim/time.h"
 
 namespace ikdp {
@@ -81,6 +82,13 @@ struct Buf {
   void* splice_owner IKDP_GUARDED_BY(any) = nullptr;
   int64_t logical_blkno IKDP_GUARDED_BY(any) = -1;
   Buf* splice_peer IKDP_GUARDED_BY(any) = nullptr;
+
+  // The kspan riding this I/O (src/sim/kspan.h): stamped from the cursor
+  // when the buffer is acquired (getblk) and carried through the disk queue
+  // so the completion interrupt attributes its work to the request that
+  // issued the transfer.  Written by the acquiring context, read by the
+  // driver and its completion interrupt — same contexts that own the flags.
+  SpanId span IKDP_GUARDED_BY(any) = kNoSpan;
 
   // --- cache bookkeeping (BufferCache internal) ---
   //

@@ -209,6 +209,7 @@ Buf* BufferCache::TryGetBlk(BlockDevice* dev, int64_t blkno, bool* was_hit) {
     FreelistRemove(b);
     b->Set(kBufBusy);
     b->Clear(kBufInval);
+    b->span = CurrentKspan().span;
     *was_hit = b->Has(kBufDone);
     return b;
   }
@@ -228,6 +229,9 @@ Buf* BufferCache::TryGetBlk(BlockDevice* dev, int64_t blkno, bool* was_hit) {
   v->splice_owner = nullptr;
   v->logical_blkno = -1;
   v->splice_peer = nullptr;
+  // Stamp the acquiring request's span; it rides the disk queue so the
+  // completion interrupt can attribute its work (src/sim/kspan.h).
+  v->span = CurrentKspan().span;
   v->iodone = nullptr;
   if (v->data.use_count() > 1) {
     // The old data area is still aliased by an in-flight splice header; give

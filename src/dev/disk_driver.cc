@@ -83,12 +83,17 @@ void DiskDriver::StartHw() {
   req.offset = b->blkno * kBlockSize;
   req.nbytes = b->bcount;
   req.is_read = b->Has(kBufRead);
+  req.span = b->span;  // rides the hardware queue for dispatch/complete tagging
   req.done = [this, b](bool ok) { Complete(b, ok, ok ? 0 : disk_.last_error()); };
   disk_.Submit(std::move(req));
 }
 
 void DiskDriver::Complete(Buf* b, bool ok, int error) {
   ++stats_.interrupts;
+  // The completion interrupt belongs to the request whose buffer this is:
+  // the scope covers the RunInterrupt call, so the interrupt overhead (and,
+  // via the captured tag, the body's charges) attribute to b->span.
+  KspanScope scope("disk", b->span);
   cpu_->RunInterrupt(cpu_->costs().interrupt_overhead, [this, b, ok, error] {
     if (!ok) {
       // Unrecoverable media error: no content moves; the error flag and

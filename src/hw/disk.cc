@@ -173,6 +173,9 @@ void DiskModel::Coalesce(std::vector<DiskRequest>* batch) {
       end += n;
       ++stats_.coalesced;
       if (trace_ != nullptr) {
+        // The record belongs to the request being merged in, not to whoever
+        // happens to be running when the batch forms.
+        KspanScope scope("disk", batch->back().span);
         trace_->Record(sim_->Now(), TraceKind::kDiskCoalesce, transfer_serial_, n,
                        params_.name.c_str());
       }
@@ -196,6 +199,7 @@ void DiskModel::StartNext() {
   struct Done {
     std::function<void(bool)> cb;
     int error;
+    SpanId span;
   };
   std::vector<Done> dones;
   dones.reserve(batch.size());
@@ -218,9 +222,15 @@ void DiskModel::StartNext() {
       ++stats_.errors;
       if (error == kErrNoSpc) {
         ++stats_.enospc_errors;
+      } else if (fault_state_ != nullptr && fault_state_->plan.permanent) {
+        ++stats_.faults_permanent;
+      } else {
+        // Hook-injected faults have no permanence semantics; they count as
+        // transient alongside plan errors in transient mode.
+        ++stats_.faults_transient;
       }
     }
-    dones.push_back({std::move(r.done), error});
+    dones.push_back({std::move(r.done), error, r.span});
   }
   sweep_pos_ = batch.front().offset + total;
 
@@ -234,16 +244,22 @@ void DiskModel::StartNext() {
   }
   stats_.busy_time += service;
   const int64_t serial = transfer_serial_;
+  // A merged transfer's dispatch/complete records carry the head request's
+  // span; each per-request completion callback runs under its own.
+  const SpanId head_span = dones.front().span;
   if (trace_ != nullptr) {
+    KspanScope scope("disk", head_span);
     trace_->Record(sim_->Now(), TraceKind::kDiskDispatch, serial, total, params_.name.c_str());
   }
-  sim_->After(service, [this, serial, total, dones = std::move(dones)]() mutable {
+  sim_->After(service, [this, serial, total, head_span, dones = std::move(dones)]() mutable {
     if (trace_ != nullptr) {
+      KspanScope scope("disk", head_span);
       trace_->Record(sim_->Now(), TraceKind::kDiskComplete, serial, total, params_.name.c_str());
     }
     for (Done& d : dones) {
       last_error_ = d.error;
       if (d.cb) {
+        KspanScope scope("disk", d.span);
         d.cb(d.error == 0);
       }
     }

@@ -57,6 +57,7 @@
 #include <vector>
 
 #include "src/hw/fault.h"
+#include "src/sim/kspan.h"
 #include "src/sim/random.h"
 #include "src/sim/simulator.h"
 #include "src/sim/time.h"
@@ -124,6 +125,10 @@ struct DiskRequest {
   // Invoked in simulator event context; `ok` is false when the medium
   // reported an unrecoverable error for this request.
   std::function<void(bool ok)> done;
+  // The kspan of the request that issued this transfer (src/sim/kspan.h);
+  // rides the hardware queue so dispatch/complete trace records and the
+  // completion callback attribute to the originating request.
+  SpanId span = kNoSpan;
 };
 
 class DiskModel {
@@ -179,6 +184,8 @@ class DiskModel {
     uint64_t seeks = 0;             // non-zero-distance seeks performed
     uint64_t errors = 0;            // injected media errors (hook + plan)
     uint64_t enospc_errors = 0;     // writes failed by the plan's byte budget
+    uint64_t faults_transient = 0;  // media errors the next access outlives
+    uint64_t faults_permanent = 0;  // grown-defect errors (plan.permanent)
     uint64_t latency_spikes = 0;    // transfers stretched by the fault plan
     uint64_t coalesced = 0;         // requests merged into another transfer
     uint64_t queue_sort_passes = 0; // scheduling scans of a multi-entry queue

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
+#include <string>
 #include <utility>
 
 #include "src/sim/krace.h"
@@ -19,6 +21,64 @@ namespace ikdp {
 CpuSystem::CpuSystem(Simulator* sim, CostConfig costs) : sim_(sim), costs_(costs) {}
 
 CpuSystem::~CpuSystem() = default;
+
+bool CpuSystem::ChargeKey::operator<(const ChargeKey& o) const {
+  if (bucket != o.bucket) {
+    return bucket < o.bucket;
+  }
+  // Compare subsystem names by content: distinct literals with equal text
+  // must land in one entry.
+  const int c = std::strcmp(subsystem, o.subsystem);
+  if (c != 0) {
+    return c < 0;
+  }
+  return span < o.span;
+}
+
+void CpuSystem::Attribute(ChargeBucket bucket, const char* subsystem, SpanId span,
+                          SimDuration t) {
+  if (t == 0) {
+    return;
+  }
+  attribution_[ChargeKey{bucket, subsystem, span}] += t;
+}
+
+void CpuSystem::SetSpan(Process& p, SpanId span) {
+  p.span_ = span;
+  if (current_ == &p) {
+    KspanCursorSetSpan(span);
+  }
+}
+
+bool CpuSystem::CheckAttributionClosure(std::string* err) const {
+  SimDuration sums[4] = {0, 0, 0, 0};
+  for (const auto& [key, t] : attribution_) {
+    sums[static_cast<int>(key.bucket)] += t;
+  }
+  const SimDuration interrupt_sum =
+      sums[static_cast<int>(ChargeBucket::kInterrupt)] +
+      sums[static_cast<int>(ChargeBucket::kSoftclock)];
+  struct Check {
+    const char* what;
+    SimDuration attributed;
+    SimDuration ledger;
+  };
+  const Check checks[] = {
+      {"process_work", sums[static_cast<int>(ChargeBucket::kProcess)], stats_.process_work},
+      {"context_switch", sums[static_cast<int>(ChargeBucket::kSwitch)], stats_.context_switch},
+      {"interrupt_work", interrupt_sum, stats_.interrupt_work},
+  };
+  for (const Check& c : checks) {
+    if (c.attributed != c.ledger) {
+      if (err != nullptr) {
+        *err = std::string(c.what) + ": attributed " + std::to_string(c.attributed) +
+               " ns != ledger " + std::to_string(c.ledger) + " ns";
+      }
+      return false;
+    }
+  }
+  return true;
+}
 
 Process* CpuSystem::Spawn(std::string name, std::function<Task<>(Process&)> factory) {
   auto proc = std::make_unique<Process>(next_pid_++, std::move(name));
@@ -75,6 +135,9 @@ void CpuSystem::DecayTick() {
 void CpuSystem::AccountUsage(Process* p, SimDuration work) {
   IKDP_KRACE_COMMUTE(this, "CpuSystem::stats_");
   stats_.process_work += work;
+  // The coroutine is suspended for the whole burst, so span_ is frozen at
+  // the value the process carried when the burst began.
+  Attribute(ChargeBucket::kProcess, "process", p->span_, work);
   p->stats_.cpu_time += work;
   if (costs_.priority_decay) {
     p->p_cpu_ += ToSeconds(work);
@@ -126,6 +189,7 @@ void CpuSystem::DispatchNext() {
   const SimDuration residual = std::max<SimDuration>(0, intr_busy_until_ - sim_->Now());
   IKDP_KRACE_COMMUTE(this, "CpuSystem::stats_");
   stats_.context_switch += costs_.context_switch;
+  Attribute(ChargeBucket::kSwitch, "sched", p->span_, costs_.context_switch);
   ++stats_.switches;
   slice_remaining_ = costs_.quantum;
   StartBurst(costs_.context_switch + residual, costs_.context_switch);
@@ -178,6 +242,9 @@ void CpuSystem::Activate(Process* p) {
   // Everything until the coroutine's next suspension executes as the
   // process: blocking primitives are legal, ChargeInterrupt is not.
   ContextGuard in_process(ExecContext::kProcess);
+  // Re-establish the process's request span for this resume window (span
+  // scopes cannot live across co_await; see src/sim/kspan.h).
+  KspanScope span_scope("process", p->span_);
   if (!p->started_) {
     p->started_ = true;
     p->body_.Start([this, p] {
@@ -229,8 +296,9 @@ SuspendAndCall CpuSystem::Sleep(Process& p, const void* chan, int pri, bool inte
     if (interruptible && p.SignalPending()) {
       // A signal is already pending: do not sleep, resume immediately (after
       // the current event unwinds).
-      sim_->After(0, [h] {
+      sim_->After(0, [h, &p] {
         ContextGuard in_process(ExecContext::kProcess);
+        KspanScope span_scope("process", p.span());
         h.resume();
       });
       return;
@@ -264,6 +332,9 @@ void CpuSystem::PreemptCurrent(bool front) {
         std::clamp<SimDuration>(progress - residual, 0, burst_.switch_part);
     IKDP_KRACE_COMMUTE(this, "CpuSystem::stats_");
     stats_.context_switch -= burst_.switch_part - switch_used;
+    // Mirror the refund under the same key the dispatch charged (span_ is
+    // frozen while the coroutine is suspended), keeping closure exact.
+    Attribute(ChargeBucket::kSwitch, "sched", p->span_, -(burst_.switch_part - switch_used));
     SimDuration done = progress - burst_.lead_in;
     done = std::clamp<SimDuration>(done, 0, burst_.planned);
     p->work_remaining_ -= done;
@@ -322,7 +393,12 @@ void CpuSystem::Post(Process& p, int sig) {
 
 void CpuSystem::RunInterrupt(SimDuration overhead, std::function<void()> body) {
   IKDP_KRACE_COMMUTE(this, "CpuSystem::intr_queue_");
-  intr_queue_.push_back(PendingInterrupt{overhead, std::move(body)});
+  // Capture the attribution tag at raise time: the kspan cursor names the
+  // request being worked on, and a raiser at softclock level (a callout
+  // body) classifies the work as softclock rather than device interrupt.
+  const KspanCursor& cur = CurrentKspan();
+  intr_queue_.push_back(PendingInterrupt{overhead, std::move(body), cur.subsystem, cur.span,
+                                         CurrentExecContext() == ExecContext::kSoftclock});
   if (!in_interrupt_) {
     DrainInterrupts();
   }
@@ -334,6 +410,11 @@ void CpuSystem::ChargeInterrupt(SimDuration t) {
   assert(t >= 0);
   IKDP_KRACE_WRITE(this, "CpuSystem::intr_charge_");
   intr_charge_ += t;
+  // Handlers refine the cursor as they discover work (the splice read
+  // handler pushes the descriptor's span); read it live so each addition
+  // lands on the span that caused it.
+  const KspanCursor& cur = CurrentKspan();
+  Attribute(intr_bucket_, cur.subsystem, cur.span, t);
 }
 
 void CpuSystem::DrainInterrupts() {
@@ -355,10 +436,15 @@ void CpuSystem::DrainInterrupts() {
   PendingInterrupt work = std::move(intr_queue_.front());
   intr_queue_.pop_front();
   in_interrupt_ = true;
+  intr_bucket_ = work.softclock ? ChargeBucket::kSoftclock : ChargeBucket::kInterrupt;
   IKDP_KRACE_WRITE(this, "CpuSystem::intr_charge_");
   intr_charge_ = work.overhead;
+  Attribute(intr_bucket_, work.subsystem, work.span, work.overhead);
   {
     ContextGuard at_interrupt(ExecContext::kInterrupt);
+    // The body runs under the tag captured at raise time; handlers push
+    // refining scopes (their ChargeInterrupt additions read the cursor).
+    KspanScope tag(work.subsystem, work.span);
     work.body();
   }
   in_interrupt_ = false;

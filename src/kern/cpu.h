@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -35,6 +36,7 @@
 #include "src/hw/costs.h"
 #include "src/kern/ctx.h"
 #include "src/kern/process.h"
+#include "src/sim/kspan.h"
 #include "src/sim/simulator.h"
 #include "src/sim/task.h"
 #include "src/sim/time.h"
@@ -130,6 +132,42 @@ class CpuSystem {
   // per-interval busy fractions.
   const Stats& stats() const { return stats_; }
 
+  // --- per-span attribution (src/sim/kspan.h) ---
+  //
+  // Every ledger charge is mirrored into a (context, subsystem, span) map:
+  // process bursts carry the running process's span, switch costs the span
+  // of the process being dispatched, interrupt/softclock work the kspan
+  // cursor at charge time (captured at RunInterrupt for the base overhead,
+  // read live for ChargeInterrupt additions).  The mirror is bookkeeping
+  // only — it can never change simulated time — and it is EXACT:
+  // CheckAttributionClosure() asserts the per-bucket sums equal the Stats
+  // totals to the nanosecond, and every table bench runs it.
+
+  // The ledger bucket a charge landed in.  kInterrupt vs kSoftclock is
+  // decided by the execution context at RunInterrupt time: work raised from
+  // a softclock callout (the splice write side) is softclock work.
+  enum class ChargeBucket : uint8_t { kProcess = 0, kSwitch, kInterrupt, kSoftclock };
+
+  struct ChargeKey {
+    ChargeBucket bucket = ChargeBucket::kProcess;
+    const char* subsystem = "";  // static storage, compared by content
+    SpanId span = kNoSpan;
+    bool operator<(const ChargeKey& o) const;
+  };
+
+  // Sets `p`'s request span (Process::span) and, when `p` is the running
+  // process, refreshes the live kspan cursor so records written before the
+  // next suspension already carry the new span.
+  IKDP_CTX_PROCESS void SetSpan(Process& p, SpanId span);
+
+  const std::map<ChargeKey, SimDuration>& attribution() const { return attribution_; }
+
+  // True when the attribution mirror sums exactly to stats_: per-bucket,
+  //   Σ kProcess == process_work, Σ kSwitch == context_switch,
+  //   Σ kInterrupt + Σ kSoftclock == interrupt_work.
+  // On failure fills `err` with the offending bucket and the two totals.
+  bool CheckAttributionClosure(std::string* err) const;
+
  private:
   struct Burst {
     bool active = false;
@@ -145,6 +183,13 @@ class CpuSystem {
   struct PendingInterrupt {
     SimDuration overhead;
     std::function<void()> body;
+    // Attribution tag captured when the interrupt was raised: the kspan
+    // cursor, plus whether the raiser ran at softclock level (classifying
+    // the work as kSoftclock rather than kInterrupt).  The body runs under
+    // this tag; handlers push refining scopes on top.
+    const char* subsystem = "";
+    SpanId span = kNoSpan;
+    bool softclock = false;
   };
 
   // Inserts `p` into the run queue in priority order (FIFO within equal
@@ -215,9 +260,20 @@ class CpuSystem {
   // own charge; ChargeInterrupt() asserts this dynamically too.
   SimDuration intr_charge_ IKDP_GUARDED_BY(interrupt) = 0;
 
+  // Mirrors a charge into the attribution map (see attribution()).  Every
+  // stats_ mutation site calls this with the same delta, which is what makes
+  // CheckAttributionClosure exact.
+  void Attribute(ChargeBucket bucket, const char* subsystem, SpanId span, SimDuration t);
+
   // The CPU ledger.  Every context books work here; the additions commute
   // (the experiment tables read only the totals), so probes use COMMUTE.
   Stats stats_ IKDP_GUARDED_BY(any);
+  // The per-span mirror of stats_.  Same writers, same commutativity
+  // argument, host-read-only consumers — GUARDED_BY(any) like the ledger.
+  std::map<ChargeKey, SimDuration> attribution_ IKDP_GUARDED_BY(any);
+  // Classification of the interrupt work currently draining (which bucket
+  // ChargeInterrupt additions land in).  Written only while in_interrupt_.
+  ChargeBucket intr_bucket_ IKDP_GUARDED_BY(interrupt) = ChargeBucket::kInterrupt;
 };
 
 }  // namespace ikdp

@@ -16,6 +16,7 @@
 #include <set>
 #include <string>
 
+#include "src/sim/kspan.h"
 #include "src/sim/task.h"
 #include "src/sim/time.h"
 
@@ -67,6 +68,13 @@ class Process {
   // priority penalty derived from it.
   double cpu_estimate() const { return p_cpu_; }
   int decay_penalty() const { return decay_penalty_; }
+
+  // The request span this process is currently serving (kNoSpan between
+  // requests).  Survives suspensions — the scheduler re-pushes it onto the
+  // kspan cursor at every resume, so a coroutine never holds a KspanScope
+  // across co_await.  Set through CpuSystem::SetSpan, which also refreshes
+  // the live cursor when the process is running.
+  SpanId span() const { return span_; }
 
   // --- signals ---
 
@@ -120,6 +128,7 @@ class Process {
 
   ProcState state_ = ProcState::kEmbryo;
   int priority_ = kPriUser;
+  SpanId span_ = kNoSpan;  // request being served; see span()
   double p_cpu_ = 0;        // decayed CPU usage estimate, in seconds
   int decay_penalty_ = 0;   // priority points added to kPriUser
 

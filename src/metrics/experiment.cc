@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
@@ -103,6 +104,17 @@ ExperimentResult RunCopyExperiment(const ExperimentConfig& config) {
                });
 
   sim.Run();
+  // Attribution closure is a hard gate for every experiment-backed bench,
+  // not a report: a ledger whose per-span mirror drifts from the totals
+  // invalidates every per-request number downstream, so die loudly even in
+  // release builds (assert() is compiled out there).
+  {
+    std::string closure_err;
+    if (!kernel.cpu().CheckAttributionClosure(&closure_err)) {
+      std::fprintf(stderr, "FATAL: attribution closure violated: %s\n", closure_err.c_str());
+      std::abort();
+    }
+  }
   if (!copy.ok || kernel.cpu().alive() != 0) {
     return result;
   }

@@ -41,6 +41,12 @@ void PrintMachineReport(std::ostream& os, Kernel& kernel) {
                 static_cast<unsigned long long>(sys.splices_sync),
                 static_cast<unsigned long long>(sys.splices_async));
   os << line;
+  if (TraceLog* trace = kernel.cpu().trace()) {
+    std::snprintf(line, sizeof(line), "trace:  %llu events, %llu dropped\n",
+                  static_cast<unsigned long long>(trace->total()),
+                  static_cast<unsigned long long>(trace->dropped()));
+    os << line;
+  }
   const uint64_t lookups = cache.hits + cache.misses;
   std::snprintf(line, sizeof(line),
                 "cache:  %d bufs, %llu hits / %llu misses (%.1f%% hit), %llu victim flushes "
@@ -82,7 +88,34 @@ void PrintMachineReport(std::ostream& os, Kernel& kernel) {
                   FormatDuration(m.busy_time).c_str(),
                   static_cast<unsigned long long>(m.errors));
     os << line;
+    // Fault-injection detail, only when the plan (or hook) actually fired —
+    // a clean run keeps its report identical to the pre-fault layout.
+    if (m.errors > 0 || m.latency_spikes > 0) {
+      std::snprintf(line, sizeof(line),
+                    "faults: %s: %llu transient, %llu permanent, %llu enospc, %llu "
+                    "latency spikes\n",
+                    fs->name().c_str(),
+                    static_cast<unsigned long long>(m.faults_transient),
+                    static_cast<unsigned long long>(m.faults_permanent),
+                    static_cast<unsigned long long>(m.enospc_errors),
+                    static_cast<unsigned long long>(m.latency_spikes));
+      os << line;
+    }
   }
+}
+
+void PrintLinkReport(std::ostream& os, const std::string& name, const NetworkLink& link) {
+  char line[256];
+  const NetworkLink::Stats& s = link.stats();
+  std::snprintf(line, sizeof(line),
+                "link:   %s: %llu frames (%lld payload bytes), busy %s, %llu dropped, "
+                "%llu lost, %llu jittered\n",
+                name.c_str(), static_cast<unsigned long long>(s.frames_sent),
+                static_cast<long long>(s.payload_bytes), FormatDuration(s.busy_time).c_str(),
+                static_cast<unsigned long long>(s.frames_dropped),
+                static_cast<unsigned long long>(s.frames_lost),
+                static_cast<unsigned long long>(s.frames_jittered));
+  os << line;
 }
 
 }  // namespace ikdp

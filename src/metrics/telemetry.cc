@@ -86,6 +86,15 @@ void CaptureKernelCounters(MetricsRegistry* registry, Kernel& kernel) {
   registry->SetCounter("cpu.switches", static_cast<int64_t>(cpu.switches));
   registry->SetCounter("cpu.interrupts", static_cast<int64_t>(cpu.interrupts));
 
+  // Ring-buffer evictions of the attached trace: nonzero means snapshots
+  // (and anything built from them) are truncated.  Emitted even with no log
+  // attached so the counter namespace is stable.
+  TraceLog* trace = kernel.cpu().trace();
+  registry->SetCounter("trace.dropped_events",
+                       trace != nullptr ? static_cast<int64_t>(trace->dropped()) : 0);
+  registry->SetCounter("trace.total_events",
+                       trace != nullptr ? static_cast<int64_t>(trace->total()) : 0);
+
   const Kernel::Stats& sys = kernel.stats();
   registry->SetCounter("sys.syscalls", static_cast<int64_t>(sys.syscalls));
   registry->SetCounter("sys.splices_sync", static_cast<int64_t>(sys.splices_sync));
@@ -149,6 +158,12 @@ void CaptureKernelCounters(MetricsRegistry* registry, Kernel& kernel) {
     registry->SetCounter(prefix + "read_cache_hits", static_cast<int64_t>(m.read_cache_hits));
     registry->SetCounter(prefix + "seeks", static_cast<int64_t>(m.seeks));
     registry->SetCounter(prefix + "errors", static_cast<int64_t>(m.errors));
+    registry->SetCounter(prefix + "enospc_errors", static_cast<int64_t>(m.enospc_errors));
+    registry->SetCounter(prefix + "faults_transient",
+                         static_cast<int64_t>(m.faults_transient));
+    registry->SetCounter(prefix + "faults_permanent",
+                         static_cast<int64_t>(m.faults_permanent));
+    registry->SetCounter(prefix + "latency_spikes", static_cast<int64_t>(m.latency_spikes));
     registry->SetCounter(prefix + "coalesced", static_cast<int64_t>(m.coalesced));
     registry->SetCounter(prefix + "queue_sort_passes",
                          static_cast<int64_t>(m.queue_sort_passes));
@@ -158,6 +173,18 @@ void CaptureKernelCounters(MetricsRegistry* registry, Kernel& kernel) {
     registry->SetCounter(prefix + "bytes_written", m.bytes_written);
     registry->SetCounter(prefix + "busy_time_ns", m.busy_time);
   }
+}
+
+void CaptureLinkCounters(MetricsRegistry* registry, const std::string& name,
+                         const NetworkLink& link) {
+  const std::string prefix = "net." + name + ".";
+  const NetworkLink::Stats& s = link.stats();
+  registry->SetCounter(prefix + "frames_sent", static_cast<int64_t>(s.frames_sent));
+  registry->SetCounter(prefix + "frames_dropped", static_cast<int64_t>(s.frames_dropped));
+  registry->SetCounter(prefix + "frames_lost", static_cast<int64_t>(s.frames_lost));
+  registry->SetCounter(prefix + "frames_jittered", static_cast<int64_t>(s.frames_jittered));
+  registry->SetCounter(prefix + "payload_bytes", s.payload_bytes);
+  registry->SetCounter(prefix + "busy_time_ns", s.busy_time);
 }
 
 }  // namespace ikdp

@@ -218,7 +218,8 @@ void ExportChromeTrace(const TraceLog& log, std::ostream& os) {
   os << "\n]}\n";
 }
 
-void ExportRegistryJson(const MetricsRegistry& registry, std::ostream& os) {
+void ExportRegistryJson(const MetricsRegistry& registry, std::ostream& os,
+                        const std::string& extra_sections) {
   os << "{\n\"schema\":\"" << kTelemetrySchema << "\",\n\"counters\":{";
   bool first = true;
   for (const auto& [name, value] : registry.counters()) {
@@ -245,7 +246,11 @@ void ExportRegistryJson(const MetricsRegistry& registry, std::ostream& os) {
     os << "]}";
     first = false;
   }
-  os << "\n}\n}\n";
+  os << "\n}";
+  if (!extra_sections.empty()) {
+    os << ",\n" << extra_sections;
+  }
+  os << "\n}\n";
 }
 
 // --- minimal JSON reader ---

@@ -44,7 +44,13 @@ std::string JsonEscape(const std::string& s);
 
 void ExportChromeTrace(const TraceLog& log, std::ostream& os);
 
-void ExportRegistryJson(const MetricsRegistry& registry, std::ostream& os);
+// `extra_sections`, when non-empty, is pre-rendered JSON of the form
+// `"key":{...},"key2":[...]` spliced into the top-level object after
+// "histograms" — how the span layer (src/metrics/span_trace.h) adds its
+// optional "spans"/"attribution" sections without this module depending on
+// it.  Callers are responsible for the rendering being valid JSON.
+void ExportRegistryJson(const MetricsRegistry& registry, std::ostream& os,
+                        const std::string& extra_sections = "");
 
 // --- minimal JSON reader (for round-trip validation) ---
 

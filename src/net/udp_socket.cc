@@ -6,6 +6,14 @@
 
 namespace ikdp {
 
+namespace {
+// Process-wide datagram serial: the single-host simulation mints one per
+// accepted SendAsync so kUdpSend/kUdpSent/kUdpRecv records pair across
+// sockets within one trace log.  Monotonic, never reset — pairing only
+// needs uniqueness, not density.
+uint64_t g_datagram_serial = 0;
+}  // namespace
+
 UdpSocket::UdpSocket(CpuSystem* cpu, int64_t sndbuf_bytes, int64_t rcvbuf_bytes)
     : cpu_(cpu), sndbuf_bytes_(sndbuf_bytes), rcvbuf_bytes_(rcvbuf_bytes) {}
 
@@ -37,6 +45,11 @@ bool UdpSocket::SendAsync(BufData data, int64_t nbytes, std::function<void()> do
     cpu_->ChargeInterrupt(cpu_->costs().UdpPacketTime(nbytes));
   }
   UdpSocket* peer = peer_;
+  // The sender's kspan rides the wire: the leave-interface and delivery
+  // events attribute to the request that queued the datagram, however long
+  // the propagation delay defers them.
+  const SpanId span = CurrentKspan().span;
+  const uint64_t serial = g_datagram_serial + 1;
   // Snapshot the payload: the wire carries the bytes as they were when the
   // datagram was queued, and the sender is free to recycle its buffer once
   // `done` fires (before the propagation delay has elapsed).
@@ -45,10 +58,16 @@ bool UdpSocket::SendAsync(BufData data, int64_t nbytes, std::function<void()> do
   wire_copy->resize(static_cast<size_t>(nbytes), 0);
   const bool accepted = link_->Send(
       nbytes,
-      [peer, wire_copy = std::move(wire_copy), nbytes](int64_t) {
-        peer->Deliver(wire_copy, nbytes);
+      [peer, wire_copy = std::move(wire_copy), nbytes, span, serial](int64_t) {
+        KspanScope scope("net", span);
+        peer->Deliver(wire_copy, nbytes, serial);
       },
-      [this, nbytes, done = std::move(done)] {
+      [this, nbytes, span, serial, done = std::move(done)] {
+        KspanScope scope("net", span);
+        if (TraceLog* t = cpu_->trace()) {
+          t->Record(cpu_->sim()->Now(), TraceKind::kUdpSent, static_cast<int64_t>(serial),
+                    nbytes);
+        }
         snd_inflight_ -= nbytes;
         cpu_->Wakeup(SendChannel());
         if (done) {
@@ -59,17 +78,23 @@ bool UdpSocket::SendAsync(BufData data, int64_t nbytes, std::function<void()> do
     ++stats_.dgrams_dropped_wire;
     return false;
   }
+  ++g_datagram_serial;
+  if (TraceLog* t = cpu_->trace()) {
+    t->Record(cpu_->sim()->Now(), TraceKind::kUdpSend, static_cast<int64_t>(serial), nbytes);
+  }
   snd_inflight_ += nbytes;
   ++stats_.dgrams_sent;
   stats_.bytes_sent += nbytes;
   return true;
 }
 
-void UdpSocket::Deliver(BufData data, int64_t nbytes) {
-  // Input side: network interrupt + protocol processing + checksum.
+void UdpSocket::Deliver(BufData data, int64_t nbytes, uint64_t serial) {
+  // Input side: network interrupt + protocol processing + checksum.  The
+  // caller (the link delivery lambda) has pushed the sender's span, so the
+  // raise-time capture attributes this interrupt to the sending request.
   cpu_->RunInterrupt(
       cpu_->costs().interrupt_overhead + cpu_->costs().UdpPacketTime(nbytes),
-      [this, data = std::move(data), nbytes]() mutable {
+      [this, data = std::move(data), nbytes, serial]() mutable {
         if (rcv_queued_bytes_ + nbytes > rcvbuf_bytes_) {
           ++stats_.dgrams_dropped_rcvbuf;
           return;
@@ -78,6 +103,10 @@ void UdpSocket::Deliver(BufData data, int64_t nbytes) {
         rcv_queued_bytes_ += nbytes;
         ++stats_.dgrams_received;
         stats_.bytes_received += nbytes;
+        if (TraceLog* t = cpu_->trace()) {
+          t->Record(cpu_->sim()->Now(), TraceKind::kUdpRecv, static_cast<int64_t>(serial),
+                    nbytes);
+        }
         TryCompleteRecv();
         cpu_->Wakeup(RecvChannel());
       });

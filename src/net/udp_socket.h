@@ -89,8 +89,9 @@ class UdpSocket {
   };
 
   // Receive-side entry, called from the link: raises the network interrupt
-  // itself (RunInterrupt), so callable from any context.
-  IKDP_CTX_ANY void Deliver(BufData data, int64_t nbytes);
+  // itself (RunInterrupt), so callable from any context.  `serial` is the
+  // datagram serial minted at SendAsync, for kUdpRecv trace pairing.
+  IKDP_CTX_ANY void Deliver(BufData data, int64_t nbytes, uint64_t serial);
 
   // Completes a pending RecvAsync if there is data (runs at interrupt level
   // on the delivery path, in process context from RecvAsync).

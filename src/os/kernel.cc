@@ -186,6 +186,17 @@ Task<int> Kernel::SpliceError(Process& p, int fd) {
   co_return result;
 }
 
+Task<int> Kernel::SpliceStatus(Process& p, int fd) {
+  co_await SyscallEnter(p, "splice_status");
+  std::shared_ptr<File> f = GetFile(p, fd);
+  int result = -1;
+  if (f != nullptr) {
+    result = f->splice_active ? 1 : 0;
+  }
+  SyscallExit(p, "splice_status");
+  co_return result;
+}
+
 Task<int> Kernel::Dup(Process& p, int fd) {
   co_await SyscallEnter(p, "dup");
   std::shared_ptr<File> f = GetFile(p, fd);
@@ -415,10 +426,16 @@ Task<int64_t> Kernel::Splice(Process& p, int src_fd, int dst_fd, int64_t nbytes)
   if (async) {
     ++stats_.splices_async;
     Process* proc = &p;
+    // Raised before StartEx and dropped before SIGIO posts, so SpliceStatus
+    // can never observe "idle" while the stream is still moving.
+    src->splice_active = true;
+    dst->splice_active = true;
     splice_.StartEx(std::move(source), std::move(sink), splice_options_,
                     [this, proc, on_moved, src, dst](const SpliceCompletion& c) {
                       src->splice_error = c.error;
                       dst->splice_error = c.error;
+                      src->splice_active = false;
+                      dst->splice_active = false;
                       if (on_moved && !c.io_error) {
                         on_moved(c.bytes_moved);
                       }

@@ -122,6 +122,14 @@ class Kernel {
   // stops advancing in both cases.  Returns -1 for a bad descriptor.
   IKDP_CTX_PROCESS Task<int> SpliceError(Process& p, int fd);
 
+  // 1 while an asynchronous splice involving `fd` is still in flight, 0 once
+  // it has completed (or none was ever started), -1 for a bad descriptor.
+  // Socket endpoints have no offset for Tell to poll and splice_error reads
+  // 0 both mid-flight and after clean completion, so FASYNC programs feeding
+  // sockets probe this after each SIGIO.  Costs a full trap per probe, like
+  // Tell.
+  IKDP_CTX_PROCESS Task<int> SpliceStatus(Process& p, int fd);
+
   // --- asynchronous splice ring (see docs/splice_ring.2.md) ---
 
   // Creates a per-process ring; returns its id (> 0) or -errno.

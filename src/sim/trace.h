@@ -22,6 +22,11 @@
 //   kRingOpSubmit -> kRingOpComplete keyed by (ring id, cookie) — cookies
 //                                    must be unique among a ring's in-flight
 //                                    ops for the pairing to be well defined
+//   kUdpSend      -> kUdpSent        keyed by datagram serial (interface
+//                                    occupancy of one datagram)
+//
+// Every record also carries the kspan cursor's span id (src/sim/kspan.h), so
+// the pairs above double as child spans of the request that caused them.
 
 #ifndef SRC_SIM_TRACE_H_
 #define SRC_SIM_TRACE_H_
@@ -33,6 +38,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/sim/kspan.h"
 #include "src/sim/time.h"
 
 namespace ikdp {
@@ -77,6 +83,14 @@ enum class TraceKind : uint8_t {
   kRingReap,       // a = ring id, b = completions posted by this reaper pass
   kRingOverflow,   // a = ring id, b = overflow-staged completions (CQ full)
   kRingCancel,     // a = ring id, b = cookie — queued op cancelled
+  // --- splice teardown ---
+  kSpliceReadAbort, // a = descriptor serial — an outstanding read retracted
+                    //     during teardown; its completion will never arrive
+  // --- UDP ---
+  kUdpSend,  // a = datagram serial, b = nbytes — accepted by the interface
+  kUdpSent,  // a = datagram serial, b = nbytes — left the interface
+             //     (pairs with kUdpSend, keyed by datagram serial)
+  kUdpRecv,  // a = datagram serial, b = nbytes — delivered to the receiver
 };
 
 const char* TraceKindName(TraceKind k);
@@ -87,6 +101,11 @@ struct TraceRecord {
   int64_t a = 0;
   int64_t b = 0;
   const char* tag = "";  // static storage only
+  // The span the machine was working on when the record was written (the
+  // kspan cursor; see src/sim/kspan.h).  0 when untagged.  Stamped
+  // automatically by Record(); the span exporters group records into
+  // per-request trees with it.
+  SpanId span = kNoSpan;
 };
 
 class TraceLog {
@@ -97,7 +116,7 @@ class TraceLog {
   TraceLog& operator=(const TraceLog&) = delete;
 
   void Record(SimTime t, TraceKind kind, int64_t a = 0, int64_t b = 0, const char* tag = "") {
-    TraceRecord rec{t, kind, a, b, tag};
+    TraceRecord rec{t, kind, a, b, tag, CurrentKspan().span};
     if (ring_.size() < capacity_) {
       ring_.push_back(rec);
     } else {
@@ -107,6 +126,9 @@ class TraceLog {
     if (observer_) {
       observer_(rec);
     }
+    for (const auto& obs : extra_observers_) {
+      obs(rec);
+    }
   }
 
   // Optional live tap: invoked with every record as it is written, before
@@ -115,8 +137,20 @@ class TraceLog {
   // touch simulated state.
   void set_observer(std::function<void(const TraceRecord&)> obs) { observer_ = std::move(obs); }
 
+  // Additional taps that coexist with set_observer (the span builder and the
+  // SLO monitor attach here without evicting the telemetry collector).
+  // Observers cannot be removed individually; they live as long as the log.
+  void AddObserver(std::function<void(const TraceRecord&)> obs) {
+    extra_observers_.push_back(std::move(obs));
+  }
+
   // Total records ever written (>= Snapshot().size()).
   uint64_t total() const { return next_; }
+
+  // Records lost to ring-buffer eviction: written, no longer retained.  A
+  // nonzero value means Snapshot() (and any Chrome trace built from it) is
+  // truncated; the telemetry layer surfaces this as trace.dropped_events.
+  uint64_t dropped() const { return next_ - ring_.size(); }
 
   // Records currently retained, oldest first.
   std::vector<TraceRecord> Snapshot() const {
@@ -151,6 +185,7 @@ class TraceLog {
   std::vector<TraceRecord> ring_;
   uint64_t next_ = 0;
   std::function<void(const TraceRecord&)> observer_;
+  std::vector<std::function<void(const TraceRecord&)>> extra_observers_;
 };
 
 }  // namespace ikdp

@@ -31,8 +31,11 @@ void SpliceEngine::Charge(SimDuration d) {
   }
 }
 
-void SpliceEngine::Softclock(std::function<void()> fn) {
-  callouts_->ScheduleHead([this, fn = std::move(fn)] {
+void SpliceEngine::Softclock(SpanId span, std::function<void()> fn) {
+  callouts_->ScheduleHead([this, span, fn = std::move(fn)] {
+    // The scope covers the RunInterrupt call so the raise-time attribution
+    // tag (and the softclock classification) carries the stream's span.
+    KspanScope scope("splice", span);
     cpu_->RunInterrupt(cpu_->costs().softclock_per_callout, fn);
   });
 }
@@ -64,6 +67,13 @@ SpliceDescriptor* SpliceEngine::StartEx(std::unique_ptr<SpliceSource> source,
   ++stats_.splices_started;
   d->serial_ = stats_.splices_started;
   d->started_at_ = cpu_->sim()->Now();
+  // The stream's span: a fresh child of the requester's span (the cursor —
+  // the calling process, a ring op, or nothing) when a collector is
+  // attached; the requester's span itself otherwise.
+  d->span_owned_ = KspanOwned();
+  d->span_ = KspanBegin(cpu_->sim()->Now(), "splice.stream",
+                        static_cast<int64_t>(d->serial_));
+  KspanScope scope("splice", d->span_);
   if (cpu_->trace() != nullptr) {
     cpu_->trace()->Record(cpu_->sim()->Now(), TraceKind::kSpliceStart,
                           static_cast<int64_t>(d->serial_), d->chunks_total_);
@@ -71,7 +81,7 @@ SpliceDescriptor* SpliceEngine::StartEx(std::unique_ptr<SpliceSource> source,
   if (d->chunks_total_ == 0) {
     // Empty transfer: finish immediately (still asynchronously, so callers
     // always see completion after Start returns).
-    Softclock([this, d] { MaybeFinish(d); });
+    Softclock(d->span_, [this, d] { MaybeFinish(d); });
     return d;
   }
   IssueReads(d);
@@ -82,6 +92,7 @@ void SpliceEngine::Cancel(SpliceDescriptor* d) {
   if (d->finished_) {
     return;
   }
+  KspanScope scope("splice", d->span_);
   IKDP_KRACE_WRITE(d, "SpliceDescriptor::counters");
   d->cancelled_ = true;
   // A stream source blocked on its peer (pipe writer gone quiet, socket
@@ -97,10 +108,16 @@ void SpliceEngine::Cancel(SpliceDescriptor* d) {
 
 void SpliceEngine::AbortPendingRead(SpliceDescriptor* d) {
   if (d->pending_reads_ > 0 && d->source_->CancelRead()) {
-    // The dropped read's completion will never run: retract its issue.
+    // The dropped read's completion will never run: retract its issue, and
+    // say so in the trace — the span builder closes the orphaned read
+    // interval off this record instead of leaking an open chunk span.
     IKDP_KRACE_WRITE(d, "SpliceDescriptor::counters");
     --d->pending_reads_;
     --d->reads_issued_;
+    if (cpu_->trace() != nullptr) {
+      cpu_->trace()->Record(cpu_->sim()->Now(), TraceKind::kSpliceReadAbort,
+                            static_cast<int64_t>(d->serial_));
+    }
   }
 }
 
@@ -108,6 +125,10 @@ void SpliceEngine::IssueReads(SpliceDescriptor* d) {
   if (d->cancelled_ || d->eof_) {
     return;
   }
+  // Reads issued under the stream's span: the buffer cache stamps acquired
+  // bufs with the cursor, which is how the span rides into the disk queue
+  // and back out through biodone.
+  KspanScope scope("splice", d->span_);
   // The eof/cancel re-check inside the loop matters: StartRead may complete
   // synchronously (queued datagram, cache hit) and deliver the end-of-stream
   // marker while this loop is still issuing.  The in-flight bound keeps a
@@ -149,6 +170,7 @@ void SpliceEngine::ArmReadRetry(SpliceDescriptor* d) {
   IKDP_KRACE_WRITE(d, "SpliceDescriptor::counters");
   d->read_retry_armed_ = true;
   d->retry_callout_ = callouts_->ScheduleHead([this, d] {
+    KspanScope scope("splice", d->span_);
     cpu_->RunInterrupt(cpu_->costs().softclock_per_callout, [this, d] {
       d->read_retry_armed_ = false;
       d->retry_callout_ = kInvalidCalloutId;
@@ -158,6 +180,7 @@ void SpliceEngine::ArmReadRetry(SpliceDescriptor* d) {
 }
 
 void SpliceEngine::ReadDone(SpliceDescriptor* d, SpliceChunk chunk) {
+  KspanScope scope("splice", d->span_);
   Charge(cpu_->costs().splice_read_handler);
   IKDP_KRACE_WRITE(d, "SpliceDescriptor::counters");
   --d->pending_reads_;
@@ -210,6 +233,7 @@ void SpliceEngine::ArmDrain(SpliceDescriptor* d) {
   IKDP_KRACE_WRITE(d, "SpliceDescriptor::counters");
   d->drain_armed_ = true;
   callouts_->ScheduleHead([this, d] {
+    KspanScope scope("splice", d->span_);
     cpu_->RunInterrupt(cpu_->costs().softclock_per_callout, [this, d] {
       d->drain_armed_ = false;
       DrainWrites(d);
@@ -238,6 +262,7 @@ void SpliceEngine::DrainWrites(SpliceDescriptor* d) {
 }
 
 bool SpliceEngine::StartChunkWrite(SpliceDescriptor* d, SpliceChunk chunk) {
+  KspanScope scope("splice", d->span_);
   Charge(cpu_->costs().splice_write_handler);
   IKDP_KRACE_WRITE(d, "SpliceDescriptor::counters");
   if (d->cancelled_) {
@@ -279,6 +304,7 @@ bool SpliceEngine::StartChunkWrite(SpliceDescriptor* d, SpliceChunk chunk) {
 }
 
 void SpliceEngine::WriteDone(SpliceDescriptor* d, SpliceChunk chunk, bool ok) {
+  KspanScope scope("splice", d->span_);
   Charge(cpu_->costs().splice_wdone_handler);
   IKDP_KRACE_WRITE(d, "SpliceDescriptor::counters");
   --d->pending_writes_;
@@ -327,6 +353,7 @@ void SpliceEngine::MaybeFinish(SpliceDescriptor* d) {
   if (d->finished_) {
     return;
   }
+  KspanScope scope("splice", d->span_);
   const bool no_more_input =
       d->cancelled_ || d->eof_ || (d->chunks_total_ >= 0 && d->reads_issued_ == d->chunks_total_);
   const bool drained = d->reads_issued_ == d->chunks_done_ && d->pending_reads_ == 0 &&
@@ -345,6 +372,11 @@ void SpliceEngine::MaybeFinish(SpliceDescriptor* d) {
   if (cpu_->trace() != nullptr) {
     cpu_->trace()->Record(cpu_->sim()->Now(), TraceKind::kSpliceDone,
                           static_cast<int64_t>(d->serial_), d->bytes_moved_);
+  }
+  // Exactly-once close of a minted stream span: finished_ latches above, so
+  // every teardown path (drain, error, cancel) funnels through here once.
+  if (d->span_owned_) {
+    KspanEnd(cpu_->sim()->Now(), d->span_, d->bytes_moved_, d->io_error_);
   }
   if (d->on_complete_) {
     auto cb = std::move(d->on_complete_);

@@ -39,6 +39,7 @@
 #include "src/kern/cpu.h"
 #include "src/kern/ctx.h"
 #include "src/sim/callout.h"
+#include "src/sim/kspan.h"
 #include "src/sim/trace.h"
 #include "src/splice/endpoint.h"
 
@@ -105,6 +106,11 @@ class SpliceDescriptor {
   bool finished() const { return finished_; }
   // Errno of the first I/O failure on this splice (0 while healthy).
   int error() const { return error_; }
+  // The stream's kspan: a fresh child of the requester's span when a
+  // collector is attached, the requester's span itself otherwise.  Every
+  // handler pushes it, so interrupt/softclock charges and trace records for
+  // this stream attribute to the request that started it.
+  SpanId span() const { return span_; }
 
   struct Stats {
     uint64_t read_retries = 0;   // StartRead refusals
@@ -142,6 +148,10 @@ class SpliceDescriptor {
   bool finished_ IKDP_GUARDED_BY(any) = false;
   bool read_retry_armed_ IKDP_GUARDED_BY(any) = false;
   bool drain_armed_ IKDP_GUARDED_BY(any) = false;
+  // Written once at StartEx, read by every handler context afterwards —
+  // immutable for the descriptor's life, so any context may read it.
+  SpanId span_ IKDP_GUARDED_BY(any) = kNoSpan;
+  bool span_owned_ IKDP_GUARDED_BY(any) = false;  // minted (must End) vs inherited
   SimTime started_at_ = 0;
   CalloutId retry_callout_ = kInvalidCalloutId;
   // Chunks whose reads completed, awaiting the softclock write handler.
@@ -230,8 +240,9 @@ class SpliceEngine {
   // Completes the splice if nothing is left in flight.
   IKDP_CTX_ANY void MaybeFinish(SpliceDescriptor* d);
 
-  // Runs `fn` at the next softclock tick, charged as softclock work.
-  IKDP_CTX_ANY void Softclock(std::function<void()> fn);
+  // Runs `fn` at the next softclock tick, charged as softclock work
+  // attributed to `span`.
+  IKDP_CTX_ANY void Softclock(SpanId span, std::function<void()> fn);
 
   // Charges handler work to the executing interrupt, or accumulates it for
   // TakeSyncCharge when running in process context (e.g. a read handler

@@ -61,6 +61,14 @@ class File {
   // status, so FASYNC callers discover an aborted stream here (the
   // SpliceError syscall); sync callers get the same value alongside -1.
   int splice_error = 0;
+
+  // True while an asynchronous splice involving this file is in flight; set
+  // on both endpoints at submission and cleared at completion, before SIGIO
+  // posts.  splice_error cannot distinguish "still moving" from "finished
+  // clean" (both read 0), and socket endpoints have no offset to poll with
+  // Tell, so FASYNC servers driving socket sinks probe this instead (the
+  // SpliceStatus syscall).
+  bool splice_active = false;
 };
 
 // A regular file on a FileSystem.

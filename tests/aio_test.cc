@@ -17,6 +17,7 @@
 #include "src/metrics/telemetry.h"
 #include "src/metrics/trace_export.h"
 #include "src/os/kernel.h"
+#include "src/sim/kspan.h"
 #include "src/sim/simulator.h"
 
 namespace ikdp {
@@ -396,6 +397,67 @@ TEST_F(AioTest, MidStreamErrorTearsDownLinkedGroupWithOneCqeEach) {
   EXPECT_EQ(c2->error, kAioECanceled);
   EXPECT_LT(c2->result, kBytes);
   EXPECT_EQ(kernel_.splice_engine().active(), 0);
+}
+
+TEST_F(AioTest, LinkedGroupTeardownClosesEverySpanExactlyOnce) {
+  // Span-lifecycle discipline on the nastiest error path: a mid-stream
+  // device error tears down a LINKED group, so one op ends with the device
+  // errno and its sibling ends cancelled.  Both "aio.op" spans (and the
+  // engine's nested "splice.stream" spans) must close exactly once — an
+  // error path that leaks an open span corrupts every per-request view
+  // downstream.
+  constexpr int64_t kBytes = 32 * kBlockSize;
+  fs_scsia_->CreateFileInstant("src", kBytes, Fill);
+  scsia_.disk().SetFaultHook([](int64_t offset, bool is_read) {
+    return is_read && offset == (16 + 9) * kBlockSize;
+  });
+  KspanCollector spans;
+  AttachKspan(&spans);
+  std::vector<SpliceCqe> cqes(4);
+  int harvested = -1;
+  Run([&](Process& p) -> Task<> {
+    const int ring = co_await kernel_.RingSetup(p, RingConfig{});
+    const int src = co_await kernel_.Open(p, "scsia:src", kOpenRead);
+    const int dst = co_await kernel_.Open(p, "ramb:dst", kOpenWrite | kOpenCreate);
+    int pr = -1;
+    int pw = -1;
+    EXPECT_EQ(co_await kernel_.CreatePipe(p, &pr, &pw), 0);
+    SpliceSqe s1;
+    s1.src_fd = src;
+    s1.dst_fd = pw;
+    s1.nbytes = kBytes;
+    s1.flags = kSqeLinked;
+    s1.cookie = 1;
+    SpliceSqe s2;
+    s2.src_fd = pr;
+    s2.dst_fd = dst;
+    s2.nbytes = kBytes;
+    s2.cookie = 2;
+    kernel_.RingPrepare(p, ring, s1);
+    kernel_.RingPrepare(p, ring, s2);
+    EXPECT_EQ(co_await kernel_.RingEnter(p, ring, 2, 2), 2);
+    harvested = kernel_.RingHarvest(p, ring, cqes.data(), 4);
+  });
+  AttachKspan(nullptr);
+  ASSERT_EQ(harvested, 2);
+
+  std::string err;
+  EXPECT_TRUE(spans.CheckBalanced(&err)) << err;
+  EXPECT_EQ(spans.bad_ends(), 0u);
+
+  // One "aio.op" span per SQE, closed with the op's fate: the errored op
+  // and the cancelled sibling both carry error=true.
+  int ops = 0;
+  int op_errors = 0;
+  for (const SpanRecord& s : spans.spans()) {
+    if (std::string(s.name) == "aio.op") {
+      ++ops;
+      EXPECT_FALSE(s.open());
+      op_errors += s.error ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(ops, 2);
+  EXPECT_EQ(op_errors, 2);
 }
 
 TEST_F(AioTest, CqOverflowStagesAndRecoversOnHarvest) {

@@ -1,0 +1,166 @@
+// Tests for the kspan layer (src/sim/kspan.h): cursor push/pop discipline,
+// collector span lifecycle (begin/end exactly once, bad-end accounting,
+// balance checking), the attached/detached split of KspanBegin, and parent
+// chains (RootOf).
+//
+// Every test that attaches a collector detaches it before returning: the
+// collector pointer is process-global and a leaked attachment would bleed
+// span state into unrelated tests.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/sim/kspan.h"
+
+namespace ikdp {
+namespace {
+
+// RAII attachment so an ASSERT mid-test cannot leak the global pointer.
+class Attached {
+ public:
+  explicit Attached(KspanCollector* c) { AttachKspan(c); }
+  ~Attached() { AttachKspan(nullptr); }
+};
+
+TEST(KspanCursor, DefaultsToUntaggedNoSpan) {
+  const KspanCursor& cur = CurrentKspan();
+  EXPECT_STREQ(cur.subsystem, "");
+  EXPECT_EQ(cur.span, kNoSpan);
+}
+
+TEST(KspanCursor, ScopeNestsAndRestoresLifo) {
+  {
+    KspanScope outer("splice", 7);
+    EXPECT_STREQ(CurrentKspan().subsystem, "splice");
+    EXPECT_EQ(CurrentKspan().span, 7u);
+    {
+      KspanScope inner("disk", 9);
+      EXPECT_STREQ(CurrentKspan().subsystem, "disk");
+      EXPECT_EQ(CurrentKspan().span, 9u);
+    }
+    EXPECT_STREQ(CurrentKspan().subsystem, "splice");
+    EXPECT_EQ(CurrentKspan().span, 7u);
+  }
+  EXPECT_STREQ(CurrentKspan().subsystem, "");
+  EXPECT_EQ(CurrentKspan().span, kNoSpan);
+}
+
+TEST(KspanCursor, SetSpanRewritesInPlaceButScopeStillRestores) {
+  {
+    KspanScope scope("process", 3);
+    KspanCursorSetSpan(11);
+    EXPECT_EQ(CurrentKspan().span, 11u);
+    // The subsystem tag is untouched: SetSpan relabels the work, not the
+    // layer doing it.
+    EXPECT_STREQ(CurrentKspan().subsystem, "process");
+  }
+  EXPECT_EQ(CurrentKspan().span, kNoSpan);
+}
+
+TEST(KspanCollector, MintsEndsAndBalances) {
+  KspanCollector c;
+  const SpanId root = c.Begin(100, "request", kNoSpan, /*arg=*/42);
+  const SpanId child = c.Begin(110, "splice.stream", root);
+  EXPECT_NE(root, kNoSpan);
+  EXPECT_NE(child, kNoSpan);
+  EXPECT_NE(root, child);
+  EXPECT_TRUE(c.Known(root));
+  EXPECT_TRUE(c.IsOpen(root));
+  EXPECT_EQ(c.begun(), 2u);
+  EXPECT_EQ(c.open_count(), 2u);
+
+  std::string err;
+  EXPECT_FALSE(c.CheckBalanced(&err)) << "open spans must fail the balance check";
+  EXPECT_NE(err.find("request"), std::string::npos) << err;
+
+  c.End(200, child, /*result=*/4096);
+  c.End(250, root, /*result=*/4096);
+  EXPECT_FALSE(c.IsOpen(root));
+  EXPECT_EQ(c.ended(), 2u);
+  EXPECT_EQ(c.open_count(), 0u);
+  EXPECT_TRUE(c.CheckBalanced(&err)) << err;
+
+  const SpanRecord* r = c.Find(root);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->start, 100);
+  EXPECT_EQ(r->end, 250);
+  EXPECT_EQ(r->a, 42);
+  EXPECT_EQ(r->result, 4096);
+  EXPECT_FALSE(r->error);
+}
+
+TEST(KspanCollector, DoubleEndAndUnknownEndAreBadEnds) {
+  KspanCollector c;
+  const SpanId s = c.Begin(0, "op", kNoSpan);
+  c.End(10, s);
+  c.End(20, s);          // double end
+  c.End(30, s + 1000);   // never minted
+  EXPECT_EQ(c.bad_ends(), 2u);
+  std::string err;
+  EXPECT_FALSE(c.CheckBalanced(&err)) << "bad ends must fail the balance check";
+}
+
+TEST(KspanCollector, ErrorEndIsRecordedOnTheSpan) {
+  KspanCollector c;
+  const SpanId s = c.Begin(0, "op", kNoSpan);
+  c.End(10, s, /*result=*/-5, /*error=*/true);
+  const SpanRecord* r = c.Find(s);
+  ASSERT_NE(r, nullptr);
+  EXPECT_TRUE(r->error);
+  EXPECT_EQ(r->result, -5);
+}
+
+TEST(KspanCollector, RootOfWalksParentChain) {
+  KspanCollector c;
+  const SpanId root = c.Begin(0, "request", kNoSpan);
+  const SpanId mid = c.Begin(1, "splice.stream", root);
+  const SpanId leaf = c.Begin(2, "aio.op", mid);
+  EXPECT_EQ(c.RootOf(leaf), root);
+  EXPECT_EQ(c.RootOf(mid), root);
+  EXPECT_EQ(c.RootOf(root), root);
+  // An id the collector never minted is its own root (orphan).
+  EXPECT_EQ(c.RootOf(9999), 9999u);
+}
+
+TEST(KspanGlobal, DetachedBeginInheritsTheCursor) {
+  ASSERT_EQ(Kspan(), nullptr);
+  {
+    KspanScope scope("splice", 55);
+    // No collector: no mint, the work inherits its requester's identity.
+    EXPECT_EQ(KspanBegin(10, "splice.stream"), 55u);
+    EXPECT_FALSE(KspanOwned());
+    // Ending an inherited id with no collector is a no-op, not a crash.
+    KspanEnd(20, 55);
+  }
+  EXPECT_EQ(KspanBegin(30, "splice.stream"), kNoSpan);
+}
+
+TEST(KspanGlobal, AttachedBeginMintsChildOfTheCursor) {
+  KspanCollector c;
+  Attached attach(&c);
+  EXPECT_TRUE(KspanOwned());
+
+  // Cursor at default -> root span.
+  const SpanId root = KspanBegin(0, "server.request", /*arg=*/7);
+  ASSERT_NE(root, kNoSpan);
+  EXPECT_EQ(c.Find(root)->parent, kNoSpan);
+
+  // Cursor carrying the root -> child span.
+  SpanId child = kNoSpan;
+  {
+    KspanScope scope("splice", root);
+    child = KspanBegin(5, "splice.stream");
+  }
+  ASSERT_NE(child, kNoSpan);
+  EXPECT_EQ(c.Find(child)->parent, root);
+  EXPECT_EQ(c.RootOf(child), root);
+
+  KspanEnd(8, child, /*result=*/128);
+  KspanEnd(9, root, /*result=*/128);
+  std::string err;
+  EXPECT_TRUE(c.CheckBalanced(&err)) << err;
+}
+
+}  // namespace
+}  // namespace ikdp

@@ -137,6 +137,35 @@ TEST_F(OsTest, FcntlSetsAndClearsFasync) {
   });
 }
 
+TEST_F(OsTest, SpliceStatusTracksAsyncSpliceInFlight) {
+  // splice_status is the FASYNC completion probe for offset-less endpoints:
+  // 1 while an async splice involving the fd is in flight, 0 once it
+  // finished (cleared before SIGIO posts, so a handler can trust a 0), -1
+  // on a bad fd.
+  fs_->CreateFileInstant("src", 8 * kBlockSize, Fill);
+  int sigio = 0;
+  Run([&](Process& p) -> Task<> {
+    kernel_.Sigaction(p, kSigIo, [&] { ++sigio; });
+    const int src = co_await kernel_.Open(p, "fs:src", kOpenRead);
+    const int dst = co_await kernel_.Open(p, "fs:dst", kOpenWrite | kOpenCreate);
+    EXPECT_EQ(co_await kernel_.SpliceStatus(p, 99), -1);
+    EXPECT_EQ(co_await kernel_.SpliceStatus(p, src), 0);
+
+    EXPECT_EQ(co_await kernel_.Fcntl(p, dst, true), 0);  // FASYNC -> async splice
+    EXPECT_EQ(co_await kernel_.Splice(p, src, dst, 8 * kBlockSize), 0);
+    // Both endpoints report in-flight while the stream moves.
+    EXPECT_EQ(co_await kernel_.SpliceStatus(p, src), 1);
+    EXPECT_EQ(co_await kernel_.SpliceStatus(p, dst), 1);
+
+    co_await kernel_.Pause(p);  // SIGIO announces completion
+    EXPECT_EQ(sigio, 1);
+    EXPECT_EQ(co_await kernel_.SpliceStatus(p, src), 0);
+    EXPECT_EQ(co_await kernel_.SpliceStatus(p, dst), 0);
+    EXPECT_EQ(co_await kernel_.SpliceError(p, dst), 0);
+    EXPECT_EQ(co_await kernel_.Tell(p, dst), 8 * kBlockSize);
+  });
+}
+
 TEST_F(OsTest, PauseWaitsForSignalAndRunsHandler) {
   Process* proc = nullptr;
   SimTime woke = -1;

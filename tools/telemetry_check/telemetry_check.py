@@ -1,0 +1,234 @@
+#!/usr/bin/env python3
+"""telemetry_check: schema and invariant validation for ikdp bench artifacts.
+
+Validates the JSON documents the benches emit for CI upload, beyond "it
+parses" (python3 -m json.tool): field presence, types, and the cross-field
+invariants each schema promises.  Dispatches on the top-level "schema" field:
+
+  ikdp.telemetry.v1     ExportRegistryJson output (trace_table2, bench_aio_ring):
+                        counters are integers, histograms carry the full
+                        quantile block with count/sum/min/max consistency.
+                        The EXTENDED document's optional span sections are
+                        validated when present: the "spans" census must
+                        balance (ended == begun, open == 0, bad_ends == 0,
+                        by_name sums to begun) and every "attribution" entry
+                        must name a known charge bucket with non-negative
+                        nanoseconds.
+
+  ikdp.server_bench.v1  bench_splice_server output (BENCH_server.json): one
+                        row per submit mode, ordered percentiles, positive
+                        goodput on completed work, and the three hard gates
+                        every row must report true — spans_balanced,
+                        closure_ok, overhead_zero.
+
+Exit status: 0 when every file validates, 1 on any finding, 2 on usage
+errors.  --json prints findings as a JSON list for tooling.
+
+Run from anywhere:  python3 tools/telemetry_check/telemetry_check.py FILE...
+"""
+
+import argparse
+import json
+import sys
+
+CHARGE_BUCKETS = {"process", "switch", "interrupt", "softclock"}
+SERVER_MODES = {"sync", "fasync", "ring"}
+
+SERVER_ROW_INTS = [
+    "completed", "errored", "bytes", "p50_ns", "p99_ns", "p999_ns", "max_ns",
+    "stall_flags", "server_traps", "sigio_handled", "spans",
+]
+SERVER_ROW_BOOLS = ["spans_balanced", "closure_ok", "overhead_zero"]
+SERVER_TOP_INTS = ["clients", "objects", "object_kb", "requests", "seed"]
+
+HISTOGRAM_FIELDS = ["count", "sum", "min", "max", "p50", "p90", "p99"]
+
+
+class Findings:
+    def __init__(self):
+        self.items = []
+
+    def err(self, path, what):
+        self.items.append({"file": path, "finding": what})
+
+
+def is_int(v):
+    # bool is an int subclass in python; a histogram count of `true` is a bug.
+    return isinstance(v, int) and not isinstance(v, bool)
+
+
+def is_num(v):
+    return is_int(v) or isinstance(v, float)
+
+
+def check_telemetry(path, doc, out):
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        out.err(path, "missing or non-object 'counters'")
+    else:
+        for name, v in counters.items():
+            if not is_int(v):
+                out.err(path, "counter %r is not an integer" % name)
+
+    histograms = doc.get("histograms")
+    if not isinstance(histograms, dict):
+        out.err(path, "missing or non-object 'histograms'")
+    else:
+        for name, h in histograms.items():
+            if not isinstance(h, dict):
+                out.err(path, "histogram %r is not an object" % name)
+                continue
+            for f in HISTOGRAM_FIELDS:
+                if not is_num(h.get(f)):
+                    out.err(path, "histogram %r missing numeric %r" % (name, f))
+            if not all(is_num(h.get(f)) for f in HISTOGRAM_FIELDS):
+                continue
+            if h["count"] < 0 or h["sum"] < 0:
+                out.err(path, "histogram %r has negative count/sum" % name)
+            if h["count"] > 0 and not h["min"] <= h["p50"] <= h["p90"] <= h["p99"]:
+                out.err(path, "histogram %r quantiles not ordered" % name)
+            if h["count"] > 0 and h["max"] > h["sum"]:
+                out.err(path, "histogram %r max exceeds sum" % name)
+
+    # Optional extended sections (span census + attribution mirror).
+    spans = doc.get("spans")
+    if spans is not None:
+        for f in ["begun", "ended", "bad_ends", "open"]:
+            if not is_int(spans.get(f)):
+                out.err(path, "spans section missing integer %r" % f)
+                return
+        if spans["bad_ends"] != 0:
+            out.err(path, "spans.bad_ends = %d (lifecycle bug)" % spans["bad_ends"])
+        if spans["ended"] != spans["begun"] or spans["open"] != 0:
+            out.err(path, "span census unbalanced: begun=%d ended=%d open=%d"
+                    % (spans["begun"], spans["ended"], spans["open"]))
+        by_name = spans.get("by_name")
+        if not isinstance(by_name, dict):
+            out.err(path, "spans.by_name missing or not an object")
+        elif sum(by_name.values()) != spans["begun"]:
+            out.err(path, "spans.by_name sums to %d, begun is %d"
+                    % (sum(by_name.values()), spans["begun"]))
+
+    attribution = doc.get("attribution")
+    if attribution is not None:
+        if not isinstance(attribution, list) or not attribution:
+            out.err(path, "'attribution' present but not a non-empty list")
+            return
+        for i, row in enumerate(attribution):
+            where = "attribution[%d]" % i
+            if not isinstance(row, dict):
+                out.err(path, where + " is not an object")
+                continue
+            if row.get("bucket") not in CHARGE_BUCKETS:
+                out.err(path, where + " has unknown bucket %r" % row.get("bucket"))
+            if not isinstance(row.get("subsystem"), str) or not row["subsystem"]:
+                out.err(path, where + " missing subsystem")
+            if not is_int(row.get("span")) or row["span"] < 0:
+                out.err(path, where + " span is not a non-negative integer")
+            if not is_int(row.get("ns")) or row["ns"] < 0:
+                out.err(path, where + " ns is not a non-negative integer")
+
+
+def check_server_bench(path, doc, out):
+    for f in SERVER_TOP_INTS:
+        if not is_int(doc.get(f)):
+            out.err(path, "missing integer top-level field %r" % f)
+    for f in ["offered_rps", "zipf_s"]:
+        if not is_num(doc.get(f)):
+            out.err(path, "missing numeric top-level field %r" % f)
+    if doc.get("grid") not in ("small", "full"):
+        out.err(path, "grid must be 'small' or 'full', got %r" % doc.get("grid"))
+
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        out.err(path, "missing or empty 'rows'")
+        return
+    seen_modes = set()
+    for row in rows:
+        mode = row.get("mode")
+        if mode not in SERVER_MODES:
+            out.err(path, "row has unknown mode %r" % mode)
+            continue
+        if mode in seen_modes:
+            out.err(path, "duplicate row for mode %r" % mode)
+        seen_modes.add(mode)
+        where = "row %s" % mode
+        ok = True
+        for f in SERVER_ROW_INTS:
+            if not is_int(row.get(f)):
+                out.err(path, "%s: missing integer %r" % (where, f))
+                ok = False
+        for f in SERVER_ROW_BOOLS:
+            if not isinstance(row.get(f), bool):
+                out.err(path, "%s: missing boolean %r" % (where, f))
+                ok = False
+        if not is_num(row.get("elapsed_s")) or not is_num(row.get("goodput_bps")):
+            out.err(path, "%s: missing numeric elapsed_s/goodput_bps" % where)
+            ok = False
+        if not ok:
+            continue
+        if row["completed"] + row["errored"] != doc.get("requests"):
+            out.err(path, "%s: completed+errored != requests" % where)
+        if not row["p50_ns"] <= row["p99_ns"] <= row["p999_ns"] <= row["max_ns"]:
+            out.err(path, "%s: percentiles not ordered" % where)
+        if row["completed"] > 0 and (row["p50_ns"] <= 0 or row["goodput_bps"] <= 0):
+            out.err(path, "%s: completed work with non-positive p50/goodput" % where)
+        # The hard gates: a published row may never carry a failed one.
+        for f in SERVER_ROW_BOOLS:
+            if row[f] is not True:
+                out.err(path, "%s: hard gate %r is false" % (where, f))
+        if row["spans"] <= 0:
+            out.err(path, "%s: no spans recorded" % where)
+    missing = SERVER_MODES - seen_modes
+    if missing:
+        out.err(path, "missing rows for mode(s): %s" % ", ".join(sorted(missing)))
+
+
+CHECKERS = {
+    "ikdp.telemetry.v1": check_telemetry,
+    "ikdp.server_bench.v1": check_server_bench,
+}
+
+
+def check_file(path, out):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        out.err(path, "unreadable or invalid JSON: %s" % e)
+        return
+    if not isinstance(doc, dict):
+        out.err(path, "top level is not an object")
+        return
+    schema = doc.get("schema")
+    checker = CHECKERS.get(schema)
+    if checker is None:
+        out.err(path, "unknown schema %r (known: %s)"
+                % (schema, ", ".join(sorted(CHECKERS))))
+        return
+    checker(path, doc, out)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", help="JSON artifacts to validate")
+    parser.add_argument("--json", action="store_true",
+                        help="print findings as a JSON list")
+    args = parser.parse_args(argv)
+
+    out = Findings()
+    for path in args.files:
+        check_file(path, out)
+
+    if args.json:
+        print(json.dumps(out.items, indent=2))
+    else:
+        for item in out.items:
+            print("%s: %s" % (item["file"], item["finding"]))
+        print("telemetry_check: %d file(s), %d finding(s)"
+              % (len(args.files), len(out.items)), file=sys.stderr)
+    return 1 if out.items else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Self-test for telemetry_check: seeded-violation documents must be
+rejected with the right finding, clean documents must pass, and the real
+artifacts (when the benches have run in the working tree) must validate.
+
+Run from the repo root (ctest does):
+    python3 tools/telemetry_check/test_telemetry_check.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+CHECK = os.path.join(HERE, "telemetry_check.py")
+REPO = os.path.dirname(os.path.dirname(HERE))
+
+
+def run_check(*paths):
+    proc = subprocess.run(
+        [sys.executable, CHECK, "--json"] + list(paths),
+        capture_output=True, text=True, cwd=REPO)
+    if proc.returncode == 2:
+        raise RuntimeError("usage error: %s" % proc.stderr)
+    return proc.returncode, json.loads(proc.stdout)
+
+
+def clean_telemetry():
+    return {
+        "schema": "ikdp.telemetry.v1",
+        "counters": {"cpu.switches": 10, "trace.dropped_events": 0},
+        "histograms": {
+            "disk.service_time.RZ56": {
+                "count": 4, "sum": 4000, "min": 500, "max": 1500,
+                "p50": 1000, "p90": 1400, "p99": 1500,
+            },
+        },
+        "spans": {
+            "begun": 3, "ended": 3, "bad_ends": 0, "open": 0,
+            "by_name": {"request": 1, "splice.stream": 2},
+        },
+        "attribution": [
+            {"bucket": "process", "subsystem": "process", "span": 1, "ns": 100},
+            {"bucket": "interrupt", "subsystem": "disk", "span": 2, "ns": 50},
+        ],
+    }
+
+
+def clean_server_row(mode):
+    return {
+        "mode": mode, "completed": 190, "errored": 10, "bytes": 190000,
+        "elapsed_s": 1.5, "p50_ns": 1000, "p99_ns": 2000, "p999_ns": 3000,
+        "max_ns": 4000, "goodput_bps": 126666.0, "stall_flags": 0,
+        "server_traps": 400, "sigio_handled": 20, "spans": 380,
+        "spans_balanced": True, "closure_ok": True, "overhead_zero": True,
+    }
+
+
+def clean_server_bench():
+    return {
+        "schema": "ikdp.server_bench.v1", "grid": "small", "clients": 64,
+        "objects": 16, "object_kb": 16, "requests": 200, "offered_rps": 400.0,
+        "zipf_s": 1.0, "seed": 42,
+        "rows": [clean_server_row(m) for m in ("sync", "fasync", "ring")],
+    }
+
+
+class TelemetryCheckTest(unittest.TestCase):
+    def check_doc(self, doc):
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".json", delete=False) as f:
+            json.dump(doc, f)
+            path = f.name
+        try:
+            return run_check(path)
+        finally:
+            os.unlink(path)
+
+    def assert_finding(self, doc, needle):
+        rc, findings = self.check_doc(doc)
+        self.assertEqual(rc, 1, "expected a finding for %r" % needle)
+        self.assertTrue(any(needle in f["finding"] for f in findings),
+                        "no finding matching %r in %r" % (needle, findings))
+
+    def test_clean_telemetry_passes(self):
+        rc, findings = self.check_doc(clean_telemetry())
+        self.assertEqual(findings, [])
+        self.assertEqual(rc, 0)
+
+    def test_clean_server_bench_passes(self):
+        rc, findings = self.check_doc(clean_server_bench())
+        self.assertEqual(findings, [])
+        self.assertEqual(rc, 0)
+
+    def test_unknown_schema_rejected(self):
+        self.assert_finding({"schema": "nope.v9"}, "unknown schema")
+
+    def test_invalid_json_rejected(self):
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".json", delete=False) as f:
+            f.write("{not json")
+            path = f.name
+        try:
+            rc, findings = run_check(path)
+        finally:
+            os.unlink(path)
+        self.assertEqual(rc, 1)
+        self.assertIn("invalid JSON", findings[0]["finding"])
+
+    def test_span_census_imbalance_rejected(self):
+        doc = clean_telemetry()
+        doc["spans"]["ended"] = 2
+        doc["spans"]["open"] = 1
+        self.assert_finding(doc, "span census unbalanced")
+
+    def test_bad_ends_rejected(self):
+        doc = clean_telemetry()
+        doc["spans"]["bad_ends"] = 1
+        self.assert_finding(doc, "bad_ends")
+
+    def test_by_name_sum_mismatch_rejected(self):
+        doc = clean_telemetry()
+        doc["spans"]["by_name"]["request"] = 2
+        self.assert_finding(doc, "by_name sums")
+
+    def test_unknown_bucket_rejected(self):
+        doc = clean_telemetry()
+        doc["attribution"][0]["bucket"] = "dma"
+        self.assert_finding(doc, "unknown bucket")
+
+    def test_boolean_counter_rejected(self):
+        doc = clean_telemetry()
+        doc["counters"]["cpu.switches"] = True
+        self.assert_finding(doc, "not an integer")
+
+    def test_unordered_quantiles_rejected(self):
+        doc = clean_telemetry()
+        doc["histograms"]["disk.service_time.RZ56"]["p90"] = 10
+        self.assert_finding(doc, "quantiles not ordered")
+
+    def test_missing_mode_row_rejected(self):
+        doc = clean_server_bench()
+        doc["rows"] = doc["rows"][:2]
+        self.assert_finding(doc, "missing rows for mode")
+
+    def test_failed_hard_gate_rejected(self):
+        for gate in ("spans_balanced", "closure_ok", "overhead_zero"):
+            doc = clean_server_bench()
+            doc["rows"][1][gate] = False
+            self.assert_finding(doc, "hard gate %r is false" % gate)
+
+    def test_unordered_percentiles_rejected(self):
+        doc = clean_server_bench()
+        doc["rows"][0]["p99_ns"] = 10
+        self.assert_finding(doc, "percentiles not ordered")
+
+    def test_request_accounting_rejected(self):
+        doc = clean_server_bench()
+        doc["rows"][2]["completed"] = 150
+        self.assert_finding(doc, "completed+errored != requests")
+
+    def test_real_artifacts_validate_when_present(self):
+        paths = [os.path.join(REPO, p)
+                 for p in ("BENCH_server.json", "BENCH_telemetry.json")]
+        present = [p for p in paths if os.path.exists(p)]
+        if not present:
+            self.skipTest("benches have not run in this tree")
+        rc, findings = run_check(*present)
+        self.assertEqual(findings, [])
+        self.assertEqual(rc, 0)
+
+
+if __name__ == "__main__":
+    unittest.main()
