@@ -154,6 +154,9 @@ void SpliceRing::OnEngineComplete(Op* op, const SpliceCompletion& c) {
       c.io_error ? (c.error != 0 ? c.error : kAioEIo) : (c.cancelled ? kAioECanceled : 0);
   const int group = op->group;
   op->finished_at = c.finished_at;
+  op->kop_active = c.kop_active;
+  op->kop_checksum = c.kop_checksum;
+  op->kop_dropped = c.kop_dropped;
   Retire(op, c.bytes_moved, error);
   // An I/O error tears down the rest of the pipeline group — a downstream
   // stage would otherwise wait forever for bytes that will never arrive.
@@ -291,6 +294,16 @@ void SpliceRing::Reap() {
     cqe.result = op->result;
     cqe.error = op->error;
     cqe.latency = op->finished_at - op->submitted_at;
+    cqe.kop_active = op->kop_active;
+    cqe.kop_checksum = op->kop_checksum;
+    cqe.kop_dropped = op->kop_dropped;
+    if (op->kop_active) {
+      // Publishing an operator's results (checksum, drop count) into the CQE
+      // is operator work: charge the fixed finalization cost here so it lands
+      // in the kop softclock bucket, per op, under the op's span.
+      KspanScope scope("kop", op->span);
+      cpu_->ChargeKop(cpu_->costs().kop_stage_overhead);
+    }
     IKDP_KRACE_WRITE(this, "SpliceRing::cq_");
     if (static_cast<int>(cq_.size()) < config_.cq_entries) {
       cq_.push_back(cqe);

@@ -73,6 +73,11 @@ struct SpliceSqe {
   int64_t nbytes = 0;   // kSpliceEof for until-end-of-stream
   uint32_t flags = 0;   // kSqeLinked
   uint64_t cookie = 0;  // echoed in the CQE; keep unique among in-flight ops
+  // Operator program to run on every chunk of this splice (a kop_load(2)
+  // id; 0 = none).  The syscall layer resolves the id and refuses programs
+  // that cannot ride a single-sink op (route stages) or would drop bytes
+  // into a seekable sink (filters writing a regular file).
+  int kop_id = 0;
 };
 
 // A completion-queue entry.
@@ -85,6 +90,11 @@ struct SpliceCqe {
   // syscall layers.
   int error = 0;
   SimDuration latency = 0;  // admission -> completion
+  // Operator results (meaningful only when the SQE carried a kop_id):
+  // running checksum over the stream and chunks filtered in-kernel.
+  bool kop_active = false;
+  uint64_t kop_checksum = 0;
+  int64_t kop_dropped = 0;
 };
 
 struct RingConfig {
@@ -207,6 +217,11 @@ class SpliceRing {
     int64_t result = 0;
     int error = 0;
     SimTime finished_at = 0;
+    // Operator results captured from the engine completion (kop_active is
+    // set from the options at retire so validation-failed ops report false).
+    bool kop_active = false;
+    uint64_t kop_checksum = 0;
+    int64_t kop_dropped = 0;
   };
 
   // Starts queued groups FIFO while the in-flight cap has room for a whole

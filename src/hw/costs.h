@@ -87,6 +87,16 @@ struct CostConfig {
   // cached-read rate.
   double checksum_bandwidth_bps = 21e6;
 
+  // --- in-kernel splice operators (src/kop) ---
+
+  // Fixed dispatch cost per operator stage per chunk: fetch the stage
+  // descriptor, window bounds re-check, outcome bookkeeping.
+  SimDuration kop_stage_overhead = Microseconds(5);
+
+  // Byte-scan rate for filter stages (single cached read pass over the
+  // window, same memory system as the checksum path).
+  double kop_scan_bandwidth_bps = 21e6;
+
   // --- scheduling ---
 
   // Round-robin quantum.  4.3BSD rescheduled every 0.1 s (roundrobin()).
@@ -121,6 +131,11 @@ struct CostConfig {
   // Full protocol-processing cost for one datagram of `bytes`.
   SimDuration UdpPacketTime(int64_t bytes) const {
     return net_proto_packet + ChecksumTime(bytes);
+  }
+
+  // Time for an operator filter stage to scan `bytes`.
+  SimDuration KopScanTime(int64_t bytes) const {
+    return TransferTime(bytes, kop_scan_bandwidth_bps);
   }
 };
 

@@ -51,20 +51,27 @@ void CpuSystem::SetSpan(Process& p, SpanId span) {
 }
 
 bool CpuSystem::CheckAttributionClosure(std::string* err) const {
-  SimDuration sums[4] = {0, 0, 0, 0};
+  SimDuration sums[kNumChargeBuckets] = {};
   for (const auto& [key, t] : attribution_) {
     sums[static_cast<int>(key.bucket)] += t;
   }
+  // Operator buckets are refinements, not new ledger totals: kKopProcess
+  // work was granted through Use machinery (process_work), kKopInterrupt /
+  // kKopSoftclock through the interrupt engine (interrupt_work).
+  const SimDuration process_sum = sums[static_cast<int>(ChargeBucket::kProcess)] +
+                                  sums[static_cast<int>(ChargeBucket::kKopProcess)];
   const SimDuration interrupt_sum =
       sums[static_cast<int>(ChargeBucket::kInterrupt)] +
-      sums[static_cast<int>(ChargeBucket::kSoftclock)];
+      sums[static_cast<int>(ChargeBucket::kSoftclock)] +
+      sums[static_cast<int>(ChargeBucket::kKopInterrupt)] +
+      sums[static_cast<int>(ChargeBucket::kKopSoftclock)];
   struct Check {
     const char* what;
     SimDuration attributed;
     SimDuration ledger;
   };
   const Check checks[] = {
-      {"process_work", sums[static_cast<int>(ChargeBucket::kProcess)], stats_.process_work},
+      {"process_work", process_sum, stats_.process_work},
       {"context_switch", sums[static_cast<int>(ChargeBucket::kSwitch)], stats_.context_switch},
       {"interrupt_work", interrupt_sum, stats_.interrupt_work},
   };
@@ -135,9 +142,14 @@ void CpuSystem::DecayTick() {
 void CpuSystem::AccountUsage(Process* p, SimDuration work) {
   IKDP_KRACE_COMMUTE(this, "CpuSystem::stats_");
   stats_.process_work += work;
-  // The coroutine is suspended for the whole burst, so span_ is frozen at
-  // the value the process carried when the burst began.
-  Attribute(ChargeBucket::kProcess, "process", p->span_, work);
+  // The coroutine is suspended for the whole burst, so span_ (and the
+  // kop_charge_ flag set at Use entry) is frozen at the value the process
+  // carried when the burst began.
+  if (p->kop_charge_) {
+    Attribute(ChargeBucket::kKopProcess, "kop", p->span_, work);
+  } else {
+    Attribute(ChargeBucket::kProcess, "process", p->span_, work);
+  }
   p->stats_.cpu_time += work;
   if (costs_.priority_decay) {
     p->p_cpu_ += ToSeconds(work);
@@ -267,12 +279,21 @@ void CpuSystem::Activate(Process* p) {
 }
 
 SuspendAndCall CpuSystem::Use(Process& p, SimDuration t) {
+  return UseImpl(p, t, /*kop=*/false);
+}
+
+SuspendAndCall CpuSystem::UseKop(Process& p, SimDuration t) {
+  return UseImpl(p, t, /*kop=*/true);
+}
+
+SuspendAndCall CpuSystem::UseImpl(Process& p, SimDuration t, bool kop) {
   AssertCanBlock("CpuSystem::Use");
   assert(t >= 0);
-  return SuspendAndCall([this, &p, t](std::coroutine_handle<> h) {
+  return SuspendAndCall([this, &p, t, kop](std::coroutine_handle<> h) {
     assert(current_ == &p && "Use() called by a non-running process");
     p.resume_point_ = h;
     p.work_remaining_ = t;
+    p.kop_charge_ = kop;
     // A stronger-priority process may have become runnable while this one
     // was executing, or the quantum may have been used up with equal-priority
     // peers waiting; yield at this kernel entry point.
@@ -415,6 +436,22 @@ void CpuSystem::ChargeInterrupt(SimDuration t) {
   // lands on the span that caused it.
   const KspanCursor& cur = CurrentKspan();
   Attribute(intr_bucket_, cur.subsystem, cur.span, t);
+}
+
+void CpuSystem::ChargeKop(SimDuration t) {
+  AssertInterruptLevel("CpuSystem::ChargeKop");
+  assert(in_interrupt_ && "ChargeKop outside an interrupt body");
+  assert(t >= 0);
+  IKDP_KRACE_WRITE(this, "CpuSystem::intr_charge_");
+  intr_charge_ += t;
+  // Same ledger total as ChargeInterrupt (the time still steals cycles from
+  // the running burst and extends intr_busy_until_); only the attribution
+  // bucket is finer, matching the context executing the operator.
+  const ChargeBucket bucket = intr_bucket_ == ChargeBucket::kSoftclock
+                                  ? ChargeBucket::kKopSoftclock
+                                  : ChargeBucket::kKopInterrupt;
+  const KspanCursor& cur = CurrentKspan();
+  Attribute(bucket, "kop", cur.span, t);
 }
 
 void CpuSystem::DrainInterrupts() {

@@ -76,6 +76,12 @@ class CpuSystem {
   // still trigger a preemption check.
   IKDP_CTX_PROCESS SuspendAndCall Use(Process& p, SimDuration t);
 
+  // Same machinery as Use(), but the work is in-kernel operator execution
+  // (src/kop) performed on behalf of `p`: identical scheduling and ledger
+  // totals, attributed to the kKopProcess bucket so the availability tables
+  // can show what in-kernel computation costs separately from process work.
+  IKDP_CTX_PROCESS SuspendAndCall UseKop(Process& p, SimDuration t);
+
   // Blocks on `chan` until Wakeup(chan).  On wakeup the process's priority
   // becomes `pri` (kernel sleep priority) until ResetPriority().  If
   // `interruptible` is true, a posted signal also wakes the process.
@@ -99,6 +105,12 @@ class CpuSystem {
   // Adds `t` to the cost of the interrupt-level work currently executing.
   // Must only be called from within a RunInterrupt body.
   IKDP_CTX_INTERRUPT void ChargeInterrupt(SimDuration t);
+
+  // ChargeInterrupt for in-kernel operator execution (src/kop): same ledger
+  // total (interrupt_work) and the same cycle-stealing, but attributed to
+  // the kKopInterrupt / kKopSoftclock bucket matching the context that runs
+  // the operator, so attribution shows operator cost per request exactly.
+  IKDP_CTX_INTERRUPT void ChargeKop(SimDuration t);
 
   // True while a RunInterrupt body is executing.
   bool InInterrupt() const { return in_interrupt_; }
@@ -145,8 +157,21 @@ class CpuSystem {
 
   // The ledger bucket a charge landed in.  kInterrupt vs kSoftclock is
   // decided by the execution context at RunInterrupt time: work raised from
-  // a softclock callout (the splice write side) is softclock work.
-  enum class ChargeBucket : uint8_t { kProcess = 0, kSwitch, kInterrupt, kSoftclock };
+  // a softclock callout (the splice write side) is softclock work.  The
+  // kKop* buckets carve operator execution (src/kop) out of the same three
+  // ledger totals: kKopProcess counts into process_work, kKopInterrupt and
+  // kKopSoftclock into interrupt_work — the Stats identity is unchanged,
+  // only the attribution mirror is finer.
+  enum class ChargeBucket : uint8_t {
+    kProcess = 0,
+    kSwitch,
+    kInterrupt,
+    kSoftclock,
+    kKopProcess,
+    kKopInterrupt,
+    kKopSoftclock,
+  };
+  static constexpr int kNumChargeBuckets = 7;
 
   struct ChargeKey {
     ChargeBucket bucket = ChargeBucket::kProcess;
@@ -163,8 +188,10 @@ class CpuSystem {
   const std::map<ChargeKey, SimDuration>& attribution() const { return attribution_; }
 
   // True when the attribution mirror sums exactly to stats_: per-bucket,
-  //   Σ kProcess == process_work, Σ kSwitch == context_switch,
-  //   Σ kInterrupt + Σ kSoftclock == interrupt_work.
+  //   Σ kProcess + Σ kKopProcess == process_work,
+  //   Σ kSwitch == context_switch,
+  //   Σ kInterrupt + Σ kSoftclock + Σ kKopInterrupt + Σ kKopSoftclock
+  //     == interrupt_work.
   // On failure fills `err` with the offending bucket and the two totals.
   bool CheckAttributionClosure(std::string* err) const;
 
@@ -223,6 +250,10 @@ class CpuSystem {
 
   // Adds completed work to the running process's usage estimate.
   void AccountUsage(Process* p, SimDuration work);
+
+  // Shared body of Use()/UseKop(); `kop` selects which bucket AccountUsage
+  // attributes completed bursts to (Process::kop_charge_).
+  SuspendAndCall UseImpl(Process& p, SimDuration t, bool kop);
 
   // Resumes the process coroutine (first dispatch starts the body).
   void Activate(Process* p);

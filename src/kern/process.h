@@ -140,6 +140,10 @@ class Process {
   bool started_ = false;
   std::coroutine_handle<> resume_point_;
   SimDuration work_remaining_ = 0;  // outstanding Use() request
+  // True while work_remaining_ came from UseKop(): completed bursts are
+  // attributed to the kKopProcess bucket.  Frozen while the coroutine is
+  // suspended (set at every Use entry), like span_.
+  bool kop_charge_ = false;
   const void* sleep_channel_ = nullptr;
   bool sleep_interruptible_ = false;
 

@@ -122,6 +122,12 @@ const char* ChargeBucketName(CpuSystem::ChargeBucket b) {
       return "interrupt";
     case CpuSystem::ChargeBucket::kSoftclock:
       return "softclock";
+    case CpuSystem::ChargeBucket::kKopProcess:
+      return "kop.process";
+    case CpuSystem::ChargeBucket::kKopInterrupt:
+      return "kop.interrupt";
+    case CpuSystem::ChargeBucket::kKopSoftclock:
+      return "kop.softclock";
   }
   return "?";
 }

@@ -73,6 +73,10 @@ void TelemetryCollector::Observe(const TraceRecord& rec) {
     case TraceKind::kRingSqDepth:
       registry_->Histogram("aio.sq_depth")->Add(rec.b);
       break;
+    case TraceKind::kKopExec:
+      // b = operator execution cost for one chunk (ns).
+      registry_->Histogram("kop.exec_cost")->Add(rec.b);
+      break;
     default:
       break;
   }
@@ -114,6 +118,18 @@ void CaptureKernelCounters(MetricsRegistry* registry, Kernel& kernel) {
   registry->SetCounter("splice.started", static_cast<int64_t>(splice.splices_started));
   registry->SetCounter("splice.completed", static_cast<int64_t>(splice.splices_completed));
   registry->SetCounter("splice.total_bytes", splice.total_bytes);
+
+  // Operator counters are emitted unconditionally (zeros when no program
+  // ever ran) so the kop.* namespace is stable across configurations.
+  registry->SetCounter("kop.programs_loaded", static_cast<int64_t>(sys.kop_loads));
+  registry->SetCounter("kop.load_failures", static_cast<int64_t>(sys.kop_load_failures));
+  registry->SetCounter("kop.attaches", static_cast<int64_t>(sys.kop_attaches));
+  registry->SetCounter("kop.chunks_in", static_cast<int64_t>(splice.kop_chunks_in));
+  registry->SetCounter("kop.chunks_dropped", static_cast<int64_t>(splice.kop_chunks_dropped));
+  registry->SetCounter("kop.chunks_rejected", static_cast<int64_t>(splice.kop_chunks_rejected));
+  registry->SetCounter("kop.bytes_in", splice.kop_bytes_in);
+  registry->SetCounter("kop.bytes_out", splice.kop_bytes_out);
+  registry->SetCounter("kop.exec_ns", splice.kop_exec_time);
 
   // Ring counters are emitted even when no ring exists (all zeros), so the
   // counter namespace is stable across configurations.

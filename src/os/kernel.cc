@@ -384,6 +384,21 @@ Task<int64_t> Kernel::Splice(Process& p, int src_fd, int dst_fd, int64_t nbytes)
     SyscallExit(p, "splice");
     co_return -1;
   }
+  // Operator binding: the source side's program wins; the sink side's rides
+  // only when the source has none.  Bind-rule refusals — a fan-out program
+  // on a two-fd splice, or a dropping program over a seekable sink whose
+  // offset bookkeeping assumes contiguous bytes — are EINVAL *before* any
+  // endpoint state is consumed (MakeSource advances the file offset).
+  const std::shared_ptr<const KopProgram> kprog =
+      src->kop_program != nullptr ? src->kop_program : dst->kop_program;
+  if (kprog != nullptr &&
+      (!kprog->verified || kprog->SinkCount() != 1 ||
+       (kprog->CanDrop() && dst->kind() == File::Kind::kRegular))) {
+    src->splice_error = kErrInval;
+    dst->splice_error = kErrInval;
+    SyscallExit(p, "splice");
+    co_return -1;
+  }
   // Stale status from a previous splice is cleared up front so a setup
   // failure below records its errno against a clean slate.
   src->splice_error = 0;
@@ -411,6 +426,8 @@ Task<int64_t> Kernel::Splice(Process& p, int src_fd, int dst_fd, int64_t nbytes)
   // "The splice operates asynchronously if either of the file descriptors
   // have the FASYNC flag enabled."  (Section 3)
   const bool async = src->fasync || dst->fasync;
+  SpliceOptions opts = splice_options_;
+  opts.kop_program = kprog;
   // The initial read batch is issued from this process's context inside
   // Start(); synchronous devices perform their copies right there, so the
   // accumulated cost lands on the caller.
@@ -418,6 +435,13 @@ Task<int64_t> Kernel::Splice(Process& p, int src_fd, int dst_fd, int64_t nbytes)
     const SimDuration charge = cache_.TakeSyncCharge() + splice_.TakeSyncCharge();
     if (charge > 0) {
       co_await cpu_.Use(p, charge);
+    }
+    // Operator work performed synchronously during setup (chunks that ran
+    // the program inside StartEx on a synchronous device) is charged apart
+    // so it lands in the kop.process attribution bucket.
+    const SimDuration kcharge = splice_.TakeSyncKopCharge();
+    if (kcharge > 0) {
+      co_await cpu_.UseKop(p, kcharge);
     }
   };
   // Both endpoints learn the splice's fate: 0 on success, the errno of the
@@ -430,7 +454,7 @@ Task<int64_t> Kernel::Splice(Process& p, int src_fd, int dst_fd, int64_t nbytes)
     // can never observe "idle" while the stream is still moving.
     src->splice_active = true;
     dst->splice_active = true;
-    splice_.StartEx(std::move(source), std::move(sink), splice_options_,
+    splice_.StartEx(std::move(source), std::move(sink), opts,
                     [this, proc, on_moved, src, dst](const SpliceCompletion& c) {
                       src->splice_error = c.error;
                       dst->splice_error = c.error;
@@ -454,7 +478,7 @@ Task<int64_t> Kernel::Splice(Process& p, int src_fd, int dst_fd, int64_t nbytes)
     int64_t moved = 0;
   } w;
   SpliceDescriptor* d = splice_.StartEx(
-      std::move(source), std::move(sink), splice_options_,
+      std::move(source), std::move(sink), opts,
       [this, &w, on_moved, src, dst](const SpliceCompletion& c) {
         src->splice_error = c.error;
         dst->splice_error = c.error;
@@ -481,6 +505,181 @@ Task<int64_t> Kernel::Splice(Process& p, int src_fd, int dst_fd, int64_t nbytes)
     }
   }
   SyscallExit(p, "splice");
+  co_return w.moved;
+}
+
+// --- in-kernel splice operators ---
+
+std::shared_ptr<const KopProgram> Kernel::GetKopProgram(Process& p, int kop_id) {
+  auto pit = kops_.find(&p);
+  if (pit == kops_.end()) {
+    return nullptr;
+  }
+  auto it = pit->second.find(kop_id);
+  return it == pit->second.end() ? nullptr : it->second;
+}
+
+Task<int> Kernel::KopLoad(Process& p, KopProgram prog) {
+  co_await SyscallEnter(p, "kop_load");
+  int result = -1;
+  if (KopVerify(prog, kBlockSize).empty()) {
+    // Verification walks every stage once; charge it as operator work so it
+    // lands in the kop.process bucket alongside execution charges.
+    co_await cpu_.UseKop(
+        p, static_cast<SimDuration>(prog.stages.size()) * cpu_.costs().kop_stage_overhead);
+    prog.verified = true;
+    const int id = next_kop_id_++;
+    kops_[&p][id] = std::make_shared<const KopProgram>(std::move(prog));
+    ++stats_.kop_loads;
+    result = id;
+  } else {
+    ++stats_.kop_load_failures;
+  }
+  SyscallExit(p, "kop_load");
+  co_return result;
+}
+
+Task<int> Kernel::KopAttach(Process& p, int fd, int kop_id) {
+  co_await SyscallEnter(p, "kop_attach");
+  std::shared_ptr<File> f = GetFile(p, fd);
+  int result = -1;
+  if (f != nullptr) {
+    if (kop_id == 0) {
+      f->kop_program = nullptr;
+      result = 0;
+    } else if (std::shared_ptr<const KopProgram> prog = GetKopProgram(p, kop_id)) {
+      f->kop_program = std::move(prog);
+      ++stats_.kop_attaches;
+      result = 0;
+    }
+  }
+  SyscallExit(p, "kop_attach");
+  co_return result;
+}
+
+Task<int64_t> Kernel::SpliceMulti(Process& p, int src_fd, const std::vector<int>& dst_fds,
+                                  int64_t nbytes) {
+  co_await SyscallEnter(p, "splice_multi");
+  std::shared_ptr<File> src = GetFile(p, src_fd);
+  std::vector<std::shared_ptr<File>> dsts;
+  bool ok = src != nullptr && (nbytes >= 0 || nbytes == kSpliceEof) && !dst_fds.empty();
+  if (ok) {
+    for (const int fd : dst_fds) {
+      std::shared_ptr<File> d = GetFile(p, fd);
+      // Routing leaves per-sink byte positions undefined, so seekable
+      // destinations are refused up front.
+      if (d == nullptr || d->kind() == File::Kind::kRegular) {
+        ok = false;
+        break;
+      }
+      dsts.push_back(std::move(d));
+    }
+  }
+  // The fan-out is driven by a route-stage program on the source; its
+  // declared sink count must match the destination list exactly.
+  const std::shared_ptr<const KopProgram> kprog = ok ? src->kop_program : nullptr;
+  if (kprog == nullptr || !kprog->verified ||
+      kprog->SinkCount() != static_cast<int>(dst_fds.size())) {
+    if (src != nullptr) {
+      src->splice_error = kErrInval;
+    }
+    for (const auto& d : dsts) {
+      d->splice_error = kErrInval;
+    }
+    SyscallExit(p, "splice_multi");
+    co_return -1;
+  }
+  src->splice_error = 0;
+  for (const auto& d : dsts) {
+    d->splice_error = 0;
+  }
+  int setup_err = kErrInval;
+  int64_t resolved = -1;
+  std::unique_ptr<SpliceSource> source =
+      co_await MakeSource(p, src, nbytes, /*sink_is_file=*/false, &resolved, &setup_err);
+  std::vector<std::unique_ptr<SpliceSink>> sinks;
+  if (source != nullptr) {
+    for (const auto& d : dsts) {
+      std::function<void(int64_t)> unused;  // never set for non-file sinks
+      std::unique_ptr<SpliceSink> sink = co_await MakeSink(p, d, resolved, &unused, &setup_err);
+      if (sink == nullptr) {
+        break;
+      }
+      sinks.push_back(std::move(sink));
+    }
+  }
+  if (source == nullptr || sinks.size() != dsts.size()) {
+    src->splice_error = setup_err;
+    for (const auto& d : dsts) {
+      d->splice_error = setup_err;
+    }
+    SyscallExit(p, "splice_multi");
+    co_return -1;
+  }
+
+  bool async = src->fasync;
+  for (const auto& d : dsts) {
+    async = async || d->fasync;
+  }
+  SpliceOptions opts = splice_options_;
+  opts.kop_program = kprog;
+  auto charge_setup = [this, &p]() -> Task<> {
+    const SimDuration charge = cache_.TakeSyncCharge() + splice_.TakeSyncCharge();
+    if (charge > 0) {
+      co_await cpu_.Use(p, charge);
+    }
+    const SimDuration kcharge = splice_.TakeSyncKopCharge();
+    if (kcharge > 0) {
+      co_await cpu_.UseKop(p, kcharge);
+    }
+  };
+  if (async) {
+    ++stats_.splices_async;
+    Process* proc = &p;
+    src->splice_active = true;
+    for (const auto& d : dsts) {
+      d->splice_active = true;
+    }
+    splice_.StartMulti(std::move(source), std::move(sinks), opts,
+                       [this, proc, src, dsts](const SpliceCompletion& c) {
+                         src->splice_error = c.error;
+                         src->splice_active = false;
+                         for (const auto& d : dsts) {
+                           d->splice_error = c.error;
+                           d->splice_active = false;
+                         }
+                         cpu_.Post(*proc, kSigIo);
+                       });
+    co_await charge_setup();
+    SyscallExit(p, "splice_multi");
+    co_return 0;
+  }
+
+  ++stats_.splices_sync;
+  struct Waiter {
+    bool done = false;
+    int64_t moved = 0;
+  } w;
+  SpliceDescriptor* d = splice_.StartMulti(std::move(source), std::move(sinks), opts,
+                                           [this, &w, src, dsts](const SpliceCompletion& c) {
+                                             src->splice_error = c.error;
+                                             for (const auto& dst : dsts) {
+                                               dst->splice_error = c.error;
+                                             }
+                                             w.done = true;
+                                             w.moved = c.io_error ? -1 : c.bytes_moved;
+                                             cpu_.Wakeup(&w);
+                                           });
+  co_await charge_setup();
+  bool cancelled = false;
+  while (!w.done) {
+    co_await cpu_.Sleep(p, &w, kPriWait, /*interruptible=*/!cancelled);
+    if (!w.done && !cancelled && p.SignalPending()) {
+      splice_.Cancel(d);
+      cancelled = true;
+    }
+  }
+  SyscallExit(p, "splice_multi");
   co_return w.moved;
 }
 
@@ -548,6 +747,18 @@ Task<int> Kernel::ResolveSqe(Process& p, const SpliceSqe& sqe, SpliceRing::Prepa
           static_cast<RegularFile*>(dst.get())->inode()) {
     co_return -kAioEInval;
   }
+  // Resolve the SQE's operator program under the same bind rules as Splice:
+  // ring ops have exactly one sink, and a dropping program over a seekable
+  // sink would corrupt the on_moved offset bookkeeping.  Checked before
+  // MakeSource so a refused SQE doesn't consume the file offset.
+  std::shared_ptr<const KopProgram> kprog;
+  if (sqe.kop_id != 0) {
+    kprog = GetKopProgram(p, sqe.kop_id);
+    if (kprog == nullptr || !kprog->verified || kprog->SinkCount() != 1 ||
+        (kprog->CanDrop() && dst->kind() == File::Kind::kRegular)) {
+      co_return -kAioEInval;
+    }
+  }
   int setup_err = kErrInval;
   int64_t resolved = -1;
   const bool sink_is_file = dst->kind() == File::Kind::kRegular;
@@ -566,6 +777,7 @@ Task<int> Kernel::ResolveSqe(Process& p, const SpliceSqe& sqe, SpliceRing::Prepa
   out->sink = std::move(sink);
   out->on_moved = std::move(on_moved);
   out->opts = splice_options_;
+  out->opts.kop_program = std::move(kprog);
   co_return 0;
 }
 
@@ -629,6 +841,10 @@ Task<int> Kernel::RingEnter(Process& p, int ring_id, int to_submit, int min_comp
     const SimDuration charge = cache_.TakeSyncCharge() + splice_.TakeSyncCharge();
     if (charge > 0) {
       co_await cpu_.Use(p, charge);
+    }
+    const SimDuration kcharge = splice_.TakeSyncKopCharge();
+    if (kcharge > 0) {
+      co_await cpu_.UseKop(p, kcharge);
     }
   }
 

@@ -107,8 +107,38 @@ class Kernel {
   // entirely in the kernel.  Synchronous unless either descriptor has
   // FASYNC, in which case it returns 0 immediately and SIGIO is posted on
   // completion.  File endpoints require block-aligned offsets.  Returns
-  // bytes moved, 0 (async started), or -1 on error.
+  // bytes moved, 0 (async started), or -1 on error.  An operator program
+  // attached to either descriptor (kop_attach) runs over every chunk; the
+  // source side's program wins when both carry one.
   IKDP_CTX_PROCESS Task<int64_t> Splice(Process& p, int src_fd, int dst_fd, int64_t nbytes);
+
+  // --- in-kernel splice operators (src/kop; see docs/splice_ops.2.md) ---
+
+  // kop_load(2): statically verifies `prog` against the splice chunk size
+  // and installs it into the calling process's program table.  Returns a
+  // program id (> 0), or -1 when the verifier rejects it.  Verification
+  // walks every stage; its cost is charged as in-kernel operator work
+  // (the kop.process attribution bucket).
+  IKDP_CTX_PROCESS Task<int> KopLoad(Process& p, KopProgram prog);
+
+  // kop_attach(2): binds loaded program `kop_id` to `fd`; 0 detaches.
+  // Returns 0, or -1 for a bad descriptor or unknown program id.  Only ids
+  // minted by KopLoad exist, so an unverified program can never be bound
+  // (the reject-unverified-program rule).
+  IKDP_CTX_PROCESS Task<int> KopAttach(Process& p, int fd, int kop_id);
+
+  // splice_multi(2): fan-out splice.  Requires a route-stage program
+  // attached to `src_fd` whose SinkCount() equals dst_fds.size(); the
+  // operator picks the destination of each chunk.  Regular-file
+  // destinations are refused (routing leaves per-sink byte offsets
+  // undefined).  Otherwise behaves like Splice(): synchronous unless any
+  // endpoint has FASYNC, errno recorded on the source and every
+  // destination.
+  IKDP_CTX_PROCESS Task<int64_t> SpliceMulti(Process& p, int src_fd,
+                                             const std::vector<int>& dst_fds, int64_t nbytes);
+
+  // Loaded-program lookup (ring SQE resolution, tests).
+  std::shared_ptr<const KopProgram> GetKopProgram(Process& p, int kop_id);
 
   // tell(2): the current seek offset of a regular file.  FASYNC programs
   // poll destination offsets with this to learn which of several outstanding
@@ -188,6 +218,9 @@ class Kernel {
     uint64_t syscalls = 0;
     uint64_t splices_sync = 0;
     uint64_t splices_async = 0;
+    uint64_t kop_loads = 0;          // programs accepted by the verifier
+    uint64_t kop_load_failures = 0;  // programs the verifier rejected
+    uint64_t kop_attaches = 0;       // successful kop_attach binds (id != 0)
   };
   const Stats& stats() const { return stats_; }
 
@@ -251,6 +284,9 @@ class Kernel {
   std::map<Process*, Itimer> itimers_;
   std::map<Process*, std::map<int, std::unique_ptr<SpliceRing>>> rings_;
   int next_ring_id_ = 1;
+  // Per-process table of verifier-accepted operator programs (kop_load ids).
+  std::map<Process*, std::map<int, std::shared_ptr<const KopProgram>>> kops_;
+  int next_kop_id_ = 1;
   Stats stats_;
 };
 

@@ -76,6 +76,12 @@ const char* TraceKindName(TraceKind k) {
       return "udp-sent";
     case TraceKind::kUdpRecv:
       return "udp-recv";
+    case TraceKind::kKopExec:
+      return "kop-exec";
+    case TraceKind::kKopDrop:
+      return "kop-drop";
+    case TraceKind::kKopReject:
+      return "kop-reject";
   }
   return "?";
 }

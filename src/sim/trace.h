@@ -91,6 +91,10 @@ enum class TraceKind : uint8_t {
   kUdpSent,  // a = datagram serial, b = nbytes — left the interface
              //     (pairs with kUdpSend, keyed by datagram serial)
   kUdpRecv,  // a = datagram serial, b = nbytes — delivered to the receiver
+  // --- in-kernel splice operators (src/kop) ---
+  kKopExec,    // a = descriptor serial, b = execution cost ns (one chunk)
+  kKopDrop,    // a = descriptor serial, b = chunk index — filtered in-kernel
+  kKopReject,  // a = descriptor serial, b = errno — operator aborted the stream
 };
 
 const char* TraceKindName(TraceKind k);

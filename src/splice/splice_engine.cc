@@ -31,6 +31,14 @@ void SpliceEngine::Charge(SimDuration d) {
   }
 }
 
+void SpliceEngine::ChargeKopCost(SimDuration d) {
+  if (cpu_->InInterrupt()) {
+    cpu_->ChargeKop(d);
+  } else {
+    pending_sync_kop_charge_ += d;
+  }
+}
+
 void SpliceEngine::Softclock(SpanId span, std::function<void()> fn) {
   callouts_->ScheduleHead([this, span, fn = std::move(fn)] {
     // The scope covers the RunInterrupt call so the raise-time attribution
@@ -52,10 +60,28 @@ SpliceDescriptor* SpliceEngine::Start(std::unique_ptr<SpliceSource> source,
 SpliceDescriptor* SpliceEngine::StartEx(std::unique_ptr<SpliceSource> source,
                                         std::unique_ptr<SpliceSink> sink, SpliceOptions opts,
                                         std::function<void(const SpliceCompletion&)> on_complete) {
+  std::vector<std::unique_ptr<SpliceSink>> sinks;
+  sinks.push_back(std::move(sink));
+  return StartMulti(std::move(source), std::move(sinks), opts, std::move(on_complete));
+}
+
+SpliceDescriptor* SpliceEngine::StartMulti(
+    std::unique_ptr<SpliceSource> source, std::vector<std::unique_ptr<SpliceSink>> sinks,
+    SpliceOptions opts, std::function<void(const SpliceCompletion&)> on_complete) {
+  // Reject-unverified-program: the engine is the last line of defence; the
+  // bind sites (kop_attach, ResolveSqe) return kErrInval long before this.
+  if (opts.kop_program != nullptr && !opts.kop_program->verified) {
+    ContractAbort("splice: unverified kop program attached");
+  }
+  const int want_sinks = opts.kop_program != nullptr ? opts.kop_program->SinkCount() : 1;
+  if (want_sinks != static_cast<int>(sinks.size())) {
+    ContractAbort("splice: kop program wants %d sinks, splice has %d", want_sinks,
+                  static_cast<int>(sinks.size()));
+  }
   auto owned = std::make_unique<SpliceDescriptor>();
   SpliceDescriptor* d = owned.get();
   d->source_ = std::move(source);
-  d->sink_ = std::move(sink);
+  d->sinks_ = std::move(sinks);
   d->opts_ = opts;
   d->on_complete_ = std::move(on_complete);
   const int64_t total = d->source_->TotalBytes();
@@ -272,6 +298,40 @@ bool SpliceEngine::StartChunkWrite(SpliceDescriptor* d, SpliceChunk chunk) {
     MaybeFinish(d);
     return true;  // consumed
   }
+  int sink_index = 0;
+  if (d->opts_.kop_program != nullptr) {
+    const KopOutcome out = ExecKop(d, chunk);
+    switch (out.kind) {
+      case KopOutcome::Kind::kDrop:
+        // The operator consumed the chunk in-kernel: it drains here, never
+        // reaching a sink.  A drop retires a chunk just like a write
+        // completion, so it must also drive the flow control — a 90% filter
+        // would otherwise stall once the initial read batch drained.
+        d->source_->Release(chunk);
+        ++d->chunks_done_;
+        MaybeRefill(d);
+        MaybeFinish(d);
+        return true;  // consumed
+      case KopOutcome::Kind::kReject:
+        // Mid-stream operator rejection rides the PR6 fault machinery: the
+        // errno is sticky-first on the descriptor, reads stop, in-flight
+        // chunks drain, and the completion reports io_error.
+        d->io_error_ = true;
+        d->cancelled_ = true;
+        if (d->error_ == 0) {
+          d->error_ = out.error != 0 ? out.error : kErrKopReject;
+        }
+        AbortPendingRead(d);
+        d->source_->Release(chunk);
+        ++d->chunks_done_;
+        MaybeFinish(d);
+        return true;  // consumed
+      case KopOutcome::Kind::kPass:
+        sink_index = out.route;
+        assert(sink_index >= 0 && sink_index < static_cast<int>(d->sinks_.size()));
+        break;
+    }
+  }
   if (!d->opts_.zero_copy) {
     // Ablation: copy between kernel buffers instead of sharing the data
     // area.  The simulation charges the copy and physically duplicates the
@@ -285,7 +345,7 @@ bool SpliceEngine::StartChunkWrite(SpliceDescriptor* d, SpliceChunk chunk) {
   ++d->pending_writes_;
   d->stats_.max_pending_writes = std::max(d->stats_.max_pending_writes, d->pending_writes_);
   SpliceChunk* heap_chunk = new SpliceChunk(std::move(chunk));
-  const bool ok = d->sink_->StartWrite(*heap_chunk, [this, d, heap_chunk](bool write_ok) {
+  const bool ok = d->sinks_[sink_index]->StartWrite(*heap_chunk, [this, d, heap_chunk](bool write_ok) {
     SpliceChunk done_chunk = std::move(*heap_chunk);
     delete heap_chunk;
     WriteDone(d, std::move(done_chunk), write_ok);
@@ -326,11 +386,16 @@ void SpliceEngine::WriteDone(SpliceDescriptor* d, SpliceChunk chunk, bool ok) {
     AbortPendingRead(d);
   }
   d->source_->Release(chunk);
-  // Rate-based flow control (Section 5.2.4): write completions pull more
-  // reads when both pending counts are below their watermarks.  A torn-down
-  // splice (error or cancel) must NOT keep burning refill work — IssueReads
-  // would refuse anyway, but the accounting and trace churn here are real
-  // CPU charges.
+  MaybeRefill(d);
+  MaybeFinish(d);
+}
+
+void SpliceEngine::MaybeRefill(SpliceDescriptor* d) {
+  // Rate-based flow control (Section 5.2.4): chunk retirements (write
+  // completions, operator drops) pull more reads when both pending counts
+  // are below their watermarks.  A torn-down splice (error or cancel) must
+  // NOT keep burning refill work — IssueReads would refuse anyway, but the
+  // accounting and trace churn here are real CPU charges.
   if (!d->cancelled_ && d->pending_reads_ < d->opts_.read_low_watermark &&
       d->pending_writes_ < d->opts_.write_high_watermark) {
     ++d->stats_.refills;
@@ -346,7 +411,52 @@ void SpliceEngine::WriteDone(SpliceDescriptor* d, SpliceChunk chunk, bool ok) {
                             d->reads_issued_ - issued_before);
     }
   }
-  MaybeFinish(d);
+}
+
+KopOutcome SpliceEngine::ExecKop(SpliceDescriptor* d, SpliceChunk& chunk) {
+  const SimTime now = cpu_->sim()->Now();
+  // Operator execution is its own kspan mint site: with a collector
+  // attached each chunk's execution is a child span of the stream, so the
+  // folded stacks show exactly where operator cycles went; detached it
+  // inherits the stream's span with zero allocation.
+  const bool span_owned = KspanOwned();
+  const SpanId span = KspanBegin(now, "kop.exec", chunk.index);
+  KopOutcome out;
+  {
+    KspanScope scope("kop", span);
+    out = KopExecChunk(*d->opts_.kop_program, chunk, &d->kop_, cpu_->costs());
+    // Charged inside the scope so the kop buckets attribute to this span.
+    ChargeKopCost(out.cost);
+    if (cpu_->trace() != nullptr) {
+      cpu_->trace()->Record(now, TraceKind::kKopExec, static_cast<int64_t>(d->serial_),
+                            static_cast<int64_t>(out.cost));
+      if (out.kind == KopOutcome::Kind::kDrop) {
+        cpu_->trace()->Record(now, TraceKind::kKopDrop, static_cast<int64_t>(d->serial_),
+                              chunk.index);
+      } else if (out.kind == KopOutcome::Kind::kReject) {
+        cpu_->trace()->Record(now, TraceKind::kKopReject, static_cast<int64_t>(d->serial_),
+                              out.error);
+      }
+    }
+  }
+  if (span_owned) {
+    KspanEnd(now, span, static_cast<int64_t>(out.kind), out.kind == KopOutcome::Kind::kReject);
+  }
+  ++stats_.kop_chunks_in;
+  stats_.kop_bytes_in += chunk.nbytes;
+  stats_.kop_exec_time += out.cost;
+  switch (out.kind) {
+    case KopOutcome::Kind::kDrop:
+      ++stats_.kop_chunks_dropped;
+      break;
+    case KopOutcome::Kind::kReject:
+      ++stats_.kop_chunks_rejected;
+      break;
+    case KopOutcome::Kind::kPass:
+      stats_.kop_bytes_out += chunk.nbytes;
+      break;
+  }
+  return out;
 }
 
 void SpliceEngine::MaybeFinish(SpliceDescriptor* d) {
@@ -390,6 +500,9 @@ void SpliceEngine::MaybeFinish(SpliceDescriptor* d) {
     c.cancelled = d->cancelled_ && !d->io_error_;
     c.started_at = d->started_at_;
     c.finished_at = cpu_->sim()->Now();
+    c.kop_active = d->opts_.kop_program != nullptr;
+    c.kop_checksum = d->kop_.checksum;
+    c.kop_dropped = d->kop_.chunks_dropped;
     cb(c);
   }
   // Defer destruction: callers (e.g. the write-drain loop) may still hold

@@ -35,9 +35,11 @@
 #include <deque>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "src/kern/cpu.h"
 #include "src/kern/ctx.h"
+#include "src/kop/kop.h"
 #include "src/sim/callout.h"
 #include "src/sim/kspan.h"
 #include "src/sim/trace.h"
@@ -79,6 +81,15 @@ struct SpliceOptions {
   // the paper's special bmap avoids, Section 5.2.1).  Consumed by the
   // syscall layer, not the engine.
   bool stock_destination_bmap = false;
+
+  // Verified in-kernel operator program (src/kop) to run over every chunk on
+  // the write side, in the context that starts the write (interrupt with
+  // callout_deferral off, softclock otherwise).  Null — the default — takes
+  // the exact pre-kop code path: no extra branches charged, no RNG, no
+  // simulated-time change, which is what keeps Tables 1/2 byte-identical.
+  // The engine aborts on an unverified program (reject-unverified-program);
+  // bind sites turn that into kErrInval before it gets here.
+  std::shared_ptr<const KopProgram> kop_program;
 };
 
 // Rich completion report delivered by StartEx: enough to build a
@@ -96,6 +107,11 @@ struct SpliceCompletion {
   int error = 0;
   SimTime started_at = 0;
   SimTime finished_at = 0;
+  // Operator results (src/kop), meaningful when kop_active: the final
+  // checksum accumulator and how many chunks the program consumed in-kernel.
+  bool kop_active = false;
+  uint64_t kop_checksum = 0;
+  int64_t kop_dropped = 0;
 };
 
 class SpliceDescriptor {
@@ -120,14 +136,22 @@ class SpliceDescriptor {
     int max_pending_writes = 0;
   };
   const Stats& stats() const { return stats_; }
+  // Operator run state (chunks in/dropped/rejected, checksum accumulator).
+  const KopRunState& kop() const { return kop_; }
 
  private:
   friend class SpliceEngine;
 
   uint64_t serial_ = 0;
   std::unique_ptr<SpliceSource> source_;
-  std::unique_ptr<SpliceSink> sink_;
+  // Sinks this splice fans out to; sinks_[0] is the primary (and only)
+  // destination unless a route-stage operator is attached, in which case the
+  // operator picks the sink per chunk (fan-out fixed at StartMulti).
+  std::vector<std::unique_ptr<SpliceSink>> sinks_;
   SpliceOptions opts_;
+  // Per-descriptor operator state.  Touched by whichever context runs the
+  // write side for this descriptor (same sharing as the counters below).
+  KopRunState kop_ IKDP_GUARDED_BY(any);
 
   // Flow-control state (paper Section 5.2.4).  Touched by the process that
   // starts the splice, the interrupt-level read handler, and the softclock
@@ -186,6 +210,13 @@ class SpliceEngine {
                                          std::unique_ptr<SpliceSink> sink, SpliceOptions opts,
                                          std::function<void(const SpliceCompletion&)> on_complete);
 
+  // Fan-out form: the attached route-stage operator picks which of `sinks`
+  // each chunk continues to.  The sink count must equal the program's
+  // SinkCount() — bind sites validate with kErrInval, the engine aborts.
+  IKDP_CTX_ANY SpliceDescriptor* StartMulti(
+      std::unique_ptr<SpliceSource> source, std::vector<std::unique_ptr<SpliceSink>> sinks,
+      SpliceOptions opts, std::function<void(const SpliceCompletion&)> on_complete);
+
   // Stops issuing reads; the splice completes (invoking on_complete) once
   // in-flight chunks drain.
   IKDP_CTX_ANY void Cancel(SpliceDescriptor* d);
@@ -196,6 +227,14 @@ class SpliceEngine {
     uint64_t splices_started = 0;
     uint64_t splices_completed = 0;
     int64_t total_bytes = 0;
+    // Operator execution totals across all descriptors (descriptors are
+    // destroyed at completion, so per-chunk results accumulate here).
+    uint64_t kop_chunks_in = 0;
+    uint64_t kop_chunks_dropped = 0;
+    uint64_t kop_chunks_rejected = 0;
+    int64_t kop_bytes_in = 0;
+    int64_t kop_bytes_out = 0;
+    SimDuration kop_exec_time = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -204,6 +243,10 @@ class SpliceEngine {
   // interrupt).  The syscall layer charges this to the calling process;
   // mirrors BufferCache::TakeSyncCharge.
   SimDuration TakeSyncCharge() { return std::exchange(pending_sync_charge_, 0); }
+
+  // Same, for operator execution cost: charged to the calling process via
+  // CpuSystem::UseKop so it lands in the kKopProcess attribution bucket.
+  SimDuration TakeSyncKopCharge() { return std::exchange(pending_sync_kop_charge_, 0); }
 
  private:
   // Issues reads up to the refill batch (paper Section 5.2.4).
@@ -228,6 +271,18 @@ class SpliceEngine {
   // Write-completion handler.
   IKDP_CTX_ANY void WriteDone(SpliceDescriptor* d, SpliceChunk chunk, bool ok);
 
+  // Rate-based flow control (Section 5.2.4): pulls more reads when both
+  // pending counts are below their watermarks.  Runs on every chunk
+  // retirement — write completions AND operator drops, which consume chunks
+  // without ever reaching a sink and would otherwise stall a heavily
+  // filtered stream once the initial read batch drained.
+  IKDP_CTX_ANY void MaybeRefill(SpliceDescriptor* d);
+
+  // Runs the attached operator program over `chunk` in the current context.
+  // Charges the execution cost to the kop attribution buckets, traces the
+  // outcome, and updates the descriptor + engine counters.
+  IKDP_CTX_ANY KopOutcome ExecKop(SpliceDescriptor* d, SpliceChunk& chunk);
+
   // Drops an outstanding stream read whose completion will never arrive
   // (source blocked on a peer) once the splice is being torn down, so a
   // cancelled or errored splice converges instead of hanging on
@@ -249,10 +304,15 @@ class SpliceEngine {
   // invoked synchronously by a RAM-disk Strategy during splice setup).
   IKDP_CTX_ANY void Charge(SimDuration d);
 
+  // Charge() for operator execution: ChargeKop at interrupt level (kop
+  // interrupt/softclock buckets), parked for TakeSyncKopCharge otherwise.
+  IKDP_CTX_ANY void ChargeKopCost(SimDuration d);
+
   CpuSystem* cpu_;
   CalloutTable* callouts_;
   std::unordered_map<SpliceDescriptor*, std::unique_ptr<SpliceDescriptor>> descriptors_;
   SimDuration pending_sync_charge_ = 0;
+  SimDuration pending_sync_kop_charge_ = 0;
   Stats stats_;
 };
 

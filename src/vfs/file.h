@@ -19,6 +19,7 @@
 #include "src/ipc/pipe.h"
 #include "src/kern/cpu.h"
 #include "src/kern/ctx.h"
+#include "src/kop/kop.h"
 #include "src/net/udp_socket.h"
 #include "src/sim/task.h"
 
@@ -69,6 +70,12 @@ class File {
   // Tell, so FASYNC servers driving socket sinks probe this instead (the
   // SpliceStatus syscall).
   bool splice_active = false;
+
+  // Verified operator program bound with kop_attach(2) (null = none).
+  // Splice() runs the source side's program, or the sink side's if the
+  // source has none.  Only KopLoad-verified programs ever land here —
+  // kop_attach refuses anything else (reject-unverified-program).
+  std::shared_ptr<const KopProgram> kop_program;
 };
 
 // A regular file on a FileSystem.

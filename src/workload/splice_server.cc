@@ -269,6 +269,11 @@ SpliceServerResult RunSpliceServer(const SpliceServerConfig& config,
       for (int w = 0; w < config.sync_workers; ++w) {
         procs.push_back(server.Spawn(
             "worker" + std::to_string(w), [&](Process& p) -> Task<> {
+              // Program tables are per process: each worker loads its own copy.
+              int kop_id = 0;
+              if (!config.kop_program.stages.empty()) {
+                kop_id = co_await server.KopLoad(p, config.kop_program);
+              }
               while (true) {
                 if (ready.empty()) {
                   if (served >= total) {
@@ -287,6 +292,9 @@ SpliceServerResult RunSpliceServer(const SpliceServerConfig& config,
                   server.cpu().SetSpan(p, kNoSpan);
                   end_request(k, /*error=*/true);
                 } else {
+                  if (kop_id > 0) {
+                    co_await server.KopAttach(p, sfd, kop_id);
+                  }
                   const int dfd = server.OpenSocket(p, c.server_sock.get());
                   c.expect.push_back({k, r.nbytes});
                   const int64_t moved = co_await server.Splice(p, sfd, dfd, r.nbytes);
@@ -311,6 +319,10 @@ SpliceServerResult RunSpliceServer(const SpliceServerConfig& config,
     case SubmitMode::kFasyncSigio: {
       single_server = server.Spawn("server", [&](Process& p) -> Task<> {
         server.Sigaction(p, kSigIo, [&sigio_handled] { ++sigio_handled; });
+        int kop_id = 0;
+        if (!config.kop_program.stages.empty()) {
+          kop_id = co_await server.KopLoad(p, config.kop_program);
+        }
         for (ClientState& c : clients) {
           c.server_fd = server.OpenSocket(p, c.server_sock.get());
           co_await server.Fcntl(p, c.server_fd, /*fasync=*/true);
@@ -354,6 +366,9 @@ SpliceServerResult RunSpliceServer(const SpliceServerConfig& config,
               ++served;
               continue;
             }
+            if (kop_id > 0) {
+              co_await server.KopAttach(p, r.src_fd, kop_id);
+            }
             c.expect.push_back({k, r.nbytes});
             const int64_t rc = co_await server.Splice(p, r.src_fd, c.server_fd, r.nbytes);
             ++served;
@@ -385,6 +400,10 @@ SpliceServerResult RunSpliceServer(const SpliceServerConfig& config,
     case SubmitMode::kRing: {
       single_server = server.Spawn("server", [&](Process& p) -> Task<> {
         server.Sigaction(p, kSigIo, [&sigio_handled] { ++sigio_handled; });
+        int kop_id = 0;
+        if (!config.kop_program.stages.empty()) {
+          kop_id = co_await server.KopLoad(p, config.kop_program);
+        }
         for (ClientState& c : clients) {
           c.server_fd = server.OpenSocket(p, c.server_sock.get());
         }
@@ -415,6 +434,7 @@ SpliceServerResult RunSpliceServer(const SpliceServerConfig& config,
             sqe.dst_fd = c.server_fd;
             sqe.nbytes = r.nbytes;
             sqe.cookie = static_cast<uint64_t>(k);
+            sqe.kop_id = kop_id;  // 0 = no operator; no per-request attach trap
             server.RingPrepare(p, ring, sqe);
             // Submit-only enter under the request's span, so the minted
             // aio.op (and the splice stream under it) parents here.

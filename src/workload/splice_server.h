@@ -46,6 +46,7 @@
 #include <string>
 
 #include "src/kern/cpu.h"
+#include "src/kop/kop.h"
 #include "src/sim/time.h"
 #include "src/workload/programs.h"
 
@@ -65,6 +66,15 @@ struct SpliceServerConfig {
   SubmitMode mode = SubmitMode::kSyncLoop;
   int sync_workers = 8;    // worker-pool width (kSyncLoop only)
   int ring_inflight = 64;  // splice-engine concurrency (kRing only)
+
+  // Optional in-kernel operator (src/kop) run over every request's stream:
+  // loaded once per server process (kop_load) and bound to each request —
+  // kop_attach on the source fd in the syscall modes, SQE kop_id on the
+  // ring.  Empty stages = no operator, the byte-identical pre-kop server.
+  // Completion accounting counts client-delivered bytes, so programs here
+  // must not drop chunks (checksum / transform; a filter marks every
+  // request short-delivered and therefore errored).
+  KopProgram kop_program;
 
   uint64_t seed = 1;
 

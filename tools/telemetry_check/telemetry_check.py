@@ -21,6 +21,15 @@ invariants each schema promises.  Dispatches on the top-level "schema" field:
                         every row must report true — spans_balanced,
                         closure_ok, overhead_zero.
 
+  ikdp.kop_bench.v1     bench_kop output (BENCH_kop.json): one row per
+                        delivery mode (inkernel / user), per-row closure and
+                        span-balance hard gates, byte conservation
+                        (bytes_out <= bytes_in, drops <= chunks), and the
+                        headline win conditions the in-kernel filter must
+                        demonstrate — strictly higher CPU availability AND
+                        strictly fewer syscall traps than the user-process
+                        round trip at equal offered load.
+
 Exit status: 0 when every file validates, 1 on any finding, 2 on usage
 errors.  --json prints findings as a JSON list for tooling.
 
@@ -31,8 +40,17 @@ import argparse
 import json
 import sys
 
-CHARGE_BUCKETS = {"process", "switch", "interrupt", "softclock"}
+CHARGE_BUCKETS = {"process", "switch", "interrupt", "softclock",
+                  "kop.process", "kop.interrupt", "kop.softclock"}
 SERVER_MODES = {"sync", "fasync", "ring"}
+KOP_MODES = {"inkernel", "user"}
+
+KOP_ROW_INTS = [
+    "bytes_in", "bytes_out", "chunks_in", "chunks_dropped",
+    "syscall_traps", "kop_exec_ns",
+]
+KOP_ROW_BOOLS = ["closure_ok", "spans_balanced"]
+KOP_TOP_INTS = ["object_kb", "blocks", "keep_every", "seed"]
 
 SERVER_ROW_INTS = [
     "completed", "errored", "bytes", "p50_ns", "p99_ns", "p999_ns", "max_ns",
@@ -184,9 +202,78 @@ def check_server_bench(path, doc, out):
         out.err(path, "missing rows for mode(s): %s" % ", ".join(sorted(missing)))
 
 
+def check_kop_bench(path, doc, out):
+    for f in KOP_TOP_INTS:
+        if not is_int(doc.get(f)):
+            out.err(path, "missing integer top-level field %r" % f)
+
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        out.err(path, "missing or empty 'rows'")
+        return
+    by_mode = {}
+    for row in rows:
+        mode = row.get("mode")
+        if mode not in KOP_MODES:
+            out.err(path, "row has unknown mode %r" % mode)
+            continue
+        if mode in by_mode:
+            out.err(path, "duplicate row for mode %r" % mode)
+        by_mode[mode] = row
+        where = "row %s" % mode
+        ok = True
+        for f in KOP_ROW_INTS:
+            if not is_int(row.get(f)):
+                out.err(path, "%s: missing integer %r" % (where, f))
+                ok = False
+        for f in KOP_ROW_BOOLS:
+            if not isinstance(row.get(f), bool):
+                out.err(path, "%s: missing boolean %r" % (where, f))
+                ok = False
+        if (not is_num(row.get("elapsed_s"))
+                or not is_num(row.get("goodput_bps"))
+                or not is_num(row.get("cpu_availability"))):
+            out.err(path, "%s: missing numeric elapsed_s/goodput_bps/"
+                    "cpu_availability" % where)
+            ok = False
+        if not ok:
+            continue
+        # Hard gates: a published row may never carry a failed one.
+        for f in KOP_ROW_BOOLS:
+            if row[f] is not True:
+                out.err(path, "%s: hard gate %r is false" % (where, f))
+        if row["bytes_out"] > row["bytes_in"]:
+            out.err(path, "%s: bytes_out exceeds bytes_in" % where)
+        if row["chunks_dropped"] > row["chunks_in"]:
+            out.err(path, "%s: chunks_dropped exceeds chunks_in" % where)
+        if not 0.0 <= row["cpu_availability"] <= 1.0:
+            out.err(path, "%s: cpu_availability outside [0, 1]" % where)
+        if row["bytes_out"] > 0 and row["goodput_bps"] <= 0:
+            out.err(path, "%s: delivered bytes with non-positive goodput"
+                    % where)
+    missing = KOP_MODES - set(by_mode)
+    if missing:
+        out.err(path, "missing rows for mode(s): %s" % ", ".join(sorted(missing)))
+        return
+
+    # The headline claim the artifact exists to publish: the in-kernel filter
+    # beats the user-process round trip on BOTH axes at equal offered load.
+    ik, us = by_mode["inkernel"], by_mode["user"]
+    if all(is_num(r.get("cpu_availability")) for r in (ik, us)):
+        if ik["cpu_availability"] <= us["cpu_availability"]:
+            out.err(path, "win condition failed: inkernel cpu_availability "
+                    "%.4f <= user %.4f"
+                    % (ik["cpu_availability"], us["cpu_availability"]))
+    if all(is_int(r.get("syscall_traps")) for r in (ik, us)):
+        if ik["syscall_traps"] >= us["syscall_traps"]:
+            out.err(path, "win condition failed: inkernel syscall_traps "
+                    "%d >= user %d" % (ik["syscall_traps"], us["syscall_traps"]))
+
+
 CHECKERS = {
     "ikdp.telemetry.v1": check_telemetry,
     "ikdp.server_bench.v1": check_server_bench,
+    "ikdp.kop_bench.v1": check_kop_bench,
 }
 
 

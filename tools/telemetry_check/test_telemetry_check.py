@@ -68,6 +68,26 @@ def clean_server_bench():
     }
 
 
+def clean_kop_row(mode):
+    user = mode == "user"
+    return {
+        "mode": mode, "bytes_in": 819200, "bytes_out": 81920,
+        "chunks_in": 100, "chunks_dropped": 0 if user else 90,
+        "elapsed_s": 0.5, "goodput_bps": 163840.0,
+        "cpu_availability": 0.55 if user else 0.80,
+        "syscall_traps": 400 if user else 12, "kop_exec_ns": 0 if user else 90000,
+        "closure_ok": True, "spans_balanced": True,
+    }
+
+
+def clean_kop_bench():
+    return {
+        "schema": "ikdp.kop_bench.v1", "object_kb": 800, "blocks": 100,
+        "keep_every": 10, "seed": 1,
+        "rows": [clean_kop_row(m) for m in ("inkernel", "user")],
+    }
+
+
 class TelemetryCheckTest(unittest.TestCase):
     def check_doc(self, doc):
         with tempfile.NamedTemporaryFile(
@@ -162,9 +182,49 @@ class TelemetryCheckTest(unittest.TestCase):
         doc["rows"][2]["completed"] = 150
         self.assert_finding(doc, "completed+errored != requests")
 
+    def test_clean_kop_bench_passes(self):
+        rc, findings = self.check_doc(clean_kop_bench())
+        self.assertEqual(findings, [])
+        self.assertEqual(rc, 0)
+
+    def test_kop_bucket_accepted(self):
+        doc = clean_telemetry()
+        doc["attribution"].append(
+            {"bucket": "kop.softclock", "subsystem": "kop", "span": 2, "ns": 7})
+        rc, findings = self.check_doc(doc)
+        self.assertEqual(findings, [])
+        self.assertEqual(rc, 0)
+
+    def test_kop_missing_mode_rejected(self):
+        doc = clean_kop_bench()
+        doc["rows"] = doc["rows"][:1]
+        self.assert_finding(doc, "missing rows for mode")
+
+    def test_kop_availability_win_rejected(self):
+        doc = clean_kop_bench()
+        doc["rows"][0]["cpu_availability"] = 0.40  # inkernel below user
+        self.assert_finding(doc, "win condition failed: inkernel cpu_availability")
+
+    def test_kop_trap_win_rejected(self):
+        doc = clean_kop_bench()
+        doc["rows"][0]["syscall_traps"] = 500  # inkernel above user
+        self.assert_finding(doc, "win condition failed: inkernel syscall_traps")
+
+    def test_kop_byte_conservation_rejected(self):
+        doc = clean_kop_bench()
+        doc["rows"][0]["bytes_out"] = doc["rows"][0]["bytes_in"] + 1
+        self.assert_finding(doc, "bytes_out exceeds bytes_in")
+
+    def test_kop_failed_hard_gate_rejected(self):
+        for gate in ("closure_ok", "spans_balanced"):
+            doc = clean_kop_bench()
+            doc["rows"][1][gate] = False
+            self.assert_finding(doc, "hard gate %r is false" % gate)
+
     def test_real_artifacts_validate_when_present(self):
         paths = [os.path.join(REPO, p)
-                 for p in ("BENCH_server.json", "BENCH_telemetry.json")]
+                 for p in ("BENCH_server.json", "BENCH_telemetry.json",
+                           "BENCH_kop.json")]
         present = [p for p in paths if os.path.exists(p)]
         if not present:
             self.skipTest("benches have not run in this tree")
