@@ -63,9 +63,13 @@ void SpliceRing::AdmitGroup(std::vector<PreparedOp> group) {
     KspanScope scope("aio", op->span);
     Trace(TraceKind::kRingOpSubmit, static_cast<int64_t>(op->sqe.cookie));
     IKDP_KRACE_WRITE(this, "SpliceRing::queued_");
+    lock_.Acquire();
     queued_.push_back(std::move(op));
+    lock_.Release();
   }
-  stats_.sq_depth_max = std::max(stats_.sq_depth_max, unfinished());
+  lock_.Acquire();
+  stats_.sq_depth_max = std::max(stats_.sq_depth_max, UnfinishedLocked());
+  lock_.Release();
   Pump();
 }
 
@@ -80,9 +84,11 @@ void SpliceRing::FailSqe(const SpliceSqe& sqe, int error) {
   Trace(TraceKind::kRingOpSubmit, static_cast<int64_t>(sqe.cookie));
   Op* raw = op.get();
   IKDP_KRACE_WRITE(this, "SpliceRing::queued_");
+  lock_.Acquire();
   queued_.push_back(std::move(op));
-  stats_.sq_depth_max = std::max(stats_.sq_depth_max, unfinished());
-  Retire(raw, 0, error);
+  stats_.sq_depth_max = std::max(stats_.sq_depth_max, UnfinishedLocked());
+  lock_.Release();
+  Retire(raw, 0, error);  // acquires the lock itself
 }
 
 void SpliceRing::NoteSubmitBatch(int admitted) {
@@ -91,7 +97,15 @@ void SpliceRing::NoteSubmitBatch(int admitted) {
 }
 
 void SpliceRing::Pump() {
-  while (!queued_.empty()) {
+  for (;;) {
+    // Lock per iteration: the head group is claimed (queued_ -> started_)
+    // under the lock, then started with the lock dropped — StartOp can run
+    // the whole splice synchronously and re-enter Retire.
+    lock_.Acquire();
+    if (queued_.empty()) {
+      lock_.Release();
+      return;
+    }
     const int group = queued_.front()->group;
     size_t gsize = 0;
     while (gsize < queued_.size() && queued_[gsize]->group == group) {
@@ -101,7 +115,8 @@ void SpliceRing::Pump() {
     // consumer would wedge); a head group that doesn't fit blocks the line —
     // FIFO order is part of the submission contract.
     if (static_cast<int>(started_.size() + gsize) > config_.max_inflight) {
-      break;
+      lock_.Release();
+      return;
     }
     std::vector<Op*> batch;
     batch.reserve(gsize);
@@ -115,6 +130,7 @@ void SpliceRing::Pump() {
       IKDP_KRACE_WRITE(this, "SpliceRing::started_");
       started_.push_back(std::move(owned));
     }
+    lock_.Release();
     for (Op* op : batch) {
       // A synchronously-failing sibling may have cancelled this member
       // while an earlier batch member was starting.
@@ -188,6 +204,7 @@ void SpliceRing::Retire(Op* op, int64_t result, int error) {
     KspanEnd(op->finished_at, op->span, result, error != 0);
   }
   std::unique_ptr<Op> owned;
+  lock_.Acquire();
   IKDP_KRACE_WRITE(this, "SpliceRing::queued_");
   for (auto it = queued_.begin(); it != queued_.end(); ++it) {
     if (it->get() == op) {
@@ -206,7 +223,10 @@ void SpliceRing::Retire(Op* op, int64_t result, int error) {
       }
     }
   }
+  lock_.Release();
   assert(owned != nullptr);
+  // retired_ is a completion -> reaper handoff riding the `reaper` ordering
+  // channel, not lock-guarded shared state (see the member comment).
   IKDP_KRACE_WRITE(this, "SpliceRing::retired_");
   retired_.push_back(std::move(owned));
   if (KraceEnabled()) Krace().ChannelRelease(&retired_);
@@ -218,8 +238,10 @@ void SpliceRing::CancelGroupSiblings(int group, const Op* except) {
     return;  // immediate-failure ops carry no group
   }
   // Collect first: Retire() and engine_->Cancel() both mutate the lists
-  // (Cancel can complete a drained descriptor synchronously).
+  // (Cancel can complete a drained descriptor synchronously), so the lock
+  // covers only the scan, never the per-member actions.
   std::vector<Op*> members;
+  lock_.Acquire();
   for (const auto& q : queued_) {
     if (q->group == group && q.get() != except) {
       members.push_back(q.get());
@@ -230,6 +252,7 @@ void SpliceRing::CancelGroupSiblings(int group, const Op* except) {
       members.push_back(s.get());
     }
   }
+  lock_.Release();
   for (Op* op : members) {
     if (op->st == Op::St::kQueued) {
       Retire(op, 0, kAioECanceled);
@@ -246,28 +269,46 @@ void SpliceRing::CancelGroupSiblings(int group, const Op* except) {
 }
 
 int SpliceRing::Cancel(uint64_t cookie) {
+  // Find under the lock, act after release: Retire and CancelGroupSiblings
+  // take the lock themselves.
+  Op* target = nullptr;
+  int group = 0;
+  bool started = false;
+  lock_.Acquire();
   for (const auto& q : queued_) {
     if (q->sqe.cookie == cookie) {
-      Trace(TraceKind::kRingCancel, static_cast<int64_t>(cookie));
-      Op* op = q.get();
-      const int group = op->group;
-      Retire(op, 0, kAioECanceled);
-      // A partial pipeline cannot run: the queued group goes down together.
-      // (Groups start atomically, so no sibling can be mid-flight here.)
-      CancelGroupSiblings(group, op);
-      return 0;
+      target = q.get();
+      group = target->group;
+      break;
     }
   }
-  for (const auto& s : started_) {
-    if (s->sqe.cookie == cookie) {
-      return -kAioEBusy;
+  if (target == nullptr) {
+    for (const auto& s : started_) {
+      if (s->sqe.cookie == cookie) {
+        started = true;
+        break;
+      }
     }
   }
-  return -kAioENoent;
+  lock_.Release();
+  if (target != nullptr) {
+    Trace(TraceKind::kRingCancel, static_cast<int64_t>(cookie));
+    Retire(target, 0, kAioECanceled);
+    // A partial pipeline cannot run: the queued group goes down together.
+    // (Groups start atomically, so no sibling can be mid-flight here.)
+    CancelGroupSiblings(group, target);
+    return 0;
+  }
+  return started ? -kAioEBusy : -kAioENoent;
 }
 
 void SpliceRing::ArmReaper() {
+  // The check-and-arm latch is one critical section, held across
+  // ScheduleHead: a deliberate ring -> callout nesting (rank 20 -> 90;
+  // ScheduleHead never calls back into the ring).
+  lock_.Acquire();
   if (reaper_armed_) {
+    lock_.Release();
     return;
   }
   reaper_armed_ = true;
@@ -275,10 +316,13 @@ void SpliceRing::ArmReaper() {
   // write-side drain: head of the callout list, charged as softclock work.
   callouts_->ScheduleHead([this] {
     cpu_->RunInterrupt(cpu_->costs().softclock_per_callout, [this] {
+      lock_.Acquire();
       reaper_armed_ = false;
+      lock_.Release();
       Reap();
     });
   });
+  lock_.Release();
 }
 
 void SpliceRing::Reap() {
@@ -288,6 +332,9 @@ void SpliceRing::Reap() {
   std::vector<std::unique_ptr<Op>> batch;
   batch.swap(retired_);
   int posted = 0;
+  // The CQ fill is one critical section; the lock drops before the wakeups
+  // and the pump (Pump takes it per iteration).
+  lock_.Acquire();
   for (const std::unique_ptr<Op>& op : batch) {
     SpliceCqe cqe;
     cqe.cookie = op->sqe.cookie;
@@ -315,6 +362,7 @@ void SpliceRing::Reap() {
     ++stats_.completed;
     ++posted;
   }
+  lock_.Release();
   Trace(TraceKind::kRingReap, posted);
   // Posted completions free SQ slots and satisfy RingEnter's wait.
   cpu_->Wakeup(CqChan());
@@ -323,6 +371,7 @@ void SpliceRing::Reap() {
 }
 
 int SpliceRing::Harvest(SpliceCqe* out, int max) {
+  SpinGuard g(lock_);
   int n = 0;
   while (n < max && !cq_.empty()) {
     IKDP_KRACE_WRITE(this, "SpliceRing::cq_");

@@ -44,6 +44,7 @@
 
 #include "src/kern/cpu.h"
 #include "src/kern/ctx.h"
+#include "src/kern/lock.h"
 #include "src/sim/callout.h"
 #include "src/sim/krace.h"
 #include "src/splice/splice_engine.h"
@@ -130,7 +131,8 @@ class SpliceRing {
 
   // True when `group_size` more ops fit under the sq_entries cap.
   bool CanAdmit(int group_size) const {
-    return unfinished() + group_size <= config_.sq_entries;
+    SpinGuard g(lock_);
+    return UnfinishedLocked() + group_size <= config_.sq_entries;
   }
 
   SpliceSqe PopPrepared();
@@ -166,7 +168,10 @@ class SpliceRing {
   IKDP_CTX_PROCESS int Harvest(SpliceCqe* out, int max);
 
   // Posted, unharvested completions (CQ + overflow stage).
-  int CqAvailable() const { return static_cast<int>(cq_.size() + overflow_.size()); }
+  int CqAvailable() const {
+    SpinGuard g(lock_);
+    return static_cast<int>(cq_.size() + overflow_.size());
+  }
 
   // Cancels a QUEUED op by cookie: it retires with kAioECanceled (its queued
   // group siblings with it, since a partial pipeline cannot run).  Returns 0,
@@ -176,7 +181,8 @@ class SpliceRing {
 
   // Admitted ops whose completion has not been posted yet.
   int unfinished() const {
-    return static_cast<int>(queued_.size() + started_.size() + retired_.size());
+    SpinGuard g(lock_);
+    return UnfinishedLocked();
   }
 
   // Sleep channels for the two backpressure waits.
@@ -248,6 +254,11 @@ class SpliceRing {
   // overflow stage), wakes waiters, and pumps newly-fitting queued ops.
   IKDP_CTX_SOFTCLOCK void Reap();
 
+  // Lock-held variant of unfinished() for internal admission-control sites.
+  int UnfinishedLocked() const {
+    return static_cast<int>(queued_.size() + started_.size() + retired_.size());
+  }
+
   void Trace(TraceKind kind, int64_t b);
 
   const int id_;
@@ -256,21 +267,31 @@ class SpliceRing {
   SpliceEngine* engine_;
   const RingConfig config_;
 
+  // The ring lock (docs/klock.md): guards the kernel-side op queues, the
+  // CQ/overflow pair, and the reaper latch.  It is fine-grained — never held
+  // across engine_->StartEx / engine_->Cancel (both can complete an op
+  // synchronously and re-enter Retire) — but IS held across ScheduleHead in
+  // ArmReaper, a deliberate ring -> callout nesting (legal by rank; the
+  // callout table never calls back synchronously).  `mutable` lets const
+  // accessors (unfinished, CqAvailable) lock.
+  mutable SpinLock lock_ IKDP_LOCK_RANK(ring, 20) = SpinLock("ring", 20);
   // The user-side SQ exists purely in process context (Prepare/PopPrepared
-  // never leave the submitting process); the kernel-side queues are touched
-  // by admission (process), engine completions (interrupt), and the reaper
-  // (softclock).  retired_ is handed from completion to reaper through the
-  // `reaper` ordering channel; the CQ/overflow pair is filled at softclock
-  // (Reap) and drained in process context (Harvest/Cancel).
+  // never leave the submitting process) and stays context-guarded — no lock
+  // warranted.  The kernel-side queues are touched by admission (process),
+  // engine completions (interrupt), and the reaper (softclock).  retired_
+  // is handed from completion to reaper through the `reaper` ordering
+  // channel (a handoff, not shared state — also no lock); the CQ/overflow
+  // pair is filled at softclock (Reap) and drained in process context
+  // (Harvest/Cancel).
   std::deque<SpliceSqe> prepared_ IKDP_GUARDED_BY(process);  // user-side SQ
-  std::deque<std::unique_ptr<Op>> queued_ IKDP_GUARDED_BY(any);
-  std::vector<std::unique_ptr<Op>> started_ IKDP_GUARDED_BY(any);
+  std::deque<std::unique_ptr<Op>> queued_ IKDP_GUARDED_BY(lock:ring);
+  std::vector<std::unique_ptr<Op>> started_ IKDP_GUARDED_BY(lock:ring);
   std::vector<std::unique_ptr<Op>> retired_ IKDP_ORDERED_BY(reaper);
-  std::deque<SpliceCqe> cq_ IKDP_GUARDED_BY(process, softclock);
-  std::deque<SpliceCqe> overflow_ IKDP_GUARDED_BY(process, softclock);
+  std::deque<SpliceCqe> cq_ IKDP_GUARDED_BY(lock:ring);
+  std::deque<SpliceCqe> overflow_ IKDP_GUARDED_BY(lock:ring);
 
   int next_group_ = 1;
-  bool reaper_armed_ IKDP_GUARDED_BY(any) = false;
+  bool reaper_armed_ IKDP_GUARDED_BY(lock:ring) = false;
   char sq_space_chan_ = 0;  // address-only sleep channels
   char cq_chan_ = 0;
   Stats stats_;

@@ -19,6 +19,7 @@ BufferCache::BufferCache(CpuSystem* cpu, int nbufs) : cpu_(cpu), nbufs_(nbufs) {
   while (buckets < static_cast<size_t>(nbufs) * 2) {
     buckets <<= 1;
   }
+  lock_.Acquire();
   hash_buckets_.assign(buckets, nullptr);
   hash_mask_ = buckets - 1;
   pool_.reserve(nbufs);
@@ -30,11 +31,17 @@ BufferCache::BufferCache(CpuSystem* cpu, int nbufs) : cpu_(cpu), nbufs_(nbufs) {
     pool_.push_back(std::move(b));
   }
   ValidateInvariants();
+  lock_.Release();
 }
 
 BufferCache::~BufferCache() = default;
 
 // --- internal helpers ---
+//
+// Everything in this section runs with lock_ ("cache") held by the caller.
+// TryGrabFree is the one exception to "held throughout": it drops the lock
+// around SubmitIo (a RAM-disk Strategy completes synchronously and re-enters
+// Brelse, which acquires) and reacquires before continuing the scan.
 
 size_t BufferCache::BucketOf(const BlockDevice* dev, int64_t blkno) const {
   const size_t h =
@@ -187,10 +194,12 @@ Buf* BufferCache::TryGrabFree() {
       v->delwri_victim = true;
       ++pending_writes_[v->dev];
       ++stats_.delwri_flushes;
+      lock_.Release();
       if (TraceLog* t = cpu_->trace()) {
         t->Record(cpu_->sim()->Now(), TraceKind::kDelwriFlush, v->blkno, 0, v->dev->Name());
       }
       SubmitIo(v);
+      lock_.Acquire();
       continue;
     }
     return v;
@@ -281,12 +290,14 @@ void BufferCache::IoDone(Buf* b) {
   b->Set(kBufDone);
   if (b->Has(kBufAsync)) {
     if (!b->Has(kBufRead)) {
+      lock_.Acquire();
       auto it = pending_writes_.find(b->dev);
       assert(it != pending_writes_.end() && it->second > 0);
       --it->second;
+      lock_.Release();
       cpu_->Wakeup(&pending_writes_);
     }
-    Brelse(b);
+    Brelse(b);  // acquires the cache lock itself
     return;
   }
   cpu_->Wakeup(b);
@@ -294,6 +305,11 @@ void BufferCache::IoDone(Buf* b) {
 
 void BufferCache::Brelse(Buf* b) {
   BufStateChecker::OnRelease(*b);
+  // The whole release is one critical section: flag transitions, hash
+  // removal, and the freelist push must be atomic with respect to a victim
+  // scan.  Wakeup only enqueues (never runs the sleeper synchronously), so
+  // holding the lock across it is safe.
+  SpinGuard g(lock_);
   if (b->delwri_victim) {
     // A delwri push (victim flush or FlushDev) just completed.  On failure
     // the dirty data is still good in memory: re-dirty the buffer so a later
@@ -340,6 +356,10 @@ void BufferCache::Brelse(Buf* b) {
 Task<Buf*> BufferCache::GetBlk(Process& p, BlockDevice* dev, int64_t blkno) {
   co_await cpu_->Use(p, cpu_->costs().bufcache_op);
   for (;;) {
+    // Explicit Acquire/Release, not SpinGuard: a guard must never span a
+    // suspension point, and this loop sleeps.  The lock is released before
+    // every co_await below.
+    lock_.Acquire();
     bool hit = false;
     Buf* b = TryGetBlk(dev, blkno, &hit);
     if (b != nullptr) {
@@ -348,6 +368,7 @@ Task<Buf*> BufferCache::GetBlk(Process& p, BlockDevice* dev, int64_t blkno) {
       } else {
         ++stats_.misses;
       }
+      lock_.Release();
       TraceLookup(hit, dev, blkno);
       const SimDuration charge = std::exchange(pending_sync_charge_, 0);
       if (charge > 0) {
@@ -355,11 +376,16 @@ Task<Buf*> BufferCache::GetBlk(Process& p, BlockDevice* dev, int64_t blkno) {
       }
       co_return b;
     }
+    Buf* busy = Incore(dev, blkno);
+    const bool wait_busy = busy != nullptr && busy->Has(kBufBusy);
+    if (wait_busy) {
+      busy->Set(kBufWanted);
+    }
+    lock_.Release();
     if (TraceLog* t = cpu_->trace()) {
       t->Record(cpu_->sim()->Now(), TraceKind::kGetblkSleep, p.pid(), blkno, dev->Name());
     }
-    if (Buf* busy = Incore(dev, blkno); busy != nullptr && busy->Has(kBufBusy)) {
-      busy->Set(kBufWanted);
+    if (wait_busy) {
       co_await cpu_->Sleep(p, busy, kPriBio);
     } else {
       co_await cpu_->Sleep(p, &freelist_waiters_chan_, kPriBio);
@@ -383,16 +409,19 @@ Task<Buf*> BufferCache::Bread(Process& p, BlockDevice* dev, int64_t blkno) {
 }
 
 void BufferCache::IssueReadAhead(BlockDevice* dev, int64_t blkno) {
+  lock_.Acquire();
   if (blkno < 0 || blkno >= dev->CapacityBlocks() || Incore(dev, blkno) != nullptr) {
+    lock_.Release();
     return;
   }
   bool hit = false;
   Buf* ra = TryGetBlk(dev, blkno, &hit);
+  lock_.Release();
   if (ra == nullptr) {
     return;  // no buffer without sleeping; skip the read-ahead
   }
   if (hit) {
-    // Raced into validity; just give it back.
+    // Raced into validity; just give it back (Brelse reacquires).
     Brelse(ra);
     return;
   }
@@ -442,7 +471,9 @@ Task<> BufferCache::Bawrite(Process& p, Buf* b) {
   b->Clear(kBufDelwri);
   b->Clear(kBufDone);
   b->Set(kBufAsync);
+  lock_.Acquire();
   ++pending_writes_[b->dev];
+  lock_.Release();
   SubmitIo(b);
   const SimDuration charge = std::exchange(pending_sync_charge_, 0);
   if (charge > 0) {
@@ -458,11 +489,17 @@ void BufferCache::Bdwrite(Process& /*p*/, Buf* b) {
 }
 
 Task<> BufferCache::FlushDev(Process& p, BlockDevice* dev) {
+  lock_.Acquire();
   ValidateInvariants();
-  // Push every idle delayed-write block of this device.
+  lock_.Release();
+  // Push every idle delayed-write block of this device.  The lock covers
+  // each per-buffer claim (flag check through pending-write count) but is
+  // dropped for SubmitIo and for the charge suspension.
   for (const auto& owned : pool_) {
     Buf* b = owned.get();
+    lock_.Acquire();
     if (b->dev != dev || !b->Has(kBufDelwri) || b->Has(kBufBusy)) {
+      lock_.Release();
       continue;
     }
     assert(b->on_freelist);
@@ -475,6 +512,7 @@ Task<> BufferCache::FlushDev(Process& p, BlockDevice* dev) {
     b->Set(kBufAsync);
     b->delwri_victim = true;  // route failures through the redirty path
     ++pending_writes_[dev];
+    lock_.Release();
     SubmitIo(b);
     const SimDuration charge = std::exchange(pending_sync_charge_, 0);
     if (charge > 0) {
@@ -487,6 +525,7 @@ Task<> BufferCache::FlushDev(Process& p, BlockDevice* dev) {
 }
 
 void BufferCache::InvalidateDev(BlockDevice* dev) {
+  SpinGuard g(lock_);
   for (const auto& owned : pool_) {
     Buf* b = owned.get();
     if (b->dev == dev && !b->Has(kBufBusy) && !b->Has(kBufDelwri) && b->hashed) {
@@ -513,6 +552,7 @@ void BufferCache::FlushAllInstant() {
 }
 
 int BufferCache::PendingWrites(BlockDevice* dev) const {
+  SpinGuard g(lock_);
   auto it = pending_writes_.find(dev);
   return it == pending_writes_.end() ? 0 : it->second;
 }
@@ -521,8 +561,10 @@ int BufferCache::PendingWrites(BlockDevice* dev) const {
 
 bool BufferCache::BreadAsync(BlockDevice* dev, int64_t blkno, std::function<void(Buf&)> iodone) {
   ChargeIfInterrupt(cpu_->costs().bufcache_op);
+  lock_.Acquire();
   bool hit = false;
   Buf* b = TryGetBlk(dev, blkno, &hit);
+  lock_.Release();
   if (b == nullptr) {
     ++stats_.async_read_fails;
     return false;
@@ -530,8 +572,9 @@ bool BufferCache::BreadAsync(BlockDevice* dev, int64_t blkno, std::function<void
   TraceLookup(hit, dev, blkno);
   if (hit) {
     ++stats_.hits;
-    // Already valid: deliver straight to the handler, as the paper's
-    // modified bread does when the block is cached.
+    // Already valid: deliver straight to the handler (unlocked — the
+    // handler re-enters the cache heavily), as the paper's modified bread
+    // does when the block is cached.
     iodone(*b);
     return true;
   }
@@ -546,7 +589,9 @@ bool BufferCache::BreadAsync(BlockDevice* dev, int64_t blkno, std::function<void
 Buf* BufferCache::AllocTransientHeader(BlockDevice* dev, int64_t blkno) {
   auto owned = std::make_unique<Buf>();
   Buf* b = owned.get();
+  lock_.Acquire();
   transients_[b] = std::move(owned);
+  lock_.Release();
   b->cache = this;
   b->dev = dev;
   b->blkno = blkno;
@@ -560,6 +605,7 @@ Buf* BufferCache::AllocTransientHeader(BlockDevice* dev, int64_t blkno) {
 
 void BufferCache::FreeTransientHeader(Buf* b) {
   assert(b->transient);
+  SpinGuard g(lock_);
   auto it = transients_.find(b);
   assert(it != transients_.end());
   transients_.erase(it);

@@ -34,6 +34,7 @@
 #include "src/buf/buf.h"
 #include "src/kern/cpu.h"
 #include "src/kern/ctx.h"
+#include "src/kern/lock.h"
 #include "src/sim/task.h"
 
 namespace ikdp {
@@ -81,7 +82,8 @@ class BufferCache {
 
   // Releases a busy buffer to the free list (tail; head if kBufInval).
   // Interrupt-safe: biodone paths release async buffers at interrupt level.
-  IKDP_CTX_ANY void Brelse(Buf* b);
+  // Takes the cache lock itself, so the caller must not hold it.
+  IKDP_CTX_ANY IKDP_EXCLUDES(cache) void Brelse(Buf* b);
 
   // Waits for I/O on a busy buffer to complete (kBufDone).
   IKDP_CTX_PROCESS Task<> Biowait(Process& p, Buf* b);
@@ -122,8 +124,9 @@ class BufferCache {
   // Driver completion entry point (free-function Biodone forwards here).
   IKDP_CTX_ANY void IoDone(Buf* b);
 
-  // Number of asynchronous writes outstanding on `dev`.
-  int PendingWrites(BlockDevice* dev) const;
+  // Number of asynchronous writes outstanding on `dev`.  Locks the cache
+  // for the lookup — callers must not already hold it.
+  IKDP_EXCLUDES(cache) int PendingWrites(BlockDevice* dev) const;
 
   // Drains CPU cost accumulated by process-context SubmitIo() calls on the
   // non-blocking API (e.g. the synchronous RAM-disk copies behind the
@@ -187,21 +190,28 @@ class BufferCache {
   CpuSystem* cpu_;
   const int nbufs_;
   std::vector<std::unique_ptr<Buf>> pool_;
+  // The cache lock (docs/klock.md): guards the hash table, the LRU free
+  // list, the pending-write counts, and the transient-header registry.  It
+  // ranks outside diskq (completion handlers re-enter Strategy through the
+  // cache) and is NEVER held across SubmitIo — a RAM-disk Strategy delivers
+  // Biodone synchronously, which re-enters Brelse — nor across a co_await.
+  // `mutable` lets const accessors (PendingWrites) lock.
+  mutable SpinLock lock_ IKDP_LOCK_RANK(cache, 40) = SpinLock("cache", 40);
   // Hash table: power-of-two bucket array of intrusive chains through
   // Buf::hash_prev/hash_next.  Insert/remove touch one keyed chain each;
   // distinct-key operations commute (COMMUTE probes in buffer_cache.cc).
-  std::vector<Buf*> hash_buckets_ IKDP_GUARDED_BY(any);
+  std::vector<Buf*> hash_buckets_ IKDP_GUARDED_BY(lock:cache);
   size_t hash_mask_ = 0;
   // LRU free list, intrusive through Buf::free_prev/free_next.
   // free_head_ = next victim (LRU); releases push at the tail, worthless
   // buffers at the head.  Push/pop ORDER decides victim choice, so these
   // carry plain WRITE probes — an unordered same-timestamp release pair
   // would make eviction schedule-dependent.
-  Buf* free_head_ IKDP_GUARDED_BY(any) = nullptr;
-  Buf* free_tail_ IKDP_GUARDED_BY(any) = nullptr;
-  int free_count_ IKDP_GUARDED_BY(any) = 0;
-  std::map<const BlockDevice*, int> pending_writes_ IKDP_GUARDED_BY(any);
-  std::unordered_map<Buf*, std::unique_ptr<Buf>> transients_ IKDP_GUARDED_BY(any);
+  Buf* free_head_ IKDP_GUARDED_BY(lock:cache) = nullptr;
+  Buf* free_tail_ IKDP_GUARDED_BY(lock:cache) = nullptr;
+  int free_count_ IKDP_GUARDED_BY(lock:cache) = 0;
+  std::map<const BlockDevice*, int> pending_writes_ IKDP_GUARDED_BY(lock:cache);
+  std::unordered_map<Buf*, std::unique_ptr<Buf>> transients_ IKDP_GUARDED_BY(lock:cache);
   int freelist_waiters_chan_ = 0;  // sleep channel for free-list exhaustion
   SimDuration pending_sync_charge_ = 0;
   Stats stats_;

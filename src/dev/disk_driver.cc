@@ -34,11 +34,13 @@ SimDuration DiskDriver::Strategy(Buf& b) {
     t->Record(cpu_->sim()->Now(), TraceKind::kDiskEnqueue, b.blkno * kBlockSize, b.bcount,
               b.Has(kBufRead) ? "read" : "write");
   }
+  lock_.Acquire();
   Disksort(&b);
-  stats_.max_queue_depth = std::max(stats_.max_queue_depth, QueueDepth());
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, QueueDepthLocked());
   if (!hw_busy_) {
     StartHw();
   }
+  lock_.Release();
   // DMA hardware: the caller pays nothing beyond the generic driver-start
   // cost the buffer cache already charges.
   return 0;
@@ -100,8 +102,13 @@ void DiskDriver::Complete(Buf* b, bool ok, int error) {
       // errno ride the buffer up through biodone to whoever waits on it.
       b->error = error != 0 ? error : kErrIo;
       b->Set(kBufError);
+      // Biodone with the queue lock dropped: completion handlers re-enter
+      // Strategy (splice refill through the cache) and take cache-side locks
+      // that rank outside diskq.
       Biodone(*b);
+      lock_.Acquire();
       StartHw();
+      lock_.Release();
       return;
     }
     // Move content at completion: reads fill the buffer, writes persist it.
@@ -118,7 +125,9 @@ void DiskDriver::Complete(Buf* b, bool ok, int error) {
       store_[b->blkno] = *b->data;
     }
     Biodone(*b);
+    lock_.Acquire();
     StartHw();
+    lock_.Release();
   });
 }
 

@@ -22,6 +22,7 @@
 #include "src/buf/buf.h"
 #include "src/hw/disk.h"
 #include "src/kern/cpu.h"
+#include "src/kern/lock.h"
 
 namespace ikdp {
 
@@ -49,9 +50,15 @@ class DiskDriver : public BlockDevice {
   const Stats& stats() const { return stats_; }
 
   // Queue depth including the request at the hardware.
-  size_t QueueDepth() const { return queue_.size() + (hw_busy_ ? 1 : 0); }
+  size_t QueueDepth() const {
+    SpinGuard g(lock_);
+    return QueueDepthLocked();
+  }
 
  private:
+  // Lock-held variant for internal stats sites.
+  size_t QueueDepthLocked() const { return queue_.size() + (hw_busy_ ? 1 : 0); }
+
   // Inserts into the elevator queue: ascending block order in the current
   // sweep, overflow requests sorted into the next sweep.
   IKDP_CTX_ANY void Disksort(Buf* b);
@@ -62,12 +69,18 @@ class DiskDriver : public BlockDevice {
 
   CpuSystem* cpu_;
   DiskModel disk_;
+  // The elevator-queue lock (docs/klock.md).  Held across Disksort/StartHw
+  // including disk_.Submit (the model completes via scheduled events, never
+  // synchronously) but NEVER across Biodone: completion handlers re-enter
+  // Strategy through the cache, and the cache lock ranks outside this one.
+  mutable SpinLock lock_ IKDP_LOCK_RANK(diskq, 50) = SpinLock("diskq", 50);
   // Elevator queue, front is next to issue.  Fed by Strategy() from process,
   // interrupt, and softclock context; drained by StartHw() from Strategy and
-  // from the completion interrupt.  Handoff rides the `diskq` channel.
-  std::deque<Buf*> queue_ IKDP_ORDERED_BY(diskq);
-  bool hw_busy_ IKDP_GUARDED_BY(any) = false;
-  int64_t last_issued_blkno_ = 0;
+  // from the completion interrupt.  The `diskq` krace channel still carries
+  // the submit -> issue happens-before edge.
+  std::deque<Buf*> queue_ IKDP_GUARDED_BY(lock:diskq);
+  bool hw_busy_ IKDP_GUARDED_BY(lock:diskq) = false;
+  int64_t last_issued_blkno_ IKDP_GUARDED_BY(lock:diskq) = 0;
   std::unordered_map<int64_t, std::vector<uint8_t>> store_;
   Stats stats_;
 };

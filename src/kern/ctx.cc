@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/sim/lockdep.h"
+
 namespace ikdp {
 
 namespace {
@@ -41,6 +43,11 @@ void AssertCanBlock(const char* what) {
         "%s at %s level: blocking primitives may only run in process context "
         "(IKDP_CTX_PROCESS); an interrupt/softclock path reached a sleep",
         what, ExecContextName(g_context));
+  }
+  // Every blocking primitive funnels through here, so this is the one
+  // dynamic probe lockdep needs for sleep-under-spinlock.
+  if (LockdepEnabled()) {
+    Lockdep().OnMayBlock(what);
   }
 }
 

@@ -91,6 +91,42 @@
 #define IKDP_ORDERED_BY(channel)
 #endif
 
+// --- lock-side annotations (the klock vocabulary; see docs/klock.md) ---
+//
+// IKDP_GUARDED_BY also accepts a lock payload: `IKDP_GUARDED_BY(lock:cache)`
+// means the member may only be touched while the lock named `cache` is held
+// (kcheck's lock-guard-violation rule), replacing a pure context set where a
+// real lock now protects the structure.  The remaining macros annotate
+// functions and lock members:
+//
+//   IKDP_ACQUIRES(l)       The function returns with lock `l` held (its
+//                          caller is responsible for the release).  Leads
+//                          the declaration, like IKDP_CTX_*.
+//   IKDP_RELEASES(l)       The function requires `l` held on entry and
+//                          releases it before returning.
+//   IKDP_EXCLUDES(l)       The function must NOT be entered with `l` held
+//                          (it acquires `l` itself, or sleeps).  Calling it
+//                          while holding `l` is a double-acquire.
+//   IKDP_LOCK_RANK(l, n)   Trails a SpinLock/SleepLock member declarator,
+//                          declaring its name and rank in the lock
+//                          hierarchy (lower = outer; acquisitions must
+//                          strictly increase in rank).  The same name/rank
+//                          pair is passed to the constructor for the
+//                          dynamic side (src/sim/lockdep.h):
+//                            SpinLock lock_ IKDP_LOCK_RANK(cache, 40) =
+//                                SpinLock("cache", 40);
+#if defined(__clang__)
+#define IKDP_ACQUIRES(l) __attribute__((annotate("ikdp_acquires:" #l)))
+#define IKDP_RELEASES(l) __attribute__((annotate("ikdp_releases:" #l)))
+#define IKDP_EXCLUDES(l) __attribute__((annotate("ikdp_excludes:" #l)))
+#define IKDP_LOCK_RANK(l, n) __attribute__((annotate("ikdp_lock_rank:" #l "," #n)))
+#else
+#define IKDP_ACQUIRES(l)
+#define IKDP_RELEASES(l)
+#define IKDP_EXCLUDES(l)
+#define IKDP_LOCK_RANK(l, n)
+#endif
+
 namespace ikdp {
 
 enum class ExecContext : uint8_t {

@@ -1,0 +1,101 @@
+#include "src/kern/lock.h"
+
+#include <algorithm>
+
+namespace ikdp {
+
+namespace {
+LockStats g_lock_stats;
+LockChargeHook g_charge_hook = nullptr;
+
+void NoteAcquired(int rank) {
+  LockStats& s = g_lock_stats;
+  ++s.cur_held;
+  s.max_held = std::max(s.max_held, s.cur_held);
+  s.max_held_rank = std::max(s.max_held_rank, rank);
+}
+}  // namespace
+
+LockStats& GlobalLockStats() { return g_lock_stats; }
+
+void ResetLockStats() { g_lock_stats = LockStats{}; }
+
+void SetLockChargeHook(LockChargeHook hook) { g_charge_hook = hook; }
+
+void SpinLock::Acquire() {
+  if (held_) {
+    // A contended spin lock on a uniprocessor is a deadlock: the holder can
+    // never run while this context spins.  Under lockdep the validator owns
+    // the report (collect mode records it and treats the acquire as a
+    // re-entrant no-op so the run can continue).
+    if (g_charge_hook != nullptr) {
+      g_charge_hook(name_, /*contended=*/true);
+    }
+    if (LockdepEnabled()) {
+      Lockdep().OnAcquire(this, name_, rank_, /*spin=*/true);
+      return;
+    }
+    ContractAbort("SpinLock %s: re-acquired while held (uniprocessor deadlock)", name_);
+  }
+  ++g_lock_stats.spin_acquisitions;
+  NoteAcquired(rank_);
+  if (g_charge_hook != nullptr) {
+    g_charge_hook(name_, /*contended=*/false);
+  }
+  if (LockdepEnabled()) {
+    Lockdep().OnAcquire(this, name_, rank_, /*spin=*/true);
+  }
+  held_ = true;
+}
+
+void SpinLock::Release() {
+  if (!held_) {
+    ContractAbort("SpinLock %s: released while not held", name_);
+  }
+  if (LockdepEnabled()) {
+    Lockdep().OnRelease(this, name_);
+  }
+  held_ = false;
+  --g_lock_stats.cur_held;
+}
+
+void SleepLock::AcquireUncontended() {
+  if (held_) {
+    if (g_charge_hook != nullptr) {
+      g_charge_hook(name_, /*contended=*/true);
+    }
+    ContractAbort(
+        "SleepLock %s: AcquireUncontended found the lock held — a critical "
+        "section spanned a suspension point",
+        name_);
+  }
+  TakeOwnership(/*contended=*/false);
+}
+
+void SleepLock::TakeOwnership(bool contended) {
+  ++g_lock_stats.sleep_acquisitions;
+  NoteAcquired(rank_);
+  if (g_charge_hook != nullptr) {
+    g_charge_hook(name_, contended);
+  }
+  if (LockdepEnabled()) {
+    // Taking a sleep lock is a may-block point even when it does not sleep:
+    // holding a SpinLock here is the sleep-under-spinlock hazard.
+    Lockdep().OnMayBlock(name_);
+    Lockdep().OnAcquire(this, name_, rank_, /*spin=*/false);
+  }
+  held_ = true;
+}
+
+void SleepLock::ReleaseOwnership() {
+  if (!held_) {
+    ContractAbort("SleepLock %s: released while not held", name_);
+  }
+  if (LockdepEnabled()) {
+    Lockdep().OnRelease(this, name_);
+  }
+  held_ = false;
+  --g_lock_stats.cur_held;
+}
+
+}  // namespace ikdp

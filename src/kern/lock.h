@@ -1,0 +1,158 @@
+// Lock primitives for the simulated kernel: SpinLock and SleepLock.
+//
+// The simulation runs on one host thread, so these locks never spin or
+// contend at host level — they install the DISCIPLINE the SMP kernel will
+// need (ROADMAP: per-CPU run queues, interrupt steering).  Structures shared
+// across the logically-concurrent contexts (process / interrupt / softclock)
+// move from pure context-set annotations to `IKDP_GUARDED_BY(lock:<name>)`,
+// and both halves of klock check the discipline: tools/kcheck statically
+// (acquisition order, guard coverage, sleep-under-spinlock), and the lockdep
+// validator (src/sim/lockdep.h) dynamically per run.
+//
+//  * SpinLock — usable from any context, including interrupt and softclock.
+//    Never sleeps.  On a uniprocessor a contended spin lock IS a deadlock
+//    (the holder can never run while the acquirer spins), so re-acquisition
+//    aborts; critical sections must not span a suspension point (co_await)
+//    or a synchronous completion path that re-enters the lock.
+//
+//  * SleepLock — process context only.  A contended acquire sleeps the
+//    process on the lock's channel (standard Sleep/Wakeup, so the contended
+//    path rides the existing scheduler cost model); the uncontended path
+//    charges nothing.  AcquireUncontended() is for non-suspending critical
+//    sections where contention is impossible by construction — it aborts if
+//    that reasoning ever breaks.
+//
+// COST MODEL: the uncontended fast path of both locks charges ZERO simulated
+// time — Tables 1 and 2 stay byte-identical with every lock installed
+// (bench/perturb_tables proves it across seeds).  SetLockChargeHook installs
+// a cost hook for future SMP experiments that want non-zero acquire costs;
+// the default (nullptr) is the zero-cost model.
+//
+// Every lock carries a name and a rank (IKDP_LOCK_RANK annotation on the
+// member, same values passed to the constructor).  Ranks order the lock
+// hierarchy: lower = outer, and an acquisition must carry a strictly greater
+// rank than every lock already held.  The rank table lives in docs/klock.md.
+
+#ifndef SRC_KERN_LOCK_H_
+#define SRC_KERN_LOCK_H_
+
+#include <cstdint>
+
+#include "src/kern/ctx.h"
+#include "src/sim/lockdep.h"
+#include "src/sim/task.h"
+
+namespace ikdp {
+
+// Always-on lock counters (exported as lock.* in ikdp.telemetry.v1).
+// Plain increments and max-tracking: no simulated time, no allocation.
+struct LockStats {
+  uint64_t spin_acquisitions = 0;
+  uint64_t sleep_acquisitions = 0;
+  // Times a SleepLock acquire found the lock held and slept.  Always zero in
+  // the shipped benches: every deployed critical section is non-suspending.
+  uint64_t sleep_contention = 0;
+  int cur_held = 0;       // locks currently held
+  int max_held = 0;       // max locks held simultaneously this run
+  int max_held_rank = 0;  // highest rank ever held (0 = none yet)
+};
+
+LockStats& GlobalLockStats();
+void ResetLockStats();
+
+// Cost-model hook: called on every acquisition with the lock's name and
+// whether the acquire contended.  nullptr (the default) charges zero
+// simulated time — the tables depend on it.
+using LockChargeHook = void (*)(const char* name, bool contended);
+void SetLockChargeHook(LockChargeHook hook);
+
+// Sleep priority for SleepLock waiters: between disk I/O and user waits.
+inline constexpr int kPriLock = 28;
+
+class SpinLock {
+ public:
+  constexpr SpinLock(const char* name, int rank) : name_(name), rank_(rank) {}
+
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  // Any context.  Aborts on re-acquisition (uniprocessor deadlock) unless
+  // lockdep collect mode is recording violations instead.
+  void Acquire();
+  void Release();
+
+  bool held() const { return held_; }
+  const char* name() const { return name_; }
+  int rank() const { return rank_; }
+
+ private:
+  const char* name_;
+  int rank_;
+  bool held_ = false;
+};
+
+// RAII scope for a SpinLock critical section.  Only for non-coroutine
+// scopes: a guard living in a coroutine frame would hold the lock across
+// co_await, which is sleep-under-spinlock.
+class SpinGuard {
+ public:
+  explicit SpinGuard(SpinLock& lock) : lock_(&lock) { lock_->Acquire(); }
+  ~SpinGuard() { lock_->Release(); }
+
+  SpinGuard(const SpinGuard&) = delete;
+  SpinGuard& operator=(const SpinGuard&) = delete;
+
+ private:
+  SpinLock* lock_;
+};
+
+class SleepLock {
+ public:
+  constexpr SleepLock(const char* name, int rank) : name_(name), rank_(rank) {}
+
+  SleepLock(const SleepLock&) = delete;
+  SleepLock& operator=(const SleepLock&) = delete;
+
+  // Process context.  For critical sections that cannot suspend (pure map
+  // lookups, descriptor-table edits): contention is impossible by
+  // construction, and this aborts if that construction ever breaks.
+  IKDP_CTX_PROCESS void AcquireUncontended();
+
+  // Process context, may sleep when contended.  Templated on CpuSystem so
+  // this header stays at the ctx layer (no src/kern/cpu.h dependency).
+  template <typename CpuT, typename ProcT>
+  IKDP_CTX_PROCESS Task<> Acquire(CpuT* cpu, ProcT& p) {
+    while (held_) {
+      ++GlobalLockStats().sleep_contention;
+      co_await cpu->Sleep(p, this, kPriLock, /*interruptible=*/false);
+    }
+    TakeOwnership(/*contended=*/false);
+  }
+
+  // Release with waiter wakeup (pairs with Acquire).
+  template <typename CpuT>
+  void Release(CpuT* cpu) {
+    ReleaseOwnership();
+    cpu->Wakeup(this);
+  }
+
+  // Release without wakeup (pairs with AcquireUncontended: no waiter can
+  // exist when every critical section is non-suspending).
+  void Release() { ReleaseOwnership(); }
+
+  bool held() const { return held_; }
+  const char* name() const { return name_; }
+  int rank() const { return rank_; }
+
+ private:
+  void TakeOwnership(bool contended);
+  void ReleaseOwnership();
+
+  const char* name_;
+  int rank_;
+  bool held_ = false;
+};
+
+}  // namespace ikdp
+
+#endif  // SRC_KERN_LOCK_H_

@@ -4,6 +4,8 @@
 
 #include "src/dev/disk_driver.h"
 #include "src/fs/filesystem.h"
+#include "src/kern/lock.h"
+#include "src/sim/lockdep.h"
 
 namespace ikdp {
 
@@ -156,6 +158,20 @@ void CaptureKernelCounters(MetricsRegistry* registry, Kernel& kernel) {
   registry->SetCounter("aio.overflows", static_cast<int64_t>(aio.overflows));
   registry->SetCounter("aio.reaps", static_cast<int64_t>(aio.reaps));
   registry->SetCounter("aio.sq_depth_max", aio.sq_depth_max);
+
+  // Lock-discipline counters (docs/klock.md).  The acquisition counters are
+  // always on; the order-graph numbers come from the lockdep validator and
+  // are zeros when IKDP_LOCKDEP is off — emitted anyway so the lock.*
+  // namespace is stable across configurations.
+  const LockStats& locks = GlobalLockStats();
+  registry->SetCounter("lock.spin_acquisitions", static_cast<int64_t>(locks.spin_acquisitions));
+  registry->SetCounter("lock.sleep_acquisitions",
+                       static_cast<int64_t>(locks.sleep_acquisitions));
+  registry->SetCounter("lock.sleep_contention", static_cast<int64_t>(locks.sleep_contention));
+  registry->SetCounter("lock.max_held", locks.max_held);
+  registry->SetCounter("lock.max_held_rank", locks.max_held_rank);
+  registry->SetCounter("lock.order_edges", static_cast<int64_t>(Lockdep().edges().size()));
+  registry->SetCounter("lock.violations", static_cast<int64_t>(Lockdep().violations().size()));
 
   for (FileSystem* fs : kernel.Mounts()) {
     auto* drv = dynamic_cast<DiskDriver*>(fs->dev());

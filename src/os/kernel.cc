@@ -72,20 +72,31 @@ void Kernel::SyscallExit(Process& p, const char* name) {
   p.TakeSignals();
 }
 
+// The fd-table critical sections never suspend, so the SleepLock's
+// uncontended fast path is the right acquire here: on the simulated single
+// CPU there is no second process to contend with inside a non-suspending
+// section, and AcquireUncontended aborts (rather than sleeps) if that
+// invariant is ever broken.
 int Kernel::Install(Process& p, std::shared_ptr<File> f) {
+  ktable_lock_.AcquireUncontended();
   ProcFiles& pf = files_[&p];
   const int fd = pf.next_fd++;
   pf.fds[fd] = std::move(f);
+  ktable_lock_.Release();
   return fd;
 }
 
 std::shared_ptr<File> Kernel::GetFile(Process& p, int fd) {
+  ktable_lock_.AcquireUncontended();
   auto pit = files_.find(&p);
   if (pit == files_.end()) {
+    ktable_lock_.Release();
     return nullptr;
   }
   auto fit = pit->second.fds.find(fd);
-  return fit == pit->second.fds.end() ? nullptr : fit->second;
+  std::shared_ptr<File> f = fit == pit->second.fds.end() ? nullptr : fit->second;
+  ktable_lock_.Release();
+  return f;
 }
 
 // --- file syscalls ---
@@ -120,8 +131,10 @@ Task<int> Kernel::Open(Process& p, const std::string& path, uint32_t flags) {
 
 Task<int> Kernel::Close(Process& p, int fd) {
   co_await SyscallEnter(p, "close");
+  ktable_lock_.AcquireUncontended();
   auto pit = files_.find(&p);
   const int result = (pit != files_.end() && pit->second.fds.erase(fd) > 0) ? 0 : -1;
+  ktable_lock_.Release();
   SyscallExit(p, "close");
   co_return result;
 }

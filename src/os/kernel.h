@@ -34,6 +34,7 @@
 #include "src/hw/costs.h"
 #include "src/kern/cpu.h"
 #include "src/kern/ctx.h"
+#include "src/kern/lock.h"
 #include "src/net/udp_socket.h"
 #include "src/sim/callout.h"
 #include "src/sim/simulator.h"
@@ -211,8 +212,9 @@ class Kernel {
   // descriptors into p's table.  Returns 0 on success.
   IKDP_CTX_PROCESS Task<int> CreatePipe(Process& p, int* read_fd, int* write_fd);
 
-  // Descriptor lookup (tests and endpoint plumbing).
-  std::shared_ptr<File> GetFile(Process& p, int fd);
+  // Descriptor lookup (tests and endpoint plumbing).  Takes the fd-table
+  // lock itself, so the caller must not hold it.
+  IKDP_EXCLUDES(ktable) std::shared_ptr<File> GetFile(Process& p, int fd);
 
   struct Stats {
     uint64_t syscalls = 0;
@@ -247,7 +249,7 @@ class Kernel {
   IKDP_CTX_PROCESS Task<> SyscallEnter(Process& p, const char* name);
   IKDP_CTX_PROCESS void SyscallExit(Process& p, const char* name);
 
-  int Install(Process& p, std::shared_ptr<File> f);
+  IKDP_EXCLUDES(ktable) int Install(Process& p, std::shared_ptr<File> f);
 
   // Builds splice endpoints from an open file.  Returns nullptr on
   // unsupported/invalid combinations, with `err` set to why: kErrInval for
@@ -280,7 +282,14 @@ class Kernel {
 
   std::map<std::string, std::unique_ptr<FileSystem>> mounts_;
   std::map<std::string, CharDevice*> char_devs_;
-  std::map<Process*, ProcFiles> files_;
+  // The file-table lock (docs/klock.md): the repo's one SleepLock, guarding
+  // the per-process descriptor tables.  Every fd-table critical section is
+  // short and never suspends, so the non-coroutine syscall helpers take it
+  // with AcquireUncontended()/Release() — the coroutine Acquire(cpu, p) path
+  // exists for contended SMP futures (tests/lockdep_test.cc exercises it).
+  // Outermost rank: it may be held around calls into cache/ring/engine.
+  SleepLock ktable_lock_ IKDP_LOCK_RANK(ktable, 10) = SleepLock("ktable", 10);
+  std::map<Process*, ProcFiles> files_ IKDP_GUARDED_BY(lock:ktable);
   std::map<Process*, Itimer> itimers_;
   std::map<Process*, std::map<int, std::unique_ptr<SpliceRing>>> rings_;
   int next_ring_id_ = 1;

@@ -30,21 +30,24 @@ SimTime CalloutTable::NextTickAfter(SimTime now) const {
 CalloutId CalloutTable::Timeout(std::function<void()> fn, int ticks) {
   assert(ticks >= 1);
   const SimTime when = NextTickAfter(sim_->Now()) + static_cast<SimTime>(ticks - 1) * tick_;
+  lock_.Acquire();
   const CalloutId id = ++next_id_;
   IKDP_KRACE_COMMUTE(this, "CalloutTable::buckets_");
   IKDP_KRACE_COMMUTE(this, "CalloutTable::pending_");
   buckets_[when].push_back(Entry{id, std::move(fn), /*head=*/false});
   pending_[id] = when;
   if (KraceEnabled()) Krace().ChannelRelease(&buckets_);
+  ArmSoftclock(when);
+  lock_.Release();
   if (trace_ != nullptr) {
     trace_->Record(sim_->Now(), TraceKind::kCalloutArm, static_cast<int64_t>(id), ticks);
   }
-  ArmSoftclock(when);
   return id;
 }
 
 CalloutId CalloutTable::ScheduleHead(std::function<void()> fn) {
   const SimTime when = NextTickAfter(sim_->Now());
+  lock_.Acquire();
   const CalloutId id = ++next_id_;
   auto& bucket = buckets_[when];
   // Head entries run before FIFO entries; among themselves they keep
@@ -58,16 +61,19 @@ CalloutId CalloutTable::ScheduleHead(std::function<void()> fn) {
   bucket.insert(it, Entry{id, std::move(fn), /*head=*/true});
   pending_[id] = when;
   if (KraceEnabled()) Krace().ChannelRelease(&buckets_);
+  ArmSoftclock(when);
+  lock_.Release();
   if (trace_ != nullptr) {
     trace_->Record(sim_->Now(), TraceKind::kCalloutArm, static_cast<int64_t>(id), 0);
   }
-  ArmSoftclock(when);
   return id;
 }
 
 bool CalloutTable::Untimeout(CalloutId id) {
+  lock_.Acquire();
   auto it = pending_.find(id);
   if (it == pending_.end()) {
+    lock_.Release();
     return false;
   }
   const SimTime when = it->second;
@@ -90,6 +96,7 @@ bool CalloutTable::Untimeout(CalloutId id) {
       }
     }
   }
+  lock_.Release();
   return true;
 }
 
@@ -106,16 +113,19 @@ void CalloutTable::ArmSoftclock(SimTime when) {
 
 void CalloutTable::RunTick(SimTime when) {
   if (KraceEnabled()) Krace().ChannelAcquire(&buckets_);
+  lock_.Acquire();
   IKDP_KRACE_COMMUTE(this, "CalloutTable::buckets_");
   IKDP_KRACE_COMMUTE(this, "CalloutTable::armed_");
   armed_.erase(when);
   auto it = buckets_.find(when);
   if (it == buckets_.end()) {
+    lock_.Release();
     return;
   }
   // Detach the bucket first: callouts frequently re-schedule themselves, and
   // fresh ScheduleHead() calls from inside a handler must land on the *next*
-  // tick, not this one (NextTickAfter is strict, so they do).
+  // tick, not this one (NextTickAfter is strict, so they do).  The handlers
+  // below run with the lock dropped — re-arming acquires it again.
   std::vector<Entry> entries = std::move(it->second);
   buckets_.erase(it);
   ++softclock_runs_;
@@ -125,6 +135,7 @@ void CalloutTable::RunTick(SimTime when) {
   for (Entry& e : entries) {
     pending_.erase(e.id);
   }
+  lock_.Release();
   // Everything below runs at softclock level: the observer (softclock CPU
   // charging) and the expired entries themselves.  Entries that raise to
   // interrupt level (RunInterrupt) nest their own guard on top.

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/kern/ctx.h"
+#include "src/kern/lock.h"
 #include "src/sim/simulator.h"
 #include "src/sim/time.h"
 #include "src/sim/trace.h"
@@ -59,7 +60,10 @@ class CalloutTable {
   int hz() const { return hz_; }
 
   // Number of callouts currently pending (for tests).
-  size_t Pending() const { return pending_.size(); }
+  size_t Pending() const {
+    SpinGuard g(lock_);
+    return pending_.size();
+  }
 
   // Total softclock activations (for stats).
   uint64_t softclock_runs() const { return softclock_runs_; }
@@ -92,14 +96,20 @@ class CalloutTable {
   Simulator* sim_;
   int hz_;
   SimDuration tick_;
+  // The callout-wheel lock: innermost leaf of the hierarchy (docs/klock.md)
+  // so armers may hold their own structure's lock across Timeout /
+  // ScheduleHead.  RunTick detaches the expired bucket under the lock and
+  // runs the handlers after release — handlers re-arm.  The `callout`
+  // ordering channel still carries the arm -> run happens-before edge for
+  // krace.  `mutable` lets const accessors (Pending) lock.
+  mutable SpinLock lock_ IKDP_LOCK_RANK(callout, 90) = SpinLock("callout", 90);
   // tick time -> entries expiring on that tick, in insertion order (head
   // entries are prepended).  Armed/filled from any context, drained by
-  // RunTick at softclock; the `callout` ordering channel carries the
-  // arm -> run happens-before edge for the dynamic checker.
-  std::map<SimTime, std::vector<Entry>> buckets_ IKDP_ORDERED_BY(callout);
-  std::map<SimTime, EventId> armed_ IKDP_ORDERED_BY(callout);
-  std::map<CalloutId, SimTime> pending_ IKDP_ORDERED_BY(callout);
-  CalloutId next_id_ = 0;
+  // RunTick at softclock.
+  std::map<SimTime, std::vector<Entry>> buckets_ IKDP_GUARDED_BY(lock:callout);
+  std::map<SimTime, EventId> armed_ IKDP_GUARDED_BY(lock:callout);
+  std::map<CalloutId, SimTime> pending_ IKDP_GUARDED_BY(lock:callout);
+  CalloutId next_id_ IKDP_GUARDED_BY(lock:callout) = 0;
   uint64_t softclock_runs_ = 0;
   std::function<void(int)> observer_;
   TraceLog* trace_ = nullptr;

@@ -85,10 +85,14 @@ SpliceDescriptor* SpliceEngine::StartMulti(
   d->opts_ = opts;
   d->on_complete_ = std::move(on_complete);
   const int64_t total = d->source_->TotalBytes();
+  int64_t chunks_total = -1;
   if (total >= 0) {
     const int64_t chunk = d->source_->ChunkBytes();
-    d->chunks_total_ = (total + chunk - 1) / chunk;
+    chunks_total = (total + chunk - 1) / chunk;
   }
+  d->lock_.Acquire();
+  d->chunks_total_ = chunks_total;
+  d->lock_.Release();
   descriptors_[d] = std::move(owned);
   ++stats_.splices_started;
   d->serial_ = stats_.splices_started;
@@ -102,9 +106,9 @@ SpliceDescriptor* SpliceEngine::StartMulti(
   KspanScope scope("splice", d->span_);
   if (cpu_->trace() != nullptr) {
     cpu_->trace()->Record(cpu_->sim()->Now(), TraceKind::kSpliceStart,
-                          static_cast<int64_t>(d->serial_), d->chunks_total_);
+                          static_cast<int64_t>(d->serial_), chunks_total);
   }
-  if (d->chunks_total_ == 0) {
+  if (chunks_total == 0) {
     // Empty transfer: finish immediately (still asynchronously, so callers
     // always see completion after Start returns).
     Softclock(d->span_, [this, d] { MaybeFinish(d); });
@@ -115,12 +119,15 @@ SpliceDescriptor* SpliceEngine::StartMulti(
 }
 
 void SpliceEngine::Cancel(SpliceDescriptor* d) {
+  KspanScope scope("splice", d->span_);
+  d->lock_.Acquire();
   if (d->finished_) {
+    d->lock_.Release();
     return;
   }
-  KspanScope scope("splice", d->span_);
   IKDP_KRACE_WRITE(d, "SpliceDescriptor::counters");
   d->cancelled_ = true;
+  d->lock_.Release();
   // A stream source blocked on its peer (pipe writer gone quiet, socket
   // with no sender) would hold pending_reads_ up forever; drop that read so
   // cancellation converges.
@@ -133,13 +140,20 @@ void SpliceEngine::Cancel(SpliceDescriptor* d) {
 }
 
 void SpliceEngine::AbortPendingRead(SpliceDescriptor* d) {
-  if (d->pending_reads_ > 0 && d->source_->CancelRead()) {
+  // CancelRead is an endpoint call: probe the count under the lock, drop the
+  // lock for the call, and retract the issue under the lock again.
+  d->lock_.Acquire();
+  const bool outstanding = d->pending_reads_ > 0;
+  d->lock_.Release();
+  if (outstanding && d->source_->CancelRead()) {
     // The dropped read's completion will never run: retract its issue, and
     // say so in the trace — the span builder closes the orphaned read
     // interval off this record instead of leaking an open chunk span.
     IKDP_KRACE_WRITE(d, "SpliceDescriptor::counters");
+    d->lock_.Acquire();
     --d->pending_reads_;
     --d->reads_issued_;
+    d->lock_.Release();
     if (cpu_->trace() != nullptr) {
       cpu_->trace()->Record(cpu_->sim()->Now(), TraceKind::kSpliceReadAbort,
                             static_cast<int64_t>(d->serial_));
@@ -148,21 +162,28 @@ void SpliceEngine::AbortPendingRead(SpliceDescriptor* d) {
 }
 
 void SpliceEngine::IssueReads(SpliceDescriptor* d) {
-  if (d->cancelled_ || d->eof_) {
-    return;
-  }
   // Reads issued under the stream's span: the buffer cache stamps acquired
   // bufs with the cursor, which is how the span rides into the disk queue
   // and back out through biodone.
   KspanScope scope("splice", d->span_);
-  // The eof/cancel re-check inside the loop matters: StartRead may complete
-  // synchronously (queued datagram, cache hit) and deliver the end-of-stream
-  // marker while this loop is still issuing.  The in-flight bound keeps a
-  // synchronous source (whose reads complete inside StartRead, leaving
-  // pending_reads at zero) from reading the whole file ahead of the writes.
-  while (!d->eof_ && !d->cancelled_ && d->pending_reads_ < d->opts_.refill_batch &&
-         d->InFlight() < d->opts_.max_inflight_chunks &&
-         (d->chunks_total_ < 0 || d->next_read_ < d->chunks_total_)) {
+  // The eof/cancel re-check on every iteration matters: StartRead may
+  // complete synchronously (queued datagram, cache hit) and deliver the
+  // end-of-stream marker while this loop is still issuing.  The in-flight
+  // bound keeps a synchronous source (whose reads complete inside StartRead,
+  // leaving pending_reads at zero) from reading the whole file ahead of the
+  // writes.  Lock per iteration: the admission check and the issue counting
+  // are one critical section; StartRead runs with the lock dropped (it can
+  // re-enter ReadDone synchronously).
+  for (;;) {
+    d->lock_.Acquire();
+    const bool admit = !d->eof_ && !d->cancelled_ &&
+                       d->pending_reads_ < d->opts_.refill_batch &&
+                       d->InFlight() < d->opts_.max_inflight_chunks &&
+                       (d->chunks_total_ < 0 || d->next_read_ < d->chunks_total_);
+    if (!admit) {
+      d->lock_.Release();
+      return;
+    }
     const int64_t index = d->next_read_;
     // Count the read as issued BEFORE starting it: synchronous devices (RAM
     // disk, cache hits) complete inside StartRead, and the completion
@@ -172,6 +193,7 @@ void SpliceEngine::IssueReads(SpliceDescriptor* d) {
     ++d->reads_issued_;
     ++d->pending_reads_;
     d->stats_.max_pending_reads = std::max(d->stats_.max_pending_reads, d->pending_reads_);
+    d->lock_.Release();
     if (cpu_->trace() != nullptr) {
       cpu_->trace()->Record(cpu_->sim()->Now(), TraceKind::kSpliceRead,
                             static_cast<int64_t>(d->serial_), index);
@@ -179,9 +201,11 @@ void SpliceEngine::IssueReads(SpliceDescriptor* d) {
     const bool ok = d->source_->StartRead(
         index, [this, d](SpliceChunk chunk) { ReadDone(d, std::move(chunk)); });
     if (!ok) {
+      d->lock_.Acquire();
       --d->next_read_;
       --d->reads_issued_;
       --d->pending_reads_;
+      d->lock_.Release();
       ++d->stats_.read_retries;
       ArmReadRetry(d);
       return;
@@ -190,7 +214,12 @@ void SpliceEngine::IssueReads(SpliceDescriptor* d) {
 }
 
 void SpliceEngine::ArmReadRetry(SpliceDescriptor* d) {
+  // Check-and-arm is one critical section, held across ScheduleHead — a
+  // deliberate splice -> callout nesting (rank 30 -> 90; the callout table
+  // never calls back into the descriptor synchronously).
+  d->lock_.Acquire();
   if (d->read_retry_armed_) {
+    d->lock_.Release();
     return;
   }
   IKDP_KRACE_WRITE(d, "SpliceDescriptor::counters");
@@ -198,17 +227,21 @@ void SpliceEngine::ArmReadRetry(SpliceDescriptor* d) {
   d->retry_callout_ = callouts_->ScheduleHead([this, d] {
     KspanScope scope("splice", d->span_);
     cpu_->RunInterrupt(cpu_->costs().softclock_per_callout, [this, d] {
+      d->lock_.Acquire();
       d->read_retry_armed_ = false;
       d->retry_callout_ = kInvalidCalloutId;
+      d->lock_.Release();
       IssueReads(d);
     });
   });
+  d->lock_.Release();
 }
 
 void SpliceEngine::ReadDone(SpliceDescriptor* d, SpliceChunk chunk) {
   KspanScope scope("splice", d->span_);
   Charge(cpu_->costs().splice_read_handler);
   IKDP_KRACE_WRITE(d, "SpliceDescriptor::counters");
+  d->lock_.Acquire();
   --d->pending_reads_;
   if (chunk.error != 0) {
     // Unrecoverable read error: stop issuing, drain what is in flight, and
@@ -219,6 +252,7 @@ void SpliceEngine::ReadDone(SpliceDescriptor* d, SpliceChunk chunk) {
       d->error_ = chunk.error;
     }
     ++d->chunks_done_;
+    d->lock_.Release();
     d->source_->Release(chunk);
     MaybeFinish(d);
     return;
@@ -228,12 +262,14 @@ void SpliceEngine::ReadDone(SpliceDescriptor* d, SpliceChunk chunk) {
     // it drains right here.
     d->eof_ = true;
     ++d->chunks_done_;
+    d->lock_.Release();
     if (chunk.src_buf != nullptr) {
       d->source_->Release(chunk);
     }
     MaybeFinish(d);
     return;
   }
+  d->lock_.Release();
   // "When a read completes, the read handler is invoked which in turn
   // schedules a write by placing a reference to the write handler at the
   // head of the system callout list."  (Section 5.2.2)
@@ -253,7 +289,11 @@ void SpliceEngine::ReadDone(SpliceDescriptor* d, SpliceChunk chunk) {
 }
 
 void SpliceEngine::ArmDrain(SpliceDescriptor* d) {
+  // Same shape as ArmReadRetry: the latch and the ScheduleHead are one
+  // critical section (splice -> callout nesting, legal by rank).
+  d->lock_.Acquire();
   if (d->drain_armed_) {
+    d->lock_.Release();
     return;
   }
   IKDP_KRACE_WRITE(d, "SpliceDescriptor::counters");
@@ -261,10 +301,13 @@ void SpliceEngine::ArmDrain(SpliceDescriptor* d) {
   callouts_->ScheduleHead([this, d] {
     KspanScope scope("splice", d->span_);
     cpu_->RunInterrupt(cpu_->costs().softclock_per_callout, [this, d] {
+      d->lock_.Acquire();
       d->drain_armed_ = false;
+      d->lock_.Release();
       DrainWrites(d);
     });
   });
+  d->lock_.Release();
 }
 
 void SpliceEngine::DrainWrites(SpliceDescriptor* d) {
@@ -291,13 +334,16 @@ bool SpliceEngine::StartChunkWrite(SpliceDescriptor* d, SpliceChunk chunk) {
   KspanScope scope("splice", d->span_);
   Charge(cpu_->costs().splice_write_handler);
   IKDP_KRACE_WRITE(d, "SpliceDescriptor::counters");
+  d->lock_.Acquire();
   if (d->cancelled_) {
-    d->source_->Release(chunk);
     // Count it as drained so cancellation converges.
     ++d->chunks_done_;
+    d->lock_.Release();
+    d->source_->Release(chunk);
     MaybeFinish(d);
     return true;  // consumed
   }
+  d->lock_.Release();
   int sink_index = 0;
   if (d->opts_.kop_program != nullptr) {
     const KopOutcome out = ExecKop(d, chunk);
@@ -308,7 +354,9 @@ bool SpliceEngine::StartChunkWrite(SpliceDescriptor* d, SpliceChunk chunk) {
         // completion, so it must also drive the flow control — a 90% filter
         // would otherwise stall once the initial read batch drained.
         d->source_->Release(chunk);
+        d->lock_.Acquire();
         ++d->chunks_done_;
+        d->lock_.Release();
         MaybeRefill(d);
         MaybeFinish(d);
         return true;  // consumed
@@ -316,14 +364,18 @@ bool SpliceEngine::StartChunkWrite(SpliceDescriptor* d, SpliceChunk chunk) {
         // Mid-stream operator rejection rides the PR6 fault machinery: the
         // errno is sticky-first on the descriptor, reads stop, in-flight
         // chunks drain, and the completion reports io_error.
+        d->lock_.Acquire();
         d->io_error_ = true;
         d->cancelled_ = true;
         if (d->error_ == 0) {
           d->error_ = out.error != 0 ? out.error : kErrKopReject;
         }
+        d->lock_.Release();
         AbortPendingRead(d);
         d->source_->Release(chunk);
+        d->lock_.Acquire();
         ++d->chunks_done_;
+        d->lock_.Release();
         MaybeFinish(d);
         return true;  // consumed
       case KopOutcome::Kind::kPass:
@@ -341,9 +393,13 @@ bool SpliceEngine::StartChunkWrite(SpliceDescriptor* d, SpliceChunk chunk) {
   }
   // Count the write BEFORE starting it: synchronous sinks (RAM disk)
   // complete inside StartWrite and their completion handler must see
-  // consistent counters.
+  // consistent counters.  StartWrite itself runs with the lock dropped — a
+  // pipe sink can complete the PEER descriptor's read synchronously, and two
+  // same-rank `splice` locks must never nest.
+  d->lock_.Acquire();
   ++d->pending_writes_;
   d->stats_.max_pending_writes = std::max(d->stats_.max_pending_writes, d->pending_writes_);
+  d->lock_.Release();
   SpliceChunk* heap_chunk = new SpliceChunk(std::move(chunk));
   const bool ok = d->sinks_[sink_index]->StartWrite(*heap_chunk, [this, d, heap_chunk](bool write_ok) {
     SpliceChunk done_chunk = std::move(*heap_chunk);
@@ -353,7 +409,9 @@ bool SpliceEngine::StartChunkWrite(SpliceDescriptor* d, SpliceChunk chunk) {
   if (!ok) {
     // Sink full: requeue at the front; the drain retries next tick, pacing
     // the splice at the sink's drain rate.
+    d->lock_.Acquire();
     --d->pending_writes_;
+    d->lock_.Release();
     ++d->stats_.write_retries;
     IKDP_KRACE_WRITE(d, "SpliceDescriptor::ready_");
     d->ready_.push_front(std::move(*heap_chunk));
@@ -367,12 +425,9 @@ void SpliceEngine::WriteDone(SpliceDescriptor* d, SpliceChunk chunk, bool ok) {
   KspanScope scope("splice", d->span_);
   Charge(cpu_->costs().splice_wdone_handler);
   IKDP_KRACE_WRITE(d, "SpliceDescriptor::counters");
+  d->lock_.Acquire();
   --d->pending_writes_;
   ++d->chunks_done_;
-  if (cpu_->trace() != nullptr) {
-    cpu_->trace()->Record(cpu_->sim()->Now(), TraceKind::kSpliceChunk,
-                          static_cast<int64_t>(d->serial_), chunk.index);
-  }
   if (ok) {
     d->bytes_moved_ += chunk.nbytes;
   } else {
@@ -381,6 +436,13 @@ void SpliceEngine::WriteDone(SpliceDescriptor* d, SpliceChunk chunk, bool ok) {
     if (d->error_ == 0) {
       d->error_ = chunk.error != 0 ? chunk.error : kErrIo;
     }
+  }
+  d->lock_.Release();
+  if (cpu_->trace() != nullptr) {
+    cpu_->trace()->Record(cpu_->sim()->Now(), TraceKind::kSpliceChunk,
+                          static_cast<int64_t>(d->serial_), chunk.index);
+  }
+  if (!ok) {
     // A stream read still outstanding against a quiet peer would pin
     // pending_reads_ and the errored splice would never finish.
     AbortPendingRead(d);
@@ -396,19 +458,25 @@ void SpliceEngine::MaybeRefill(SpliceDescriptor* d) {
   // are below their watermarks.  A torn-down splice (error or cancel) must
   // NOT keep burning refill work — IssueReads would refuse anyway, but the
   // accounting and trace churn here are real CPU charges.
-  if (!d->cancelled_ && d->pending_reads_ < d->opts_.read_low_watermark &&
-      d->pending_writes_ < d->opts_.write_high_watermark) {
+  d->lock_.Acquire();
+  const bool refill = !d->cancelled_ && d->pending_reads_ < d->opts_.read_low_watermark &&
+                      d->pending_writes_ < d->opts_.write_high_watermark;
+  const int pending_reads = d->pending_reads_;
+  const int64_t issued_before = d->reads_issued_;
+  d->lock_.Release();
+  if (refill) {
     ++d->stats_.refills;
     if (cpu_->trace() != nullptr) {
       cpu_->trace()->Record(cpu_->sim()->Now(), TraceKind::kSpliceLowWater,
-                            static_cast<int64_t>(d->serial_), d->pending_reads_);
+                            static_cast<int64_t>(d->serial_), pending_reads);
     }
-    const int64_t issued_before = d->reads_issued_;
     IssueReads(d);
+    d->lock_.Acquire();
+    const int64_t issued_after = d->reads_issued_;
+    d->lock_.Release();
     if (cpu_->trace() != nullptr) {
       cpu_->trace()->Record(cpu_->sim()->Now(), TraceKind::kSpliceRefill,
-                            static_cast<int64_t>(d->serial_),
-                            d->reads_issued_ - issued_before);
+                            static_cast<int64_t>(d->serial_), issued_after - issued_before);
     }
   }
 }
@@ -460,44 +528,57 @@ KopOutcome SpliceEngine::ExecKop(SpliceDescriptor* d, SpliceChunk& chunk) {
 }
 
 void SpliceEngine::MaybeFinish(SpliceDescriptor* d) {
+  KspanScope scope("splice", d->span_);
+  // The finished_ latch and the drained test are ONE critical section, and
+  // everything below runs on a snapshot taken inside it: the completion
+  // callback re-enters the ring, whose lock ranks OUTSIDE `splice`, so it
+  // must never run under this lock.
+  d->lock_.Acquire();
   if (d->finished_) {
+    d->lock_.Release();
     return;
   }
-  KspanScope scope("splice", d->span_);
   const bool no_more_input =
       d->cancelled_ || d->eof_ || (d->chunks_total_ >= 0 && d->reads_issued_ == d->chunks_total_);
   const bool drained = d->reads_issued_ == d->chunks_done_ && d->pending_reads_ == 0 &&
                        d->pending_writes_ == 0;
   if (!no_more_input || !drained) {
+    d->lock_.Release();
     return;
   }
   IKDP_KRACE_WRITE(d, "SpliceDescriptor::counters");
   d->finished_ = true;
-  if (d->retry_callout_ != kInvalidCalloutId) {
-    callouts_->Untimeout(d->retry_callout_);
-    d->retry_callout_ = kInvalidCalloutId;
+  const int64_t bytes_moved = d->bytes_moved_;
+  const bool io_error = d->io_error_;
+  const int error = d->error_;
+  const bool cancelled = d->cancelled_;
+  const CalloutId retry = d->retry_callout_;
+  d->retry_callout_ = kInvalidCalloutId;
+  d->lock_.Release();
+  if (retry != kInvalidCalloutId) {
+    callouts_->Untimeout(retry);
   }
   ++stats_.splices_completed;
-  stats_.total_bytes += d->bytes_moved_;
+  stats_.total_bytes += bytes_moved;
   if (cpu_->trace() != nullptr) {
     cpu_->trace()->Record(cpu_->sim()->Now(), TraceKind::kSpliceDone,
-                          static_cast<int64_t>(d->serial_), d->bytes_moved_);
+                          static_cast<int64_t>(d->serial_), bytes_moved);
   }
   // Exactly-once close of a minted stream span: finished_ latches above, so
   // every teardown path (drain, error, cancel) funnels through here once.
   if (d->span_owned_) {
-    KspanEnd(cpu_->sim()->Now(), d->span_, d->bytes_moved_, d->io_error_);
+    KspanEnd(cpu_->sim()->Now(), d->span_, bytes_moved, io_error);
   }
   if (d->on_complete_) {
     auto cb = std::move(d->on_complete_);
     SpliceCompletion c;
     c.serial = d->serial_;
-    c.bytes_moved = d->bytes_moved_;
-    c.io_error = d->io_error_;
-    c.error = d->io_error_ ? (d->error_ != 0 ? d->error_ : kErrIo) : 0;
+    c.bytes_moved = bytes_moved;
+    c.io_error = io_error;
+    c.error = io_error ? (error != 0 ? error : kErrIo) : 0;
     // cancelled_ is also set on the error path (to stop issuing reads);
     // report "cancelled" only for genuine user cancels.
-    c.cancelled = d->cancelled_ && !d->io_error_;
+    c.cancelled = cancelled && !io_error;
     c.started_at = d->started_at_;
     c.finished_at = cpu_->sim()->Now();
     c.kop_active = d->opts_.kop_program != nullptr;

@@ -39,6 +39,7 @@
 
 #include "src/kern/cpu.h"
 #include "src/kern/ctx.h"
+#include "src/kern/lock.h"
 #include "src/kop/kop.h"
 #include "src/sim/callout.h"
 #include "src/sim/kspan.h"
@@ -117,11 +118,23 @@ struct SpliceCompletion {
 class SpliceDescriptor {
  public:
   uint64_t serial() const { return serial_; }
-  int64_t bytes_moved() const { return bytes_moved_; }
-  int64_t chunks_done() const { return chunks_done_; }
-  bool finished() const { return finished_; }
+  int64_t bytes_moved() const {
+    SpinGuard g(lock_);
+    return bytes_moved_;
+  }
+  int64_t chunks_done() const {
+    SpinGuard g(lock_);
+    return chunks_done_;
+  }
+  bool finished() const {
+    SpinGuard g(lock_);
+    return finished_;
+  }
   // Errno of the first I/O failure on this splice (0 while healthy).
-  int error() const { return error_; }
+  int error() const {
+    SpinGuard g(lock_);
+    return error_;
+  }
   // The stream's kspan: a fresh child of the requester's span when a
   // collector is attached, the requester's span itself otherwise.  Every
   // handler pushes it, so interrupt/softclock charges and trace records for
@@ -153,25 +166,35 @@ class SpliceDescriptor {
   // write side for this descriptor (same sharing as the counters below).
   KopRunState kop_ IKDP_GUARDED_BY(any);
 
+  // The descriptor's flow-control lock (docs/klock.md).  Fine-grained: it
+  // covers counter clusters only and is NEVER held across an endpoint call
+  // (StartRead/StartWrite/Release/CancelRead — a pipe sink can complete the
+  // peer descriptor's read synchronously, nesting two same-rank `splice`
+  // locks) nor across the completion callback (the ring's lock ranks
+  // OUTSIDE this one).  It IS held across ScheduleHead in ArmDrain /
+  // ArmReadRetry — a deliberate splice -> callout nesting, legal by rank.
+  // `mutable` lets the const accessors above lock.
+  mutable SpinLock lock_ IKDP_LOCK_RANK(splice, 30) = SpinLock("splice", 30);
+
   // Flow-control state (paper Section 5.2.4).  Touched by the process that
   // starts the splice, the interrupt-level read handler, and the softclock
   // write handler — the whole point of the descriptor is that no single
-  // context owns the transfer, hence GUARDED_BY(any) plus krace WRITE probes
-  // at every mutation site in splice_engine.cc.
-  int64_t chunks_total_ IKDP_GUARDED_BY(any) = -1;  // -1 until EOF bounds a stream
-  int64_t next_read_ IKDP_GUARDED_BY(any) = 0;      // next chunk index to issue
-  int64_t reads_issued_ IKDP_GUARDED_BY(any) = 0;   // StartRead successes
-  int64_t chunks_done_ IKDP_GUARDED_BY(any) = 0;    // write completions
-  int pending_reads_ IKDP_GUARDED_BY(any) = 0;      // issued, not yet completed reads
-  int pending_writes_ IKDP_GUARDED_BY(any) = 0;     // issued, not yet completed writes
-  int64_t bytes_moved_ IKDP_GUARDED_BY(any) = 0;
-  bool eof_ IKDP_GUARDED_BY(any) = false;
-  bool cancelled_ IKDP_GUARDED_BY(any) = false;
-  bool io_error_ IKDP_GUARDED_BY(any) = false;  // unrecoverable read/write error
-  int error_ IKDP_GUARDED_BY(any) = 0;  // errno of the FIRST failure (sticky)
-  bool finished_ IKDP_GUARDED_BY(any) = false;
-  bool read_retry_armed_ IKDP_GUARDED_BY(any) = false;
-  bool drain_armed_ IKDP_GUARDED_BY(any) = false;
+  // context owns the transfer, hence the lock plus krace WRITE probes at
+  // every mutation site in splice_engine.cc.
+  int64_t chunks_total_ IKDP_GUARDED_BY(lock:splice) = -1;  // -1 until EOF bounds a stream
+  int64_t next_read_ IKDP_GUARDED_BY(lock:splice) = 0;      // next chunk index to issue
+  int64_t reads_issued_ IKDP_GUARDED_BY(lock:splice) = 0;   // StartRead successes
+  int64_t chunks_done_ IKDP_GUARDED_BY(lock:splice) = 0;    // write completions
+  int pending_reads_ IKDP_GUARDED_BY(lock:splice) = 0;      // issued, not yet completed reads
+  int pending_writes_ IKDP_GUARDED_BY(lock:splice) = 0;     // issued, not yet completed writes
+  int64_t bytes_moved_ IKDP_GUARDED_BY(lock:splice) = 0;
+  bool eof_ IKDP_GUARDED_BY(lock:splice) = false;
+  bool cancelled_ IKDP_GUARDED_BY(lock:splice) = false;
+  bool io_error_ IKDP_GUARDED_BY(lock:splice) = false;  // unrecoverable read/write error
+  int error_ IKDP_GUARDED_BY(lock:splice) = 0;  // errno of the FIRST failure (sticky)
+  bool finished_ IKDP_GUARDED_BY(lock:splice) = false;
+  bool read_retry_armed_ IKDP_GUARDED_BY(lock:splice) = false;
+  bool drain_armed_ IKDP_GUARDED_BY(lock:splice) = false;
   // Written once at StartEx, read by every handler context afterwards —
   // immutable for the descriptor's life, so any context may read it.
   SpanId span_ IKDP_GUARDED_BY(any) = kNoSpan;
@@ -185,6 +208,7 @@ class SpliceDescriptor {
   std::function<void(const SpliceCompletion&)> on_complete_;
   Stats stats_;
 
+  // Lock-held: every caller (the IssueReads admission condition) holds lock_.
   int InFlight() const { return static_cast<int>(reads_issued_ - chunks_done_); }
 };
 

@@ -43,6 +43,37 @@ Rule classes
                        any finding (or names an unknown rule); delete it so
                        dead waivers cannot hide future regressions.
 
+Lock rules (the static half of klock, docs/klock.md)
+----------------------------------------------------
+Locks are SpinLock / SleepLock members carrying an IKDP_LOCK_RANK(name, n)
+trailer; members guarded by one are annotated IKDP_GUARDED_BY(lock:<name>).
+kcheck tracks the lexically-held lock set through each function body
+(Acquire / AcquireUncontended / Release / SpinGuard, with blocks that end in
+return/break/continue restoring the pre-block set, and lambda bodies —
+deferred callbacks — starting from an empty set).  Helpers that are only
+ever called with a lock held inherit it through a caller-intersection
+fixpoint, so `// lock-held` helpers need no annotation.
+
+  lock-order-cycle     An acquisition order contradiction: a lock acquired
+                       while holding one of equal or higher rank, two sites
+                       acquiring a pair of locks in opposite orders (a cycle
+                       in the observed order graph), or one lock name
+                       declared with two different ranks.
+  sleep-under-spinlock A blocking operation — CpuSystem::Sleep / Use
+                       (directly or through the call graph), a SleepLock
+                       Acquire, or a co_await — reached while a SpinLock is
+                       held.  A spinning CPU cannot yield the processor.
+  lock-guard-violation A member annotated IKDP_GUARDED_BY(lock:<name>) is
+                       accessed at a point where <name> is not held.
+  unreleased-lock      A path (early return, lambda end, or fall-off-end)
+                       leaves a locally-acquired lock held, and the function
+                       is not annotated IKDP_ACQUIRES(<name>).
+  double-acquire       A held lock is acquired again — directly, through a
+                       callee that (transitively) acquires it, or by calling
+                       a function annotated IKDP_EXCLUDES(<name>) while
+                       holding <name>.  On a uniprocessor this is a
+                       self-deadlock, not contention.
+
 Frontends
 ---------
 The default frontend is a built-in lightweight C++ parser (comment/string
@@ -97,7 +128,17 @@ KNOWN_RULES = {
     "interrupt-sleep", "undominated-charge", "buf-double-release",
     "buf-release-unowned", "annotation-conflict", "annotation-mismatch",
     "guard-violation", "unknown-order-channel", "stale-waiver",
+    "lock-order-cycle", "sleep-under-spinlock", "lock-guard-violation",
+    "unreleased-lock", "double-acquire",
 }
+
+# Functions whose resolved call (transitively, outside lambda bodies) means
+# "this may give up the processor" for sleep-under-spinlock.
+MAY_BLOCK_SEEDS = {"CpuSystem::Sleep", "CpuSystem::Use", "SleepLock::Acquire"}
+
+# The lock primitives' own classes: their method bodies implement the
+# discipline rather than follow it, so the lock rules skip them.
+LOCK_IMPL_CLASSES = {"SpinLock", "SleepLock", "SpinGuard", "LockdepValidator"}
 
 # Blocking primitives recognized even without (in addition to) annotations.
 BLOCKING_PRIMITIVES = {"CpuSystem::Sleep", "CpuSystem::Use"}
@@ -198,6 +239,14 @@ class Function:
         self.body_file = None
         self.body_line = None       # 1-based line of the opening brace
         self.calls = []             # (receiver or None, name, file, line)
+        # Lock contract (IKDP_ACQUIRES / IKDP_RELEASES / IKDP_EXCLUDES).
+        self.acquires = set()
+        self.releases = set()
+        self.excludes = set()
+        self.params = {}            # parameter name -> base type (best effort)
+        self.entry_held = frozenset()  # locks held on entry (fixpoint result)
+        self.lambda_regions = []    # [(start, end)] lambda bodies within body
+        self.locals = None          # lazily-built {local ptr/ref -> class}
         # Per-site annotation tracking for the annotation-mismatch rule.
         self.decl_annotation = None  # annotation seen on a declaration
         self.declared_at = None      # (file, line) of first declaration seen
@@ -223,8 +272,14 @@ class Model:
         self.raw_lines = {}   # file -> original text lines (for waivers)
         # Data-side annotations (IKDP_GUARDED_BY / IKDP_ORDERED_BY):
         # class -> {member: ("guard", frozenset(ctx), file, line) |
-        #                   ("order", channel, file, line)}
+        #                   ("order", channel, file, line) |
+        #                   ("lockguard", lockname, file, line)}
         self.guards = {}
+        # Lock registry from IKDP_LOCK_RANK member trailers:
+        # lock name -> (class, member, rank, spin, file, line)
+        self.locks = {}
+        self.lock_members = {}      # (class, member) -> lock name
+        self.lock_rank_conflicts = []  # (name, rank, file, line) duplicates
         # Waivers that actually suppressed a finding this run, so the
         # stale-waiver lint can flag the rest.
         self.used_waivers = set()
@@ -252,7 +307,8 @@ class Model:
 CALL_RE = re.compile(r"(?:(\w+)\s*(?:\.|->)\s*)?(~?\w+)\s*\(")
 QUAL_CALL_RE = re.compile(r"(\w+)\s*::\s*(\w+)\s*\(")
 MEMBER_RE = re.compile(
-    r"^\s*(?:const\s+)?([A-Za-z_]\w*)\s*(?:<[^;<>]*>)?\s*([*&]\s*)?([A-Za-z_]\w*_)\s*"
+    r"^\s*(?:(?:const|mutable|static|constexpr)\s+)*([A-Za-z_]\w*)\s*"
+    r"(?:<[^;<>]*>)?\s*([*&]\s*)?([A-Za-z_]\w*_)\s*"
     r"(?:IKDP_\w+\s*\([^)]*\)\s*)?(?:=[^;]*)?;",
     re.M)
 # A member declarator trailed by a data-side annotation.  The member name is
@@ -261,14 +317,43 @@ MEMBER_RE = re.compile(
 GUARD_RE = re.compile(r"\b([A-Za-z_]\w*)\s+IKDP_GUARDED_BY\s*\(([^)]*)\)")
 ORDER_RE = re.compile(r"\b([A-Za-z_]\w*)\s+IKDP_ORDERED_BY\s*\(\s*([A-Za-z_]\w*)\s*\)")
 WAIVER_RE = re.compile(r"kcheck:\s*allow\(([A-Za-z][\w-]*)\)")
+# A lock member declarator: `SpinLock lock_ IKDP_LOCK_RANK(cache, 40) = ...`.
+LOCK_RANK_RE = re.compile(
+    r"\b([A-Za-z_]\w*)\s+IKDP_LOCK_RANK\s*\(\s*([A-Za-z_]\w*)\s*,\s*(\d+)\s*\)")
+# Function-head lock contract macros (lead the declaration, like IKDP_CTX_*).
+FUNC_LOCK_ANN_RE = re.compile(
+    r"\bIKDP_(ACQUIRES|RELEASES|EXCLUDES)\s*\(\s*([A-Za-z_]\w*)\s*\)")
+# Lock operations on a (possibly receiver-qualified) lock member.  `->` on
+# the lock itself is not used (locks are held by value); `source_->Release`
+# style endpoint calls therefore do not match.
+LOCK_OP_RE = re.compile(
+    r"(?:\b([A-Za-z_]\w*)\s*(?:\.|->)\s*)?\b([A-Za-z_]\w*)\s*\.\s*"
+    r"(Acquire|AcquireUncontended|Release)\s*\(")
+SPINGUARD_RE = re.compile(
+    r"\bSpinGuard\s+\w+\s*\(\s*(?:\b([A-Za-z_]\w*)\s*(?:\.|->)\s*)?"
+    r"([A-Za-z_]\w*)\s*\)")
+# The tail of a statement head that introduces a lambda body: capture list,
+# optional parameter list / specifiers / trailing return type.
+LAMBDA_TAIL_RE = re.compile(
+    r"\[[^\[\]]*\]\s*(?:\([^()]*\))?\s*(?:mutable\b\s*)?(?:noexcept\b\s*)?"
+    r"(?:->\s*[\w:<>,&*\s]+?)?\s*$")
+EXIT_STMT_RE = re.compile(r"\b(return|co_return|break|continue)\b")
 
 
 def parse_head(head):
-    """Extracts (qualifier, name, annotation) from a declaration head.
+    """Extracts (qualifier, name, annotation, lock_ann) from a declaration
+    head.
 
     Returns None if the head does not look like a function.  `qualifier` is
     the explicit `Class::` prefix of an out-of-line definition, or None.
+    `lock_ann` maps ACQUIRES/RELEASES/EXCLUDES to the named locks.  The lock
+    macros carry parentheses, so they are recorded and stripped BEFORE the
+    balanced-paren scan that finds the parameter list.
     """
+    lock_ann = {}
+    for m in FUNC_LOCK_ANN_RE.finditer(head):
+        lock_ann.setdefault(m.group(1), set()).add(m.group(2))
+    head = FUNC_LOCK_ANN_RE.sub(" ", head)
     annotation = None
     for macro, ctx in ANNOTATION_MACROS.items():
         if re.search(r"\b%s\b" % macro, head):
@@ -304,7 +389,34 @@ def parse_head(head):
     prefix = before[: m.start()].strip()
     if prefix.endswith(("=", "return", ",", "(", "&&", "||", "!")):
         return None
-    return qualifier, name, annotation
+    return qualifier, name, annotation, lock_ann
+
+
+def parse_params(head):
+    """Best-effort parameter name -> base type map from a definition head."""
+    head = FUNC_LOCK_ANN_RE.sub(" ", head)
+    depth = 0
+    open_idx = close_idx = -1
+    for idx, ch in enumerate(head):
+        if ch == "(":
+            if depth == 0:
+                open_idx = idx
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth == 0:
+                close_idx = idx
+                break
+    if open_idx < 0 or close_idx < 0:
+        return {}
+    params = {}
+    for arg in _split_args(head[open_idx + 1:close_idx]):
+        arg = arg.split("=")[0].strip()
+        m = re.search(r"([A-Za-z_]\w*)\s*(?:<[^<>]*>)?[\s*&]+([A-Za-z_]\w*)$",
+                      arg)
+        if m and m.group(1) not in CPP_KEYWORDS:
+            params[m.group(2)] = m.group(1)
+    return params
 
 
 def find_matching_brace(code, open_idx):
@@ -347,11 +459,33 @@ class FileParser:
                 table.setdefault(mem.group(3), mem.group(1))
             guards = self.model.guards.setdefault(cls, {})
             for mem in GUARD_RE.finditer(body):
-                ctxs = frozenset(c.strip() for c in mem.group(2).split(",")
-                                 if c.strip())
+                entries = [c.strip() for c in mem.group(2).split(",")
+                           if c.strip()]
                 line = line_of(self.code, m.end() + mem.start())
+                locknames = [e[len("lock:"):].strip() for e in entries
+                             if e.startswith("lock:")]
+                if locknames:
+                    guards.setdefault(mem.group(1),
+                                      ("lockguard", locknames[0],
+                                       self.path, line))
+                    continue
                 guards.setdefault(mem.group(1),
-                                  ("guard", ctxs, self.path, line))
+                                  ("guard", frozenset(entries),
+                                   self.path, line))
+            for mem in LOCK_RANK_RE.finditer(body):
+                member, lockname, rank = (mem.group(1), mem.group(2),
+                                          int(mem.group(3)))
+                line = line_of(self.code, m.end() + mem.start())
+                mtype = table.get(member)
+                spin = mtype != "SleepLock"
+                prev = self.model.locks.get(lockname)
+                if prev is not None and prev[2] != rank:
+                    self.model.lock_rank_conflicts.append(
+                        (lockname, rank, self.path, line))
+                    continue
+                self.model.locks.setdefault(
+                    lockname, (cls, member, rank, spin, self.path, line))
+                self.model.lock_members[(cls, member)] = lockname
             for mem in ORDER_RE.finditer(body):
                 line = line_of(self.code, m.end() + mem.start())
                 guards.setdefault(mem.group(1),
@@ -431,13 +565,14 @@ class FileParser:
         parsed = parse_head(head.strip())
         if not parsed:
             return
-        qualifier, name, annotation = parsed
+        qualifier, name, annotation, lock_ann = parsed
         if name.startswith("IKDP_"):
             return  # a data-member annotation macro, not a function
         line = line_of(self.code, head_pos + len(head) - len(head.lstrip()))
         cls = qualifier or self._enclosing_class(stack)
         qname = "%s::%s" % (cls, name) if cls else name
         fn = self.model.function(qname)
+        self._apply_lock_ann(fn, lock_ann)
         if annotation is None:
             # Track that a declaration exists: annotation-mismatch needs to
             # distinguish "unannotated declaration" from "no declaration".
@@ -450,13 +585,21 @@ class FileParser:
             fn.decl_annotation = annotation
         self._annotate(fn, annotation, line)
 
+    @staticmethod
+    def _apply_lock_ann(fn, lock_ann):
+        fn.acquires |= lock_ann.get("ACQUIRES", set())
+        fn.releases |= lock_ann.get("RELEASES", set())
+        fn.excludes |= lock_ann.get("EXCLUDES", set())
+
     def _record_definition(self, parsed, head, brace_idx, end_idx):
-        qualifier, name, annotation = parsed
+        qualifier, name, annotation, lock_ann = parsed
         # The enclosing class comes from the scope stack captured at classify
         # time; re-derive it from the explicit qualifier or the stack head.
         cls = qualifier or self._pending_class
         qname = "%s::%s" % (cls, name) if cls else name
         fn = self.model.function(qname)
+        self._apply_lock_ann(fn, lock_ann)
+        fn.params.update(parse_params(head))
         line = line_of(self.code, brace_idx)
         if annotation is not None:
             fn.def_annotation = annotation
@@ -734,6 +877,17 @@ def check_data_annotations(model, findings):
                     "%s::%s is IKDP_ORDERED_BY(%s); known channels: %s"
                     % (cls, member, payload,
                        ", ".join(sorted(KNOWN_ORDER_CHANNELS)))))
+            elif kind == "lockguard":
+                if payload in model.locks:
+                    continue
+                if model.waived(file, line, "lock-guard-violation"):
+                    continue
+                findings.append(Finding(
+                    "lock-guard-violation", file, line,
+                    "%s::%s is IKDP_GUARDED_BY(lock:%s), but no lock named "
+                    "'%s' is declared with IKDP_LOCK_RANK; known locks: %s"
+                    % (cls, member, payload, payload,
+                       ", ".join(sorted(model.locks)) or "(none)")))
             else:
                 bad = payload - ALL_CONTEXTS - {"any"}
                 if not bad:
@@ -809,6 +963,522 @@ def check_guard_violations(model, findings):
                     "(declared at %s:%d)"
                     % (fn.qname, fn.annotation.upper(), cls, member,
                        ", ".join(sorted(allowed)), gfile, gline)))
+
+
+# ---------------------------------------------------------------------------
+# Lock discipline (the static half of klock, docs/klock.md)
+# ---------------------------------------------------------------------------
+
+
+LOCAL_DECL_RE = re.compile(r"\b([A-Z]\w*)\s*[*&]+\s*([a-z_]\w*)\s*[=;,)]")
+
+
+def fn_locals(fn):
+    """Pointer/reference locals (and lambda params) with class-typed
+    declarators, for receiver resolution inside bodies."""
+    if fn.locals is None:
+        fn.locals = {}
+        for m in LOCAL_DECL_RE.finditer(fn.body):
+            fn.locals.setdefault(m.group(2), m.group(1))
+    return fn.locals
+
+
+def resolve_lock_name(model, fn, receiver, member):
+    """Maps a (receiver, member) lock mention to a registered lock name."""
+    if receiver is None or receiver == "this":
+        cls = fn.cls
+    elif receiver in fn.params:
+        cls = fn.params[receiver]
+    else:
+        cls = (model.members.get(fn.cls or "", {}).get(receiver)
+               or fn_locals(fn).get(receiver))
+    if cls is not None:
+        name = model.lock_members.get((cls, member))
+        if name:
+            return name
+    cands = {n for (c, m), n in model.lock_members.items() if m == member}
+    if len(cands) == 1:
+        return next(iter(cands))
+    return None  # unknown or ambiguous: skipped (documented approximation)
+
+
+def resolve_call_lock(model, fn, receiver, name):
+    """resolve_call, but parameter and local-pointer types count too (the
+    splice engine passes descriptors by pointer, so `d->InFlight()` must
+    resolve)."""
+    if receiver and not isinstance(receiver, tuple):
+        rcls = fn.params.get(receiver) or fn_locals(fn).get(receiver)
+        if rcls:
+            cand = model.functions.get("%s::%s" % (rcls, name))
+            if cand:
+                return cand
+    return resolve_call(model, fn, receiver, name)
+
+
+def find_lambda_regions(body):
+    """[(open_brace, close_brace)] of every lambda body, nested included.
+
+    Lambdas are deferred callbacks here (callouts, completion handlers), so
+    the tracker treats their bodies as separate execution: they start with
+    an empty held set and must end balanced.
+    """
+    regions = []
+    for i, c in enumerate(body):
+        if c != "{":
+            continue
+        b = max(body.rfind(";", 0, i), body.rfind("{", 0, i),
+                body.rfind("}", 0, i))
+        if LAMBDA_TAIL_RE.search(body[b + 1:i]):
+            regions.append((i, find_matching_brace(body, i)))
+    return regions
+
+
+def _in_region(regions, pos):
+    return any(s < pos < e for s, e in regions)
+
+
+def _trackable(model):
+    for qname in sorted(model.functions):
+        fn = model.functions[qname]
+        if fn.body is not None and fn.cls not in LOCK_IMPL_CLASSES:
+            yield fn
+
+
+def scan_lock_events(model, fn):
+    """{pos: [event]} for one body: lock ops, guards, awaits, resolved calls."""
+    body = fn.body
+    events = {}
+
+    def add(pos, item):
+        events.setdefault(pos, []).append(item)
+
+    for m in LOCK_OP_RE.finditer(body):
+        name = resolve_lock_name(model, fn, m.group(1), m.group(2))
+        if name is not None:
+            add(m.start(), ("op", m.group(3), name))
+    for m in SPINGUARD_RE.finditer(body):
+        name = resolve_lock_name(model, fn, m.group(1), m.group(2))
+        if name is not None:
+            add(m.start(), ("guard", name))
+    for m in re.finditer(r"\bco_await\b", body):
+        add(m.start(), ("await",))
+    for m in QUAL_CALL_RE.finditer(body):
+        callee = model.functions.get("%s::%s" % (m.group(1), m.group(2)))
+        if callee is not None:
+            add(m.start(), ("call", callee))
+    for m in CALL_RE.finditer(body):
+        callee_name = m.group(2)
+        if callee_name.lstrip("~") in CPP_KEYWORDS:
+            continue
+        pre = body[max(0, m.start() - 2):m.start()]
+        if pre.rstrip().endswith("::"):
+            continue
+        callee = resolve_call_lock(model, fn, m.group(1), callee_name)
+        if callee is not None:
+            add(m.start(), ("call", callee))
+    return events
+
+
+def walk_held(model, fn, events, queries, sink):
+    """Walks fn.body tracking the lexically-held lock set.
+
+    Held entries are (lock name, origin) with origin in {"entry", "local",
+    "guard"}.  Blocks ending in return/break/continue restore the pre-block
+    set (the fall-through path never executed them); SpinGuard entries pop
+    with their scope; lambda bodies run deferred, so they start empty and
+    are checked for balance at their close.  sink(kind, pos, *info) receives
+    every derived event; the rule layer turns them into findings.
+    """
+    body = fn.body
+    held = [(l, "entry") for l in sorted(fn.entry_held | fn.releases)
+            if l in model.locks]
+    fn_guards = []
+    scopes = []  # {"lam", "saved", "guards", "exited"}
+
+    def names():
+        return [h[0] for h in held]
+
+    def spin_held():
+        for h, _ in held:
+            if model.locks[h][3]:
+                return h
+        return None
+
+    def release(name):
+        for j in range(len(held) - 1, -1, -1):
+            if held[j][0] == name:
+                del held[j]
+                return
+
+    def acquire(pos, name, method, origin):
+        if name in names():
+            sink("double", pos, name, method)
+            return
+        spin = model.locks[name][3]
+        sh = spin_held()
+        if not spin and method == "Acquire" and sh is not None:
+            sink("may-block", pos, "SleepLock '%s' Acquire" % name, sh)
+        for h in names():
+            sink("edge", pos, h, name)
+        held.append((name, origin))
+        if origin == "guard":
+            (scopes[-1]["guards"] if scopes else fn_guards).append(name)
+
+    i, n = 0, len(body)
+    stmt_start = 0
+    while i < n:
+        for ev in events.get(i, ()):
+            kind = ev[0]
+            if kind == "op":
+                _, method, name = ev
+                if method == "Release":
+                    release(name)
+                else:
+                    acquire(i, name, method, "local")
+            elif kind == "guard":
+                acquire(i, ev[1], "SpinGuard", "guard")
+            elif kind == "await":
+                sh = spin_held()
+                if sh is not None:
+                    sink("may-block", i, "co_await", sh)
+            elif kind == "call":
+                callee = ev[1]
+                sink("call", i, callee, tuple(names()))
+                for l in sorted(callee.excludes):
+                    if l in names():
+                        sink("exclude", i, callee, l)
+                for l in sorted(callee.acquires):
+                    if l in model.locks:
+                        acquire(i, l, "callee", "local")
+                for l in sorted(callee.releases):
+                    release(l)
+        for q in queries.get(i, ()):
+            sink("query", i, q, tuple(names()))
+        c = body[i]
+        if c == "{":
+            head = body[stmt_start:i]
+            lam = LAMBDA_TAIL_RE.search(head) is not None
+            scopes.append({"lam": lam, "saved": list(held), "guards": [],
+                           "exited": False})
+            if lam:
+                held = []
+            stmt_start = i + 1
+        elif c == "}":
+            if scopes:
+                sc = scopes.pop()
+                if sc["lam"]:
+                    sink("lambda-end", i, list(held))
+                    held = sc["saved"]
+                else:
+                    for g in sc["guards"]:
+                        for j in range(len(held) - 1, -1, -1):
+                            if held[j] == (g, "guard"):
+                                del held[j]
+                                break
+                    if sc["exited"]:
+                        held = sc["saved"]
+                if scopes:
+                    scopes[-1]["exited"] = False
+            stmt_start = i + 1
+        elif c == ";":
+            m = EXIT_STMT_RE.search(body[stmt_start:i])
+            if m:
+                if m.group(1) in ("return", "co_return"):
+                    if any(sc["lam"] for sc in scopes):
+                        sink("lambda-end", i, list(held))
+                    else:
+                        sink("fn-exit", i, list(held))
+                if scopes:
+                    scopes[-1]["exited"] = True
+            elif scopes:
+                scopes[-1]["exited"] = False
+            stmt_start = i + 1
+        i += 1
+    sink("fn-exit", n, list(held))
+
+
+def compute_lock_closures(model):
+    """(acq_closure, may_block) over the non-lambda call graph.
+
+    acq_closure[qname]: every lock the function (or a callee, transitively)
+    acquires during its own execution — lambda bodies excluded, they run
+    later.  may_block: functions that can reach a blocking primitive the
+    same way.
+    """
+    direct_acq, calls_out = {}, {}
+    for fn in _trackable(model):
+        regions = find_lambda_regions(fn.body)
+        fn.lambda_regions = regions
+        acq, outs = set(), set()
+        for m in LOCK_OP_RE.finditer(fn.body):
+            if m.group(3) == "Release" or _in_region(regions, m.start()):
+                continue
+            name = resolve_lock_name(model, fn, m.group(1), m.group(2))
+            if name is not None:
+                acq.add(name)
+        for m in SPINGUARD_RE.finditer(fn.body):
+            if not _in_region(regions, m.start()):
+                name = resolve_lock_name(model, fn, m.group(1), m.group(2))
+                if name is not None:
+                    acq.add(name)
+        for m in QUAL_CALL_RE.finditer(fn.body):
+            if _in_region(regions, m.start()):
+                continue
+            callee = model.functions.get("%s::%s" % (m.group(1), m.group(2)))
+            if callee is not None:
+                outs.add(callee.qname)
+        for m in CALL_RE.finditer(fn.body):
+            if _in_region(regions, m.start()):
+                continue
+            if m.group(2).lstrip("~") in CPP_KEYWORDS:
+                continue
+            pre = fn.body[max(0, m.start() - 2):m.start()]
+            if pre.rstrip().endswith("::"):
+                continue
+            callee = resolve_call_lock(model, fn, m.group(1), m.group(2))
+            if callee is not None:
+                outs.add(callee.qname)
+        direct_acq[fn.qname] = acq
+        calls_out[fn.qname] = outs
+
+    acq_closure = {q: set(a) for q, a in direct_acq.items()}
+    changed = True
+    while changed:
+        changed = False
+        for q, outs in calls_out.items():
+            mine = acq_closure[q]
+            for callee in outs:
+                extra = acq_closure.get(callee, set()) - mine
+                if extra:
+                    mine |= extra
+                    changed = True
+
+    may_block = set(MAY_BLOCK_SEEDS)
+    changed = True
+    while changed:
+        changed = False
+        for q, outs in calls_out.items():
+            if q not in may_block and outs & may_block:
+                may_block.add(q)
+                changed = True
+    return acq_closure, may_block
+
+
+def compute_entry_held(model, rounds=4):
+    """Caller-intersection fixpoint: a helper only ever called with lock L
+    held gets entry_held = {L}, so `// lock-held` helpers (FreelistPush,
+    InFlight, ...) need no annotation for lock-guard-violation."""
+    cached = {fn.qname: scan_lock_events(model, fn) for fn in _trackable(model)}
+    for _ in range(rounds):
+        call_held = {}
+
+        def sink(kind, pos, *a):
+            if kind == "call":
+                callee, heldnames = a
+                call_held.setdefault(callee.qname, []).append(set(heldnames))
+
+        for fn in _trackable(model):
+            walk_held(model, fn, cached[fn.qname], {}, sink)
+        changed = False
+        for q, sets in call_held.items():
+            fn = model.functions.get(q)
+            if fn is None or fn.body is None:
+                continue
+            inter = frozenset(frozenset.intersection(*map(frozenset, sets)))
+            if inter != fn.entry_held:
+                fn.entry_held = inter
+                changed = True
+        if not changed:
+            break
+    return cached
+
+
+def _lockguard_queries(model, fn, index):
+    """{pos: [(cls, member, lockname, gfile, gline)]} member-access sites of
+    IKDP_GUARDED_BY(lock:...) members in this body."""
+    queries = {}
+    for member, owners in index.items():
+        if member not in fn.body:
+            continue
+        for m in re.finditer(
+                r"(?:\b(\w+)\s*(?:\.|->)\s*)?\b%s\b" % re.escape(member),
+                fn.body):
+            # `&member` is the wait-channel / krace-channel idiom (an address
+            # used as a token for Sleep/Wakeup), not a data access.
+            before = fn.body[:m.start()].rstrip()
+            if before.endswith("&") and not before.endswith("&&"):
+                continue
+            recv = m.group(1)
+            if recv is None or recv == "this":
+                cls = fn.cls
+                if cls is None or member not in model.guards.get(cls, {}):
+                    continue
+            else:
+                cls = (fn.params.get(recv)
+                       or model.members.get(fn.cls or "", {}).get(recv)
+                       or fn_locals(fn).get(recv))
+                if cls is not None:
+                    if member not in model.guards.get(cls, {}):
+                        continue
+                elif len(owners) == 1:
+                    cls = owners[0][0]
+                else:
+                    continue  # ambiguous receiver: skipped
+            kind, lockname, gfile, gline = model.guards[cls][member]
+            if kind != "lockguard" or lockname not in model.locks:
+                continue
+            queries.setdefault(m.start(), []).append(
+                (cls, member, lockname, gfile, gline))
+    return queries
+
+
+def check_lock_discipline(model, findings):
+    for name, rank, file, line in model.lock_rank_conflicts:
+        orig = model.locks.get(name)
+        if model.waived(file, line, "lock-order-cycle"):
+            continue
+        findings.append(Finding(
+            "lock-order-cycle", file, line,
+            "lock '%s' redeclared with rank %d; first declared rank %d at "
+            "%s:%d" % (name, rank, orig[2], orig[4], orig[5])))
+    if not model.locks:
+        return
+    acq_closure, may_block = compute_lock_closures(model)
+    cached = compute_entry_held(model)
+    index = {}
+    for cls, members in model.guards.items():
+        for member, info in members.items():
+            if info[0] == "lockguard":
+                index.setdefault(member, []).append((cls, info))
+
+    edges = {}      # (outer, inner) -> (file, line, fn qname)
+    reported = set()
+
+    def emit(rule, file, line, key, message):
+        if key in reported:
+            return
+        reported.add(key)
+        if not model.waived(file, line, rule):
+            findings.append(Finding(rule, file, line, message))
+
+    for fn in _trackable(model):
+        file = fn.body_file
+
+        def line_at(pos, fn=fn):
+            return fn.body_line + fn.body.count("\n", 0, pos)
+
+        def sink(kind, pos, *a, fn=fn, file=file, line_at=line_at):
+            if kind == "double":
+                name, method = a
+                emit("double-acquire", file, line_at(pos),
+                     ("double", fn.qname, name, line_at(pos)),
+                     "%s re-acquires '%s' (rank %d) already held — "
+                     "uniprocessor self-deadlock"
+                     % (fn.qname, name, model.locks[name][2]))
+            elif kind == "edge":
+                outer, inner = a
+                edges.setdefault((outer, inner),
+                                 (file, line_at(pos), fn.qname))
+            elif kind == "may-block":
+                what, spin = a
+                emit("sleep-under-spinlock", file, line_at(pos),
+                     ("mayblock", fn.qname, line_at(pos), what),
+                     "%s: %s while holding SpinLock '%s'"
+                     % (fn.qname, what, spin))
+            elif kind == "exclude":
+                callee, lock = a
+                emit("double-acquire", file, line_at(pos),
+                     ("exclude", fn.qname, callee.qname, lock, line_at(pos)),
+                     "%s calls %s (IKDP_EXCLUDES(%s)) while holding '%s'"
+                     % (fn.qname, callee.qname, lock, lock))
+            elif kind == "call":
+                callee, heldnames = a
+                if not heldnames:
+                    return
+                spins = [h for h in heldnames if model.locks[h][3]]
+                if spins and callee.qname in may_block:
+                    emit("sleep-under-spinlock", file, line_at(pos),
+                         ("sleepcall", fn.qname, callee.qname, line_at(pos)),
+                         "%s calls %s, which may block, while holding "
+                         "SpinLock '%s'" % (fn.qname, callee.qname, spins[0]))
+                for l in sorted(acq_closure.get(callee.qname, ())):
+                    if l in heldnames:
+                        # A callee whose every caller holds l (entry_held)
+                        # only re-locks after releasing; that is the drop-
+                        # and-reacquire idiom, not a self-deadlock.
+                        if l in callee.entry_held:
+                            continue
+                        emit("double-acquire", file, line_at(pos),
+                             ("closure", fn.qname, callee.qname, l,
+                              line_at(pos)),
+                             "%s calls %s, which acquires '%s', while "
+                             "already holding it"
+                             % (fn.qname, callee.qname, l))
+                    else:
+                        for h in heldnames:
+                            edges.setdefault((h, l),
+                                             (file, line_at(pos), fn.qname))
+            elif kind == "query":
+                (cls, member, lockname, gfile, gline), heldnames = a
+                if lockname in heldnames:
+                    return
+                emit("lock-guard-violation", file, line_at(pos),
+                     ("guard", fn.qname, cls, member, line_at(pos)),
+                     "%s accesses %s::%s without holding '%s' "
+                     "(IKDP_GUARDED_BY(lock:%s) at %s:%d)"
+                     % (fn.qname, cls, member, lockname, lockname,
+                        gfile, gline))
+            elif kind in ("fn-exit", "lambda-end"):
+                held = a[0]
+                for name, origin in held:
+                    leak = (origin == "local" and name not in fn.acquires) or \
+                           (origin == "entry" and name in fn.releases)
+                    if not leak:
+                        continue
+                    where = ("lambda body ends" if kind == "lambda-end"
+                             else "can return")
+                    why = ("declared IKDP_RELEASES(%s) but did not release"
+                           % name if origin == "entry" else
+                           "not annotated IKDP_ACQUIRES(%s)" % name)
+                    emit("unreleased-lock", file, line_at(pos),
+                         ("leak", fn.qname, name, kind),
+                         "%s %s with '%s' held (%s)"
+                         % (fn.qname, where, name, why))
+
+        queries = _lockguard_queries(model, fn, index)
+        walk_held(model, fn, cached[fn.qname], queries, sink)
+
+    # Rank monotonicity per observed edge, then cycles over the order graph.
+    for (outer, inner), (file, line, via) in sorted(edges.items()):
+        ro, ri = model.locks[outer][2], model.locks[inner][2]
+        if ri <= ro:
+            emit("lock-order-cycle", file, line,
+                 ("rank", outer, inner),
+                 "%s acquires '%s' (rank %d) while holding '%s' (rank %d); "
+                 "ranks must strictly increase" % (via, inner, ri, outer, ro))
+    graph = {}
+    for (outer, inner) in edges:
+        graph.setdefault(outer, set()).add(inner)
+
+    def reachable(src, dst):
+        seen, queue = {src}, [src]
+        while queue:
+            cur = queue.pop()
+            for nxt in graph.get(cur, ()):
+                if nxt == dst:
+                    return True
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        return False
+
+    for (outer, inner), (file, line, via) in sorted(edges.items()):
+        if outer != inner and reachable(inner, outer):
+            emit("lock-order-cycle", file, line,
+                 ("cycle", frozenset((outer, inner))),
+                 "acquisition-order cycle between '%s' and '%s' (this site, "
+                 "in %s, orders %s -> %s; another site orders the reverse)"
+                 % (outer, inner, via, outer, inner))
 
 
 def check_stale_waivers(model, findings):
@@ -911,6 +1581,9 @@ def main(argv=None):
                     default="builtin")
     ap.add_argument("--json", action="store_true",
                     help="emit findings as JSON on stdout")
+    ap.add_argument("--github", action="store_true",
+                    help="emit findings as GitHub workflow annotations "
+                         "(::error file=...) plus a count summary")
     ap.add_argument("--list-functions", action="store_true",
                     help="dump the parsed function database and exit")
     args = ap.parse_args(argv)
@@ -939,10 +1612,17 @@ def main(argv=None):
     check_context_reachability(model, findings)
     check_charge_domination(model, findings)
     check_buf_discipline(model, findings)
+    check_lock_discipline(model, findings)
     check_stale_waivers(model, findings)  # last: consumes used_waivers
 
     if args.json:
         print(json.dumps([f.as_dict() for f in findings], indent=2))
+    elif args.github:
+        for f in findings:
+            print("::error file=%s,line=%d,title=kcheck %s::[%s] %s"
+                  % (f.file, f.line, f.rule, f.rule, f.message))
+        print("kcheck: %d finding(s) across %d file(s)"
+              % (len(findings), len(files)))
     else:
         for f in findings:
             print(f)

@@ -101,10 +101,104 @@ class FixtureRejection(unittest.TestCase):
         self.assert_rule(findings, "stale-waiver", "undominated-charge")
         self.assert_rule(findings, "stale-waiver", "unknown rule")
 
+    def test_annotation_conflict(self):
+        rc, findings = run_kcheck(fixture("bad_annotation_conflict.cc"))
+        self.assertEqual(rc, 1)
+        self.assert_rule(findings, "annotation-conflict", "Pump::Drain")
+        msgs = " ".join(f["message"] for f in findings)
+        self.assertNotIn("Fill", msgs)
+
+    def test_double_acquire(self):
+        rc, findings = run_kcheck(fixture("bad_double_acquire.cc"))
+        self.assertEqual(rc, 1)
+        # Direct re-acquire, closure through a helper, and EXCLUDES breach.
+        self.assert_rule(findings, "double-acquire", "Dev::Twice")
+        self.assert_rule(findings, "double-acquire", "Dev::Locked")
+        self.assert_rule(findings, "double-acquire", "IKDP_EXCLUDES(devq)")
+        msgs = " ".join(f["message"] for f in findings)
+        self.assertNotIn("Fine", msgs)
+        self.assertNotIn("AlsoCallsUnlocked", msgs)
+
+    def test_sleep_under_spinlock(self):
+        rc, findings = run_kcheck(fixture("bad_sleep_under_spinlock.cc"))
+        self.assertEqual(rc, 1)
+        self.assert_rule(findings, "sleep-under-spinlock", "Net::Direct")
+        self.assert_rule(findings, "sleep-under-spinlock", "Net::Indirect")
+        self.assert_rule(findings, "sleep-under-spinlock", "co_await")
+        self.assert_rule(findings, "sleep-under-spinlock", "SleepLock 'gate'")
+        msgs = " ".join(f["message"] for f in findings)
+        self.assertNotIn("Signals", msgs)
+
+    def test_lock_order_cycle(self):
+        rc, findings = run_kcheck(fixture("bad_lock_order_cycle.cc"))
+        self.assertEqual(rc, 1)
+        self.assert_rule(findings, "lock-order-cycle",
+                         "ranks must strictly increase")
+        self.assert_rule(findings, "lock-order-cycle", "cycle between")
+        self.assert_rule(findings, "lock-order-cycle", "redeclared with rank")
+        # AB follows the declared order; only BA and the redeclaration are
+        # at fault.
+        for f in findings:
+            self.assertNotIn("Sys::AB acquires", f["message"])
+
+    def test_unreleased_lock(self):
+        rc, findings = run_kcheck(fixture("bad_unreleased_lock.cc"))
+        self.assertEqual(rc, 1)
+        self.assert_rule(findings, "unreleased-lock", "Q::Leak")
+        self.assert_rule(findings, "unreleased-lock", "Q::ForgetsEnd")
+        self.assert_rule(findings, "unreleased-lock", "lambda body")
+        msgs = " ".join(f["message"] for f in findings)
+        for quiet in ("Q::Begin", "Q::End ", "Balanced", "GuardScope"):
+            self.assertNotIn(quiet, msgs)
+
+    def test_lock_guard_violation(self):
+        rc, findings = run_kcheck(fixture("bad_lock_guard.cc"))
+        self.assertEqual(rc, 1)
+        self.assert_rule(findings, "lock-guard-violation", "Ring::Peek")
+        self.assert_rule(findings, "lock-guard-violation", "Probe::Steal")
+        self.assert_rule(findings, "lock-guard-violation", "phantom")
+        msgs = " ".join(f["message"] for f in findings)
+        for quiet in ("Push", "HeldHelper", "Drive", "Channel"):
+            self.assertNotIn(quiet, msgs)
+
     def test_clean_fixture(self):
         rc, findings = run_kcheck(fixture("good_clean.cc"))
         self.assertEqual(rc, 0)
         self.assertEqual(findings, [])
+
+    def test_fixture_completeness(self):
+        # Every rule kcheck knows must be exercised by some seeded fixture:
+        # a rule nobody can trigger is dead weight or, worse, silently broken.
+        sys.path.insert(0, HERE)
+        try:
+            import kcheck as mod
+        finally:
+            sys.path.pop(0)
+        produced = set()
+        for name in sorted(os.listdir(TESTDATA)):
+            if not name.startswith("bad_") or not name.endswith(".cc"):
+                continue
+            _, findings = run_kcheck(fixture(name))
+            produced.update(f["rule"] for f in findings)
+        missing = mod.KNOWN_RULES - produced
+        self.assertFalse(
+            missing,
+            "rules with no fixture coverage: %s" % ", ".join(sorted(missing)))
+
+    def test_github_output(self):
+        proc = subprocess.run(
+            [sys.executable, KCHECK, "--github", fixture("bad_guard.cc")],
+            capture_output=True, text=True, cwd=REPO)
+        self.assertEqual(proc.returncode, 1)
+        lines = proc.stdout.splitlines()
+        annotations = [l for l in lines if l.startswith("::error ")]
+        self.assertTrue(annotations, proc.stdout)
+        for a in annotations:
+            self.assertRegex(
+                a, r"^::error file=\S+,line=\d+,title=kcheck [\w-]+::")
+        self.assertIn("guard-violation", annotations[0])
+        # The summary line carries the findings count.
+        self.assertRegex(lines[-1], r"^kcheck: \d+ finding\(s\)")
 
     def test_waiver_suppresses(self):
         # A `kcheck: allow(<rule>)` comment on the offending line silences it.

@@ -1,0 +1,25 @@
+// kcheck fixture: annotation-conflict — one function, two different
+// IKDP_CTX_* claims.  Parsed by kcheck only — never compiled.
+//
+// Expected findings:
+//   [annotation-conflict]  Pump::Drain declared IKDP_CTX_PROCESS but
+//                          defined IKDP_CTX_INTERRUPT
+//
+// Pump::Fill is quiet: declaration and definition agree.
+
+#define IKDP_CTX_PROCESS
+#define IKDP_CTX_INTERRUPT
+
+class Pump {
+ public:
+  // BAD: the declaration promises process context...
+  IKDP_CTX_PROCESS void Drain();
+
+  // OK: consistent at both sites.
+  IKDP_CTX_PROCESS void Fill();
+};
+
+// ...but the definition claims interrupt context.
+IKDP_CTX_INTERRUPT void Pump::Drain() {}
+
+IKDP_CTX_PROCESS void Pump::Fill() {}

@@ -1,0 +1,72 @@
+// kcheck fixture: double-acquire — re-locking a lock already held.
+// Parsed by kcheck only — never compiled.
+//
+// Expected findings:
+//   [double-acquire]  Dev::Twice re-acquires 'devq' it already holds
+//   [double-acquire]  Dev::Reenter calls Dev::Locked, which acquires
+//                     'devq', while already holding it (closure)
+//   [double-acquire]  Dev::CallsExcluded calls Dev::MustNotHold
+//                     (IKDP_EXCLUDES(devq)) while holding 'devq'
+//
+// Dev::Fine and Dev::AlsoCallsUnlocked are quiet: balanced sections and a
+// lock-free call to Locked (which keeps Locked's entry-held set empty, so
+// Locked's own acquire is legitimate).
+
+#define IKDP_LOCK_RANK(lock, rank)
+#define IKDP_EXCLUDES(lock)
+#define IKDP_GUARDED_BY(...)
+
+class SpinLock {
+ public:
+  void Acquire();
+  void Release();
+};
+
+class Dev {
+ public:
+  // BAD: second Acquire while the first is still held — on a uniprocessor
+  // spinlock this deadlocks instantly.
+  void Twice() {
+    lock_.Acquire();
+    lock_.Acquire();
+    lock_.Release();
+    lock_.Release();
+  }
+
+  // Acquires devq itself; legitimate when entered lock-free.
+  void Locked() {
+    lock_.Acquire();
+    ++depth_;
+    lock_.Release();
+  }
+
+  // BAD: calls a helper whose acquisition closure includes the held lock.
+  void Reenter() {
+    lock_.Acquire();
+    Locked();
+    lock_.Release();
+  }
+
+  // OK: the lock-free caller keeps Locked's entry-held fixpoint empty.
+  void AlsoCallsUnlocked() { Locked(); }
+
+  IKDP_EXCLUDES(devq) void MustNotHold() {}
+
+  // BAD: violates the callee's declared EXCLUDES contract.
+  void CallsExcluded() {
+    lock_.Acquire();
+    MustNotHold();
+    lock_.Release();
+  }
+
+  // OK: one balanced critical section.
+  void Fine() {
+    lock_.Acquire();
+    ++depth_;
+    lock_.Release();
+  }
+
+ private:
+  SpinLock lock_ IKDP_LOCK_RANK(devq, 10);
+  int depth_ IKDP_GUARDED_BY(lock:devq) = 0;
+};

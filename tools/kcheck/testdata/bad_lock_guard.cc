@@ -1,0 +1,75 @@
+// kcheck fixture: lock-guard-violation — touching an
+// IKDP_GUARDED_BY(lock:...) member without its lock held.
+// Parsed by kcheck only — never compiled.
+//
+// Expected findings:
+//   [lock-guard-violation]  Ring::Peek reads head_ with no lock held
+//   [lock-guard-violation]  Probe::Steal reaches head_ through a typed
+//                           receiver without the lock
+//   [lock-guard-violation]  stray_ is guarded by a lock nobody declared
+//
+// Ring::Push (SpinGuard), Ring::Drive (explicit pair) and Ring::HeldHelper
+// (only ever called with the lock held — the entry-held fixpoint) are
+// quiet.  Ring::Channel is quiet: `&head_` is the wait-channel idiom, an
+// address used as a token, not a data access.
+
+#define IKDP_LOCK_RANK(lock, rank)
+#define IKDP_GUARDED_BY(...)
+
+class SpinLock {
+ public:
+  void Acquire();
+  void Release();
+};
+
+class SpinGuard {
+ public:
+  SpinGuard(SpinLock& l);
+};
+
+class CpuSystem {
+ public:
+  void Wakeup(void* chan);
+};
+
+class Ring {
+ public:
+  // BAD: unlocked read of a guarded member.
+  int Peek() { return head_; }
+
+  // OK: scoped guard covers the increment.
+  void Push() {
+    SpinGuard g(lock_);
+    ++head_;
+  }
+
+  // OK: every caller holds the lock, so the helper inherits it.
+  int HeldHelper() { return head_ + 1; }
+
+  // OK: explicit pair around the helper call.
+  void Drive() {
+    lock_.Acquire();
+    depth_ = HeldHelper();
+    lock_.Release();
+  }
+
+  // OK: address-of as a wakeup channel, not an access.
+  void Channel() { cpu_->Wakeup(&head_); }
+
+ private:
+  SpinLock lock_ IKDP_LOCK_RANK(ring, 20);
+  int head_ IKDP_GUARDED_BY(lock:ring) = 0;
+  int depth_ = 0;
+  // BAD: no lock named 'phantom' exists anywhere in the scan.
+  int stray_ IKDP_GUARDED_BY(lock:phantom) = 0;
+  CpuSystem* cpu_;
+};
+
+class Probe {
+ public:
+  // BAD: receiver-qualified unlocked access.
+  int Steal() { return ring_->head_; }
+
+ private:
+  Ring* ring_;
+};

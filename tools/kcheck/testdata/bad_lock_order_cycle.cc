@@ -1,0 +1,49 @@
+// kcheck fixture: lock-order-cycle — acquisition orders that can deadlock.
+// Parsed by kcheck only — never compiled.
+//
+// Expected findings:
+//   [lock-order-cycle]  Sys::BA acquires 'alpha' (rank 10) while holding
+//                       'beta' (rank 20) — ranks must strictly increase
+//   [lock-order-cycle]  cycle between 'alpha' and 'beta' (Sys::AB orders
+//                       alpha -> beta, Sys::BA the reverse)
+//   [lock-order-cycle]  Clone redeclares 'alpha' with rank 30
+//
+// Sys::AB alone is quiet: rank 10 before rank 20 is the declared order.
+
+#define IKDP_LOCK_RANK(lock, rank)
+
+class SpinLock {
+ public:
+  void Acquire();
+  void Release();
+};
+
+class Sys {
+ public:
+  // OK: outer rank 10, inner rank 20.
+  void AB() {
+    a_.Acquire();
+    b_.Acquire();
+    b_.Release();
+    a_.Release();
+  }
+
+  // BAD: the reverse nesting — together with AB this is a textbook ABBA
+  // deadlock, and on its own it already violates the rank order.
+  void BA() {
+    b_.Acquire();
+    a_.Acquire();
+    a_.Release();
+    b_.Release();
+  }
+
+ private:
+  SpinLock a_ IKDP_LOCK_RANK(alpha, 10);
+  SpinLock b_ IKDP_LOCK_RANK(beta, 20);
+};
+
+class Clone {
+ private:
+  // BAD: same lock name, different rank — the order table must be global.
+  SpinLock c_ IKDP_LOCK_RANK(alpha, 30);
+};

@@ -1,0 +1,84 @@
+// kcheck fixture: sleep-under-spinlock — giving up the processor while a
+// SpinLock is held.  Parsed by kcheck only — never compiled.
+//
+// Expected findings:
+//   [sleep-under-spinlock]  Net::Direct calls CpuSystem::Sleep under 'nic'
+//   [sleep-under-spinlock]  Net::Indirect reaches Sleep through
+//                           Net::Blocks while holding 'nic'
+//   [sleep-under-spinlock]  Net::Await co_awaits while holding 'nic'
+//   [sleep-under-spinlock]  Net::TakesGate acquires SleepLock 'gate'
+//                           while holding SpinLock 'nic'
+//
+// Net::Blocks is also flagged: its only caller holds 'nic', so the
+// entry-held fixpoint pins the blame on the sleep site too.
+// Net::Signals is quiet: Wakeup only enqueues, it never blocks.
+
+#define IKDP_LOCK_RANK(lock, rank)
+
+class SpinLock {
+ public:
+  void Acquire();
+  void Release();
+};
+
+class SleepLock {
+ public:
+  void Acquire();
+  void AcquireUncontended();
+  void Release();
+};
+
+class CpuSystem {
+ public:
+  void Sleep();
+  void Wakeup();
+};
+
+class Net {
+ public:
+  // BAD: the blocking primitive itself, under a spinlock.
+  void Direct() {
+    lock_.Acquire();
+    cpu_->Sleep();
+    lock_.Release();
+  }
+
+  void Blocks() { cpu_->Sleep(); }
+
+  // BAD: the block is one call away, but the lock is still held across it.
+  void Indirect() {
+    lock_.Acquire();
+    Blocks();
+    lock_.Release();
+  }
+
+  // BAD: a coroutine suspension point is a context switch.
+  void Await() {
+    lock_.Acquire();
+    co_await Turnstile();
+    lock_.Release();
+  }
+
+  // BAD: SleepLock::Acquire may suspend until the holder releases.
+  void TakesGate() {
+    lock_.Acquire();
+    gate_.Acquire();
+    gate_.Release();
+    lock_.Release();
+  }
+
+  // OK: Wakeup is enqueue-only; holding the lock across it is the whole
+  // point of the discipline.
+  void Signals() {
+    lock_.Acquire();
+    cpu_->Wakeup();
+    lock_.Release();
+  }
+
+  int Turnstile();
+
+ private:
+  SpinLock lock_ IKDP_LOCK_RANK(nic, 10);
+  SleepLock gate_ IKDP_LOCK_RANK(gate, 90);
+  CpuSystem* cpu_;
+};

@@ -1,0 +1,75 @@
+// kcheck fixture: unreleased-lock — an exit path that keeps a lock held.
+// Parsed by kcheck only — never compiled.
+//
+// Expected findings:
+//   [unreleased-lock]  Q::Leak can return with 'queue' held (the early
+//                      return skips the Release)
+//   [unreleased-lock]  Q::ForgetsEnd is declared IKDP_RELEASES(queue) but
+//                      never releases it
+//   [unreleased-lock]  Q::ArmBad's lambda body acquires 'queue' and ends
+//                      without releasing it
+//
+// Q::Begin / Q::End are quiet: the hand-off is declared with
+// IKDP_ACQUIRES / IKDP_RELEASES.  Q::Balanced and Q::GuardScope are quiet:
+// a matched Release and a SpinGuard both end the section.
+
+#define IKDP_LOCK_RANK(lock, rank)
+#define IKDP_ACQUIRES(lock)
+#define IKDP_RELEASES(lock)
+#define IKDP_GUARDED_BY(...)
+
+class SpinLock {
+ public:
+  void Acquire();
+  void Release();
+};
+
+class SpinGuard {
+ public:
+  SpinGuard(SpinLock& l);
+};
+
+class Q {
+ public:
+  // BAD: the early return leaks the lock.
+  void Leak() {
+    lock_.Acquire();
+    if (n_ == 0) {
+      return;
+    }
+    lock_.Release();
+  }
+
+  // OK: declared hand-off pair.
+  IKDP_ACQUIRES(queue) void Begin() { lock_.Acquire(); }
+  IKDP_RELEASES(queue) void End() { lock_.Release(); }
+
+  // BAD: promises to release the caller's lock but keeps it.
+  IKDP_RELEASES(queue) void ForgetsEnd() { ++n_; }
+
+  // BAD: a deferred callback must leave the lock as it found it.
+  void ArmBad() {
+    cb_ = [this] {
+      lock_.Acquire();
+      ++n_;
+    };
+  }
+
+  // OK: matched pair.
+  void Balanced() {
+    lock_.Acquire();
+    ++n_;
+    lock_.Release();
+  }
+
+  // OK: the guard releases at scope end, even across the return.
+  int GuardScope() {
+    SpinGuard g(lock_);
+    return n_;
+  }
+
+ private:
+  SpinLock lock_ IKDP_LOCK_RANK(queue, 10);
+  int n_ IKDP_GUARDED_BY(lock:queue) = 0;
+  void (*cb_)();
+};

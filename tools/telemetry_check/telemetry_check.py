@@ -61,6 +61,12 @@ SERVER_TOP_INTS = ["clients", "objects", "object_kb", "requests", "seed"]
 
 HISTOGRAM_FIELDS = ["count", "sum", "min", "max", "p50", "p90", "p99"]
 
+LOCK_COUNTERS = [
+    "lock.spin_acquisitions", "lock.sleep_acquisitions",
+    "lock.sleep_contention", "lock.max_held", "lock.max_held_rank",
+    "lock.order_edges", "lock.violations",
+]
+
 
 class Findings:
     def __init__(self):
@@ -87,6 +93,7 @@ def check_telemetry(path, doc, out):
         for name, v in counters.items():
             if not is_int(v):
                 out.err(path, "counter %r is not an integer" % name)
+        check_lock_counters(path, counters, out)
 
     histograms = doc.get("histograms")
     if not isinstance(histograms, dict):
@@ -145,6 +152,40 @@ def check_telemetry(path, doc, out):
                 out.err(path, where + " span is not a non-negative integer")
             if not is_int(row.get("ns")) or row["ns"] < 0:
                 out.err(path, where + " ns is not a non-negative integer")
+
+
+def check_lock_counters(path, counters, out):
+    """Validates the lock.* family (docs/klock.md).
+
+    The family is all-or-nothing: a document that emits any lock.* counter
+    must emit the whole set (the exporter writes them unconditionally), all
+    non-negative, with lock.violations == 0 — a published artifact from a run
+    that broke the lock discipline is a bug, not data.  max_held/max_held_rank
+    must be zero when no lock was ever acquired.
+    """
+    present = [k for k in counters if k.startswith("lock.")]
+    if not present:
+        return
+    vals = {}
+    for f in LOCK_COUNTERS:
+        v = counters.get(f)
+        if not is_int(v):
+            out.err(path, "lock.* family incomplete: missing integer %r" % f)
+            return
+        if v < 0:
+            out.err(path, "counter %r is negative" % f)
+            return
+        vals[f] = v
+    for k in present:
+        if k not in LOCK_COUNTERS:
+            out.err(path, "unknown lock.* counter %r" % k)
+    if vals["lock.violations"] != 0:
+        out.err(path, "lock.violations = %d (lock discipline broken)"
+                % vals["lock.violations"])
+    acquisitions = vals["lock.spin_acquisitions"] + vals["lock.sleep_acquisitions"]
+    if acquisitions == 0 and (vals["lock.max_held"] != 0
+                              or vals["lock.max_held_rank"] != 0):
+        out.err(path, "lock.max_held/max_held_rank nonzero with zero acquisitions")
 
 
 def check_server_bench(path, doc, out):

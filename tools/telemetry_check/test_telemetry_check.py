@@ -31,7 +31,13 @@ def run_check(*paths):
 def clean_telemetry():
     return {
         "schema": "ikdp.telemetry.v1",
-        "counters": {"cpu.switches": 10, "trace.dropped_events": 0},
+        "counters": {
+            "cpu.switches": 10, "trace.dropped_events": 0,
+            "lock.spin_acquisitions": 200, "lock.sleep_acquisitions": 4,
+            "lock.sleep_contention": 0, "lock.max_held": 2,
+            "lock.max_held_rank": 90, "lock.order_edges": 3,
+            "lock.violations": 0,
+        },
         "histograms": {
             "disk.service_time.RZ56": {
                 "count": 4, "sum": 4000, "min": 500, "max": 1500,
@@ -160,6 +166,38 @@ class TelemetryCheckTest(unittest.TestCase):
         doc = clean_telemetry()
         doc["histograms"]["disk.service_time.RZ56"]["p90"] = 10
         self.assert_finding(doc, "quantiles not ordered")
+
+    def test_lock_violations_rejected(self):
+        doc = clean_telemetry()
+        doc["counters"]["lock.violations"] = 2
+        self.assert_finding(doc, "lock discipline broken")
+
+    def test_partial_lock_family_rejected(self):
+        doc = clean_telemetry()
+        del doc["counters"]["lock.order_edges"]
+        self.assert_finding(doc, "lock.* family incomplete")
+
+    def test_unknown_lock_counter_rejected(self):
+        doc = clean_telemetry()
+        doc["counters"]["lock.frobs"] = 1
+        self.assert_finding(doc, "unknown lock.* counter")
+
+    def test_lock_max_without_acquisitions_rejected(self):
+        doc = clean_telemetry()
+        doc["counters"]["lock.spin_acquisitions"] = 0
+        doc["counters"]["lock.sleep_acquisitions"] = 0
+        doc["counters"]["lock.order_edges"] = 0
+        self.assert_finding(doc, "nonzero with zero acquisitions")
+
+    def test_lockless_telemetry_passes(self):
+        # Pre-klock documents carry no lock.* counters at all; still valid.
+        doc = clean_telemetry()
+        for k in list(doc["counters"]):
+            if k.startswith("lock."):
+                del doc["counters"][k]
+        rc, findings = self.check_doc(doc)
+        self.assertEqual(findings, [])
+        self.assertEqual(rc, 0)
 
     def test_missing_mode_row_rejected(self):
         doc = clean_server_bench()
