@@ -49,6 +49,12 @@
 #include "src/sim/krace.h"
 #include "src/splice/splice_engine.h"
 
+#if IKDP_TSA_ENABLED
+// Clang thread-safety bridge: map the klock lock name "ring" onto the
+// SpinLock member that backs it (see src/kern/ctx.h, "TSA BRIDGE").
+#define ring_ikdp_tsa_cap , lock_
+#endif
+
 namespace ikdp {
 
 // Errno values used by the ring surface (positive; syscalls return -errno).
@@ -255,7 +261,9 @@ class SpliceRing {
   IKDP_CTX_SOFTCLOCK void Reap();
 
   // Lock-held variant of unfinished() for internal admission-control sites.
-  int UnfinishedLocked() const {
+  // IKDP_REQUIRES seeds the kcheck entry-held fixpoint and becomes
+  // requires_capability under TSA.
+  IKDP_REQUIRES(ring) int UnfinishedLocked() const {
     return static_cast<int>(queued_.size() + started_.size() + retired_.size());
   }
 

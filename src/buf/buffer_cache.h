@@ -37,6 +37,12 @@
 #include "src/kern/lock.h"
 #include "src/sim/task.h"
 
+#if IKDP_TSA_ENABLED
+// Clang thread-safety bridge: map the klock lock name "cache" onto the
+// SpinLock member that backs it (see src/kern/ctx.h, "TSA BRIDGE").
+#define cache_ikdp_tsa_cap , lock_
+#endif
+
 namespace ikdp {
 
 class BufferCache {
@@ -151,32 +157,38 @@ class BufferCache {
   static constexpr int kDelwriRetryLimit = 3;
 
  private:
+  // Lock-held helpers: every declaration below carries IKDP_REQUIRES(cache) —
+  // the caller enters with the cache lock held and gets it back held.  Both
+  // checkers consume the contract: kcheck seeds its entry-held fixpoint from
+  // it, and the TSA bridge turns it into requires_capability(lock_).
+
   // Looks up (dev, blkno); returns nullptr if not cached.
-  Buf* Incore(BlockDevice* dev, int64_t blkno);
+  IKDP_REQUIRES(cache) Buf* Incore(BlockDevice* dev, int64_t blkno);
 
   // Non-blocking variant of the getblk body: returns a busy buffer for
   // (dev, blkno) or nullptr if it would have to sleep.  Sets *was_hit.
-  IKDP_CTX_ANY Buf* TryGetBlk(BlockDevice* dev, int64_t blkno, bool* was_hit);
+  IKDP_CTX_ANY IKDP_REQUIRES(cache) Buf* TryGetBlk(BlockDevice* dev, int64_t blkno, bool* was_hit);
 
   // Takes a reusable buffer off the free list, writing out a delayed-write
   // victim if that is what the LRU yields.  Returns nullptr if none is
-  // available without sleeping.
-  IKDP_CTX_ANY Buf* TryGrabFree();
+  // available without sleeping.  Drops and reacquires the lock around the
+  // victim write's SubmitIo, but holds it at entry and exit.
+  IKDP_CTX_ANY IKDP_REQUIRES(cache) Buf* TryGrabFree();
 
   // O(1) intrusive-list manipulation.  Every hot-path transition
   // (hit-acquire, release, victim grab) is a constant number of pointer
   // splices; no operation walks the free list.
-  size_t BucketOf(const BlockDevice* dev, int64_t blkno) const;
-  void HashInsert(Buf* b);
-  void HashRemove(Buf* b);
-  void FreelistPush(Buf* b, bool front);
-  void FreelistRemove(Buf* b);
-  Buf* FreelistPop();
+  IKDP_REQUIRES(cache) size_t BucketOf(const BlockDevice* dev, int64_t blkno) const;
+  IKDP_REQUIRES(cache) void HashInsert(Buf* b);
+  IKDP_REQUIRES(cache) void HashRemove(Buf* b);
+  IKDP_REQUIRES(cache) void FreelistPush(Buf* b, bool front);
+  IKDP_REQUIRES(cache) void FreelistRemove(Buf* b);
+  IKDP_REQUIRES(cache) Buf* FreelistPop();
 
   // Full-structure invariant check (O(nbufs)): freelist forward/backward
   // consistency and count, hash-chain membership, flag/link agreement.
   // Called from cold paths only; hot paths carry O(1) asserts instead.
-  void ValidateInvariants() const;
+  IKDP_REQUIRES(cache) void ValidateInvariants() const;
 
   // Records a kBreadHit / kBreadMiss trace event when a log is attached.
   void TraceLookup(bool hit, const BlockDevice* dev, int64_t blkno);

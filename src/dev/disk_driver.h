@@ -24,6 +24,12 @@
 #include "src/kern/cpu.h"
 #include "src/kern/lock.h"
 
+#if IKDP_TSA_ENABLED
+// Clang thread-safety bridge: map the klock lock name "diskq" onto the
+// SpinLock member that backs it (see src/kern/ctx.h, "TSA BRIDGE").
+#define diskq_ikdp_tsa_cap , lock_
+#endif
+
 namespace ikdp {
 
 class DiskDriver : public BlockDevice {
@@ -56,13 +62,16 @@ class DiskDriver : public BlockDevice {
   }
 
  private:
-  // Lock-held variant for internal stats sites.
-  size_t QueueDepthLocked() const { return queue_.size() + (hw_busy_ ? 1 : 0); }
+  // Lock-held variant for internal stats sites.  IKDP_REQUIRES seeds the
+  // kcheck entry-held fixpoint and becomes requires_capability under TSA.
+  IKDP_REQUIRES(diskq) size_t QueueDepthLocked() const {
+    return queue_.size() + (hw_busy_ ? 1 : 0);
+  }
 
   // Inserts into the elevator queue: ascending block order in the current
   // sweep, overflow requests sorted into the next sweep.
-  IKDP_CTX_ANY void Disksort(Buf* b);
-  IKDP_CTX_ANY void StartHw();
+  IKDP_CTX_ANY IKDP_REQUIRES(diskq) void Disksort(Buf* b);
+  IKDP_CTX_ANY IKDP_REQUIRES(diskq) void StartHw();
   // Hardware completion: raises the device interrupt itself (RunInterrupt),
   // so it is callable from any context but its body runs at interrupt level.
   IKDP_CTX_ANY void Complete(Buf* b, bool ok, int error);

@@ -69,7 +69,7 @@ void SetLockChargeHook(LockChargeHook hook);
 // Sleep priority for SleepLock waiters: between disk I/O and user waits.
 inline constexpr int kPriLock = 28;
 
-class SpinLock {
+class IKDP_TSA_CAPABILITY("mutex") SpinLock {
  public:
   constexpr SpinLock(const char* name, int rank) : name_(name), rank_(rank) {}
 
@@ -78,8 +78,8 @@ class SpinLock {
 
   // Any context.  Aborts on re-acquisition (uniprocessor deadlock) unless
   // lockdep collect mode is recording violations instead.
-  void Acquire();
-  void Release();
+  void Acquire() IKDP_TSA_ACQUIRE();
+  void Release() IKDP_TSA_RELEASE();
 
   bool held() const { return held_; }
   const char* name() const { return name_; }
@@ -94,10 +94,12 @@ class SpinLock {
 // RAII scope for a SpinLock critical section.  Only for non-coroutine
 // scopes: a guard living in a coroutine frame would hold the lock across
 // co_await, which is sleep-under-spinlock.
-class SpinGuard {
+class IKDP_TSA_SCOPED_CAPABILITY SpinGuard {
  public:
-  explicit SpinGuard(SpinLock& lock) : lock_(&lock) { lock_->Acquire(); }
-  ~SpinGuard() { lock_->Release(); }
+  explicit SpinGuard(SpinLock& lock) IKDP_TSA_ACQUIRE(lock) : lock_(&lock) {
+    lock_->Acquire();
+  }
+  ~SpinGuard() IKDP_TSA_RELEASE() { lock_->Release(); }
 
   SpinGuard(const SpinGuard&) = delete;
   SpinGuard& operator=(const SpinGuard&) = delete;
@@ -106,7 +108,7 @@ class SpinGuard {
   SpinLock* lock_;
 };
 
-class SleepLock {
+class IKDP_TSA_CAPABILITY("mutex") SleepLock {
  public:
   constexpr SleepLock(const char* name, int rank) : name_(name), rank_(rank) {}
 
@@ -116,12 +118,17 @@ class SleepLock {
   // Process context.  For critical sections that cannot suspend (pure map
   // lookups, descriptor-table edits): contention is impossible by
   // construction, and this aborts if that construction ever breaks.
-  IKDP_CTX_PROCESS void AcquireUncontended();
+  IKDP_CTX_PROCESS void AcquireUncontended() IKDP_TSA_ACQUIRE();
 
   // Process context, may sleep when contended.  Templated on CpuSystem so
   // this header stays at the ctx layer (no src/kern/cpu.h dependency).
+  // Thread-safety analysis of the body is off: the acquisition happens
+  // through TakeOwnership after zero or more suspensions, a shape the
+  // coroutine-frame-blind analysis cannot follow; callers still see the
+  // acquire contract.
   template <typename CpuT, typename ProcT>
-  IKDP_CTX_PROCESS Task<> Acquire(CpuT* cpu, ProcT& p) {
+  IKDP_CTX_PROCESS Task<> Acquire(CpuT* cpu, ProcT& p) IKDP_TSA_ACQUIRE()
+      IKDP_TSA_NO_ANALYSIS {
     while (held_) {
       ++GlobalLockStats().sleep_contention;
       co_await cpu->Sleep(p, this, kPriLock, /*interruptible=*/false);
@@ -131,22 +138,22 @@ class SleepLock {
 
   // Release with waiter wakeup (pairs with Acquire).
   template <typename CpuT>
-  void Release(CpuT* cpu) {
+  void Release(CpuT* cpu) IKDP_TSA_RELEASE() {
     ReleaseOwnership();
     cpu->Wakeup(this);
   }
 
   // Release without wakeup (pairs with AcquireUncontended: no waiter can
   // exist when every critical section is non-suspending).
-  void Release() { ReleaseOwnership(); }
+  void Release() IKDP_TSA_RELEASE() { ReleaseOwnership(); }
 
   bool held() const { return held_; }
   const char* name() const { return name_; }
   int rank() const { return rank_; }
 
  private:
-  void TakeOwnership(bool contended);
-  void ReleaseOwnership();
+  void TakeOwnership(bool contended) IKDP_TSA_ACQUIRE();
+  void ReleaseOwnership() IKDP_TSA_RELEASE();
 
   const char* name_;
   int rank_;

@@ -41,6 +41,12 @@
 #include "src/splice/splice_engine.h"
 #include "src/vfs/file.h"
 
+#if IKDP_TSA_ENABLED
+// Clang thread-safety bridge: map the klock lock name "ktable" onto the
+// SleepLock member that backs it (see src/kern/ctx.h, "TSA BRIDGE").
+#define ktable_ikdp_tsa_cap , ktable_lock_
+#endif
+
 namespace ikdp {
 
 // splice(2) size argument: "a special value indicates the splice should

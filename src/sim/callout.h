@@ -28,6 +28,12 @@
 #include "src/sim/time.h"
 #include "src/sim/trace.h"
 
+#if IKDP_TSA_ENABLED
+// Clang thread-safety bridge: map the klock lock name "callout" onto the
+// SpinLock member that backs it (see src/kern/ctx.h, "TSA BRIDGE").
+#define callout_ikdp_tsa_cap , lock_
+#endif
+
 namespace ikdp {
 
 // Identifies a pending callout so it can be removed with Untimeout().
@@ -88,7 +94,9 @@ class CalloutTable {
   SimTime NextTickAfter(SimTime now) const;
 
   // Makes sure a softclock event is scheduled for tick time `when`.
-  void ArmSoftclock(SimTime when);
+  // Called with the callout lock held (IKDP_REQUIRES seeds the kcheck
+  // entry-held fixpoint and becomes requires_capability under TSA).
+  IKDP_REQUIRES(callout) void ArmSoftclock(SimTime when);
 
   // Runs all entries expiring at tick `when` at softclock level.
   IKDP_CTX_SOFTCLOCK void RunTick(SimTime when);

@@ -46,6 +46,12 @@
 #include "src/sim/trace.h"
 #include "src/splice/endpoint.h"
 
+#if IKDP_TSA_ENABLED
+// Clang thread-safety bridge: map the klock lock name "splice" onto the
+// SpinLock member that backs it (see src/kern/ctx.h, "TSA BRIDGE").
+#define splice_ikdp_tsa_cap , lock_
+#endif
+
 namespace ikdp {
 
 struct SpliceOptions {
@@ -191,7 +197,7 @@ class SpliceDescriptor {
   bool eof_ IKDP_GUARDED_BY(lock:splice) = false;
   bool cancelled_ IKDP_GUARDED_BY(lock:splice) = false;
   bool io_error_ IKDP_GUARDED_BY(lock:splice) = false;  // unrecoverable read/write error
-  int error_ IKDP_GUARDED_BY(lock:splice) = 0;  // errno of the FIRST failure (sticky)
+  int error_ IKDP_GUARDED_BY(lock:splice) IKDP_STICKY_ERRNO = 0;  // errno of the FIRST failure
   bool finished_ IKDP_GUARDED_BY(lock:splice) = false;
   bool read_retry_armed_ IKDP_GUARDED_BY(lock:splice) = false;
   bool drain_armed_ IKDP_GUARDED_BY(lock:splice) = false;
@@ -209,7 +215,11 @@ class SpliceDescriptor {
   Stats stats_;
 
   // Lock-held: every caller (the IssueReads admission condition) holds lock_.
-  int InFlight() const { return static_cast<int>(reads_issued_ - chunks_done_); }
+  // IKDP_REQUIRES seeds the kcheck entry-held fixpoint and becomes
+  // requires_capability under TSA.
+  IKDP_REQUIRES(splice) int InFlight() const {
+    return static_cast<int>(reads_issued_ - chunks_done_);
+  }
 };
 
 class SpliceEngine {

@@ -104,10 +104,16 @@ Exit status: 0 clean, 1 findings, 2 usage/environment error.
 """
 
 import argparse
+import bisect
+import hashlib
 import json
 import os
 import re
+import subprocess
 import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import kpath  # noqa: E402  (the CFG/dataflow substrate, same directory)
 
 ANNOTATION_MACROS = {
     "IKDP_CTX_PROCESS": "process",
@@ -130,6 +136,9 @@ KNOWN_RULES = {
     "guard-violation", "unknown-order-channel", "stale-waiver",
     "lock-order-cycle", "sleep-under-spinlock", "lock-guard-violation",
     "unreleased-lock", "double-acquire",
+    # kpath error-path families (CFG + interprocedural summaries).
+    "errno-clobber", "discarded-failure", "resource-leak-on-error-path",
+    "charge-context-mismatch",
 }
 
 # Functions whose resolved call (transitively, outside lambda bodies) means
@@ -166,6 +175,30 @@ CPP_KEYWORDS = {
     "unsigned", "using", "virtual", "void", "volatile", "while", "assert",
     "defined",
 }
+
+
+def blank_preprocessor_lines(text):
+    """Blanks preprocessor directive lines (with their backslash
+    continuations), preserving newlines so offsets keep mapping.
+
+    Directives are not statements: without this, a function-like macro
+    definition (`#define CHECK(x) ...`) merges into the NEXT declaration
+    head, the balanced-paren scan takes the macro's parameter list, and the
+    function that follows — its return type now stranded on its own line
+    relative to the matched name — silently drops out of the database.
+    Run AFTER strip_comments_and_strings so a '#' inside a comment or
+    string cannot blank a real code line.
+    """
+    out = []
+    continued = False
+    for line in text.split("\n"):
+        if continued or line.lstrip().startswith("#"):
+            continued = line.rstrip().endswith("\\")
+            out.append(" " * len(line))
+        else:
+            continued = False
+            out.append(line)
+    return "\n".join(out)
 
 
 def strip_comments_and_strings(text):
@@ -239,14 +272,17 @@ class Function:
         self.body_file = None
         self.body_line = None       # 1-based line of the opening brace
         self.calls = []             # (receiver or None, name, file, line)
-        # Lock contract (IKDP_ACQUIRES / IKDP_RELEASES / IKDP_EXCLUDES).
+        # Lock contract (IKDP_ACQUIRES / IKDP_RELEASES / IKDP_EXCLUDES /
+        # IKDP_REQUIRES).
         self.acquires = set()
         self.releases = set()
         self.excludes = set()
+        self.requires = set()       # held at entry AND exit (may drop inside)
         self.params = {}            # parameter name -> base type (best effort)
         self.entry_held = frozenset()  # locks held on entry (fixpoint result)
         self.lambda_regions = []    # [(start, end)] lambda bodies within body
         self.locals = None          # lazily-built {local ptr/ref -> class}
+        self.cfgs = None            # lazily-built (main_cfg, [lambda_cfg])
         # Per-site annotation tracking for the annotation-mismatch rule.
         self.decl_annotation = None  # annotation seen on a declaration
         self.declared_at = None      # (file, line) of first declaration seen
@@ -275,11 +311,17 @@ class Model:
         #                   ("order", channel, file, line) |
         #                   ("lockguard", lockname, file, line)}
         self.guards = {}
+        # Sticky-errno registry (IKDP_STICKY_ERRNO member trailers):
+        # class -> {member: (file, line)}
+        self.sticky = {}
         # Lock registry from IKDP_LOCK_RANK member trailers:
         # lock name -> (class, member, rank, spin, file, line)
         self.locks = {}
         self.lock_members = {}      # (class, member) -> lock name
         self.lock_rank_conflicts = []  # (name, rank, file, line) duplicates
+        # IKDP_ACQUIRED_AFTER declarations, checked against the rank table:
+        # (class, member, other member, file, line)
+        self.lock_acq_after = []
         # Waivers that actually suppressed a finding this run, so the
         # stale-waiver lint can flag the rest.
         self.used_waivers = set()
@@ -309,12 +351,17 @@ QUAL_CALL_RE = re.compile(r"(\w+)\s*::\s*(\w+)\s*\(")
 MEMBER_RE = re.compile(
     r"^\s*(?:(?:const|mutable|static|constexpr)\s+)*([A-Za-z_]\w*)\s*"
     r"(?:<[^;<>]*>)?\s*([*&]\s*)?([A-Za-z_]\w*_)\s*"
-    r"(?:IKDP_\w+\s*\([^)]*\)\s*)?(?:=[^;]*)?;",
+    r"(?:IKDP_\w+\s*(?:\([^)]*\))?\s*)*(?:=[^;]*)?;",
     re.M)
 # A member declarator trailed by a data-side annotation.  The member name is
 # whatever identifier immediately precedes the macro (guards trail the
 # declarator, per src/kern/ctx.h).
 GUARD_RE = re.compile(r"\b([A-Za-z_]\w*)\s+IKDP_GUARDED_BY\s*\(([^)]*)\)")
+# A sticky-first-errno member: written once on the first failure, then
+# preserved (`if (x == 0) x = e;`).  Trails the declarator, after any other
+# member annotation (src/kern/ctx.h).
+STICKY_RE = re.compile(
+    r"\b([A-Za-z_]\w*)\s+(?:IKDP_\w+\s*\([^)]*\)\s*)*IKDP_STICKY_ERRNO\b")
 ORDER_RE = re.compile(r"\b([A-Za-z_]\w*)\s+IKDP_ORDERED_BY\s*\(\s*([A-Za-z_]\w*)\s*\)")
 WAIVER_RE = re.compile(r"kcheck:\s*allow\(([A-Za-z][\w-]*)\)")
 # A lock member declarator: `SpinLock lock_ IKDP_LOCK_RANK(cache, 40) = ...`.
@@ -322,7 +369,14 @@ LOCK_RANK_RE = re.compile(
     r"\b([A-Za-z_]\w*)\s+IKDP_LOCK_RANK\s*\(\s*([A-Za-z_]\w*)\s*,\s*(\d+)\s*\)")
 # Function-head lock contract macros (lead the declaration, like IKDP_CTX_*).
 FUNC_LOCK_ANN_RE = re.compile(
-    r"\bIKDP_(ACQUIRES|RELEASES|EXCLUDES)\s*\(\s*([A-Za-z_]\w*)\s*\)")
+    r"\bIKDP_(ACQUIRES|RELEASES|EXCLUDES|REQUIRES)\s*\(\s*([A-Za-z_]\w*)\s*\)")
+# A lock member declaring its place in the order relative to a sibling lock
+# MEMBER (the payload is a member name so the Clang TSA bridge gets a valid
+# capability expression): `SpinLock b_ IKDP_LOCK_RANK(beta, 20)
+# IKDP_ACQUIRED_AFTER(a_)`.  kcheck cross-checks the claim against the ranks.
+ACQ_AFTER_RE = re.compile(
+    r"\b([A-Za-z_]\w*)\s+(?:IKDP_\w+\s*\([^)]*\)\s*)*"
+    r"IKDP_ACQUIRED_AFTER\s*\(\s*([A-Za-z_]\w*)\s*\)")
 # Lock operations on a (possibly receiver-qualified) lock member.  `->` on
 # the lock itself is not used (locks are held by value); `source_->Release`
 # style endpoint calls therefore do not match.
@@ -337,7 +391,6 @@ SPINGUARD_RE = re.compile(
 LAMBDA_TAIL_RE = re.compile(
     r"\[[^\[\]]*\]\s*(?:\([^()]*\))?\s*(?:mutable\b\s*)?(?:noexcept\b\s*)?"
     r"(?:->\s*[\w:<>,&*\s]+?)?\s*$")
-EXIT_STMT_RE = re.compile(r"\b(return|co_return|break|continue)\b")
 
 
 def parse_head(head):
@@ -486,10 +539,18 @@ class FileParser:
                 self.model.locks.setdefault(
                     lockname, (cls, member, rank, spin, self.path, line))
                 self.model.lock_members[(cls, member)] = lockname
+            for mem in ACQ_AFTER_RE.finditer(body):
+                line = line_of(self.code, m.end() + mem.start())
+                self.model.lock_acq_after.append(
+                    (cls, mem.group(1), mem.group(2), self.path, line))
             for mem in ORDER_RE.finditer(body):
                 line = line_of(self.code, m.end() + mem.start())
                 guards.setdefault(mem.group(1),
                                   ("order", mem.group(2), self.path, line))
+            for mem in STICKY_RE.finditer(body):
+                line = line_of(self.code, m.end() + mem.start())
+                self.model.sticky.setdefault(cls, {}).setdefault(
+                    mem.group(1), (self.path, line))
 
     def _scan_scopes(self):
         code = self.code
@@ -590,6 +651,7 @@ class FileParser:
         fn.acquires |= lock_ann.get("ACQUIRES", set())
         fn.releases |= lock_ann.get("RELEASES", set())
         fn.excludes |= lock_ann.get("EXCLUDES", set())
+        fn.requires |= lock_ann.get("REQUIRES", set())
 
     def _record_definition(self, parsed, head, brace_idx, end_idx):
         qualifier, name, annotation, lock_ann = parsed
@@ -1079,122 +1141,135 @@ def scan_lock_events(model, fn):
     return events
 
 
+def get_cfgs(fn):
+    """(main_cfg, [lambda_cfg...]) for fn.body, built once and cached."""
+    if fn.cfgs is None:
+        if not fn.lambda_regions:
+            fn.lambda_regions = find_lambda_regions(fn.body)
+        fn.cfgs = kpath.build_function_cfgs(fn.body, fn.lambda_regions)
+    return fn.cfgs
+
+
 def walk_held(model, fn, events, queries, sink):
-    """Walks fn.body tracking the lexically-held lock set.
+    """Walks every CFG path of fn.body tracking the path-held lock set.
 
     Held entries are (lock name, origin) with origin in {"entry", "local",
-    "guard"}.  Blocks ending in return/break/continue restore the pre-block
-    set (the fall-through path never executed them); SpinGuard entries pop
-    with their scope; lambda bodies run deferred, so they start empty and
-    are checked for balance at their close.  sink(kind, pos, *info) receives
-    every derived event; the rule layer turns them into findings.
+    "guard"}.  The walk runs over the kpath CFG, so each branch arm, early
+    return, and loop iteration is its own path (memoized to a fixpoint);
+    SpinGuard entries release on every exit from their scope via the CFG's
+    unwind pseudo-items — exactly the destructor semantics.  Lambda bodies
+    run deferred, so each lambda CFG is walked separately from an empty held
+    set and checked for balance at its exits.  sink(kind, pos, *info)
+    receives every derived event; the rule layer turns them into findings
+    (deduplicated by site, so revisits along other paths are cheap).
     """
-    body = fn.body
-    held = [(l, "entry") for l in sorted(fn.entry_held | fn.releases)
-            if l in model.locks]
-    fn_guards = []
-    scopes = []  # {"lam", "saved", "guards", "exited"}
+    main, lams = get_cfgs(fn)
+    entry = tuple((l, "entry") for l in sorted(fn.entry_held | fn.releases)
+                  if l in model.locks)
+    _walk_lock_cfg(model, fn, main, entry, events, queries, sink, "fn-exit")
+    for cfg in lams:
+        _walk_lock_cfg(model, fn, cfg, (), events, queries, sink,
+                       "lambda-end")
 
-    def names():
-        return [h[0] for h in held]
 
-    def spin_held():
-        for h, _ in held:
-            if model.locks[h][3]:
-                return h
-        return None
+def _walk_lock_cfg(model, fn, cfg, entry_held, events, queries, sink,
+                   exit_kind):
+    poss = sorted(set(events) | set(queries))
 
-    def release(name):
-        for j in range(len(held) - 1, -1, -1):
-            if held[j][0] == name:
-                del held[j]
+    def transfer(block, state):
+        held = list(state[0])
+        scopes = [list(s) for s in state[1]]
+
+        def names():
+            return [h[0] for h in held]
+
+        def spin_held():
+            for h, _ in held:
+                if model.locks[h][3]:
+                    return h
+            return None
+
+        def release(name):
+            for j in range(len(held) - 1, -1, -1):
+                if held[j][0] == name:
+                    del held[j]
+                    return
+
+        def release_guard(name):
+            for j in range(len(held) - 1, -1, -1):
+                if held[j] == (name, "guard"):
+                    del held[j]
+                    return
+
+        def acquire(pos, name, method, origin):
+            if name in names():
+                sink("double", pos, name, method)
                 return
+            spin = model.locks[name][3]
+            sh = spin_held()
+            if not spin and method == "Acquire" and sh is not None:
+                sink("may-block", pos, "SleepLock '%s' Acquire" % name, sh)
+            for h in names():
+                sink("edge", pos, h, name)
+            # Drop-and-reacquire: re-taking a lock the function held at
+            # entry restores the entry obligation (the caller still holds
+            # it conceptually), it does not create a local one — otherwise
+            # every "release around blocking I/O, reacquire, continue" loop
+            # would read as a leak on the post-reacquire exit paths.
+            if origin == "local" and name in fn.entry_held:
+                origin = "entry"
+            held.append((name, origin))
+            if origin == "guard" and scopes:
+                scopes[-1].append(name)
 
-    def acquire(pos, name, method, origin):
-        if name in names():
-            sink("double", pos, name, method)
-            return
-        spin = model.locks[name][3]
-        sh = spin_held()
-        if not spin and method == "Acquire" and sh is not None:
-            sink("may-block", pos, "SleepLock '%s' Acquire" % name, sh)
-        for h in names():
-            sink("edge", pos, h, name)
-        held.append((name, origin))
-        if origin == "guard":
-            (scopes[-1]["guards"] if scopes else fn_guards).append(name)
+        for item in block.items:
+            tag = item[0]
+            if tag == "seg":
+                lo = bisect.bisect_left(poss, item[1])
+                hi = bisect.bisect_left(poss, item[2])
+                for pos in poss[lo:hi]:
+                    for ev in events.get(pos, ()):
+                        kind = ev[0]
+                        if kind == "op":
+                            _, method, name = ev
+                            if method == "Release":
+                                release(name)
+                            else:
+                                acquire(pos, name, method, "local")
+                        elif kind == "guard":
+                            acquire(pos, ev[1], "SpinGuard", "guard")
+                        elif kind == "await":
+                            sh = spin_held()
+                            if sh is not None:
+                                sink("may-block", pos, "co_await", sh)
+                        elif kind == "call":
+                            callee = ev[1]
+                            sink("call", pos, callee, tuple(names()))
+                            for l in sorted(callee.excludes):
+                                if l in names():
+                                    sink("exclude", pos, callee, l)
+                            for l in sorted(callee.acquires):
+                                if l in model.locks:
+                                    acquire(pos, l, "callee", "local")
+                            for l in sorted(callee.releases):
+                                release(l)
+                    for q in queries.get(pos, ()):
+                        sink("query", pos, q, tuple(names()))
+            elif tag == "push":
+                scopes.append([])
+            elif tag == "pop":
+                if scopes:
+                    for g in scopes.pop():
+                        release_guard(g)
+            elif tag == "unwind":
+                for _ in range(min(item[1], len(scopes))):
+                    for g in scopes.pop():
+                        release_guard(g)
+            elif tag == "exit":
+                sink(exit_kind, item[1], list(held))
+        return (tuple(held), tuple(tuple(s) for s in scopes))
 
-    i, n = 0, len(body)
-    stmt_start = 0
-    while i < n:
-        for ev in events.get(i, ()):
-            kind = ev[0]
-            if kind == "op":
-                _, method, name = ev
-                if method == "Release":
-                    release(name)
-                else:
-                    acquire(i, name, method, "local")
-            elif kind == "guard":
-                acquire(i, ev[1], "SpinGuard", "guard")
-            elif kind == "await":
-                sh = spin_held()
-                if sh is not None:
-                    sink("may-block", i, "co_await", sh)
-            elif kind == "call":
-                callee = ev[1]
-                sink("call", i, callee, tuple(names()))
-                for l in sorted(callee.excludes):
-                    if l in names():
-                        sink("exclude", i, callee, l)
-                for l in sorted(callee.acquires):
-                    if l in model.locks:
-                        acquire(i, l, "callee", "local")
-                for l in sorted(callee.releases):
-                    release(l)
-        for q in queries.get(i, ()):
-            sink("query", i, q, tuple(names()))
-        c = body[i]
-        if c == "{":
-            head = body[stmt_start:i]
-            lam = LAMBDA_TAIL_RE.search(head) is not None
-            scopes.append({"lam": lam, "saved": list(held), "guards": [],
-                           "exited": False})
-            if lam:
-                held = []
-            stmt_start = i + 1
-        elif c == "}":
-            if scopes:
-                sc = scopes.pop()
-                if sc["lam"]:
-                    sink("lambda-end", i, list(held))
-                    held = sc["saved"]
-                else:
-                    for g in sc["guards"]:
-                        for j in range(len(held) - 1, -1, -1):
-                            if held[j] == (g, "guard"):
-                                del held[j]
-                                break
-                    if sc["exited"]:
-                        held = sc["saved"]
-                if scopes:
-                    scopes[-1]["exited"] = False
-            stmt_start = i + 1
-        elif c == ";":
-            m = EXIT_STMT_RE.search(body[stmt_start:i])
-            if m:
-                if m.group(1) in ("return", "co_return"):
-                    if any(sc["lam"] for sc in scopes):
-                        sink("lambda-end", i, list(held))
-                    else:
-                        sink("fn-exit", i, list(held))
-                if scopes:
-                    scopes[-1]["exited"] = True
-            elif scopes:
-                scopes[-1]["exited"] = False
-            stmt_start = i + 1
-        i += 1
-    sink("fn-exit", n, list(held))
+    kpath.walk_paths(cfg, (entry_held, ()), transfer)
 
 
 def compute_lock_closures(model):
@@ -1267,7 +1342,15 @@ def compute_lock_closures(model):
 def compute_entry_held(model, rounds=4):
     """Caller-intersection fixpoint: a helper only ever called with lock L
     held gets entry_held = {L}, so `// lock-held` helpers (FreelistPush,
-    InFlight, ...) need no annotation for lock-guard-violation."""
+    InFlight, ...) need no annotation for lock-guard-violation.
+
+    IKDP_REQUIRES(l) seeds the fixpoint directly: the annotated lock is held
+    at entry no matter what the caller intersection would conclude (callers
+    that do NOT hold it are flagged separately in check_lock_discipline)."""
+    for fn in model.functions.values():
+        declared = frozenset(l for l in fn.requires if l in model.locks)
+        if declared - fn.entry_held:
+            fn.entry_held |= declared
     cached = {fn.qname: scan_lock_events(model, fn) for fn in _trackable(model)}
     for _ in range(rounds):
         call_held = {}
@@ -1285,6 +1368,7 @@ def compute_entry_held(model, rounds=4):
             if fn is None or fn.body is None:
                 continue
             inter = frozenset(frozenset.intersection(*map(frozenset, sets)))
+            inter |= frozenset(l for l in fn.requires if l in model.locks)
             if inter != fn.entry_held:
                 fn.entry_held = inter
                 changed = True
@@ -1341,6 +1425,30 @@ def check_lock_discipline(model, findings):
             "lock-order-cycle", file, line,
             "lock '%s' redeclared with rank %d; first declared rank %d at "
             "%s:%d" % (name, rank, orig[2], orig[4], orig[5])))
+    # IKDP_ACQUIRED_AFTER(m) claims this lock is acquired while the sibling
+    # lock member `m` is held, i.e. `m` is the outer lock — so this lock's
+    # rank must be strictly greater.  A contradiction with the rank table is
+    # a declared ordering cycle.
+    for cls, member, other, file, line in model.lock_acq_after:
+        name = model.lock_members.get((cls, member))
+        if name is None:
+            continue  # not a ranked lock member; LOCK_RANK rules handle it
+        oname = model.lock_members.get((cls, other))
+        if oname is None:
+            if not model.waived(file, line, "lock-order-cycle"):
+                findings.append(Finding(
+                    "lock-order-cycle", file, line,
+                    "lock '%s': IKDP_ACQUIRED_AFTER(%s) names a member of "
+                    "%s that is not a declared lock" % (name, other, cls)))
+            continue
+        rank, orank = model.locks[name][2], model.locks[oname][2]
+        if rank <= orank:
+            if not model.waived(file, line, "lock-order-cycle"):
+                findings.append(Finding(
+                    "lock-order-cycle", file, line,
+                    "lock '%s' (rank %d) declared IKDP_ACQUIRED_AFTER '%s' "
+                    "(rank %d), but inner locks must rank strictly higher"
+                    % (name, rank, oname, orank)))
     if not model.locks:
         return
     acq_closure, may_block = compute_lock_closures(model)
@@ -1393,6 +1501,14 @@ def check_lock_discipline(model, findings):
                      % (fn.qname, callee.qname, lock, lock))
             elif kind == "call":
                 callee, heldnames = a
+                for l in sorted(callee.requires):
+                    if l in model.locks and l not in heldnames:
+                        emit("lock-guard-violation", file, line_at(pos),
+                             ("requires", fn.qname, callee.qname, l,
+                              line_at(pos)),
+                             "%s calls %s (IKDP_REQUIRES(%s)) without "
+                             "holding '%s'"
+                             % (fn.qname, callee.qname, l, l))
                 if not heldnames:
                     return
                 spins = [h for h in heldnames if model.locks[h][3]]
@@ -1481,6 +1597,392 @@ def check_lock_discipline(model, findings):
                  % (outer, inner, via, outer, inner))
 
 
+# ---------------------------------------------------------------------------
+# kpath error-path rules (docs/kcheck.md): errno-clobber, discarded-failure,
+# resource-leak-on-error-path, charge-context-mismatch.  All four are
+# path-sensitive walks over the kpath CFG; the first two also consume the
+# interprocedural may-fail summary, the third the acquires-resource summary.
+# ---------------------------------------------------------------------------
+
+# Classes allowed to manipulate charge buckets directly (the ledger itself).
+CHARGE_IMPL_CLASSES = {"CpuSystem"}
+# Charge entry points that are only legal at interrupt/softclock level.
+INTERRUPT_CHARGE_NAMES = {"ChargeInterrupt", "ChargeKop"}
+INTR_BUCKET_LITERALS = {"kInterrupt", "kKopInterrupt", "kSoftclock",
+                        "kKopSoftclock"}
+PROC_BUCKET_LITERALS = {"kProcess", "kKopProcess"}
+BUCKET_LITERAL_RE = re.compile(r"\bChargeBucket\s*::\s*(k\w+)")
+ININTR_NEG_RE = re.compile(
+    r"!\s*(?:[\w:]+\s*(?:\.|->)\s*)?InInterrupt\s*\(")
+# Any assignment; filtered against the sticky-member registry per use.
+ASSIGN_SITE_RE = re.compile(
+    r"(?:\b(\w+)\s*(?:->|\.)\s*)?\b([A-Za-z_]\w*)\s*=(?!=)\s*([^;]*)")
+# A statement that is nothing but one call (possibly qualified/member).
+BARE_CALL_RE = re.compile(r"\s*(?:(\w+)\s*(->|\.|::)\s*)?(~?\w+)\s*\(")
+# `var = [recv->]Acquirer(...)` with a plain (non-member) lvalue.
+ACQ_ASSIGN_RE = re.compile(
+    r"(?<![\w.>])([A-Za-z_]\w*)\s*=(?!=)\s*"
+    r"(?:[\w:]+\s*(?:->|\.)\s*)?([A-Za-z_]\w*)\s*\(")
+
+
+def _line_at(fn, pos):
+    return fn.body_line + fn.body.count("\n", 0, pos)
+
+
+def _emit_path(model, findings, rule, fn, pos, message):
+    line = _line_at(fn, pos)
+    if not model.waived(fn.body_file, line, rule):
+        findings.append(Finding(rule, fn.body_file, line, message))
+
+
+def _match_paren_at(code, open_idx):
+    depth = 0
+    for i in range(open_idx, len(code)):
+        c = code[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(code)
+
+
+def _seg_events(block, evpos):
+    """Yields (pos, *payload) for sorted event list entries inside the
+    block's seg items, in program order."""
+    for item in block.items:
+        if item[0] != "seg":
+            continue
+        lo = bisect.bisect_left(evpos, (item[1],))
+        while lo < len(evpos) and evpos[lo][0] < item[2]:
+            yield evpos[lo]
+            lo += 1
+
+
+def _member_class(model, fn, receiver):
+    """Class a member access `receiver->member` resolves through."""
+    if receiver is None or receiver == "this":
+        return fn.cls
+    return (fn.params.get(receiver)
+            or model.members.get(fn.cls or "", {}).get(receiver)
+            or fn_locals(fn).get(receiver))
+
+
+def _check_errno_clobber(model, fn, sticky_names, findings):
+    """IKDP_STICKY_ERRNO member overwritten while it may already hold the
+    first error.  Lattice per (receiver, member): unknown / known-zero /
+    known-set; `= 0` lowers, a guarded branch (`if (err == 0)`) lowers on
+    the proving edge, any nonzero store from known-set is a clobber."""
+    body = fn.body
+    if not any(n in body for n in sticky_names):
+        return
+    writes = {}  # (recv, member) -> [(pos, iszero)]
+    for m in ASSIGN_SITE_RE.finditer(body):
+        recv, member, rhs = m.group(1), m.group(2), m.group(3)
+        if member not in sticky_names:
+            continue
+        cls = _member_class(model, fn, recv)
+        ok = cls in model.sticky and member in model.sticky[cls]
+        if not ok and cls is None:
+            owners = [c for c, d in model.sticky.items() if member in d]
+            ok = len(owners) == 1
+        if not ok:
+            continue
+        iszero = rhs.strip() in ("0", "nullptr")
+        writes.setdefault((recv, member), []).append((m.start(), iszero))
+    if not writes:
+        return
+    order = sorted(writes, key=lambda k: (k[0] or "", k[1]))
+    idx = {k: i for i, k in enumerate(order)}
+    mention = {}
+    for recv, member in order:
+        if recv:
+            mention[(recv, member)] = re.compile(
+                r"\b%s\s*(?:->|\.)\s*%s\b" % (re.escape(recv),
+                                              re.escape(member)))
+        else:
+            mention[(recv, member)] = re.compile(
+                r"(?<![\w.>])%s\b" % re.escape(member))
+    evpos = sorted((p, k, iszero)
+                   for k, lst in writes.items() for p, iszero in lst)
+    hits = set()
+
+    def transfer(block, state):
+        st = list(state)
+        for p, key, iszero in _seg_events(block, evpos):
+            i = idx[key]
+            if iszero:
+                st[i] = "z"
+            else:
+                if st[i] == "s":
+                    hits.add((p, key))
+                st[i] = "s"
+        return tuple(st)
+
+    def refine(edge, state):
+        label, cs, ce = edge
+        cond = body[cs:ce]
+        st = None
+        for key, rx in mention.items():
+            pol = kpath.cond_checks_zero(cond, rx)
+            if pol is None:
+                continue
+            if st is None:
+                st = list(state)
+            # The edge matching the polarity proves the member is zero; the
+            # opposite edge proves it already holds an error.
+            st[idx[key]] = "z" if pol == label else "s"
+        return state if st is None else tuple(st)
+
+    init = tuple("u" for _ in order)
+    main, lams = get_cfgs(fn)
+    for cfg in [main] + lams:  # a lambda runs deferred: sticky state unknown
+        kpath.walk_paths(cfg, init, transfer, refine)
+    reported = set()
+    for p, (recv, member) in sorted(hits):
+        line = _line_at(fn, p)
+        if (member, line) in reported:
+            continue
+        reported.add((member, line))
+        access = "%s->%s" % (recv, member) if recv else member
+        _emit_path(model, findings, "errno-clobber", fn, p,
+                   "%s overwrites sticky errno member '%s' on a path where "
+                   "it may already hold the first error; guard the store "
+                   "with `if (%s == 0)`" % (fn.qname, access, access))
+
+
+def _check_discarded_failure(model, fn, may_fail, findings):
+    """A statement that is nothing but a call to a may-fail function: the
+    error return is silently dropped.  `(void)f(...)` and uses inside
+    larger expressions are naturally exempt (the statement is then not a
+    bare call)."""
+    body = fn.body
+    for st in kpath.iter_stmts(body, fn.lambda_regions, kinds={"simple"}):
+        if st.seg is None:
+            continue
+        s, e = st.seg
+        text = body[s:e]
+        m = BARE_CALL_RE.match(text)
+        if m is None:
+            continue
+        recv, sep, name = m.group(1), m.group(2), m.group(3)
+        if name.lstrip("~") in CPP_KEYWORDS:
+            continue
+        close = _match_paren_at(text, m.end() - 1)
+        if text[close + 1:].strip(" \t\n;") != "":
+            continue  # call is a subexpression, not the whole statement
+        if sep == "::":
+            callee = model.functions.get("%s::%s" % (recv, name))
+        else:
+            callee = resolve_call_lock(model, fn, recv, name)
+        if callee is None or callee.qname not in may_fail:
+            continue
+        _emit_path(model, findings, "discarded-failure", fn, s + m.start(3),
+                   "%s discards the error return of %s; check it, propagate "
+                   "it, or cast to (void) to document the drop"
+                   % (fn.qname, callee.qname))
+
+
+def _check_resource_leak(model, fn, acquirers, findings):
+    """A local acquired from an acquires-resource function must reach a
+    release/write on every path to an exit.  Mentions that escape the
+    value (call argument, return, reassignment target) end tracking
+    conservatively; a null-check edge proves the failed-acquisition arm
+    unowned."""
+    body = fn.body
+    acq = {}  # var -> [acquire pos]
+    lhs_spans = []
+    for m in ACQ_ASSIGN_RE.finditer(body):
+        var, name = m.group(1), m.group(2)
+        ok = name in acquirers
+        if not ok:
+            callee = resolve_call_lock(model, fn, None, name)
+            ok = callee is not None and callee.qname in acquirers
+        if ok:
+            acq.setdefault(var, []).append(m.start())
+            lhs_spans.append((m.start(1), m.end(1)))
+    if not acq:
+        return
+    rel_names = set(BUF_RELEASE_NAMES) | set(BUF_WRITE_NAMES)
+    rel_spans = []
+    for m in re.finditer(r"\b(?:%s)\s*\(" % "|".join(rel_names), body):
+        rel_spans.append((m.end() - 1, _match_paren_at(body, m.end() - 1)))
+    conds = kpath.cond_intervals(body, fn.lambda_regions)
+
+    def is_call_arg(code, pos):
+        i = pos - 1
+        while i >= 0 and code[i] in " \t\n":
+            i -= 1
+        if i < 0:
+            return False
+        if code[i] == ",":
+            return True
+        if code[i] == "(":
+            j = i - 1
+            while j >= 0 and code[j] in " \t\n":
+                j -= 1
+            return j >= 0 and (code[j].isalnum() or code[j] == "_")
+        return False
+
+    events = []  # (pos, kind, var) with kind acq|rel|kill
+    for var, poss in acq.items():
+        events.extend((p, "acq", var) for p in poss)
+        for m in re.finditer(r"\b%s\b" % re.escape(var), body):
+            p = m.start()
+            if any(s <= p < e for s, e in lhs_spans):
+                continue  # the acquiring assignment's own lvalue
+            rest = body[m.end():m.end() + 3].lstrip()
+            if rest.startswith(".") or rest.startswith("->"):
+                continue  # receiver use keeps ownership
+            if any(s < p < e for s, e in rel_spans):
+                events.append((p, "rel", var))
+                continue
+            if any(s <= p < e for s, e in conds) and \
+                    not is_call_arg(body, p):
+                continue  # bare null test: handled by edge refinement
+            events.append((p, "kill", var))
+    order = sorted(acq)
+    idx = {v: i for i, v in enumerate(order)}
+    evpos = sorted(events)
+    hits = {}  # var -> (exit pos, acquire pos)
+
+    def transfer(block, state):
+        st = list(state)
+        for item in block.items:
+            if item[0] == "seg":
+                lo = bisect.bisect_left(evpos, (item[1],))
+                while lo < len(evpos) and evpos[lo][0] < item[2]:
+                    p, kind, var = evpos[lo]
+                    lo += 1
+                    i = idx[var]
+                    if kind == "acq":
+                        st[i] = "o"
+                    elif st[i] == "o":
+                        st[i] = "d"
+            elif item[0] == "exit":
+                for var, i in idx.items():
+                    if st[i] == "o" and var not in hits:
+                        hits[var] = (item[1], acq[var][0])
+        return tuple(st)
+
+    def refine(edge, state):
+        label, cs, ce = edge
+        cond = body[cs:ce]
+        st = None
+        for var, i in idx.items():
+            if state[i] != "o":
+                continue
+            rx = re.compile(r"\b%s\b" % re.escape(var))
+            mm = rx.search(cond)
+            if mm is None or is_call_arg(cond, mm.start()):
+                continue
+            if cond[mm.end():].lstrip().startswith((".", "->")):
+                continue  # member access, not a null test of the handle
+            if kpath.cond_checks_zero(cond, rx) == label:
+                if st is None:
+                    st = list(state)
+                st[i] = "u"  # this edge proves the acquisition failed
+        return state if st is None else tuple(st)
+
+    init = tuple("u" for _ in order)
+    main, lams = get_cfgs(fn)
+    for cfg in [main] + lams:
+        kpath.walk_paths(cfg, init, transfer, refine)
+    for var in sorted(hits):
+        exit_pos, acq_pos = hits[var]
+        _emit_path(model, findings, "resource-leak-on-error-path", fn,
+                   exit_pos,
+                   "%s exits here with '%s' (acquired at line %d) still "
+                   "owned: no release/write on this path"
+                   % (fn.qname, var, _line_at(fn, acq_pos)))
+
+
+def _check_charge_context(model, fn, findings):
+    """Charge calls and bucket literals must agree with the execution
+    context: interrupt-side charges from process/any context need a
+    dominating InInterrupt() check on every path; process-side buckets are
+    never legal from interrupt/softclock context."""
+    if fn.cls in CHARGE_IMPL_CLASSES:
+        return
+    ctx = fn.annotation
+    if ctx is None:
+        # No declared context to disagree with; un-annotated interrupt
+        # charges stay the lexical undominated-charge rule's business.
+        return
+    body = fn.body
+    events = []
+    for m in CALL_RE.finditer(body):
+        if m.group(2) in INTERRUPT_CHARGE_NAMES and \
+                not _in_region(fn.lambda_regions, m.start()):
+            events.append((m.start(), "charge", m.group(2)))
+    for m in re.finditer(r"\b\w*(?:Charge|Attribute)\w*\s*\(", body):
+        close = _match_paren_at(body, m.end() - 1)
+        for bm in BUCKET_LITERAL_RE.finditer(body, m.end(), close):
+            if not _in_region(fn.lambda_regions, bm.start()):
+                events.append((bm.start(), "bucket", bm.group(1)))
+    if not events:
+        return
+    if ctx in ("interrupt", "softclock"):
+        for pos, kind, payload in sorted(set(events)):
+            if kind == "bucket" and payload in PROC_BUCKET_LITERALS:
+                _emit_path(model, findings, "charge-context-mismatch", fn,
+                           pos,
+                           "%s (IKDP_CTX_%s) charges process-side bucket "
+                           "ChargeBucket::%s" % (fn.qname, ctx.upper(),
+                                                 payload))
+        return
+    evpos = sorted(set(events))
+    hits = set()
+
+    def transfer(block, state):
+        in_intr = state[0]
+        for p, kind, payload in _seg_events(block, evpos):
+            if in_intr:
+                continue
+            if kind == "charge" or payload in INTR_BUCKET_LITERALS:
+                hits.add((p, kind, payload))
+        return state
+
+    def refine(edge, state):
+        label, cs, ce = edge
+        cond = body[cs:ce]
+        if "InInterrupt" not in cond:
+            return state
+        pol = "false" if ININTR_NEG_RE.search(cond) else "true"
+        return (1,) if label == pol else state
+
+    main, _ = get_cfgs(fn)  # lambdas excluded: deferred, context unknown
+    kpath.walk_paths(main, (0,), transfer, refine)
+    for pos, kind, payload in sorted(hits):
+        if kind == "charge":
+            msg = ("%s (IKDP_CTX_%s) calls %s on a path where InInterrupt() "
+                   "is not proven; charge under an InInterrupt() check or "
+                   "annotate IKDP_CTX_INTERRUPT"
+                   % (fn.qname, ctx.upper(), payload))
+        else:
+            msg = ("%s (IKDP_CTX_%s) charges interrupt-side bucket "
+                   "ChargeBucket::%s without a dominating InInterrupt() "
+                   "check" % (fn.qname, ctx.upper(), payload))
+        _emit_path(model, findings, "charge-context-mismatch", fn, pos, msg)
+
+
+def check_error_paths(model, findings):
+    """Drives the four kpath rule families over every trackable body."""
+    def resolve(fn, name):
+        return resolve_call_lock(model, fn, None, name)
+    may_fail = kpath.compute_may_fail(model, resolve)
+    acquirers = kpath.compute_acquirers(model, resolve, BUF_ACQUIRE_NAMES)
+    sticky_names = {mem for d in model.sticky.values() for mem in d}
+    for fn in _trackable(model):
+        get_cfgs(fn)  # ensures fn.lambda_regions and the CFG cache
+        if sticky_names:
+            _check_errno_clobber(model, fn, sticky_names, findings)
+        _check_discarded_failure(model, fn, may_fail, findings)
+        _check_resource_leak(model, fn, acquirers, findings)
+        _check_charge_context(model, fn, findings)
+
+
 def check_stale_waivers(model, findings):
     """Waiver comments that suppressed nothing this run.
 
@@ -1542,17 +2044,145 @@ def collect_files(args):
     return uniq
 
 
-def run_builtin(files):
-    model = Model()
+# ---------------------------------------------------------------------------
+# Incremental cache (--cache DIR)
+# ---------------------------------------------------------------------------
+
+CACHE_FORMAT = 1
+_TOOL_HASH = None
+
+
+def tool_hash():
+    """Digest of the analyzer's own sources: editing kcheck.py or kpath.py
+    invalidates every cache entry, so a cache can never replay findings an
+    older rule set produced."""
+    global _TOOL_HASH
+    if _TOOL_HASH is None:
+        h = hashlib.sha256(b"kcheck-cache-v%d" % CACHE_FORMAT)
+        here = os.path.dirname(os.path.abspath(__file__))
+        for name in ("kcheck.py", "kpath.py"):
+            with open(os.path.join(here, name), "rb") as f:
+                h.update(f.read())
+        _TOOL_HASH = h.hexdigest()
+    return _TOOL_HASH
+
+
+class Cache:
+    """Two-layer on-disk cache for incremental runs.
+
+    Layer 1 (token, `<hash>.tok`): the comment-stripped, directive-blanked
+    text of one file, keyed on sha256(tool sources + file content).  That
+    transform is the hottest per-file step and depends on nothing but the
+    file itself, so a warm entry survives edits to OTHER files.
+
+    Layer 2 (run, `run-<hash>.json`): the complete findings of a whole run,
+    keyed on the tool hash plus every input's (path, content-hash) pair.
+    A hit replays the stored findings without parsing anything; any edit,
+    rename, addition, or deletion changes the key.  The record stores the
+    UNFILTERED findings — --changed-only filtering happens after replay —
+    so a cached and an uncached run can never disagree.
+    """
+
+    def __init__(self, root):
+        self.root = root
+        try:
+            os.makedirs(root, exist_ok=True)
+        except OSError as e:
+            sys.exit("kcheck: --cache %s: %s" % (root, e))
+
+    def _put(self, path, data):
+        # Write-then-rename so a crashed run never leaves a torn entry.
+        tmp = "%s.tmp.%d" % (path, os.getpid())
+        try:
+            with open(tmp, "w", encoding="utf-8") as f:
+                f.write(data)
+            os.replace(tmp, path)
+        except OSError:
+            pass  # cache is best-effort; the analysis result is already made
+
+    def file_key(self, text):
+        h = hashlib.sha256(tool_hash().encode())
+        h.update(text.encode("utf-8", "replace"))
+        return h.hexdigest()
+
+    def get_tokens(self, key):
+        try:
+            with open(os.path.join(self.root, key + ".tok"),
+                      encoding="utf-8") as f:
+                return f.read()
+        except OSError:
+            return None
+
+    def put_tokens(self, key, tokens):
+        self._put(os.path.join(self.root, key + ".tok"), tokens)
+
+    def run_key(self, file_hashes):
+        h = hashlib.sha256(tool_hash().encode())
+        for rel, fh in sorted(file_hashes):
+            h.update(("%s\0%s\n" % (rel, fh)).encode())
+        return h.hexdigest()
+
+    def get_run(self, key):
+        try:
+            with open(os.path.join(self.root, "run-" + key + ".json"),
+                      encoding="utf-8") as f:
+                rec = json.load(f)
+        except (OSError, ValueError):
+            return None
+        if rec.get("format") != CACHE_FORMAT:
+            return None
+        return rec
+
+    def put_run(self, key, record):
+        self._put(os.path.join(self.root, "run-" + key + ".json"),
+                  json.dumps(record, indent=1))
+
+
+def git_changed_files():
+    """Paths (relative to the git worktree root = CWD) that git reports as
+    modified, staged, renamed-to, or untracked."""
+    try:
+        out = subprocess.run(
+            ["git", "status", "--porcelain", "--untracked-files=all"],
+            capture_output=True, text=True, check=True).stdout
+    except (OSError, subprocess.CalledProcessError) as e:
+        sys.exit("kcheck: --changed-only needs a git worktree: %s" % e)
+    changed = set()
+    for line in out.splitlines():
+        entry = line[3:]
+        if " -> " in entry:  # rename: the new path is the live one
+            entry = entry.split(" -> ", 1)[1]
+        entry = entry.strip().strip('"')
+        if entry:
+            changed.add(os.path.normpath(entry))
+    return changed
+
+
+def read_sources(files):
+    srcs = []
     for path in files:
         try:
             with open(path, encoding="utf-8", errors="replace") as f:
                 text = f.read()
         except OSError as e:
             sys.exit("kcheck: %s: %s" % (path, e))
-        rel = os.path.relpath(path)
+        srcs.append((os.path.relpath(path), text))
+    return srcs
+
+
+def run_builtin(srcs, cache=None):
+    model = Model()
+    for rel, text in srcs:
         model.raw_lines[rel] = text.splitlines()
-        FileParser(model, rel, strip_comments_and_strings(text)).parse()
+        tokens = None
+        key = cache.file_key(text) if cache is not None else None
+        if key is not None:
+            tokens = cache.get_tokens(key)
+        if tokens is None:
+            tokens = blank_preprocessor_lines(strip_comments_and_strings(text))
+            if key is not None:
+                cache.put_tokens(key, tokens)
+        FileParser(model, rel, tokens).parse()
     return model
 
 
@@ -1567,6 +2197,48 @@ def run_libclang(files):
     # Model.  Left as an optional path; the builtin frontend is canonical.
     sys.exit("kcheck: libclang frontend not implemented in this build; "
              "use --frontend=builtin")
+
+
+SARIF_SCHEMA_URI = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                    "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def sarif_report(findings):
+    """SARIF 2.1.0 document for the findings (one run, driver `kcheck`).
+
+    Every rule kcheck can emit appears in the driver's rule table — stable
+    ruleIndex values across runs — and each result points back into it.
+    """
+    rule_ids = sorted(KNOWN_RULES)
+    index = {r: i for i, r in enumerate(rule_ids)}
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "kcheck",
+                "rules": [{
+                    "id": r,
+                    "shortDescription": {"text": r},
+                    "defaultConfiguration": {"level": "error"},
+                } for r in rule_ids],
+            }},
+            "results": [{
+                "ruleId": f.rule,
+                "ruleIndex": index[f.rule],
+                "level": "error",
+                "message": {"text": f.message},
+                "locations": [{
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.file.replace(os.sep, "/"),
+                        },
+                        "region": {"startLine": f.line},
+                    },
+                }],
+            } for f in findings],
+        }],
+    }
 
 
 def main(argv=None):
@@ -1584,6 +2256,16 @@ def main(argv=None):
     ap.add_argument("--github", action="store_true",
                     help="emit findings as GitHub workflow annotations "
                          "(::error file=...) plus a count summary")
+    ap.add_argument("--sarif", action="store_true",
+                    help="emit findings as a SARIF 2.1.0 document on stdout")
+    ap.add_argument("--cache", metavar="DIR",
+                    help="incremental mode: cache per-file token results and "
+                         "whole-run findings in DIR, keyed on content hashes "
+                         "(invalidated by any file or tool change)")
+    ap.add_argument("--changed-only", action="store_true",
+                    help="report only findings in files git sees as changed "
+                         "(vs HEAD) or untracked; the whole tree is still "
+                         "analyzed so cross-file contracts stay sound")
     ap.add_argument("--list-functions", action="store_true",
                     help="dump the parsed function database and exit")
     args = ap.parse_args(argv)
@@ -1593,30 +2275,62 @@ def main(argv=None):
 
     files = collect_files(args)
     if args.frontend == "libclang":
-        model = run_libclang(files)
+        run_libclang(files)  # always exits (bindings missing / unimplemented)
+
+    srcs = read_sources(files)
+    cache = Cache(args.cache) if args.cache else None
+
+    record = run_key = None
+    if cache is not None:
+        run_key = cache.run_key(
+            [(rel, cache.file_key(text)) for rel, text in srcs])
+        record = cache.get_run(run_key)
+
+    if record is not None and not args.list_functions:
+        # Run-layer hit: replay the stored (unfiltered) findings.  Output is
+        # byte-identical to the cold run by construction.
+        findings = [Finding(**f) for f in record["findings"]]
+        n_functions = record["functions"]
     else:
-        model = run_builtin(files)
+        model = run_builtin(srcs, cache)
 
-    if args.list_functions:
-        for qname in sorted(model.functions):
-            fn = model.functions[qname]
-            print("%-50s %-10s %s" % (qname, fn.annotation or "-",
-                                      "def" if fn.body is not None else "decl"))
-        return 0
+        if args.list_functions:
+            for qname in sorted(model.functions):
+                fn = model.functions[qname]
+                print("%-50s %-10s %s"
+                      % (qname, fn.annotation or "-",
+                         "def" if fn.body is not None else "decl"))
+            return 0
 
-    findings = []
-    check_annotation_conflicts(model, findings)
-    check_annotation_mismatch(model, findings)
-    check_data_annotations(model, findings)
-    check_guard_violations(model, findings)
-    check_context_reachability(model, findings)
-    check_charge_domination(model, findings)
-    check_buf_discipline(model, findings)
-    check_lock_discipline(model, findings)
-    check_stale_waivers(model, findings)  # last: consumes used_waivers
+        findings = []
+        check_annotation_conflicts(model, findings)
+        check_annotation_mismatch(model, findings)
+        check_data_annotations(model, findings)
+        check_guard_violations(model, findings)
+        check_context_reachability(model, findings)
+        check_charge_domination(model, findings)
+        check_buf_discipline(model, findings)
+        check_lock_discipline(model, findings)
+        check_error_paths(model, findings)
+        check_stale_waivers(model, findings)  # last: consumes used_waivers
+        n_functions = len(model.functions)
+
+        if cache is not None:
+            cache.put_run(run_key, {
+                "format": CACHE_FORMAT,
+                "functions": n_functions,
+                "findings": [f.as_dict() for f in findings],
+            })
+
+    if args.changed_only:
+        changed = git_changed_files()
+        findings = [f for f in findings
+                    if os.path.normpath(f.file) in changed]
 
     if args.json:
         print(json.dumps([f.as_dict() for f in findings], indent=2))
+    elif args.sarif:
+        print(json.dumps(sarif_report(findings), indent=2))
     elif args.github:
         for f in findings:
             print("::error file=%s,line=%d,title=kcheck %s::[%s] %s"
@@ -1627,7 +2341,7 @@ def main(argv=None):
         for f in findings:
             print(f)
         print("kcheck: %d file(s), %d function(s), %d finding(s)"
-              % (len(files), len(model.functions), len(findings)),
+              % (len(files), n_functions, len(findings)),
               file=sys.stderr)
     return 1 if findings else 0
 

@@ -1,0 +1,702 @@
+"""kpath: path-sensitive control-flow substrate for kcheck.
+
+kcheck's original lock/guard rules walked each function body LEXICALLY: one
+linear pass with a scope stack, `return` blocks restoring the pre-block held
+set.  That walker cannot see that an `if` and its `else` are alternatives,
+that a loop body runs again, or that an early `return` is a path of its own —
+exactly the branchy error paths where the splice stack's invariants break.
+
+kpath replaces that substrate with a real per-function control-flow graph
+built from the same stripped token stream:
+
+  * basic blocks of source intervals, with true/false-labelled branch edges
+    carrying the condition text (so rules can be path-sensitive on simple
+    predicates like `if (d->error_ == 0)` or `if (InInterrupt())`);
+  * early returns, `break`/`continue`, `do`/`while`/`for` loops (back edges;
+    the finite-lattice walks below reach a fixpoint instead of unrolling —
+    the classical widening for these domains), `switch` with C++ fallthrough;
+  * scope structure as explicit push/pop/unwind pseudo-items, so RAII
+    releases (SpinGuard) fire on EVERY exit from their scope, including the
+    paths the lexical walker could not see;
+  * lambda bodies excluded from the enclosing graph and built as their own
+    CFGs (deferred callbacks execute later, from an empty context);
+  * `co_await` suspension points kept as ordinary events (the lock walk
+    treats them as blocking; the CFG needs no extra node kind).
+
+On top of the CFG, `walk_cfg` drives the same event/sink interface the
+lexical walker exposed, so the existing lock rules re-base without changing
+their finding shapes; and two interprocedural summaries (`may_fail`,
+`acquires_resource`) are computed to fixpoint over the call graph for the
+error-path rule families (errno-clobber, discarded-failure,
+resource-leak-on-error-path, charge-context-mismatch) in kcheck.py.
+
+Known approximations (documented in docs/kcheck.md):
+  * `?:`, `&&`, `||` are not control flow here: a ternary is one linear
+    segment.  `goto` is treated as a plain statement (unused in this tree).
+  * exceptions are not modelled (the tree compiles without them in spirit:
+    kernel code, no throw sites).
+  * condition predicates are matched textually (`x == 0`, `!x`,
+    `x != nullptr`, `InInterrupt()`); anything more complex is opaque and
+    the walk takes both edges with unchanged state.
+"""
+
+import re
+
+EXIT_KEYWORDS = {"return", "co_return"}
+_WORD_RE = re.compile(r"[A-Za-z_]\w*")
+
+
+class Stmt:
+    """One node of the statement tree: kind plus interval payloads."""
+
+    __slots__ = ("kind", "seg", "cond", "body", "els", "cases", "pos")
+
+    def __init__(self, kind, pos, seg=None, cond=None, body=None, els=None,
+                 cases=None):
+        self.kind = kind      # simple/if/while/do/for/switch/return/break/
+        #                       continue/block
+        self.pos = pos
+        self.seg = seg        # (start, end) source interval, if any
+        self.cond = cond      # (start, end) condition interval, if any
+        self.body = body      # [Stmt]
+        self.els = els        # [Stmt] or None
+        self.cases = cases    # [(label_pos, [Stmt])] for switch
+
+
+class StmtParser:
+    """Recursive-descent statement scanner over one stripped body.
+
+    `regions` are lambda-body brace intervals (from find_lambda_regions):
+    they are skipped wholesale — a lambda's interior is another function.
+    """
+
+    def __init__(self, body, regions):
+        self.body = body
+        self.n = len(body)
+        self.region_start = {s: e for s, e in regions}
+
+    def parse(self, i=0, end=None):
+        if end is None:
+            end = self.n
+        stmts = []
+        while True:
+            i = self._skip_ws(i, end)
+            if i >= end:
+                break
+            st, i = self._stmt(i, end)
+            if st is not None:
+                stmts.append(st)
+        return stmts
+
+    def _skip_ws(self, i, end):
+        while i < end and self.body[i] in " \t\n\r":
+            i += 1
+        return i
+
+    def _keyword_at(self, i):
+        m = _WORD_RE.match(self.body, i)
+        return m.group(0) if m else None
+
+    def _match_paren(self, i):
+        """i at '('; returns index past the matching ')'."""
+        depth = 0
+        while i < self.n:
+            c = self.body[i]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+                if depth == 0:
+                    return i + 1
+            i += 1
+        return self.n
+
+    def _match_brace(self, i):
+        depth = 0
+        while i < self.n:
+            c = self.body[i]
+            if c == "{":
+                depth += 1
+            elif c == "}":
+                depth -= 1
+                if depth == 0:
+                    return i + 1
+            i += 1
+        return self.n
+
+    def _to_semicolon(self, i, end):
+        """Consumes one simple statement: to the ';' at paren depth 0.
+        Lambda bodies and aggregate-init braces are opaque."""
+        depth = 0
+        while i < end:
+            c = self.body[i]
+            if c == "{":
+                i = self._match_brace(i)
+                continue
+            if c == "(" or c == "[":
+                depth += 1
+            elif c == ")" or c == "]":
+                depth -= 1
+            elif c == ";" and depth <= 0:
+                return i + 1
+            elif c == "}" and depth <= 0:
+                return i  # malformed / end of scope: stop without consuming
+            i += 1
+        return end
+
+    def _stmt(self, i, end):
+        body = self.body
+        c = body[i]
+        if c == ";":
+            return None, i + 1
+        if c == "}":
+            return None, i + 1  # tolerated; _block handles its own close
+        if c == "{":
+            close = self._match_brace(i)
+            inner = self.parse(i + 1, close - 1)
+            return Stmt("block", i, body=inner), close
+        kw = self._keyword_at(i)
+        if kw == "if":
+            j = body.find("(", i, end)
+            if j < 0:
+                return Stmt("simple", i, seg=(i, end)), end
+            cend = self._match_paren(j)
+            then_stmt, j2 = self._stmt(self._skip_ws(cend, end), end)
+            then = [then_stmt] if then_stmt else []
+            j3 = self._skip_ws(j2, end)
+            els = None
+            if self._keyword_at(j3) == "else":
+                e_stmt, j4 = self._stmt(self._skip_ws(j3 + 4, end), end)
+                els = [e_stmt] if e_stmt else []
+                j2 = j4
+            return Stmt("if", i, cond=(j + 1, cend - 1), body=then,
+                        els=els), j2
+        if kw == "while":
+            j = body.find("(", i, end)
+            if j < 0:
+                return Stmt("simple", i, seg=(i, end)), end
+            cend = self._match_paren(j)
+            b_stmt, j2 = self._stmt(self._skip_ws(cend, end), end)
+            return Stmt("while", i, cond=(j + 1, cend - 1),
+                        body=[b_stmt] if b_stmt else []), j2
+        if kw == "for":
+            j = body.find("(", i, end)
+            if j < 0:
+                return Stmt("simple", i, seg=(i, end)), end
+            cend = self._match_paren(j)
+            b_stmt, j2 = self._stmt(self._skip_ws(cend, end), end)
+            return Stmt("for", i, cond=(j + 1, cend - 1),
+                        body=[b_stmt] if b_stmt else []), j2
+        if kw == "do":
+            b_stmt, j2 = self._stmt(self._skip_ws(i + 2, end), end)
+            j3 = self._skip_ws(j2, end)
+            cond = None
+            if j3 < end and self._keyword_at(j3) == "while":
+                jp = body.find("(", j3, end)
+                if jp >= 0:
+                    cend = self._match_paren(jp)
+                    cond = (jp + 1, cend - 1)
+                    j3 = self._to_semicolon(cend, end)
+            return Stmt("do", i, cond=cond,
+                        body=[b_stmt] if b_stmt else []), j3
+        if kw == "switch":
+            j = body.find("(", i, end)
+            if j < 0:
+                return Stmt("simple", i, seg=(i, end)), end
+            cend = self._match_paren(j)
+            j2 = self._skip_ws(cend, end)
+            if j2 < end and body[j2] == "{":
+                close = self._match_brace(j2)
+                cases = self._split_cases(j2 + 1, close - 1)
+                return Stmt("switch", i, cond=(j + 1, cend - 1),
+                            cases=cases), close
+            return Stmt("simple", i, seg=(i, cend)), cend
+        if kw in ("return", "co_return"):
+            j = self._to_semicolon(i, end)
+            return Stmt("return", i, seg=(i, j)), j
+        if kw == "break":
+            return Stmt("break", i), self._to_semicolon(i, end)
+        if kw == "continue":
+            return Stmt("continue", i), self._to_semicolon(i, end)
+        if kw in ("case", "default"):
+            j = body.find(":", i)
+            return None, (j + 1 if j >= 0 else end)
+        if kw == "else":  # stray else (defensive)
+            e_stmt, j2 = self._stmt(self._skip_ws(i + 4, end), end)
+            return e_stmt, j2
+        # A simple statement (may contain opaque lambda/init braces).
+        j = self._to_semicolon(i, end)
+        return Stmt("simple", i, seg=(i, j)), j
+
+    def _label_colon(self, start, stop):
+        """First ':' that is a label terminator, skipping '::' pairs."""
+        body = self.body
+        j = start
+        while j < stop:
+            if body[j] == ":":
+                if j + 1 < self.n and body[j + 1] == ":":
+                    j += 2
+                    continue
+                return j
+            j += 1
+        return -1
+
+    def _split_cases(self, i, end):
+        """[(label_pos, [Stmt])] for a switch body; leading statements before
+        the first label (rare) become an anonymous first case."""
+        body = self.body
+        labels = [i]
+        depth = 0
+        j = i
+        while j < end:
+            c = body[j]
+            if c == "{":
+                j = self._match_brace(j)
+                continue
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+            elif depth == 0:
+                kw = None
+                if c in "cd" and (j == i or not body[j - 1].isalnum()
+                                  and body[j - 1] != "_"):
+                    kw = self._keyword_at(j)
+                if kw in ("case", "default") and j > i:
+                    labels.append(j)
+                    j = self._label_colon(j, end)
+                    if j < 0:
+                        break
+            j += 1
+        cases = []
+        for k, start in enumerate(labels):
+            stop = labels[k + 1] if k + 1 < len(labels) else end
+            colon = self._label_colon(start, stop)
+            begin = colon + 1 if colon >= 0 else start
+            cases.append((start, self.parse(begin, stop)))
+        return cases
+
+
+class Block:
+    __slots__ = ("bid", "items", "succ")
+
+    def __init__(self, bid):
+        self.bid = bid
+        # Ordered items: ("seg", s, e) | ("push",) | ("pop",) |
+        # ("unwind", nscopes) | ("exit", pos)
+        self.items = []
+        # [(target Block, edge)] with edge None or ("true"/"false", cs, ce).
+        self.succ = []
+
+
+class Cfg:
+    def __init__(self):
+        self.blocks = []
+        self.entry = self.new_block()
+        self.exit = self.new_block()
+
+    def new_block(self):
+        b = Block(len(self.blocks))
+        self.blocks.append(b)
+        return b
+
+
+class CfgBuilder:
+    """Statement tree -> CFG with scope pseudo-items."""
+
+    def __init__(self, body_len):
+        self.body_len = body_len
+        self.cfg = Cfg()
+        # (break_target, continue_target, scope_depth_at_loop) stack.
+        self.loops = []
+        self.depth = 0  # current scope depth (function body scope = 1)
+
+    def build(self, stmts):
+        cfg = self.cfg
+        cur = cfg.new_block()
+        cfg.entry.succ.append((cur, None))
+        cur.items.append(("push",))
+        self.depth = 1
+        cur = self._seq(stmts, cur)
+        if cur is not None:
+            cur.items.append(("unwind", self.depth))
+            cur.items.append(("exit", self.body_len))
+            cur.succ.append((cfg.exit, None))
+        return cfg
+
+    def _seq(self, stmts, cur):
+        for st in stmts:
+            if cur is None:
+                # Unreachable code after return/break: still walk it (the
+                # lexical walker did), from a fresh disconnected block seeded
+                # with the fall-through state by the caller.  We keep it
+                # simple: chain it as if reachable.
+                cur = self.cfg.new_block()
+            cur = self._stmt(st, cur)
+        return cur
+
+    def _stmt(self, st, cur):
+        cfg = self.cfg
+        k = st.kind
+        if k == "simple":
+            cur.items.append(("seg",) + st.seg)
+            return cur
+        if k == "return":
+            cur.items.append(("seg",) + st.seg)
+            cur.items.append(("unwind", self.depth))
+            cur.items.append(("exit", st.pos))
+            cur.succ.append((cfg.exit, None))
+            return None
+        if k == "break":
+            if self.loops:
+                target, _, loop_depth = self.loops[-1]
+                cur.items.append(("unwind", self.depth - loop_depth))
+                cur.succ.append((target, None))
+            return None
+        if k == "continue":
+            if self.loops:
+                _, target, loop_depth = self.loops[-1]
+                cur.items.append(("unwind", self.depth - loop_depth))
+                if target is not None:
+                    cur.succ.append((target, None))
+            return None
+        if k == "block":
+            cur.items.append(("push",))
+            self.depth += 1
+            out = self._seq(st.body, cur)
+            self.depth -= 1
+            if out is None:
+                return None
+            out.items.append(("pop",))
+            return out
+        if k == "if":
+            cur.items.append(("seg",) + st.cond)
+            then_in = cfg.new_block()
+            join = cfg.new_block()
+            cur.succ.append((then_in, ("true",) + st.cond))
+            then_out = self._seq(st.body, then_in)
+            if then_out is not None:
+                then_out.succ.append((join, None))
+            if st.els is not None:
+                els_in = cfg.new_block()
+                cur.succ.append((els_in, ("false",) + st.cond))
+                els_out = self._seq(st.els, els_in)
+                if els_out is not None:
+                    els_out.succ.append((join, None))
+            else:
+                cur.succ.append((join, ("false",) + st.cond))
+            return join
+        if k in ("while", "for"):
+            header = cfg.new_block()
+            cur.succ.append((header, None))
+            header.items.append(("seg",) + st.cond)
+            body_in = cfg.new_block()
+            after = cfg.new_block()
+            header.succ.append((body_in, ("true",) + st.cond))
+            header.succ.append((after, ("false",) + st.cond))
+            self.loops.append((after, header, self.depth))
+            body_out = self._seq(st.body, body_in)
+            self.loops.pop()
+            if body_out is not None:
+                body_out.succ.append((header, None))  # back edge
+            return after
+        if k == "do":
+            body_in = cfg.new_block()
+            after = cfg.new_block()
+            cur.succ.append((body_in, None))
+            self.loops.append((after, body_in, self.depth))
+            body_out = self._seq(st.body, body_in)
+            self.loops.pop()
+            if body_out is not None:
+                if st.cond:
+                    body_out.items.append(("seg",) + st.cond)
+                    body_out.succ.append((body_in, ("true",) + st.cond))
+                    body_out.succ.append((after, ("false",) + st.cond))
+                else:
+                    body_out.succ.append((after, None))
+            return after
+        if k == "switch":
+            cur.items.append(("seg",) + st.cond)
+            after = self.cfg.new_block()
+            self.loops.append((after, None, self.depth))
+            prev_out = None
+            for _, case_stmts in st.cases:
+                case_in = cfg.new_block()
+                cur.succ.append((case_in, None))
+                if prev_out is not None:  # C++ fallthrough
+                    prev_out.succ.append((case_in, None))
+                prev_out = self._seq(case_stmts, case_in)
+            self.loops.pop()
+            if prev_out is not None:
+                prev_out.succ.append((after, None))
+            # No default: the condition may match nothing.
+            cur.succ.append((after, None))
+            return after
+        raise AssertionError("unknown stmt kind %r" % k)
+
+
+def build_cfg(body, start, end, excluded_regions):
+    """CFG over `body[start:end]` (absolute positions preserved).
+
+    `excluded_regions` are lambda-body brace intervals inside the range:
+    their interiors produce no seg items, so events inside them never fire
+    on this walk — each lambda gets its own CFG via another build_cfg call
+    over its interior.
+    """
+    parser = StmtParser(body, excluded_regions)
+    stmts = parser.parse(start, end)
+    cfg = CfgBuilder(end).build(stmts)
+    if excluded_regions:
+        _cut_regions(cfg, excluded_regions)
+    return cfg
+
+
+def _iter_tree(stmts):
+    for st in stmts:
+        yield st
+        for sub in (st.body or ()):
+            yield from _iter_tree([sub])
+        for sub in (st.els or ()):
+            yield from _iter_tree([sub])
+        for _, case_stmts in (st.cases or ()):
+            yield from _iter_tree(case_stmts)
+
+
+def iter_stmts(body, lambda_regions, kinds=None):
+    """Yields every Stmt in `body`, lambda interiors included.
+
+    Each lambda region is parsed as its own statement list (the enclosing
+    parse treats it as opaque).  `kinds` filters by Stmt.kind when given.
+    """
+    ranges = [(0, len(body), lambda_regions)]
+    for s, e in lambda_regions:
+        nested = [r for r in lambda_regions
+                  if r != (s, e) and s < r[0] and r[1] <= e]
+        ranges.append((s + 1, e, nested))
+    for start, end, regions in ranges:
+        parser = StmtParser(body, regions)
+        for st in _iter_tree(parser.parse(start, end)):
+            if kinds is None or st.kind in kinds:
+                yield st
+
+
+def cond_intervals(body, lambda_regions):
+    """[(start, end)] of every branch/loop condition, lambdas included."""
+    out = []
+    for st in iter_stmts(body, lambda_regions):
+        if st.cond is not None:
+            out.append(st.cond)
+    return out
+
+
+def build_function_cfgs(body, lambda_regions):
+    """(main_cfg, [lambda_cfg...]) for one function body.
+
+    The main CFG excludes every lambda region; each lambda's CFG covers its
+    interior and excludes regions strictly nested inside it (they get their
+    own entries in the returned list — the lexical nesting is flattened, as
+    each lambda is an independent deferred execution).
+    """
+    main = build_cfg(body, 0, len(body), lambda_regions)
+    lams = []
+    for s, e in lambda_regions:
+        nested = [r for r in lambda_regions
+                  if r != (s, e) and s < r[0] and r[1] <= e]
+        lams.append(build_cfg(body, s + 1, e, nested))
+    return main, lams
+
+
+def _cut_regions(cfg, regions):
+    """Splits seg items so no seg overlaps a lambda region."""
+    for b in cfg.blocks:
+        out = []
+        for item in b.items:
+            if item[0] != "seg":
+                out.append(item)
+                continue
+            s, e = item[1], item[2]
+            pieces = [(s, e)]
+            for rs, re_ in regions:
+                nxt = []
+                for ps, pe in pieces:
+                    if pe <= rs or ps >= re_:
+                        nxt.append((ps, pe))
+                        continue
+                    if ps < rs:
+                        nxt.append((ps, rs))
+                    if pe > re_:
+                        nxt.append((re_, pe))
+                pieces = nxt
+            out.extend(("seg", ps, pe) for ps, pe in pieces if ps < pe)
+        b.items = out
+
+
+# ---------------------------------------------------------------------------
+# Generic path walk
+# ---------------------------------------------------------------------------
+
+
+def walk_paths(cfg, initial_state, transfer, edge_refine=None,
+               max_visits=20000):
+    """Depth-first walk of every CFG path with memoized (block, state).
+
+    `transfer(block, state) -> out_state or None` processes one block's
+    items (firing whatever sinks the rule wants); returning None prunes the
+    path.  `edge_refine(edge, state) -> state or None` lets a rule sharpen
+    state across a labelled true/false branch edge (None prunes the edge).
+
+    States must be hashable (tuples).  Loops terminate because the state
+    lattice is finite: revisiting a block in an already-seen state stops the
+    path — this is the widening step; a loop iteration that changes nothing
+    proves the fixpoint.  `max_visits` is a hard backstop for pathological
+    bodies (hit only by adversarial input, never by the tree).
+    """
+    seen = set()
+    stack = [(cfg.entry, initial_state)]
+    visits = 0
+    while stack:
+        block, state = stack.pop()
+        key = (block.bid, state)
+        if key in seen:
+            continue
+        seen.add(key)
+        visits += 1
+        if visits > max_visits:
+            break
+        out = transfer(block, state)
+        if out is None:
+            continue
+        for target, edge in block.succ:
+            st = out
+            if edge is not None and edge_refine is not None:
+                st = edge_refine(edge, out)
+                if st is None:
+                    continue
+            stack.append((target, st))
+
+
+# ---------------------------------------------------------------------------
+# Interprocedural summaries: may-fail and acquires-resource
+# ---------------------------------------------------------------------------
+
+# Error-return vocabulary: the tree's kErr* constants plus classic errno
+# names.  `return -1;` style is deliberately excluded (too many innocent
+# sentinel returns); error returns in this tree are named.
+ERR_RETURN_RE = re.compile(
+    r"\breturn\s+-?\s*(?:kErr\w+|E(?:IO|INVAL|NOMEM|AGAIN|NOSPC|PIPE|BADF|"
+    r"INTR|FAULT|NXIO|BUSY|CANCELED|NODEV|SRCH|PERM|PROTO|EXIST|RANGE))\b")
+RETURN_CALL_RE = re.compile(r"\breturn\s+(?:[\w:]+\s*(?:\.|->)\s*)?"
+                            r"([A-Za-z_]\w*)\s*\(")
+RETURN_VAR_RE = re.compile(r"\breturn\s+([A-Za-z_]\w*)\s*;")
+ASSIGN_CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*=\s*(?:[\w:]+\s*"
+                            r"(?:\.|->)\s*)?([A-Za-z_]\w*)\s*\(")
+
+
+def compute_may_fail(model, resolve):
+    """qnames whose body can return a named error code, transitively.
+
+    Seeds: a `return kErr...` / `return EIO` style statement.  Propagation:
+    `return f(...)` where f may fail, or `return v;` where v was assigned
+    from a may-fail call anywhere in the body.  `resolve(fn, name)` maps a
+    bare callee name to a Function or None (ambiguity -> None, skipped).
+    Resolution is call-graph-static, so each body is scanned once and the
+    fixpoint iterates over precomputed dependency sets.
+    """
+    may_fail = set()
+    deps = []  # (qname, {qnames whose may-fail propagates here})
+    for fn in model.functions.values():
+        if fn.body is None:
+            continue
+        body = fn.body
+        if ERR_RETURN_RE.search(body):
+            may_fail.add(fn.qname)
+            continue
+        ret_calls = set()
+        for m in RETURN_CALL_RE.finditer(body):
+            callee = resolve(fn, m.group(1))
+            if callee is not None:
+                ret_calls.add(callee.qname)
+        assigns = {}
+        for m in ASSIGN_CALL_RE.finditer(body):
+            callee = resolve(fn, m.group(2))
+            if callee is not None:
+                assigns.setdefault(m.group(1), set()).add(callee.qname)
+        for m in RETURN_VAR_RE.finditer(body):
+            ret_calls |= assigns.get(m.group(1), set())
+        if ret_calls:
+            deps.append((fn.qname, ret_calls))
+    changed = True
+    while changed:
+        changed = False
+        for qname, sources in deps:
+            if qname not in may_fail and sources & may_fail:
+                may_fail.add(qname)
+                changed = True
+    return may_fail
+
+
+def compute_acquirers(model, resolve, seed_names):
+    """Bare names / qnames that RETURN an owned resource, transitively.
+
+    Seeds are the buffer-acquisition primitives (`Bread`, `GetBlk`, ...); a
+    wrapper that returns the result of an acquirer is itself an acquirer.
+    Used by resource-leak-on-error-path so `Buf* b = LookupOrRead(...)`
+    starts ownership just like a direct `Bread`.
+    """
+    acquirers = set(seed_names)
+    deps = []
+    for fn in model.functions.values():
+        if fn.body is None:
+            continue
+        sources = set()
+        for m in RETURN_CALL_RE.finditer(fn.body):
+            sources.add(m.group(1))
+            callee = resolve(fn, m.group(1))
+            if callee is not None:
+                sources.add(callee.qname)
+        if sources:
+            deps.append((fn, sources))
+    changed = True
+    while changed:
+        changed = False
+        for fn, sources in deps:
+            if (fn.qname not in acquirers and fn.name not in acquirers
+                    and sources & acquirers):
+                acquirers.add(fn.qname)
+                changed = True
+    return acquirers
+
+
+# ---------------------------------------------------------------------------
+# Condition predicates (textual, deliberately simple)
+# ---------------------------------------------------------------------------
+
+
+def cond_checks_zero(cond_text, lvalue_re):
+    """(polarity) the condition proves `lvalue == 0` on one edge.
+
+    Returns "true" if the TRUE edge proves zero (e.g. `x == 0`, `!x`),
+    "false" if the FALSE edge proves zero (e.g. `x != 0`, bare `x`), or
+    None.  `lvalue_re` is a compiled regex matching the lvalue mention.
+    """
+    m = lvalue_re.search(cond_text)
+    if not m:
+        return None
+    after = cond_text[m.end():].lstrip()
+    before = cond_text[:m.start()].rstrip()
+    if after.startswith("=="):
+        rhs = after[2:].lstrip()
+        if rhs.startswith(("0", "nullptr")):
+            return "true"
+    if after.startswith("!="):
+        rhs = after[2:].lstrip()
+        if rhs.startswith(("0", "nullptr")):
+            return "false"
+    if before.endswith("!") and not before.endswith("!="):
+        return "true"
+    # Bare truthiness mention: `if (x)` proves nonzero on the true edge.
+    return "false"
+
+
+def cond_has_call(cond_text, name):
+    return re.search(r"\b%s\s*\(" % re.escape(name), cond_text) is not None

@@ -5,10 +5,15 @@ the clean fixture must pass, and the real tree must be clean.
 Run from the repo root (ctest does):  python3 tools/kcheck/test_kcheck.py
 """
 
+import contextlib
+import io
 import json
 import os
+import shutil
 import subprocess
 import sys
+import tempfile
+import time
 import unittest
 
 HERE = os.path.dirname(os.path.abspath(__file__))
@@ -136,10 +141,27 @@ class FixtureRejection(unittest.TestCase):
                          "ranks must strictly increase")
         self.assert_rule(findings, "lock-order-cycle", "cycle between")
         self.assert_rule(findings, "lock-order-cycle", "redeclared with rank")
-        # AB follows the declared order; only BA and the redeclaration are
-        # at fault.
+        # Pair: the declared IKDP_ACQUIRED_AFTER order contradicts the ranks.
+        self.assert_rule(findings, "lock-order-cycle",
+                         "declared IKDP_ACQUIRED_AFTER")
+        # AB follows the declared order (and b_'s IKDP_ACQUIRED_AFTER(a_)
+        # agrees with the ranks); only BA and the declarations are at fault.
         for f in findings:
             self.assertNotIn("Sys::AB acquires", f["message"])
+            self.assertNotIn("'beta' (rank 20) declared", f["message"])
+
+    def test_requires_contract(self):
+        rc, findings = run_kcheck(fixture("bad_requires.cc"))
+        self.assertEqual(rc, 1)
+        self.assert_rule(findings, "lock-guard-violation",
+                         "IKDP_REQUIRES(tbl)")
+        self.assert_rule(findings, "lock-guard-violation", "Tbl::Careless")
+        # The helper's own guarded read rides the declared contract even
+        # though one caller is lock-free (the caller intersection alone
+        # would be empty here).
+        for f in findings:
+            self.assertNotIn("accesses Tbl::n_", f["message"])
+            self.assertNotIn("Tbl::Size ", f["message"])
 
     def test_unreleased_lock(self):
         rc, findings = run_kcheck(fixture("bad_unreleased_lock.cc"))
@@ -161,10 +183,77 @@ class FixtureRejection(unittest.TestCase):
         for quiet in ("Push", "HeldHelper", "Drive", "Channel"):
             self.assertNotIn(quiet, msgs)
 
+    def test_errno_clobber(self):
+        rc, findings = run_kcheck(fixture("bad_errno_clobber.cc"))
+        self.assertEqual(rc, 1)
+        # Unconditional overwrite after the guarded first store.
+        self.assert_rule(findings, "errno-clobber", "Chan::WriteDone")
+        # Store on the proven-nonzero edge.
+        self.assert_rule(findings, "errno-clobber", "Chan::Cancel")
+        msgs = " ".join(f["message"] for f in findings)
+        for quiet in ("ReadDone", "Reset", "Retry"):
+            self.assertNotIn(quiet, msgs)
+
+    def test_discarded_failure(self):
+        rc, findings = run_kcheck(fixture("bad_discarded_failure.cc"))
+        self.assertEqual(rc, 1)
+        self.assert_rule(findings, "discarded-failure", "Pipe::Flush")
+        # The may-fail summary must follow the propagating wrapper.
+        self.assert_rule(findings, "discarded-failure", "Disk::SubmitFirst")
+        msgs = " ".join(f["message"] for f in findings)
+        for quiet in ("Close", "Checked", "Forward", "Tick"):
+            self.assertNotIn(quiet, msgs)
+
+    def test_resource_leak(self):
+        rc, findings = run_kcheck(fixture("bad_resource_leak.cc"))
+        self.assertEqual(rc, 1)
+        self.assert_rule(findings, "resource-leak-on-error-path",
+                         "Fs::ReadMeta")
+        # The acquires-resource summary must follow the wrapper.
+        self.assert_rule(findings, "resource-leak-on-error-path",
+                         "Fs::CopyOut")
+        msgs = " ".join(f["message"] for f in findings)
+        for quiet in ("ReadData", "FailFast", "Handoff", "Steal"):
+            self.assertNotIn(quiet, msgs)
+
+    def test_charge_context_mismatch(self):
+        rc, findings = run_kcheck(fixture("bad_charge_context.cc"))
+        self.assertEqual(rc, 1)
+        self.assert_rule(findings, "charge-context-mismatch", "Acct::Settle")
+        # Interrupt-side bucket literal on the unproven arm only.
+        self.assert_rule(findings, "charge-context-mismatch",
+                         "ChargeBucket::kInterrupt")
+        # Process-side bucket from softclock context.
+        self.assert_rule(findings, "charge-context-mismatch", "Acct::Replay")
+        msgs = " ".join(f["message"] for f in findings)
+        for quiet in ("Split", "Direct", "Book", "kKopInterrupt"):
+            self.assertNotIn(quiet, msgs)
+
     def test_clean_fixture(self):
         rc, findings = run_kcheck(fixture("good_clean.cc"))
         self.assertEqual(rc, 0)
         self.assertEqual(findings, [])
+
+    def test_multiline_heads_listed(self):
+        # Regression: a function-like #define directly before a function
+        # whose return type sits on its own line used to swallow that
+        # function — the directive merged into the declaration head and the
+        # balanced-paren scan took the macro's parameter list — so both
+        # --list-functions and the findings-count summary undercounted.
+        rc, findings = run_kcheck(fixture("good_multiline_heads.cc"))
+        self.assertEqual(rc, 0)
+        self.assertEqual(findings, [])
+        proc = subprocess.run(
+            [sys.executable, KCHECK, "--list-functions",
+             fixture("good_multiline_heads.cc")],
+            capture_output=True, text=True, cwd=REPO)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        for qname in ("AfterMacro",
+                      "MultiLine::InClass",
+                      "MultiLine::OutOfLine"):
+            self.assertIn(qname, proc.stdout)
+        # The macro itself must NOT be recorded as a function.
+        self.assertNotIn("CHECK", proc.stdout)
 
     def test_fixture_completeness(self):
         # Every rule kcheck knows must be exercised by some seeded fixture:
@@ -217,6 +306,222 @@ class FixtureRejection(unittest.TestCase):
         finally:
             os.unlink(path)
         self.assertEqual(rc, 0, findings)
+
+
+    def test_waiver_suppresses_kpath_rules(self):
+        # Every kpath rule family — and the new lock-contract checks
+        # (IKDP_REQUIRES, IKDP_ACQUIRED_AFTER) — honours
+        # `kcheck: allow(<rule>)` on the offending line: waiving each
+        # reported line empties the run.
+        import tempfile
+        for name in ("bad_errno_clobber.cc", "bad_discarded_failure.cc",
+                     "bad_resource_leak.cc", "bad_charge_context.cc",
+                     "bad_requires.cc", "bad_lock_order_cycle.cc"):
+            with self.subTest(fixture=name):
+                rc, findings = run_kcheck(fixture(name))
+                self.assertEqual(rc, 1)
+                with open(fixture(name)) as f:
+                    lines = f.read().split("\n")
+                for fd in findings:
+                    lines[fd["line"] - 1] += \
+                        "  // kcheck: allow(%s)" % fd["rule"]
+                with tempfile.NamedTemporaryFile(
+                        "w", suffix=".cc", delete=False) as f:
+                    f.write("\n".join(lines))
+                    path = f.name
+                try:
+                    rc, findings = run_kcheck(path)
+                finally:
+                    os.unlink(path)
+                self.assertEqual(rc, 0, findings)
+
+
+class SarifOutput(unittest.TestCase):
+    """--sarif: a SARIF 2.1.0 document CI can upload to code scanning."""
+
+    def _sarif(self, name):
+        proc = subprocess.run(
+            [sys.executable, KCHECK, "--sarif", fixture(name)],
+            capture_output=True, text=True, cwd=REPO)
+        return proc.returncode, json.loads(proc.stdout)
+
+    def test_document_validates(self):
+        rc, doc = self._sarif("bad_guard.cc")
+        self.assertEqual(rc, 1)
+        # Validate against the vendored schema subset (offline; fetching the
+        # full OASIS schema would need network access).
+        with open(os.path.join(HERE, "sarif-2.1.0-subset.schema.json")) as f:
+            schema = json.load(f)
+        try:
+            import jsonschema
+        except ImportError:
+            jsonschema = None
+        if jsonschema is not None:
+            jsonschema.validate(doc, schema)
+        # Structural assertions that hold with or without jsonschema.
+        self.assertEqual(doc["version"], "2.1.0")
+        self.assertTrue(doc["$schema"].endswith("sarif-schema-2.1.0.json"))
+        self.assertEqual(len(doc["runs"]), 1)
+        driver = doc["runs"][0]["tool"]["driver"]
+        self.assertEqual(driver["name"], "kcheck")
+        ids = [r["id"] for r in driver["rules"]]
+        self.assertEqual(len(ids), len(set(ids)), "duplicate rule ids")
+        results = doc["runs"][0]["results"]
+        self.assertTrue(results)
+        for res in results:
+            self.assertEqual(ids[res["ruleIndex"]], res["ruleId"])
+            self.assertEqual(res["level"], "error")
+            self.assertTrue(res["message"]["text"])
+            loc = res["locations"][0]["physicalLocation"]
+            self.assertTrue(
+                loc["artifactLocation"]["uri"].endswith("bad_guard.cc"))
+            self.assertNotIn("\\", loc["artifactLocation"]["uri"])
+            self.assertGreaterEqual(loc["region"]["startLine"], 1)
+
+    def test_clean_run_has_empty_results(self):
+        rc, doc = self._sarif("good_clean.cc")
+        self.assertEqual(rc, 0)
+        self.assertEqual(doc["runs"][0]["results"], [])
+        # The rule table is still complete: stable ruleIndex across runs.
+        self.assertGreater(len(doc["runs"][0]["tool"]["driver"]["rules"]), 10)
+
+
+class IncrementalCache(unittest.TestCase):
+    """--cache / --changed-only: identical findings cold, warm, and after
+    invalidation — and a real speedup on the warm path."""
+
+    @staticmethod
+    def _run_inproc(argv):
+        # In-process so the timing compares the analysis, not interpreter
+        # start-up (which dwarfs the warm path from a subprocess).
+        sys.path.insert(0, HERE)
+        try:
+            import kcheck as mod
+        finally:
+            sys.path.pop(0)
+        out = io.StringIO()
+        t0 = time.perf_counter()
+        with contextlib.redirect_stdout(out):
+            rc = mod.main(argv)
+        return rc, out.getvalue(), time.perf_counter() - t0
+
+    def test_cache_hit_identical_and_faster(self):
+        cwd = os.getcwd()
+        os.chdir(REPO)
+        try:
+            with tempfile.TemporaryDirectory() as cachedir:
+                rc1, out1, t_cold = self._run_inproc(
+                    ["--json", "--cache", cachedir, "--root", "src"])
+                rc2, out2, t_warm = self._run_inproc(
+                    ["--json", "--cache", cachedir, "--root", "src"])
+        finally:
+            os.chdir(cwd)
+        self.assertEqual(rc1, rc2)
+        self.assertEqual(out1, out2, "cache replay changed the findings")
+        self.assertGreaterEqual(
+            t_cold / max(t_warm, 1e-9), 5.0,
+            "cached run not >=5x faster: cold %.3fs, warm %.3fs"
+            % (t_cold, t_warm))
+
+    def test_cache_invalidation_recomputes(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            cachedir = os.path.join(tmp, "cache")
+            tgt = os.path.join(tmp, "bad_guard.cc")
+            shutil.copy(fixture("bad_guard.cc"), tgt)
+            rc1, f1 = run_kcheck("--cache", cachedir, tgt)
+            rc2, f2 = run_kcheck("--cache", cachedir, tgt)
+            self.assertEqual(rc1, 1)
+            self.assertEqual((rc1, f1), (rc2, f2))
+            # Edit the file: entries keyed on the old content must not
+            # replay.  The prepended line shifts every finding down one.
+            with open(tgt) as f:
+                text = f.read()
+            with open(tgt, "w") as f:
+                f.write("// edited\n" + text)
+            rc3, f3 = run_kcheck("--cache", cachedir, tgt)
+            rc4, f4 = run_kcheck(tgt)  # uncached reference on the edited tree
+            self.assertEqual((rc3, f3), (rc4, f4),
+                             "cached run diverged from uncached after edit")
+            self.assertNotEqual([x["line"] for x in f1],
+                                [x["line"] for x in f3])
+
+    def test_changed_only_filters_to_git_changes(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            def git(*a):
+                subprocess.run(["git", "-C", tmp,
+                                "-c", "user.email=kcheck@test",
+                                "-c", "user.name=kcheck"] + list(a),
+                               check=True, capture_output=True)
+            git("init", "-q")
+            shutil.copy(fixture("bad_guard.cc"),
+                        os.path.join(tmp, "committed.cc"))
+            git("add", "committed.cc")
+            git("commit", "-qm", "seed")
+            shutil.copy(fixture("bad_charge.cc"),
+                        os.path.join(tmp, "changed.cc"))  # untracked
+            proc = subprocess.run(
+                [sys.executable, KCHECK, "--json", "--changed-only",
+                 "committed.cc", "changed.cc"],
+                capture_output=True, text=True, cwd=tmp)
+            self.assertEqual(proc.returncode, 1, proc.stderr)
+            files = {f["file"] for f in json.loads(proc.stdout)}
+            self.assertEqual(files, {"changed.cc"},
+                             "committed-and-unchanged findings not filtered")
+            # Without the flag, both files report.
+            proc2 = subprocess.run(
+                [sys.executable, KCHECK, "--json",
+                 "committed.cc", "changed.cc"],
+                capture_output=True, text=True, cwd=tmp)
+            files2 = {f["file"] for f in json.loads(proc2.stdout)}
+            self.assertEqual(files2, {"committed.cc", "changed.cc"})
+
+
+class TsaBridge(unittest.TestCase):
+    """Every klock fixture must ALSO fire under the second, independent
+    checker: Clang -Wthread-safety through the IKDP_CLANG_TSA bridge.
+
+    The fixtures guard their minimal stubs behind IKDP_TSA_FIXTURE_STUB;
+    testdata/tsa_stub.h defines it and supplies annotated lock classes, so
+    `clang++ -fsyntax-only -include tsa_stub.h <fixture>` runs the
+    thread-safety analysis over the very same BAD bodies kcheck flags.
+    Assertions are deliberately loose (>= 1 thread-safety warning, zero
+    errors) so clang version drift in wording does not break the suite.
+    Skipped when clang++ is not installed; CI always runs it.
+    """
+
+    TSA_FIXTURES = (
+        "bad_unreleased_lock.cc",
+        "bad_double_acquire.cc",
+        "bad_lock_order_cycle.cc",
+        "bad_sleep_under_spinlock.cc",
+        "bad_lock_guard.cc",
+        "bad_requires.cc",
+    )
+
+    @classmethod
+    def setUpClass(cls):
+        import shutil
+        cls.clang = shutil.which("clang++")
+
+    def _compile(self, name):
+        return subprocess.run(
+            [self.clang, "-fsyntax-only", "-std=c++20",
+             "-Wthread-safety", "-Wthread-safety-beta",
+             "-include", fixture("tsa_stub.h"), fixture(name)],
+            capture_output=True, text=True, cwd=REPO)
+
+    def test_fixtures_fire_under_clang_tsa(self):
+        if not self.clang:
+            self.skipTest("clang++ not on PATH")
+        for name in self.TSA_FIXTURES:
+            with self.subTest(fixture=name):
+                proc = self._compile(name)
+                self.assertEqual(proc.returncode, 0, proc.stderr)
+                self.assertNotIn("error:", proc.stderr, proc.stderr)
+                self.assertIn(
+                    "-Wthread-safety", proc.stderr,
+                    "expected >= 1 thread-safety warning from %s, got:\n%s"
+                    % (name, proc.stderr or "(no diagnostics)"))
 
 
 class TreeIsClean(unittest.TestCase):

@@ -1,0 +1,68 @@
+// kcheck fixture: charge bucket disagrees with the declared IKDP_CTX_*.
+// Parsed by kcheck only — never compiled.
+//
+// Expected findings: [charge-context-mismatch] in Acct::Settle (interrupt
+// charge from IKDP_CTX_PROCESS with no InInterrupt proof), Acct::Mixed
+// (interrupt-side bucket literal on the unproven arm), and Acct::Replay
+// (process-side bucket charged from IKDP_CTX_SOFTCLOCK).  Acct::Split
+// (charge dominated by InInterrupt), Acct::Direct (IKDP_CTX_INTERRUPT may
+// charge interrupt-side), and Acct::Book (process bucket from process
+// context) are clean.
+
+#define IKDP_CTX_PROCESS
+#define IKDP_CTX_INTERRUPT
+#define IKDP_CTX_SOFTCLOCK
+
+struct CpuSystem {
+  enum class ChargeBucket { kProcess, kInterrupt, kSoftclock, kKopProcess, kKopInterrupt };
+  bool InInterrupt() const;
+  void ChargeInterrupt(long cycles);
+  void ChargeKop(ChargeBucket b, long cycles);
+  void Charge(ChargeBucket b, long cycles);
+};
+
+class Acct {
+ public:
+  // BAD: process context, no InInterrupt() proof on the charge path.
+  IKDP_CTX_PROCESS void Settle(long cycles) {
+    cpu_->ChargeInterrupt(cycles);
+  }
+
+  // BAD: the false arm of the InInterrupt check still charges an
+  // interrupt-side bucket.
+  IKDP_CTX_PROCESS void Mixed(long cycles) {
+    if (cpu_->InInterrupt()) {
+      cpu_->Charge(CpuSystem::ChargeBucket::kKopInterrupt, cycles);
+    } else {
+      cpu_->Charge(CpuSystem::ChargeBucket::kInterrupt, cycles);
+    }
+  }
+
+  // BAD: softclock context must never charge the process-side bucket.
+  IKDP_CTX_SOFTCLOCK void Replay(long cycles) {
+    cpu_->Charge(CpuSystem::ChargeBucket::kProcess, cycles);
+  }
+
+  // OK: every interrupt-side charge is dominated by the proof.
+  IKDP_CTX_PROCESS void Split(long cycles) {
+    if (cpu_->InInterrupt()) {
+      cpu_->ChargeInterrupt(cycles);
+    } else {
+      cpu_->Charge(CpuSystem::ChargeBucket::kProcess, cycles);
+    }
+  }
+
+  // OK: interrupt context charges interrupt-side freely.
+  IKDP_CTX_INTERRUPT void Direct(long cycles) {
+    cpu_->ChargeInterrupt(cycles);
+    cpu_->Charge(CpuSystem::ChargeBucket::kKopInterrupt, cycles);
+  }
+
+  // OK: process bucket from process context.
+  IKDP_CTX_PROCESS void Book(long cycles) {
+    cpu_->Charge(CpuSystem::ChargeBucket::kProcess, cycles);
+  }
+
+ private:
+  CpuSystem* cpu_;
+};

@@ -1,0 +1,60 @@
+// kcheck fixture: may-fail call whose error return is silently dropped.
+// Parsed by kcheck only — never compiled.
+//
+// Expected findings: [discarded-failure] in Pipe::Flush (direct drop) and
+// Pipe::Drain (drop of a wrapper that propagates a may-fail result).
+// Pipe::Close ((void)-cast), Pipe::Checked (result tested), Pipe::Forward
+// (result returned), and Pipe::Tick (callee cannot fail) are clean.
+
+constexpr int kErrIo = 5;
+
+class Disk {
+ public:
+  // May fail: returns a named error code.
+  int Submit(int blk) {
+    if (blk < 0) {
+      return kErrIo;
+    }
+    return 0;
+  }
+
+  // Propagates the failure: may-fail via the interprocedural summary.
+  int SubmitFirst() { return Submit(0); }
+
+  // Cannot fail.
+  void Kick() {}
+};
+
+class Pipe {
+ public:
+  // BAD: the error return of Submit is dropped on the floor.
+  void Flush(int blk) {
+    pending_ = 0;
+    disk_->Submit(blk);
+  }
+
+  // BAD: the wrapper's propagated failure is dropped too.
+  void Drain() { disk_->SubmitFirst(); }
+
+  // OK: the (void) cast documents the deliberate drop.
+  void Close() { (void)disk_->Submit(0); }
+
+  // OK: the result is checked.
+  int Checked(int blk) {
+    int err = disk_->Submit(blk);
+    if (err != 0) {
+      return err;
+    }
+    return 0;
+  }
+
+  // OK: the result is returned to the caller.
+  int Forward(int blk) { return disk_->Submit(blk); }
+
+  // OK: Kick cannot fail; a bare call is fine.
+  void Tick() { disk_->Kick(); }
+
+ private:
+  Disk* disk_;
+  int pending_ = 0;
+};

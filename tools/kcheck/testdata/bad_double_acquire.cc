@@ -1,5 +1,8 @@
 // kcheck fixture: double-acquire — re-locking a lock already held.
-// Parsed by kcheck only — never compiled.
+// Parsed by kcheck, and ALSO compiled by Clang -Wthread-safety through
+// testdata/tsa_stub.h, so the BAD cases fire under both checkers (TSA
+// catches Twice and CallsExcluded; the Reenter closure case needs kcheck's
+// interprocedural acquisition closure).
 //
 // Expected findings:
 //   [double-acquire]  Dev::Twice re-acquires 'devq' it already holds
@@ -12,6 +15,7 @@
 // lock-free call to Locked (which keeps Locked's entry-held set empty, so
 // Locked's own acquire is legitimate).
 
+#ifndef IKDP_TSA_FIXTURE_STUB
 #define IKDP_LOCK_RANK(lock, rank)
 #define IKDP_EXCLUDES(lock)
 #define IKDP_GUARDED_BY(...)
@@ -21,6 +25,7 @@ class SpinLock {
   void Acquire();
   void Release();
 };
+#endif  // IKDP_TSA_FIXTURE_STUB
 
 class Dev {
  public:

@@ -1,0 +1,53 @@
+// kcheck fixture: sticky first-errno member overwritten without a zero check.
+// Parsed by kcheck only — never compiled.
+//
+// Expected findings: [errno-clobber] in Chan::WriteDone (unconditional
+// overwrite) and Chan::Cancel (overwrite on the proven-nonzero edge).
+// Chan::ReadDone (guarded store), Chan::Reset (stores zero), and
+// Chan::Retry (store dominated by a zero check through an early return)
+// are clean.
+
+#define IKDP_STICKY_ERRNO
+#define IKDP_GUARDED_BY(...)
+
+constexpr int kErrIo = 5;
+constexpr int kErrCancel = 125;
+
+class Chan {
+ public:
+  // OK: the tree idiom — only the FIRST failure lands.
+  void ReadDone(int err) {
+    if (error_ == 0) {
+      error_ = err;
+    }
+  }
+
+  // BAD: a later failure clobbers the first errno unconditionally.
+  void WriteDone(int err) {
+    if (error_ == 0) {
+      error_ = err;
+    }
+    error_ = kErrIo;
+  }
+
+  // BAD: the branch proves error_ != 0, and the store still overwrites it.
+  void Cancel() {
+    if (error_ != 0) {
+      error_ = kErrCancel;
+    }
+  }
+
+  // OK: resetting to zero is always allowed (stream reuse).
+  void Reset() { error_ = 0; }
+
+  // OK: the early return dominates the store with the zero proof.
+  void Retry(int err) {
+    if (error_ != 0) {
+      return;
+    }
+    error_ = err;
+  }
+
+ private:
+  int error_ IKDP_GUARDED_BY(any) IKDP_STICKY_ERRNO = 0;
+};

@@ -1,6 +1,13 @@
 // kcheck fixture: lock-guard-violation — touching an
 // IKDP_GUARDED_BY(lock:...) member without its lock held.
-// Parsed by kcheck only — never compiled.
+// Parsed by kcheck, and ALSO compiled by Clang -Wthread-safety through
+// testdata/tsa_stub.h, so the BAD cases fire under both checkers.  TSA
+// flags Peek and Steal; it ALSO flags HeldHelper (it cannot see kcheck's
+// caller-intersection fixpoint — HeldHelper stays unannotated precisely so
+// the fixpoint keeps getting exercised), and it silently DROPS stray_'s
+// annotation ('phantom' has no capability registration in the stub), where
+// kcheck reports the undeclared lock instead — the two checkers cover each
+// other's blind spots.
 //
 // Expected findings:
 //   [lock-guard-violation]  Ring::Peek reads head_ with no lock held
@@ -13,6 +20,7 @@
 // quiet.  Ring::Channel is quiet: `&head_` is the wait-channel idiom, an
 // address used as a token, not a data access.
 
+#ifndef IKDP_TSA_FIXTURE_STUB
 #define IKDP_LOCK_RANK(lock, rank)
 #define IKDP_GUARDED_BY(...)
 
@@ -31,6 +39,7 @@ class CpuSystem {
  public:
   void Wakeup(void* chan);
 };
+#endif  // IKDP_TSA_FIXTURE_STUB
 
 class Ring {
  public:
@@ -57,6 +66,8 @@ class Ring {
   void Channel() { cpu_->Wakeup(&head_); }
 
  private:
+  friend class Probe;  // Steal needs member access for its BAD read
+
   SpinLock lock_ IKDP_LOCK_RANK(ring, 20);
   int head_ IKDP_GUARDED_BY(lock:ring) = 0;
   int depth_ = 0;

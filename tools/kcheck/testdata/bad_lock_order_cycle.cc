@@ -1,5 +1,8 @@
 // kcheck fixture: lock-order-cycle — acquisition orders that can deadlock.
-// Parsed by kcheck only — never compiled.
+// Parsed by kcheck, and ALSO compiled by Clang -Wthread-safety through
+// testdata/tsa_stub.h: b_ declares IKDP_ACQUIRED_AFTER(a_), so Sys::BA's
+// reverse nesting fires under -Wthread-safety-beta too.  The Clone and
+// Pair cases are kcheck-only (rank-table consistency is outside TSA).
 //
 // Expected findings:
 //   [lock-order-cycle]  Sys::BA acquires 'alpha' (rank 10) while holding
@@ -7,16 +10,23 @@
 //   [lock-order-cycle]  cycle between 'alpha' and 'beta' (Sys::AB orders
 //                       alpha -> beta, Sys::BA the reverse)
 //   [lock-order-cycle]  Clone redeclares 'alpha' with rank 30
+//   [lock-order-cycle]  Pair declares 'px' IKDP_ACQUIRED_AFTER 'py' but
+//                       ranks px (30) BELOW py (40) — the declared order
+//                       contradicts the rank table
 //
-// Sys::AB alone is quiet: rank 10 before rank 20 is the declared order.
+// Sys::AB alone is quiet: rank 10 before rank 20 is the declared order,
+// and b_'s IKDP_ACQUIRED_AFTER(a_) agrees with the ranks.
 
+#ifndef IKDP_TSA_FIXTURE_STUB
 #define IKDP_LOCK_RANK(lock, rank)
+#define IKDP_ACQUIRED_AFTER(member)
 
 class SpinLock {
  public:
   void Acquire();
   void Release();
 };
+#endif  // IKDP_TSA_FIXTURE_STUB
 
 class Sys {
  public:
@@ -39,11 +49,21 @@ class Sys {
 
  private:
   SpinLock a_ IKDP_LOCK_RANK(alpha, 10);
-  SpinLock b_ IKDP_LOCK_RANK(beta, 20);
+  // The declared order matches the ranks: quiet for kcheck, and the
+  // attribute Clang sees (acquired_after(a_)) is what makes BA warn.
+  SpinLock b_ IKDP_LOCK_RANK(beta, 20) IKDP_ACQUIRED_AFTER(a_);
 };
 
 class Clone {
  private:
   // BAD: same lock name, different rank — the order table must be global.
   SpinLock c_ IKDP_LOCK_RANK(alpha, 30);
+};
+
+class Pair {
+ private:
+  // BAD: x_ claims it is acquired after y_, but its rank (30) is LOWER
+  // than y_'s (40) — the declaration and the rank table cannot both hold.
+  SpinLock x_ IKDP_LOCK_RANK(px, 30) IKDP_ACQUIRED_AFTER(y_);
+  SpinLock y_ IKDP_LOCK_RANK(py, 40);
 };

@@ -1,0 +1,47 @@
+// kcheck fixture: IKDP_REQUIRES(l) — the caller-side half of the lock-held
+// helper contract.  Parsed by kcheck, and ALSO compiled by Clang
+// -Wthread-safety through testdata/tsa_stub.h (IKDP_REQUIRES becomes
+// requires_capability), so the BAD case fires under both checkers.
+//
+// Expected findings:
+//   [lock-guard-violation]  Tbl::Careless calls Tbl::SizeLocked
+//                           (IKDP_REQUIRES(tbl)) without holding 'tbl'
+//
+// Tbl::SizeLocked itself is quiet: the declared contract seeds the
+// entry-held set, so its guarded read of n_ is satisfied even though one of
+// its callers is broken (a caller-intersection fixpoint alone would lose
+// the lock here — that is exactly what the annotation is for).  Tbl::Size
+// is quiet: it holds the lock around the call.
+
+#ifndef IKDP_TSA_FIXTURE_STUB
+#define IKDP_LOCK_RANK(lock, rank)
+#define IKDP_GUARDED_BY(...)
+#define IKDP_REQUIRES(lock)
+
+class SpinLock {
+ public:
+  void Acquire();
+  void Release();
+};
+#endif  // IKDP_TSA_FIXTURE_STUB
+
+class Tbl {
+ public:
+  // Lock-held helper: the contract says 'tbl' is held at entry and exit.
+  IKDP_REQUIRES(tbl) int SizeLocked() { return n_; }
+
+  // OK: holds the lock across the call.
+  int Size() {
+    lock_.Acquire();
+    int n = SizeLocked();
+    lock_.Release();
+    return n;
+  }
+
+  // BAD: calls the IKDP_REQUIRES helper with no lock held.
+  int Careless() { return SizeLocked(); }
+
+ private:
+  SpinLock lock_ IKDP_LOCK_RANK(tbl, 10);
+  int n_ IKDP_GUARDED_BY(lock:tbl) = 0;
+};

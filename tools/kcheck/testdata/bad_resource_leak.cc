@@ -1,0 +1,88 @@
+// kcheck fixture: acquired buffer leaks on an early error return.
+// Parsed by kcheck only — never compiled.
+//
+// Expected findings: [resource-leak-on-error-path] in Fs::ReadMeta (early
+// return skips the release) and Fs::CopyOut (leak through a wrapper
+// acquirer).  Fs::ReadData (every path releases), Fs::FailFast (the
+// null-check edge proves the acquisition failed), Fs::Handoff (ownership
+// escapes into a callee), and Fs::Steal (ownership returned to the caller)
+// are clean.
+
+constexpr int kErrIo = 5;
+
+struct Buf {
+  int data;
+  bool valid;
+};
+
+struct Cache {
+  Buf* Bread(int blk);
+  void Brelse(Buf* b);
+  // Wrapper: returns the result of an acquirer, so it is one too.
+  Buf* LookupOrRead(int blk) { return Bread(blk); }
+};
+
+class Fs {
+ public:
+  // BAD: the invalid-buffer arm returns without Brelse.
+  int ReadMeta(int blk) {
+    Buf* b = cache_->Bread(blk);
+    if (!b->valid) {
+      return kErrIo;
+    }
+    meta_ = b->data;
+    cache_->Brelse(b);
+    return 0;
+  }
+
+  // BAD: the acquirer summary follows the wrapper; the error arm leaks.
+  int CopyOut(int blk, int limit) {
+    auto* b = cache_->LookupOrRead(blk);
+    if (b->data > limit) {
+      return kErrIo;
+    }
+    cache_->Brelse(b);
+    return 0;
+  }
+
+  // OK: both arms release before returning.
+  int ReadData(int blk) {
+    Buf* b = cache_->Bread(blk);
+    if (!b->valid) {
+      cache_->Brelse(b);
+      return kErrIo;
+    }
+    data_ = b->data;
+    cache_->Brelse(b);
+    return 0;
+  }
+
+  // OK: the null check proves there is nothing to release on that arm.
+  int FailFast(int blk) {
+    Buf* b = cache_->Bread(blk);
+    if (b == nullptr) {
+      return kErrIo;
+    }
+    cache_->Brelse(b);
+    return 0;
+  }
+
+  // OK: ownership escapes into the callee (it releases).
+  void Handoff(int blk) {
+    Buf* b = cache_->Bread(blk);
+    Consume(b);
+  }
+
+  // OK: ownership is transferred to the caller.
+  Buf* Steal(int blk) {
+    Buf* b = cache_->Bread(blk);
+    return b;
+  }
+
+  void Consume(Buf* b);
+
+ private:
+  Cache* cache_;
+  int meta_ = 0;
+  int data_ = 0;
+};

@@ -1,5 +1,11 @@
 // kcheck fixture: sleep-under-spinlock — giving up the processor while a
-// SpinLock is held.  Parsed by kcheck only — never compiled.
+// SpinLock is held.  Parsed by kcheck, and ALSO compiled by Clang
+// -Wthread-safety through testdata/tsa_stub.h.  TSA has no notion of
+// blocking, so the stub gives every blocking primitive (CpuSystem::Sleep,
+// SleepLock::Acquire) requires_capability(ikdp_tsa_sleepable) — a fiction
+// capability no spinlock section holds — which makes Direct, Blocks, and
+// TakesGate warn.  The co_await in Await is invisible to TSA (kcheck-only:
+// suspension points are not in the thread-safety model).
 //
 // Expected findings:
 //   [sleep-under-spinlock]  Net::Direct calls CpuSystem::Sleep under 'nic'
@@ -13,6 +19,7 @@
 // entry-held fixpoint pins the blame on the sleep site too.
 // Net::Signals is quiet: Wakeup only enqueues, it never blocks.
 
+#ifndef IKDP_TSA_FIXTURE_STUB
 #define IKDP_LOCK_RANK(lock, rank)
 
 class SpinLock {
@@ -34,6 +41,10 @@ class CpuSystem {
   void Wakeup();
 };
 
+struct TaskVoid {};
+struct Waiter {};
+#endif  // IKDP_TSA_FIXTURE_STUB
+
 class Net {
  public:
   // BAD: the blocking primitive itself, under a spinlock.
@@ -53,7 +64,7 @@ class Net {
   }
 
   // BAD: a coroutine suspension point is a context switch.
-  void Await() {
+  TaskVoid Await() {
     lock_.Acquire();
     co_await Turnstile();
     lock_.Release();
@@ -75,7 +86,7 @@ class Net {
     lock_.Release();
   }
 
-  int Turnstile();
+  Waiter Turnstile();
 
  private:
   SpinLock lock_ IKDP_LOCK_RANK(nic, 10);

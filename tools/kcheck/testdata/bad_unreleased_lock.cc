@@ -1,5 +1,7 @@
 // kcheck fixture: unreleased-lock — an exit path that keeps a lock held.
-// Parsed by kcheck only — never compiled.
+// Parsed by kcheck, and ALSO compiled by Clang -Wthread-safety through
+// testdata/tsa_stub.h (which defines IKDP_TSA_FIXTURE_STUB and supplies
+// annotated lock classes), so every BAD case fires under both checkers.
 //
 // Expected findings:
 //   [unreleased-lock]  Q::Leak can return with 'queue' held (the early
@@ -13,6 +15,7 @@
 // IKDP_ACQUIRES / IKDP_RELEASES.  Q::Balanced and Q::GuardScope are quiet:
 // a matched Release and a SpinGuard both end the section.
 
+#ifndef IKDP_TSA_FIXTURE_STUB
 #define IKDP_LOCK_RANK(lock, rank)
 #define IKDP_ACQUIRES(lock)
 #define IKDP_RELEASES(lock)
@@ -28,6 +31,7 @@ class SpinGuard {
  public:
   SpinGuard(SpinLock& l);
 };
+#endif  // IKDP_TSA_FIXTURE_STUB
 
 class Q {
  public:
@@ -71,5 +75,5 @@ class Q {
  private:
   SpinLock lock_ IKDP_LOCK_RANK(queue, 10);
   int n_ IKDP_GUARDED_BY(lock:queue) = 0;
-  void (*cb_)();
+  std::function<void()> cb_;
 };

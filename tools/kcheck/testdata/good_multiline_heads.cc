@@ -1,0 +1,54 @@
+// kcheck regression fixture: declaration heads the scanner used to lose.
+// Expected: 0 findings — AND `--list-functions` must list every function
+// below.  Parsed by kcheck only — never compiled.
+//
+// The seeded shapes:
+//
+//  * a function-like macro definition (with a backslash continuation)
+//    directly before a function whose return type sits on its own line.
+//    Before preprocessor-line blanking, the `#define CHECK(x)` text merged
+//    into the next declaration head, the balanced-paren scan grabbed the
+//    macro's parameter list, and AfterMacro silently vanished from the
+//    function database (a bogus `CHECK` entry appeared instead) — so both
+//    --list-functions and the findings-count summary undercounted.
+//
+//  * multi-line signatures: return type on its own line, annotation on its
+//    own line, parameters spread across lines — in-class and out-of-line.
+
+#define IKDP_CTX_PROCESS
+#define IKDP_CTX_ANY
+
+#define CHECK(x) \
+  ((void)(x))
+
+int
+AfterMacro(int a) {
+  CHECK(a >= 0);
+  return a;
+}
+
+class MultiLine {
+ public:
+  IKDP_CTX_ANY
+  int
+  InClass(int a,
+          int b) {
+    return a + b;
+  }
+
+  IKDP_CTX_PROCESS
+  long OutOfLine(int dev,
+                 long blkno);
+
+ private:
+  long total_ = 0;
+};
+
+IKDP_CTX_PROCESS
+long
+MultiLine::OutOfLine(int dev,
+                     long blkno) {
+  CHECK(dev >= 0);
+  total_ += blkno;
+  return total_;
+}

@@ -1,0 +1,119 @@
+// Clang thread-safety stub for the klock fixtures.
+//
+// The bad_*.cc klock fixtures are normally parsed by kcheck only.  To prove
+// every one of them ALSO fires under the second, independent checker — Clang
+// -Wthread-safety through the IKDP_CLANG_TSA bridge (src/kern/ctx.h) — the
+// self-test compiles each fixture with
+//
+//   clang++ -fsyntax-only -std=c++20 -Wthread-safety -Wthread-safety-beta \
+//           -include tools/kcheck/testdata/tsa_stub.h <fixture>
+//
+// and asserts thread-safety warnings come out.  This header defines
+// IKDP_TSA_FIXTURE_STUB (the fixtures guard their own minimal stubs behind
+// its absence), duplicates the bridge's macro machinery, registers the
+// fixture lock names, and supplies ANNOTATED lock classes.
+//
+// Two deliberate fictions:
+//
+//  * `ikdp_tsa_sleepable` — a global capability("context") object required
+//    by every blocking primitive (CpuSystem::Sleep, SleepLock::Acquire).
+//    TSA has no concept of blocking; requiring a capability that no
+//    spinlock critical section holds turns sleep-under-spinlock into an
+//    ordinary capability violation.
+//
+//  * 'phantom' (bad_lock_guard.cc) has NO registration below, so the
+//    guarded_by dispatch silently drops that annotation — undeclared-lock
+//    reporting is kcheck's job, and the fixture comment says so.
+
+#ifndef TOOLS_KCHECK_TESTDATA_TSA_STUB_H_
+#define TOOLS_KCHECK_TESTDATA_TSA_STUB_H_
+
+#define IKDP_TSA_FIXTURE_STUB 1
+
+#include <coroutine>
+#include <functional>
+
+// --- the bridge machinery, as in src/kern/ctx.h (TSA branch) ---
+
+#define IKDP_TSA_PASTE(...) IKDP_TSA_PASTE_I(__VA_ARGS__)
+#define IKDP_TSA_PASTE_I(x, ...) x##_ikdp_tsa_cap
+#define IKDP_TSA_GB(...) \
+  IKDP_TSA_GB_PICK(__VA_ARGS__, IKDP_TSA_GB_LOCK, IKDP_TSA_GB_CTX, )(__VA_ARGS__)
+#define IKDP_TSA_GB_PICK(a, b, c, ...) c
+#define IKDP_TSA_GB_LOCK(ignored, member) __attribute__((guarded_by(member)))
+#define IKDP_TSA_GB_CTX(...)
+#define IKDP_TSA_FN(attr, ...) IKDP_TSA_FN_I(attr, __VA_ARGS__)
+#define IKDP_TSA_FN_I(attr, ignored, member) __attribute__((attr(member)))
+
+#define IKDP_GUARDED_BY(...) IKDP_TSA_GB(IKDP_TSA_PASTE(__VA_ARGS__))
+#define IKDP_ACQUIRES(l) IKDP_TSA_FN(acquire_capability, IKDP_TSA_PASTE(l))
+#define IKDP_RELEASES(l) IKDP_TSA_FN(release_capability, IKDP_TSA_PASTE(l))
+#define IKDP_EXCLUDES(l) IKDP_TSA_FN(locks_excluded, IKDP_TSA_PASTE(l))
+#define IKDP_REQUIRES(l) IKDP_TSA_FN(requires_capability, IKDP_TSA_PASTE(l))
+#define IKDP_LOCK_RANK(lock, rank)
+#define IKDP_ACQUIRED_AFTER(member) __attribute__((acquired_after(member)))
+
+// --- capability-name registrations for the fixture locks ---
+
+#define queue_ikdp_tsa_cap , lock_
+#define devq_ikdp_tsa_cap , lock_
+#define ring_ikdp_tsa_cap , lock_
+#define nic_ikdp_tsa_cap , lock_
+#define gate_ikdp_tsa_cap , gate_
+#define tbl_ikdp_tsa_cap , lock_
+// 'phantom' deliberately unregistered (see header comment).
+
+// --- the sleepable fiction ---
+
+struct __attribute__((capability("context"))) SleepableCtx {};
+extern SleepableCtx ikdp_tsa_sleepable;
+
+// --- annotated lock classes, as src/kern/lock.h builds them ---
+
+class __attribute__((capability("mutex"))) SpinLock {
+ public:
+  void Acquire() __attribute__((acquire_capability()));
+  void Release() __attribute__((release_capability()));
+};
+
+class __attribute__((scoped_lockable)) SpinGuard {
+ public:
+  explicit SpinGuard(SpinLock& lock) __attribute__((acquire_capability(lock)));
+  ~SpinGuard() __attribute__((release_capability()));
+};
+
+class __attribute__((capability("mutex"))) SleepLock {
+ public:
+  void Acquire() __attribute__((
+      acquire_capability(), requires_capability(ikdp_tsa_sleepable)));
+  void AcquireUncontended() __attribute__((
+      acquire_capability(), requires_capability(ikdp_tsa_sleepable)));
+  void Release() __attribute__((release_capability()));
+};
+
+class CpuSystem {
+ public:
+  void Sleep() __attribute__((requires_capability(ikdp_tsa_sleepable)));
+  void Wakeup();
+  void Wakeup(void* chan);
+};
+
+// --- minimal coroutine types for bad_sleep_under_spinlock.cc ---
+
+struct Waiter {
+  bool await_ready();
+  void await_suspend(std::coroutine_handle<>);
+  void await_resume();
+};
+
+struct TaskVoid {
+  struct promise_type {
+    TaskVoid get_return_object();
+    std::suspend_never initial_suspend();
+    std::suspend_never final_suspend() noexcept;
+    void return_void();
+    void unhandled_exception();
+  };
+};
+
+#endif  // TOOLS_KCHECK_TESTDATA_TSA_STUB_H_
